@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-tables examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tables:  ## print every reproduced table/figure with assertions
+	pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	python examples/quickstart.py
+	python examples/bi_analytics_report.py
+	python examples/interactive_audit.py
+	python examples/datagen_export.py
+	python examples/bi_power_throughput.py
+
+all: install test bench

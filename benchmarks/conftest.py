@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Three micro scale factors (see DESIGN.md, substitution table): absolute
+numbers will not match the paper's testbed, but growth *shapes* and
+relative per-query costs are expected to hold across these scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import generate
+from repro.graph.store import SocialGraph
+from repro.params.curation import ParameterGenerator
+
+#: label -> number of persons.  Log-spaced micro scale factors.
+MICRO_SCALES = {"sf-micro-1": 150, "sf-micro-2": 300, "sf-micro-3": 600}
+BASE_SCALE = "sf-micro-2"
+
+
+@pytest.fixture(scope="session")
+def networks():
+    return {
+        label: generate(DatagenConfig(num_persons=n, seed=42))
+        for label, n in MICRO_SCALES.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def graphs(networks):
+    return {
+        label: SocialGraph.from_data(net, until=net.cutoff)
+        for label, net in networks.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def base_net(networks):
+    return networks[BASE_SCALE]
+
+
+@pytest.fixture(scope="session")
+def base_graph(graphs):
+    return graphs[BASE_SCALE]
+
+
+@pytest.fixture(scope="session")
+def base_params(base_graph, base_net):
+    return ParameterGenerator(base_graph, base_net.config)
+
+
+@pytest.fixture(scope="session")
+def all_params(graphs, networks):
+    return {
+        label: ParameterGenerator(graphs[label], networks[label].config)
+        for label in MICRO_SCALES
+    }

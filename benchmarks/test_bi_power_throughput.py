@@ -1,0 +1,87 @@
+"""Experiment FBI-PT — the BI power and throughput tests (the VLDB 2022
+evaluation methodology: a sequential power pass over BI 1-25 and a
+throughput loop alternating daily write microbatches — inserts and
+deletes — with read blocks)."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.datagen.scale import approximate_scale_factor
+from repro.driver.bi_driver import (
+    build_microbatches,
+    power_test,
+    throughput_test,
+)
+from repro.graph.store import SocialGraph
+
+
+def _fresh_graph(net):
+    return SocialGraph.from_data(net, until=net.cutoff)
+
+
+def test_power_test(base_graph, base_params, base_net):
+    sf = approximate_scale_factor(len(base_net.persons))
+    result = power_test(base_graph, base_params, sf)
+    print(f"\n{result.format_table()}")
+    assert len(result.runtimes) == 25
+    assert result.power_score > 0
+
+
+def test_benchmark_power_pass(benchmark, base_graph, base_params, base_net):
+    sf = approximate_scale_factor(len(base_net.persons))
+    result = benchmark.pedantic(
+        power_test, args=(base_graph, base_params, sf), rounds=3, iterations=1
+    )
+    assert result.geometric_mean > 0
+
+
+def test_microbatch_partitioning(base_net):
+    batches = build_microbatches(base_net)
+    assert batches
+    # Every batch holds exactly one simulated day.
+    for batch in batches:
+        for op in batch.inserts:
+            assert batch.day_start <= op.timestamp < batch.day_start + 86_400_000
+    total_inserts = sum(len(b.inserts) for b in batches)
+    from repro.datagen.update_streams import build_update_streams
+
+    assert total_inserts == len(build_update_streams(base_net))
+    deletes = sum(len(b.deletes) for b in batches)
+    print(f"\n{len(batches)} daily batches, {total_inserts} inserts,"
+          f" {deletes} deletes")
+    assert deletes > 0
+
+
+def test_throughput_test(base_net, base_params):
+    graph = _fresh_graph(base_net)
+    batches = build_microbatches(base_net)[:20]
+    result = throughput_test(graph, base_params, batches, reads_per_batch=3)
+    print(f"\n{result.format_table()}")
+    assert result.operations > 0
+    assert len(result.batch_seconds) == len(batches)
+
+
+def test_benchmark_throughput_loop(benchmark, base_net, base_params):
+    batches = build_microbatches(base_net)[:10]
+
+    def run():
+        graph = _fresh_graph(base_net)
+        return throughput_test(graph, base_params, batches, reads_per_batch=2)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.throughput > 0
+
+
+def test_reads_survive_delete_churn(base_net, base_params):
+    """After applying every microbatch (including all deletes), the full
+    power pass still runs cleanly on the churned snapshot."""
+    graph = _fresh_graph(base_net)
+    throughput_test(graph, base_params, build_microbatches(base_net),
+                    reads_per_batch=1)
+    from repro.params.curation import ParameterGenerator
+
+    churned_params = ParameterGenerator(graph, base_net.config)
+    sf = approximate_scale_factor(len(base_net.persons))
+    result = power_test(graph, churned_params, sf)
+    assert len(result.runtimes) == 25

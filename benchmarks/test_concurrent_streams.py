@@ -1,0 +1,56 @@
+"""Experiment FCON — concurrent read streams (CP-6 parallelism).
+
+The official BI throughput test runs several concurrent query streams
+against one snapshot.  This bench sweeps the stream count and reports
+aggregate throughput.  On a multi-core host aggregate throughput should
+grow with streams; on a single core (this container reports
+``os.cpu_count() == 1``) the meaningful property is that concurrency
+does not collapse throughput — process isolation keeps the streams from
+interfering.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.driver.bi_driver import concurrent_read_test
+
+
+def test_stream_sweep(base_graph, base_params):
+    results = {
+        streams: concurrent_read_test(
+            base_graph, base_params, streams=streams, queries_per_stream=100
+        )
+        for streams in (1, 2, 4)
+    }
+    print(f"\nconcurrent read streams (cpu_count={os.cpu_count()})")
+    for streams, result in results.items():
+        print(
+            f"  {streams} streams: {result.total_queries} queries in"
+            f" {result.elapsed:.2f}s -> {result.throughput:.0f} q/s"
+        )
+    serial = results[1].throughput
+    concurrent = results[4].throughput
+    if (os.cpu_count() or 1) >= 4:
+        assert concurrent > 1.5 * serial
+    else:
+        # Single/low-core host: concurrency must not collapse throughput.
+        assert concurrent > 0.5 * serial
+
+
+def test_rejects_bad_arguments(base_graph, base_params):
+    import pytest
+
+    with pytest.raises(ValueError):
+        concurrent_read_test(base_graph, base_params, streams=0)
+
+
+def test_benchmark_four_streams(benchmark, base_graph, base_params):
+    result = benchmark.pedantic(
+        concurrent_read_test,
+        args=(base_graph, base_params),
+        kwargs={"streams": 4, "queries_per_stream": 50},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.total_queries == 200

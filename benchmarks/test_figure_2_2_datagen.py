@@ -1,0 +1,107 @@
+"""Experiment F2.2 — the Datagen pipeline (spec Figure 2.2).
+
+Benchmarks each pipeline stage separately (initialize dictionaries ->
+persons -> knows passes -> activity -> serialize) and validates the
+statistical properties the figure's stages are responsible for: the
+Facebook-like degree law, homophily (excess clustering), and flashmob
+time correlation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.datagen.activity import generate_activity
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import build_dictionaries
+from repro.datagen.distributions import mean_degree
+from repro.datagen.knows import degree_map, generate_knows
+from repro.datagen.persons import generate_persons
+from repro.util.dates import MILLIS_PER_DAY
+
+CONFIG = DatagenConfig(num_persons=300, seed=42)
+
+
+def test_benchmark_stage_dictionaries(benchmark):
+    dicts = benchmark(build_dictionaries)
+    assert dicts.country_names
+
+
+def test_benchmark_stage_persons(benchmark):
+    dicts = build_dictionaries()
+    bundle = benchmark(generate_persons, CONFIG, dicts)
+    assert len(bundle.persons) == CONFIG.num_persons
+
+
+def test_benchmark_stage_knows(benchmark):
+    dicts = build_dictionaries()
+    bundle = generate_persons(CONFIG, dicts)
+    edges = benchmark(generate_knows, CONFIG, bundle)
+    assert edges
+
+
+def test_benchmark_stage_activity(benchmark):
+    dicts = build_dictionaries()
+    bundle = generate_persons(CONFIG, dicts)
+    edges = generate_knows(CONFIG, bundle)
+    activity = benchmark.pedantic(
+        generate_activity, args=(CONFIG, dicts, bundle, edges),
+        rounds=3, iterations=1,
+    )
+    assert activity.posts
+
+
+def test_property_degree_law(base_net):
+    degrees = degree_map(base_net.knows, len(base_net.persons))
+    realized = sum(degrees) / len(degrees)
+    target = mean_degree(len(base_net.persons))
+    print(f"\ndegree law: realized mean {realized:.1f}, target {target:.1f}")
+    assert 0.7 * target <= realized <= 1.1 * target
+
+
+def test_property_homophily(base_net):
+    adjacency = defaultdict(set)
+    for edge in base_net.knows:
+        adjacency[edge.person1].add(edge.person2)
+        adjacency[edge.person2].add(edge.person1)
+    triangles = wedges = 0
+    for node, neighbours in adjacency.items():
+        ordered = sorted(neighbours)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                wedges += 1
+                if b in adjacency[a]:
+                    triangles += 1
+    clustering = triangles / wedges
+    n = len(base_net.persons)
+    density = 2 * len(base_net.knows) / (n * (n - 1))
+    print(f"clustering {clustering:.3f} vs random-graph baseline {density:.3f}")
+    assert clustering > 3 * density
+
+
+def test_property_flashmob_time_correlation(base_net):
+    """Around strong events, tagged post volume spikes vs background."""
+    scores = []
+    for event in sorted(
+        base_net.flashmob_events, key=lambda e: -e.intensity
+    )[:5]:
+        tagged = [
+            p
+            for p in base_net.posts
+            if p.tag_ids and p.tag_ids[0] == event.tag_id
+        ]
+        if len(tagged) < 5:
+            continue
+        near = sum(
+            1
+            for p in tagged
+            if abs(p.creation_date - event.peak) < 7 * MILLIS_PER_DAY
+        )
+        background = sum(
+            1
+            for p in base_net.posts
+            if abs(p.creation_date - event.peak) < 7 * MILLIS_PER_DAY
+        ) / len(base_net.posts)
+        scores.append((near / len(tagged)) / max(background, 1e-6))
+    print(f"flashmob concentration ratios: {[f'{s:.1f}' for s in scores]}")
+    assert scores and max(scores) > 3.0

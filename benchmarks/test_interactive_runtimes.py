@@ -1,0 +1,73 @@
+"""Experiment FIC-RT — per-query runtimes of the Interactive workload.
+
+Times every complex read (IC 1-14), every short read (IS 1-7) and a
+batch of updates (IU 1-8 mix), mirroring the per-query runtime tables of
+the Interactive paper.  The spec's design intent is asserted as a shape:
+short reads are orders of magnitude cheaper than complex reads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen.update_streams import build_update_streams
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.complex import ALL_COMPLEX
+from repro.queries.interactive.short import ALL_SHORT
+from repro.queries.interactive.updates import ALL_UPDATES
+
+
+@pytest.mark.parametrize("number", sorted(ALL_COMPLEX))
+def test_benchmark_complex_read(benchmark, number, base_graph, base_params):
+    query, _ = ALL_COMPLEX[number]
+    bindings = base_params.interactive(number, count=3)
+    cursor = iter(range(10 ** 9))
+
+    def run():
+        params = bindings[next(cursor) % len(bindings)]
+        return query(base_graph, *params)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("number", sorted(ALL_SHORT))
+def test_benchmark_short_read(benchmark, number, base_graph, base_params):
+    query, _ = ALL_SHORT[number]
+    if number <= 3:
+        entity = base_params.person_ids(1)[0]
+    else:
+        entity = next(iter(base_graph.posts))
+    benchmark(query, base_graph, entity)
+
+
+def test_benchmark_update_batch(benchmark, base_net):
+    operations = build_update_streams(base_net)[:500]
+
+    def apply_batch():
+        graph = SocialGraph.from_data(base_net, until=base_net.cutoff)
+        for op in operations:
+            ALL_UPDATES[op.operation_id][0](graph, op.params)
+        return len(operations)
+
+    count = benchmark.pedantic(apply_batch, rounds=3, iterations=1)
+    assert count == 500
+
+
+def test_short_reads_cheaper_than_complex(base_graph, base_params):
+    person = base_params.person_ids(1)[0]
+
+    def mean_time(fn, *args, repeat=20):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn(*args)
+        return (time.perf_counter() - start) / repeat
+
+    is1_time = mean_time(ALL_SHORT[1][0], base_graph, person)
+    ic9_bindings = base_params.interactive(9, count=1)
+    ic9_time = mean_time(
+        ALL_COMPLEX[9][0], base_graph, *ic9_bindings[0], repeat=5
+    )
+    print(f"\nIS 1 {1e6 * is1_time:.1f}us vs IC 9 {1e6 * ic9_time:.1f}us")
+    assert is1_time * 10 < ic9_time

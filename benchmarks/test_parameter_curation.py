@@ -1,0 +1,79 @@
+"""Experiment FPC — parameter curation stability (spec 3.3, P1-P3).
+
+The curation procedure promises bounded runtime variance across
+parameter bindings (P1) and stable distributions across samples (P2).
+The bench measures actual query runtimes under curated vs random
+bindings for two traversal-heavy queries and asserts curated variance
+does not exceed random variance — the paper's motivation figure.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from repro.queries.interactive.complex import ic2, ic9
+
+
+def _runtimes(graph, bindings, query):
+    times = []
+    for params in bindings:
+        start = time.perf_counter()
+        query(graph, *params)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _relative_spread(times):
+    mean = statistics.mean(times)
+    return statistics.pstdev(times) / mean if mean else 0.0
+
+
+def _random_person_bindings(graph, template, count, seed):
+    rng = random.Random(seed)
+    persons = sorted(graph.persons)
+    return [
+        (rng.choice(persons),) + tuple(template[1:]) for _ in range(count)
+    ]
+
+
+def test_p1_curated_variance_not_worse(base_graph, base_params):
+    curated = base_params.interactive(9, count=12)
+    template = curated[0]
+    curated_times = _runtimes(base_graph, curated, ic9)
+
+    random_spreads = []
+    for seed in range(5):
+        bindings = _random_person_bindings(base_graph, template, 12, seed)
+        random_spreads.append(
+            _relative_spread(_runtimes(base_graph, bindings, ic9))
+        )
+    curated_spread = _relative_spread(curated_times)
+    print(
+        f"\nIC 9 relative runtime spread: curated {curated_spread:.2f},"
+        f" random median {statistics.median(random_spreads):.2f}"
+    )
+    assert curated_spread <= 1.5 * statistics.median(random_spreads)
+
+
+def test_p2_stable_across_samples(base_graph, base_params):
+    """Two disjoint samples of curated bindings have similar means."""
+    bindings = base_params.interactive(2, count=16)
+    first = _runtimes(base_graph, bindings[:8], ic2)
+    second = _runtimes(base_graph, bindings[8:], ic2)
+    m1, m2 = statistics.mean(first), statistics.mean(second)
+    print(f"IC 2 sample means: {1e3 * m1:.3f} ms vs {1e3 * m2:.3f} ms")
+    assert 0.2 * m2 <= m1 <= 5 * m2
+
+
+def test_benchmark_curation_cost(benchmark, base_graph, base_net):
+    """End-to-end parameter generation cost (factor tables + greedy)."""
+    from repro.params.curation import ParameterGenerator
+
+    def curate():
+        generator = ParameterGenerator(base_graph, base_net.config)
+        return generator.interactive(9, count=10)
+
+    bindings = benchmark.pedantic(curate, rounds=3, iterations=1)
+    assert bindings

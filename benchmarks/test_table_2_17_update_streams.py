@@ -1,0 +1,67 @@
+"""Experiment T2.17-2.18 — update streams: 90/10 split, schemas, replay.
+
+Checks the spec's dataset/stream volume split, the per-operation stream
+partitioning (person vs forum file), and measures stream construction
+and full replay (the IU 1-8 insert path of the SUT).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datagen.update_streams import build_update_streams, write_update_streams
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.updates import ALL_UPDATES
+
+
+def test_ninety_ten_split(base_net):
+    operations = build_update_streams(base_net)
+    total_events = len(base_net._event_timestamps())
+    fraction = len(operations) / total_events
+    print(f"\nupdate stream: {len(operations)}/{total_events} events"
+          f" = {fraction:.1%} (spec: ~10%)")
+    assert 0.08 <= fraction <= 0.12
+
+
+def test_operation_mix_table(base_net):
+    operations = build_update_streams(base_net)
+    mix = Counter(op.operation_id for op in operations)
+    print("\nTable 2.18 — stream operations by type")
+    names = {
+        1: "IU 1 add person", 2: "IU 2 like post", 3: "IU 3 like comment",
+        4: "IU 4 add forum", 5: "IU 5 add member", 6: "IU 6 add post",
+        7: "IU 7 add comment", 8: "IU 8 add friendship",
+    }
+    for op_id in range(1, 9):
+        print(f"{names[op_id]:22s} {mix.get(op_id, 0):7d}")
+    # Content inserts dominate the tail of the simulation.
+    assert mix[6] + mix[7] + mix[2] + mix[3] > mix[1] + mix[4] + mix[8]
+
+
+def test_stream_files_partitioned(base_net, tmp_path):
+    operations = build_update_streams(base_net)
+    person_path, forum_path = write_update_streams(operations, tmp_path)
+    person_lines = person_path.read_text().splitlines()
+    forum_lines = forum_path.read_text().splitlines()
+    assert all(line.split("|")[2] == "1" for line in person_lines)
+    assert all(line.split("|")[2] != "1" for line in forum_lines)
+    assert len(person_lines) + len(forum_lines) == len(operations)
+
+
+def test_benchmark_build_streams(benchmark, base_net):
+    operations = benchmark(build_update_streams, base_net)
+    assert operations
+
+
+def test_benchmark_replay(benchmark, base_net):
+    """Replay every stream operation against a fresh bulk-loaded graph."""
+    operations = build_update_streams(base_net)
+
+    def replay():
+        graph = SocialGraph.from_data(base_net, until=base_net.cutoff)
+        for op in operations:
+            ALL_UPDATES[op.operation_id][0](graph, op.params)
+        return graph
+
+    graph = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert graph.node_count() == base_net.node_count()

@@ -1,0 +1,68 @@
+"""Experiment T3.1/TB.1 — the driver's query mix follows Table 3.1.
+
+The spec couples each complex read to the update stream through a
+frequency: one IC *q* instance per ``freq_q`` updates.  The bench builds
+a schedule from the generated update stream and verifies the realized
+mix matches the table's ratios, then prints the comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datagen.update_streams import build_update_streams
+from repro.driver.mix import FREQUENCIES, frequencies_for_scale_factor
+from repro.driver.scheduler import Scheduler
+
+
+def _schedule(base_net, base_params):
+    updates = build_update_streams(base_net)
+    frequencies = frequencies_for_scale_factor(1.0)
+    parameters = {n: base_params.interactive(n, count=5) for n in range(1, 15)}
+    return updates, frequencies, Scheduler(updates, frequencies, parameters)
+
+
+def test_print_table_3_1(base_net, base_params):
+    updates, frequencies, scheduler = _schedule(base_net, base_params)
+    issued = Counter(
+        op.number for op in scheduler.build() if op.kind == "complex"
+    )
+    print(f"\nTable 3.1 — query mix over {len(updates)} updates (SF1 column)")
+    print(f"{'query':9s} {'freq':>5s} {'expected':>9s} {'issued':>7s}")
+    for query in range(1, 15):
+        expected = len(updates) // frequencies[query]
+        print(
+            f"IC {query:<6d} {frequencies[query]:5d} {expected:9d}"
+            f" {issued[query]:7d}"
+        )
+        assert issued[query] == expected
+
+
+def test_mix_ratios_preserved(base_net, base_params):
+    """Relative ratios between query types match the frequency ratios."""
+    updates, frequencies, scheduler = _schedule(base_net, base_params)
+    issued = Counter(
+        op.number for op in scheduler.build() if op.kind == "complex"
+    )
+    # IC 11 (freq 16) must be issued more often than IC 9 (freq 157).
+    assert issued[11] > issued[9]
+    # Within rounding, counts are inversely proportional to frequencies.
+    for query in range(1, 15):
+        expected = len(updates) / frequencies[query]
+        assert abs(issued[query] - expected) <= 1
+
+
+def test_sf1000_column(base_net, base_params):
+    """Table B.1's rarest query: IC 8 at frequency 1 per SF1000."""
+    updates = build_update_streams(base_net)
+    frequencies = frequencies_for_scale_factor(1000.0)
+    parameters = {8: base_params.interactive(8, count=3)}
+    schedule = Scheduler(updates, frequencies, parameters).build()
+    issued = sum(1 for op in schedule if op.kind == "complex")
+    assert issued == len(updates)  # frequency 1: one IC 8 per update
+
+
+def test_benchmark_schedule_build(benchmark, base_net, base_params):
+    updates, frequencies, scheduler = _schedule(base_net, base_params)
+    schedule = benchmark(scheduler.build)
+    assert schedule

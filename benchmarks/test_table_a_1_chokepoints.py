@@ -1,0 +1,44 @@
+"""Experiment TA.1 — regenerate the choke-point coverage matrix.
+
+Table A.1 of the spec maps choke points to the queries exercising them.
+The matrix here is *derived* from the per-query metadata and must equal
+the appendix's own per-CP lists (transcribed in APPENDIX_COVERAGE).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.chokepoints import (
+    APPENDIX_COVERAGE,
+    CHOKE_POINTS,
+    coverage_matrix,
+    format_coverage_table,
+)
+
+
+def test_print_table_a_1():
+    print("\nTable A.1 — choke point coverage")
+    print(format_coverage_table())
+
+
+def test_matrix_equals_spec():
+    matrix = coverage_matrix()
+    for cp in CHOKE_POINTS:
+        assert matrix[cp.identifier] == APPENDIX_COVERAGE[cp.identifier], cp
+
+
+def test_coverage_density():
+    """Summary row the paper quotes: every query covers >= 1 CP and the
+    BI workload stresses aggregation (CP-1.x) heavily."""
+    matrix = coverage_matrix()
+    covered_queries = set().union(*matrix.values())
+    assert len([q for q in covered_queries if q.startswith("BI")]) == 25
+    assert len([q for q in covered_queries if q.startswith("IC")]) == 14
+    aggregation = set().union(
+        *(matrix[cp] for cp in ("1.1", "1.2", "1.3", "1.4"))
+    )
+    assert len([q for q in aggregation if q.startswith("BI")]) >= 15
+
+
+def test_benchmark_matrix_generation(benchmark):
+    matrix = benchmark(coverage_matrix)
+    assert matrix

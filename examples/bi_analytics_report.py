@@ -1,0 +1,95 @@
+"""Business-intelligence analyst session — the scenario the BI workload
+models: "analytic queries a social network company would like to perform
+... to take advantage of the data and to discover new business
+opportunities" (spec chapter 1).
+
+Runs a themed selection of the BI reads and renders an analyst-style
+report: posting volume, tag trends, community health (zombies), topic
+experts and international reach.
+
+Run:  python examples/bi_analytics_report.py
+"""
+
+from repro import SocialNetworkBenchmark
+from repro.util.dates import format_date, make_date
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 64}\n{title}\n{'=' * 64}")
+
+
+def main() -> None:
+    bench = SocialNetworkBenchmark.generate(num_persons=400, seed=7)
+    graph, params = bench.graph, bench.params
+
+    section("Content volume (BI 1 — posting summary)")
+    cutoff = make_date(2012, 10, 1)
+    print(f"messages before {format_date(cutoff)}, by year/type/length:")
+    print(f"{'year':>6} {'type':>8} {'len':>4} {'count':>7} {'avg':>7} {'%':>6}")
+    for row in bench.bi.run(1, cutoff)[:10]:
+        kind = "comment" if row.is_comment else "post"
+        print(
+            f"{row.year:>6} {kind:>8} {row.length_category:>4}"
+            f" {row.message_count:>7} {row.average_message_length:>7.1f}"
+            f" {row.percentage_of_messages:>6.2f}"
+        )
+
+    section("Trending now (BI 12) and tag momentum (BI 3)")
+    for row in bench.bi.run(12, make_date(2012, 6, 1), 2)[:5]:
+        print(
+            f"  hot message {row.message_id}"
+            f" ({row.creator_first_name} {row.creator_last_name}),"
+            f" {row.like_count} likes"
+        )
+    print("tag momentum May->June 2012:")
+    for row in bench.bi.run(3, 2012, 5)[:5]:
+        print(
+            f"  {row.tag_name}: {row.count_month1} -> {row.count_month2}"
+            f" (diff {row.diff})"
+        )
+
+    section("Community health — zombies (BI 21)")
+    country = params.country_names(1)[0]
+    zombies = bench.bi.run(21, country, make_date(2012, 9, 1))
+    print(f"{len(zombies)} low-activity profiles in {country}; worst:")
+    for row in zombies[:5]:
+        print(
+            f"  person {row.zombie_id}: score {row.zombie_score:.2f}"
+            f" ({row.zombie_like_count}/{row.total_like_count} zombie likes)"
+        )
+
+    section("Who owns a topic (BI 6 + BI 7)")
+    tag = params.tag_names(1)[0]
+    print(f"most active posters on '{tag}':")
+    for row in bench.bi.run(6, tag)[:5]:
+        print(
+            f"  person {row.person_id}: score {row.score}"
+            f" ({row.message_count} msgs, {row.reply_count} replies,"
+            f" {row.like_count} likes)"
+        )
+    print(f"most authoritative on '{tag}':")
+    for row in bench.bi.run(7, tag)[:5]:
+        print(f"  person {row.person_id}: authority {row.authority_score}")
+
+    section("International reach (BI 22 + BI 23)")
+    countries = params.country_names(4)
+    pairs = bench.bi.run(22, countries[0], countries[1])
+    print(f"strongest {countries[0]}<->{countries[1]} dialogues:")
+    for row in pairs[:5]:
+        print(
+            f"  {row.person1_id} ({row.city1_name}) <-> {row.person2_id}:"
+            f" score {row.score}"
+        )
+    print(f"holiday destinations of {countries[0]} residents:")
+    for row in bench.bi.run(23, countries[0])[:5]:
+        print(f"  {row.destination_name} in month {row.month}: "
+              f"{row.message_count} messages")
+
+    section("High-level topic mix (BI 20)")
+    classes = params.tagclass_names(4)
+    for row in bench.bi.run(20, classes):
+        print(f"  {row.tag_class_name}: {row.message_count} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""The BI benchmark's two execution modes (VLDB 2022 methodology):
+
+* the **power test** — a sequential pass over BI 1-25 on a frozen
+  snapshot, scored by the geometric mean of runtimes;
+* the **throughput test** — daily write microbatches (inserts IU 1-8
+  *and* deletes DEL 1-8) alternating with blocks of BI reads.
+
+Run:  python examples/bi_power_throughput.py
+"""
+
+from repro import SocialNetworkBenchmark
+from repro.datagen.scale import approximate_scale_factor
+from repro.driver.bi_driver import (
+    build_microbatches,
+    power_test,
+    throughput_test,
+)
+
+
+def main() -> None:
+    bench = SocialNetworkBenchmark.generate(num_persons=300, seed=42)
+    sf = approximate_scale_factor(len(bench.network.persons))
+    print(
+        f"snapshot: {bench.graph.node_count()} nodes (~SF {sf:.4f}),"
+        f" loaded in {bench.load_seconds:.2f}s"
+    )
+
+    print("\n-- power test (BI 1-25, sequential, curated parameters) --")
+    result = power_test(bench.graph, bench.params, sf)
+    print(result.format_table())
+
+    print("\n-- throughput test (daily write microbatches + read blocks) --")
+    batches = build_microbatches(bench.network, include_deletes=True)
+    inserts = sum(len(b.inserts) for b in batches)
+    deletes = sum(len(b.deletes) for b in batches)
+    print(f"{len(batches)} daily batches: {inserts} inserts, {deletes} deletes")
+    outcome = throughput_test(
+        bench.graph, bench.params, batches, reads_per_batch=3
+    )
+    print(outcome.format_table())
+
+    print("\n-- snapshot after churn --")
+    print(
+        f"{bench.graph.node_count()} nodes,"
+        f" {len(bench.graph.knows_edges)} knows,"
+        f" {len(bench.graph.likes_edges)} likes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: generate a micro social network, run queries, and drive
+the Interactive workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SocialNetworkBenchmark
+
+
+def main() -> None:
+    # 1. Generate a deterministic network (~0.01 scale-factor equivalent)
+    #    and bulk-load the first 90 % of it into the in-memory SUT.
+    bench = SocialNetworkBenchmark.generate(num_persons=300, seed=42)
+    graph = bench.graph
+    print(
+        f"loaded {len(graph.persons)} persons, "
+        f"{len(graph.posts)} posts, {len(graph.comments)} comments, "
+        f"{len(graph.likes_edges)} likes "
+        f"(~SF {bench.scale_factor:.4f}, load {bench.load_seconds:.2f}s)"
+    )
+
+    # 2. A BI read with curated parameters: BI 12, trending posts.
+    print("\nBI 12 — trending posts (top 5):")
+    for row in bench.bi.run(12)[:5]:
+        print(
+            f"  message {row.message_id} by {row.creator_first_name} "
+            f"{row.creator_last_name}: {row.like_count} likes"
+        )
+
+    # 3. A BI read with explicit parameters: BI 13 for a named country.
+    print("\nBI 13 — popular tags per month in India (top 3 months):")
+    for row in bench.bi.run(13, "India")[:3]:
+        tags = ", ".join(f"{name} ({count})" for name, count in row.popular_tags[:3])
+        print(f"  {row.year}-{row.month:02d}: {tags}")
+
+    # 4. An Interactive complex read: IC 9, messages of the 2-hop circle.
+    print("\nIC 9 — recent messages from friends and friends of friends:")
+    for row in bench.interactive.run_complex(9)[:5]:
+        print(
+            f"  {row.person_first_name} {row.person_last_name}: "
+            f"{row.message_content[:40]!r}"
+        )
+
+    # 5. Replay the update streams with the full query mix (the
+    #    Interactive workload), then print the driver's results table.
+    print("\ndriver run (first 500 update-stream operations):")
+    report = bench.run_driver(max_updates=500)
+    print(report.format_table())
+
+
+if __name__ == "__main__":
+    main()

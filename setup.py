@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which require bdist_wheel) cannot run.
+This shim plus the pip configuration (no-use-pep517) lets
+``pip install -e .`` use the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

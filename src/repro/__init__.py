@@ -1,0 +1,32 @@
+"""repro — a from-scratch Python reproduction of the LDBC Social Network
+Benchmark (Business Intelligence workload, with the full Interactive
+workload, Datagen, parameter curation and test driver).
+
+Public entry points:
+
+* :class:`repro.SocialNetworkBenchmark` — generate, load, query, drive.
+* :mod:`repro.datagen` — the deterministic data generator.
+* :mod:`repro.graph` — the in-memory reference SUT.
+* :mod:`repro.queries.bi` / :mod:`repro.queries.interactive` — workloads.
+* :mod:`repro.params` — substitution-parameter curation.
+* :mod:`repro.driver` — scheduling, execution, validation.
+* :mod:`repro.analysis` — choke points, checklists, disclosure reports.
+"""
+
+from repro.core.api import BiWorkload, InteractiveWorkload, SocialNetworkBenchmark
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import SocialNetworkData, generate
+from repro.graph.store import SocialGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiWorkload",
+    "DatagenConfig",
+    "InteractiveWorkload",
+    "SocialGraph",
+    "SocialNetworkBenchmark",
+    "SocialNetworkData",
+    "generate",
+    "__version__",
+]

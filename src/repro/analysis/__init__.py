@@ -1,0 +1,23 @@
+"""Benchmark analysis: choke-point coverage and disclosure reporting."""
+
+from repro.analysis.chokepoints import (
+    CHOKE_POINTS,
+    ChokePoint,
+    coverage_matrix,
+    format_coverage_table,
+    queries_covering,
+)
+from repro.analysis.report import BenchmarkChecklist, full_disclosure_report
+from repro.analysis.stats import DatasetStatistics, compute_statistics
+
+__all__ = [
+    "BenchmarkChecklist",
+    "DatasetStatistics",
+    "compute_statistics",
+    "CHOKE_POINTS",
+    "ChokePoint",
+    "coverage_matrix",
+    "format_coverage_table",
+    "full_disclosure_report",
+    "queries_covering",
+]

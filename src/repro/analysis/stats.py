@@ -1,0 +1,160 @@
+"""Dataset statistics (Appendix B flavour).
+
+Summarizes a loaded graph the way the spec's scale-factor appendix and
+the BI paper's dataset tables do: entity counts per type, relation
+counts, degree-distribution percentiles, activity distributions (posts
+per person, thread depth), and tag usage.  Used by the CLI's
+``report dataset`` command and the datagen benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.graph.store import SocialGraph
+
+
+def _percentiles(values: list[int], points=(50, 90, 99)) -> dict[int, float]:
+    if not values:
+        return {p: 0.0 for p in points}
+    ordered = sorted(values)
+    return {
+        p: float(ordered[min(len(ordered) - 1, int(p / 100 * len(ordered)))])
+        for p in points
+    }
+
+
+@dataclass
+class DatasetStatistics:
+    """All computed statistics of one graph snapshot."""
+
+    entity_counts: dict[str, int] = field(default_factory=dict)
+    relation_counts: dict[str, int] = field(default_factory=dict)
+    degree_mean: float = 0.0
+    degree_max: int = 0
+    degree_percentiles: dict[int, float] = field(default_factory=dict)
+    messages_per_person_mean: float = 0.0
+    messages_per_person_percentiles: dict[int, float] = field(default_factory=dict)
+    thread_depth_max: int = 0
+    thread_depth_mean: float = 0.0
+    forum_kind_counts: dict[str, int] = field(default_factory=dict)
+    distinct_tags_used: int = 0
+    top_tags: list[tuple[str, int]] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = ["Dataset statistics", "=" * 40]
+        lines.append("entities:")
+        for name, count in self.entity_counts.items():
+            lines.append(f"  {name:14s} {count:10d}")
+        lines.append("relations:")
+        for name, count in self.relation_counts.items():
+            lines.append(f"  {name:14s} {count:10d}")
+        lines.append(
+            f"knows degree: mean {self.degree_mean:.1f}, max {self.degree_max},"
+            f" p50/p90/p99 "
+            + "/".join(
+                f"{self.degree_percentiles[p]:.0f}" for p in (50, 90, 99)
+            )
+        )
+        lines.append(
+            f"messages/person: mean {self.messages_per_person_mean:.1f},"
+            f" p50/p90/p99 "
+            + "/".join(
+                f"{self.messages_per_person_percentiles[p]:.0f}"
+                for p in (50, 90, 99)
+            )
+        )
+        lines.append(
+            f"thread depth: mean {self.thread_depth_mean:.2f},"
+            f" max {self.thread_depth_max}"
+        )
+        lines.append(
+            "forums: "
+            + ", ".join(f"{k} {v}" for k, v in self.forum_kind_counts.items())
+        )
+        lines.append(f"distinct tags used: {self.distinct_tags_used}")
+        lines.append(
+            "top tags: "
+            + ", ".join(f"{name} ({count})" for name, count in self.top_tags)
+        )
+        return "\n".join(lines)
+
+
+def compute_statistics(graph: SocialGraph, top_tag_count: int = 5) -> DatasetStatistics:
+    """One pass over the graph collecting every statistic."""
+    stats = DatasetStatistics()
+    stats.entity_counts = {
+        "places": len(graph.places),
+        "organisations": len(graph.organisations),
+        "tag classes": len(graph.tag_classes),
+        "tags": len(graph.tags),
+        "persons": len(graph.persons),
+        "forums": len(graph.forums),
+        "posts": len(graph.posts),
+        "comments": len(graph.comments),
+    }
+    stats.relation_counts = {
+        "knows": len(graph.knows_edges),
+        "likes": len(graph.likes_edges),
+        "hasMember": len(graph.memberships),
+        "studyAt": len(graph.study_at),
+        "workAt": len(graph.work_at),
+        "hasInterest": sum(len(p.interests) for p in graph.persons.values()),
+    }
+
+    degrees = [len(graph.friends_of(pid)) for pid in graph.persons]
+    if degrees:
+        stats.degree_mean = sum(degrees) / len(degrees)
+        stats.degree_max = max(degrees)
+    stats.degree_percentiles = _percentiles(degrees)
+
+    message_counts = [
+        len(graph.posts_by(pid)) + len(graph.comments_by(pid))
+        for pid in graph.persons
+    ]
+    if message_counts:
+        stats.messages_per_person_mean = sum(message_counts) / len(message_counts)
+    stats.messages_per_person_percentiles = _percentiles(message_counts)
+
+    # Thread depth: distance of each comment from its root post.
+    depths = []
+    depth_cache: dict[int, int] = {}
+
+    def depth_of(comment) -> int:
+        cached = depth_cache.get(comment.id)
+        if cached is not None:
+            return cached
+        parent = (
+            comment.reply_of_post
+            if comment.reply_of_post >= 0
+            else comment.reply_of_comment
+        )
+        if parent in graph.posts:
+            value = 1
+        else:
+            parent_comment = graph.comments.get(parent)
+            value = 1 + depth_of(parent_comment) if parent_comment else 1
+        depth_cache[comment.id] = value
+        return value
+
+    for comment in graph.comments.values():
+        depths.append(depth_of(comment))
+    if depths:
+        stats.thread_depth_mean = sum(depths) / len(depths)
+        stats.thread_depth_max = max(depths)
+
+    stats.forum_kind_counts = dict(
+        Counter(f.kind.value for f in graph.forums.values())
+    )
+
+    tag_usage: Counter = Counter()
+    for message in graph.messages():
+        for tag_id in message.tag_ids:
+            tag_usage[tag_id] += 1
+    stats.distinct_tags_used = len(tag_usage)
+    stats.top_tags = [
+        (graph.tags[tag_id].name, count)
+        for tag_id, count in tag_usage.most_common(top_tag_count)
+    ]
+    return stats

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the benchmark workflow (spec Figure 2.3):
+
+* ``generate``   — run Datagen and export the dataset, update/delete
+  streams and substitution-parameter files.
+* ``run-bi``     — run one BI read, or the full power test.
+* ``run-interactive`` — run the Interactive workload through the driver.
+* ``validate``   — create or check a validation dataset (spec 6.2).
+* ``report``     — print reference tables (choke points, scale factors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.chokepoints import format_coverage_table
+from repro.analysis.report import full_disclosure_report
+from repro.core.api import SocialNetworkBenchmark
+from repro.datagen.scale import SCALE_FACTORS, approximate_scale_factor
+from repro.driver.bi_driver import (
+    build_microbatches,
+    power_test,
+    throughput_test,
+)
+from repro.driver.validation import (
+    read_validation_set,
+    write_validation_set,
+)
+from repro.params.files import write_parameter_files
+
+
+def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--persons", type=int, default=300,
+                        help="number of persons to generate (default 300)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="datagen master seed (default 42)")
+    parser.add_argument("--years", type=int, default=3,
+                        help="simulated years (default 3)")
+    parser.add_argument("--start-year", type=int, default=2010,
+                        help="first simulated year (default 2010)")
+
+
+def _bench(args: argparse.Namespace) -> SocialNetworkBenchmark:
+    return SocialNetworkBenchmark.generate(
+        num_persons=args.persons,
+        seed=args.seed,
+        num_years=args.years,
+        start_year=args.start_year,
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    bench = _bench(args)
+    output = Path(args.output)
+    root = bench.export(output, variant=args.format)
+    generated = len(list(root.rglob("*")))
+    write_parameter_files(bench.params, output, bindings_per_query=args.bindings)
+    if args.deletes:
+        from repro.datagen.delete_streams import (
+            build_delete_streams,
+            write_delete_stream,
+        )
+
+        write_delete_stream(build_delete_streams(bench.network), output)
+    print(
+        f"generated {len(bench.network.persons)} persons"
+        f" (~SF {bench.scale_factor:.4f}),"
+        f" {bench.network.node_count()} nodes,"
+        f" {bench.network.edge_count()} edges"
+    )
+    print(f"dataset: {root} ({generated} files, format {args.format})")
+    print(f"parameters: {output / 'substitution_parameters'}")
+    return 0
+
+
+def _cmd_run_bi(args: argparse.Namespace) -> int:
+    bench = _bench(args)
+    if args.query is not None:
+        rows = bench.bi.run(args.query)
+        for row in rows[: args.limit]:
+            print(tuple(row))
+        print(f"-- BI {args.query}: {len(rows)} rows")
+        return 0
+    sf = approximate_scale_factor(args.persons)
+    result = power_test(bench.graph, bench.params, sf)
+    print(result.format_table())
+    if args.throughput:
+        batches = build_microbatches(bench.network)
+        outcome = throughput_test(bench.graph, bench.params, batches)
+        print(outcome.format_table())
+    return 0
+
+
+def _cmd_run_interactive(args: argparse.Namespace) -> int:
+    bench = _bench(args)
+    report = bench.run_driver(
+        time_compression_ratio=args.tcr,
+        max_updates=args.updates,
+        include_deletes=args.deletes,
+    )
+    if args.results_dir:
+        report.write_results_dir(
+            args.results_dir,
+            configuration={
+                "persons": args.persons,
+                "seed": args.seed,
+                "time_compression_ratio": args.tcr,
+                "max_updates": args.updates,
+                "include_deletes": args.deletes,
+            },
+        )
+        print(f"results directory: {args.results_dir}")
+    if args.fdr:
+        print(
+            full_disclosure_report(
+                f"{args.persons} persons (~SF {bench.scale_factor:.4f})",
+                bench.load_seconds,
+                report,
+            )
+        )
+    else:
+        print(report.format_table())
+    return 0 if report.is_valid_run else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    bench = _bench(args)
+    path = Path(args.file)
+    if args.create:
+        validation_set = bench.create_validation_set(
+            bindings_per_query=args.bindings
+        )
+        write_validation_set(validation_set, path)
+        print(f"wrote {len(validation_set['entries'])} entries to {path}")
+        return 0
+    validation_set = read_validation_set(path)
+    mismatches = bench.validate(validation_set)
+    if mismatches:
+        print(f"FAILED: {len(mismatches)} mismatching queries")
+        for mismatch in mismatches[:5]:
+            print(f"  {mismatch['kind']} {mismatch['number']}"
+                  f" params={mismatch['params']}")
+        return 1
+    print(f"OK: all {len(validation_set['entries'])} queries match")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.table == "chokepoints":
+        print(format_coverage_table())
+    elif args.table == "dataset":
+        from repro.analysis.stats import compute_statistics
+
+        bench = _bench(args)
+        print(compute_statistics(bench.graph).format())
+    elif args.table == "scale-factors":
+        print(f"{'SF':>8s} {'#persons':>10s} {'#nodes':>14s} {'#edges':>15s}")
+        for sf in sorted(SCALE_FACTORS):
+            persons, nodes, edges = SCALE_FACTORS[sf]
+            print(f"{sf:8g} {persons:10d} {nodes:14d} {edges:15d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LDBC Social Network Benchmark (BI workload) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="run Datagen and export all artefacts"
+    )
+    _add_dataset_options(generate)
+    generate.add_argument("--output", default="out", help="output directory")
+    generate.add_argument(
+        "--format", default="CsvBasic",
+        choices=["CsvBasic", "CsvMergeForeign", "CsvComposite",
+                 "CsvCompositeMergeForeign", "Turtle"],
+    )
+    generate.add_argument("--bindings", type=int, default=20,
+                          help="parameter bindings per query")
+    generate.add_argument("--deletes", action="store_true",
+                          help="also write the delete stream")
+    generate.set_defaults(handler=_cmd_generate)
+
+    run_bi = commands.add_parser("run-bi", help="run BI reads")
+    _add_dataset_options(run_bi)
+    run_bi.add_argument("--query", type=int, choices=range(1, 26),
+                        help="one query number (default: full power test)")
+    run_bi.add_argument("--limit", type=int, default=10,
+                        help="rows to print for --query")
+    run_bi.add_argument("--throughput", action="store_true",
+                        help="also run the microbatch throughput test")
+    run_bi.set_defaults(handler=_cmd_run_bi)
+
+    run_interactive = commands.add_parser(
+        "run-interactive", help="run the Interactive workload driver"
+    )
+    _add_dataset_options(run_interactive)
+    run_interactive.add_argument("--updates", type=int, default=None,
+                                 help="cap on update operations")
+    run_interactive.add_argument("--tcr", type=float, default=0.0,
+                                 help="time compression ratio (0 = flat out)")
+    run_interactive.add_argument("--deletes", action="store_true",
+                                 help="interleave the delete stream")
+    run_interactive.add_argument("--fdr", action="store_true",
+                                 help="print a full disclosure report")
+    run_interactive.add_argument("--results-dir", default=None,
+                                 help="write the \u00a76.2 results directory"
+                                      " (config, results log, summary)")
+    run_interactive.set_defaults(handler=_cmd_run_interactive)
+
+    validate = commands.add_parser(
+        "validate", help="create or check a validation dataset"
+    )
+    _add_dataset_options(validate)
+    validate.add_argument("file", help="validation dataset path (JSON)")
+    validate.add_argument("--create", action="store_true",
+                          help="create instead of check")
+    validate.add_argument("--bindings", type=int, default=2)
+    validate.set_defaults(handler=_cmd_validate)
+
+    report = commands.add_parser("report", help="print reference tables")
+    _add_dataset_options(report)
+    report.add_argument(
+        "table", choices=["chokepoints", "scale-factors", "dataset"],
+    )
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

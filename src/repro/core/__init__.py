@@ -1,0 +1,5 @@
+"""Public API of the reproduction."""
+
+from repro.core.api import BiWorkload, InteractiveWorkload, SocialNetworkBenchmark
+
+__all__ = ["BiWorkload", "InteractiveWorkload", "SocialNetworkBenchmark"]

@@ -1,0 +1,191 @@
+"""High-level facade over datagen, the graph store, the workloads, the
+parameter curation and the driver.
+
+Typical use::
+
+    from repro import SocialNetworkBenchmark
+
+    bench = SocialNetworkBenchmark.generate(num_persons=1000, seed=42)
+    rows = bench.bi.run(12)                  # BI 12 with curated params
+    rows = bench.bi.run(13, "India")         # or explicit params
+    report = bench.run_driver()              # the Interactive workload
+    print(report.format_table())
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import SocialNetworkData, generate
+from repro.datagen.scale import approximate_scale_factor, persons_for_scale_factor
+from repro.datagen.serializers import serialize_csv, serialize_turtle
+from repro.datagen.delete_streams import build_delete_streams
+from repro.datagen.update_streams import build_update_streams, write_update_streams
+from repro.driver.mix import frequencies_for_scale_factor
+from repro.driver.runner import Driver, DriverReport
+from repro.driver.scheduler import Scheduler
+from repro.driver.validation import create_validation_set, validate
+from repro.graph.store import SocialGraph
+from repro.params.curation import ParameterGenerator
+from repro.queries.bi import ALL_QUERIES as ALL_BI
+from repro.queries.interactive.complex import ALL_COMPLEX
+from repro.queries.interactive.short import ALL_SHORT
+
+
+class BiWorkload:
+    """The Business Intelligence workload bound to a graph."""
+
+    def __init__(self, graph: SocialGraph, params: ParameterGenerator):
+        self.graph = graph
+        self.params = params
+
+    def run(self, number: int, *params: Any) -> list:
+        """Run BI ``number``; without explicit params, use the first
+        curated binding."""
+        query, _ = ALL_BI[number]
+        if not params:
+            bindings = self.params.bi(number, count=1)
+            if not bindings:
+                raise RuntimeError(f"no curated parameters for BI {number}")
+            params = bindings[0]
+        return query(self.graph, *params)
+
+    def run_all(self, bindings_per_query: int = 1) -> dict[int, list]:
+        """Run every BI query once per curated binding; returns results
+        keyed by query number (last binding's result)."""
+        results = {}
+        for number in sorted(ALL_BI):
+            for params in self.params.bi(number, count=bindings_per_query):
+                results[number] = ALL_BI[number][0](self.graph, *params)
+        return results
+
+
+class InteractiveWorkload:
+    """The Interactive workload (reads only) bound to a graph."""
+
+    def __init__(self, graph: SocialGraph, params: ParameterGenerator):
+        self.graph = graph
+        self.params = params
+
+    def run_complex(self, number: int, *params: Any) -> list:
+        query, _ = ALL_COMPLEX[number]
+        if not params:
+            bindings = self.params.interactive(number, count=1)
+            if not bindings:
+                raise RuntimeError(f"no curated parameters for IC {number}")
+            params = bindings[0]
+        return query(self.graph, *params)
+
+    def run_short(self, number: int, entity_id: int) -> list:
+        return ALL_SHORT[number][0](self.graph, entity_id)
+
+
+class SocialNetworkBenchmark:
+    """One generated network plus everything needed to benchmark it."""
+
+    def __init__(self, network: SocialNetworkData, use_indexes: bool = True):
+        self.network = network
+        load_start = time.perf_counter()
+        #: Graph holding the bulk-load (pre-cutoff) dataset.
+        self.graph = SocialGraph.from_data(
+            network, until=network.cutoff, use_indexes=use_indexes
+        )
+        self.load_seconds = time.perf_counter() - load_start
+        self.params = ParameterGenerator(self.graph, network.config)
+        self.bi = BiWorkload(self.graph, self.params)
+        self.interactive = InteractiveWorkload(self.graph, self.params)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        num_persons: int | None = None,
+        scale_factor: float | None = None,
+        seed: int = 42,
+        use_indexes: bool = True,
+        **config_kwargs: Any,
+    ) -> "SocialNetworkBenchmark":
+        """Generate a network and load it.
+
+        Exactly one of ``num_persons`` / ``scale_factor`` must be given;
+        a scale factor is translated via the Table 2.12 scaling law.
+        """
+        if (num_persons is None) == (scale_factor is None):
+            raise ValueError("pass exactly one of num_persons / scale_factor")
+        if num_persons is None:
+            num_persons = persons_for_scale_factor(scale_factor)
+        config = DatagenConfig(num_persons=num_persons, seed=seed, **config_kwargs)
+        return cls(generate(config), use_indexes=use_indexes)
+
+    @property
+    def scale_factor(self) -> float:
+        """Approximate SF of this network per the Table 2.12 law."""
+        return approximate_scale_factor(self.network.config.num_persons)
+
+    # -- dataset artefacts ---------------------------------------------------
+
+    def export(self, output_dir: Path | str, variant: str = "CsvBasic") -> Path:
+        """Write the bulk-load dataset and the update streams."""
+        if variant == "Turtle":
+            root = serialize_turtle(self.network, output_dir)
+        else:
+            root = serialize_csv(self.network, output_dir, variant)
+        write_update_streams(build_update_streams(self.network), output_dir)
+        return root
+
+    # -- workload execution ----------------------------------------------
+
+    def run_driver(
+        self,
+        time_compression_ratio: float = 0.0,
+        seed: int = 1234,
+        max_updates: int | None = None,
+        include_deletes: bool = False,
+    ) -> DriverReport:
+        """Run the Interactive workload: replay the update streams with
+        frequency-interleaved complex reads and short-read sequences.
+
+        ``include_deletes`` interleaves the DEL 1-8 delete stream (the
+        insert/delete mix of spec section 5.2 / the VLDB 2022 BI
+        workload) at its own timestamps.
+        """
+        updates = build_update_streams(self.network)
+        if max_updates is not None:
+            updates = updates[:max_updates]
+        deletes = None
+        if include_deletes:
+            deletes = build_delete_streams(self.network)
+            if updates:
+                horizon = updates[-1].timestamp
+                deletes = [op for op in deletes if op.timestamp <= horizon]
+        frequencies = frequencies_for_scale_factor(max(self.scale_factor, 1.0))
+        parameters = {
+            number: self.params.interactive(number)
+            for number in sorted(ALL_COMPLEX)
+        }
+        schedule = Scheduler(updates, frequencies, parameters, deletes).build()
+        driver = Driver(self.graph, time_compression_ratio, seed=seed)
+        return driver.run(schedule)
+
+    # -- validation ----------------------------------------------------------
+
+    def create_validation_set(self, bindings_per_query: int = 2) -> dict:
+        """Expected results for every read query (spec 6.2)."""
+        bindings: dict[tuple[str, int], list[tuple]] = {}
+        for number in sorted(ALL_BI):
+            bindings[("bi", number)] = self.params.bi(
+                number, count=bindings_per_query
+            )
+        for number in sorted(ALL_COMPLEX):
+            bindings[("complex", number)] = self.params.interactive(
+                number, count=bindings_per_query
+            )
+        return create_validation_set(self.graph, bindings)
+
+    def validate(self, validation_set: dict) -> list[dict]:
+        """Check this graph against a validation dataset."""
+        return validate(self.graph, validation_set)

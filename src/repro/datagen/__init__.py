@@ -1,0 +1,18 @@
+"""Datagen — the LDBC SNB synthetic social network generator (spec 2.3.3).
+
+The public entry point is :func:`repro.datagen.generator.generate`, which
+produces a :class:`repro.datagen.generator.SocialNetworkData` for a
+:class:`repro.datagen.config.DatagenConfig`.
+"""
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import SocialNetworkData, generate
+from repro.datagen.scale import SCALE_FACTORS, persons_for_scale_factor
+
+__all__ = [
+    "DatagenConfig",
+    "SCALE_FACTORS",
+    "SocialNetworkData",
+    "generate",
+    "persons_for_scale_factor",
+]

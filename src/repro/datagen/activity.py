@@ -1,0 +1,488 @@
+"""Person-activity generation: forums, posts, comments and likes
+(spec section 2.3.3.2, "person's activity" stage).
+
+Reproduces the properties the spec calls out:
+
+* **Three forum flavours** distinguished by title: personal walls, image
+  albums and topical groups.
+* **Activity correlates with degree**: "people with a larger number of
+  friends have a higher activity, and hence post more photos and
+  comments to a larger number of posts."
+* **Time correlation via flashmob events**: events are generated up
+  front with a tag, a peak time, and an intensity; a fraction of posts
+  is classified as flashmob posts, clustered around the event's peak and
+  carrying its tag, volume decaying as in [17].  The remaining posts are
+  uniformly distributed over the simulation window, reproducing everyday
+  activity.
+* **Tag enrichment via the tag matrix**: message tags are seeded from
+  the forum/person interest and enriched with correlated tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import Dictionaries, POPULAR_PLACES
+from repro.datagen.persons import PersonBundle
+from repro.schema.entities import Comment, Forum, ForumKind, Post
+from repro.schema.relations import HasMember, Knows, Likes
+from repro.util.dates import MILLIS_PER_DAY, DateTime
+from repro.util.rng import DeterministicRng
+
+#: Probability that a post is attached to a flashmob event.
+FLASHMOB_POST_FRACTION = 0.25
+#: Half-life of the flashmob volume decay (spec [17]-style spike).
+FLASHMOB_WIDTH_MILLIS = 2 * MILLIS_PER_DAY
+#: Content-length bands of BI 1: short / one liner / tweet / long.
+_LENGTH_BANDS = ((0, 39), (40, 79), (80, 159), (160, 350))
+_LENGTH_BAND_WEIGHTS = (0.40, 0.25, 0.20, 0.15)
+#: Groups created per person (spec leaves the constant free).
+GROUPS_PER_PERSON = 0.3
+#: Base number of wall posts per person per simulated year.
+WALL_POSTS_PER_YEAR = 3.0
+#: Mean number of comments spawned per post (scaled by author degree).
+COMMENTS_PER_POST = 1.3
+#: Mean number of likes per message.
+LIKES_PER_MESSAGE = 1.1
+
+
+@dataclass(slots=True, frozen=True)
+class FlashmobEvent:
+    """A simulated real-world event driving a post-volume spike."""
+
+    tag_id: int
+    peak: DateTime
+    intensity: float
+
+
+@dataclass(slots=True)
+class ActivityBundle:
+    """Everything the activity stage produces."""
+
+    forums: list[Forum] = field(default_factory=list)
+    memberships: list[HasMember] = field(default_factory=list)
+    posts: list[Post] = field(default_factory=list)
+    comments: list[Comment] = field(default_factory=list)
+    likes: list[Likes] = field(default_factory=list)
+    flashmob_events: list[FlashmobEvent] = field(default_factory=list)
+
+
+class _ActivityGenerator:
+    def __init__(
+        self,
+        config: DatagenConfig,
+        dicts: Dictionaries,
+        bundle: PersonBundle,
+        knows: list[Knows],
+    ):
+        self.config = config
+        self.dicts = dicts
+        self.bundle = bundle
+        self.out = ActivityBundle()
+        self._forum_id = 0
+        self._message_id = 0
+        self.friends: list[list[tuple[int, DateTime]]] = [
+            [] for _ in bundle.persons
+        ]
+        for edge in knows:
+            self.friends[edge.person1].append((edge.person2, edge.creation_date))
+            self.friends[edge.person2].append((edge.person1, edge.creation_date))
+        degrees = [len(f) for f in self.friends]
+        self._mean_degree = max(1.0, sum(degrees) / max(1, len(degrees)))
+
+    # -- helpers ----------------------------------------------------------
+
+    def _next_forum_id(self) -> int:
+        fid = self._forum_id
+        self._forum_id += 1
+        return fid
+
+    def _next_message_id(self) -> int:
+        mid = self._message_id
+        self._message_id += 1
+        return mid
+
+    def _activity_factor(self, person_id: int) -> float:
+        """Degree-proportional activity multiplier (spec property)."""
+        return 0.5 + len(self.friends[person_id]) / self._mean_degree
+
+    def _message_country(self, rng: DeterministicRng, person_id: int) -> int:
+        """Country a message is issued from: usually home, sometimes travel."""
+        if rng.random() < 0.92:
+            return self.bundle.country_of[person_id]
+        return rng.randint(0, self.dicts.num_countries - 1)
+
+    def _content_for(self, rng: DeterministicRng, tag_ids: list[int]) -> tuple[str, int]:
+        band = _LENGTH_BANDS[rng.weighted_index(_LENGTH_BAND_WEIGHTS)]
+        length = rng.randint(band[0] + 1, band[1])
+        base = " ".join(self.dicts.tag_text[t] for t in tag_ids) or "about nothing"
+        while len(base) < length:
+            base = base + " " + base
+        return base[:length], length
+
+    def _enrich_tags(self, rng: DeterministicRng, seed_tags: list[int]) -> list[int]:
+        """Tag-matrix enrichment: add correlated tags to the seed set."""
+        tags = list(dict.fromkeys(seed_tags))
+        for tag in list(tags):
+            related = self.dicts.tag_related[tag]
+            if related and rng.random() < 0.3:
+                extra = related[rng.zipf_rank(len(related))]
+                if extra not in tags:
+                    tags.append(extra)
+        return tags
+
+    def _uniform_time(
+        self, rng: DeterministicRng, earliest: DateTime, bias: float = 3.0
+    ) -> DateTime:
+        """A timestamp in [earliest, end).
+
+        ``bias`` > 1 front-loads activity towards ``earliest``.  Members
+        join mid-timeline on average, so drawing their activity uniformly
+        over what remains of the window would concentrate events in the
+        final months; the bias restores the spec's aggregate shape, where
+        everyday activity is roughly uniform over the whole simulation
+        and only ~10 % of events fall past the update cutoff.
+        """
+        latest = self.config.end_millis - 1
+        if earliest >= latest:
+            return latest
+        return earliest + int(rng.random() ** bias * (latest - earliest))
+
+    def _flashmob_time(
+        self, rng: DeterministicRng, event: FlashmobEvent, earliest: DateTime
+    ) -> DateTime | None:
+        """A time near the event peak, None if the event precedes joining."""
+        # Laplace-distributed offset with the configured half-life.
+        import math
+
+        u = rng.random() - 0.5
+        scale = FLASHMOB_WIDTH_MILLIS / math.log(2)
+        offset = -scale * math.copysign(math.log(1 - 2 * abs(u)), u)
+        ts = event.peak + int(offset)
+        if ts < earliest or ts >= self.config.end_millis:
+            return None
+        return ts
+
+    # -- stages -----------------------------------------------------------
+
+    def generate_flashmob_events(self) -> None:
+        rng = DeterministicRng(self.config.seed, "flashmob")
+        total = self.config.flashmob_events_per_year * self.config.num_years
+        span = self.config.end_millis - self.config.start_millis
+        for _ in range(total):
+            self.out.flashmob_events.append(
+                FlashmobEvent(
+                    tag_id=rng.randint(0, len(self.dicts.tag_names) - 1),
+                    peak=self.config.start_millis + int(rng.random() * span),
+                    intensity=1.0 + 9.0 * rng.random() ** 2,
+                )
+            )
+
+    def _pick_flashmob_event(self, rng: DeterministicRng) -> FlashmobEvent:
+        weights = [e.intensity for e in self.out.flashmob_events]
+        return self.out.flashmob_events[rng.weighted_index(weights)]
+
+    def generate_walls(self) -> None:
+        """One wall per person; friends become members when they connect."""
+        for person in self.bundle.persons:
+            forum = Forum(
+                id=self._next_forum_id(),
+                title=f"Wall of {person.first_name} {person.last_name}",
+                creation_date=person.creation_date,
+                moderator_id=person.id,
+                kind=ForumKind.WALL,
+                tag_ids=list(person.interests[:3]),
+            )
+            self.out.forums.append(forum)
+            for friend, since in self.friends[person.id]:
+                self.out.memberships.append(HasMember(forum.id, friend, since))
+            rng = DeterministicRng(self.config.seed, "wall-posts", person.id)
+            expected = (
+                WALL_POSTS_PER_YEAR
+                * self.config.num_years
+                * self._activity_factor(person.id)
+                * self.config.activity_scale
+            )
+            for _ in range(_poisson_like(rng, expected)):
+                self._generate_post(rng, forum, person.id, allow_image=False)
+
+    def generate_albums(self) -> None:
+        """Image albums: photo posts taken at popular places."""
+        for person in self.bundle.persons:
+            rng = DeterministicRng(self.config.seed, "albums", person.id)
+            n_albums = _poisson_like(
+                rng,
+                0.4 * self._activity_factor(person.id) * self.config.activity_scale,
+            )
+            for a in range(n_albums):
+                creation = self._uniform_time(rng, person.creation_date)
+                forum = Forum(
+                    id=self._next_forum_id(),
+                    title=f"Album {a} of {person.first_name} {person.last_name}",
+                    creation_date=creation,
+                    moderator_id=person.id,
+                    kind=ForumKind.ALBUM,
+                    tag_ids=list(person.interests[:1]),
+                )
+                self.out.forums.append(forum)
+                for friend, since in self.friends[person.id]:
+                    if rng.random() < 0.5:
+                        join = max(since, creation)
+                        self.out.memberships.append(
+                            HasMember(forum.id, friend, join)
+                        )
+                for _ in range(rng.randint(1, 8)):
+                    self._generate_post(rng, forum, person.id, allow_image=True)
+
+    def generate_groups(self) -> None:
+        """Topical groups with interest-correlated membership."""
+        n_groups = int(GROUPS_PER_PERSON * len(self.bundle.persons))
+        for g in range(n_groups):
+            rng = DeterministicRng(self.config.seed, "group", g)
+            moderator = rng.randint(0, len(self.bundle.persons) - 1)
+            mod_person = self.bundle.persons[moderator]
+            seed_tag = (
+                rng.choice(mod_person.interests)
+                if mod_person.interests
+                else rng.randint(0, len(self.dicts.tag_names) - 1)
+            )
+            creation = self._uniform_time(rng, mod_person.creation_date)
+            forum = Forum(
+                id=self._next_forum_id(),
+                title=f"Group for {self.dicts.tag_names[seed_tag]}",
+                creation_date=creation,
+                moderator_id=moderator,
+                kind=ForumKind.GROUP,
+                tag_ids=self._enrich_tags(rng, [seed_tag]),
+            )
+            self.out.forums.append(forum)
+
+            members = self._group_members(rng, moderator, seed_tag, creation)
+            member_list: list[int] = []
+            for member in members:
+                join = self._uniform_time(
+                    rng,
+                    max(creation, self.bundle.persons[member].creation_date),
+                )
+                self.out.memberships.append(HasMember(forum.id, member, join))
+                member_list.append(member)
+
+            posters = member_list or [moderator]
+            expected_posts = (1.0 + 0.8 * len(posters)) * self.config.activity_scale
+            for _ in range(_poisson_like(rng, expected_posts)):
+                author = rng.choice(posters)
+                self._generate_post(rng, forum, author, allow_image=False)
+
+    def _group_members(
+        self,
+        rng: DeterministicRng,
+        moderator: int,
+        seed_tag: int,
+        creation: DateTime,
+    ) -> list[int]:
+        """Members: moderator's friends plus persons sharing the interest."""
+        target = 2 + rng.zipf_rank(40, exponent=1.2)
+        members: list[int] = [moderator]
+        chosen = {moderator}
+        for friend, _ in self.friends[moderator]:
+            if len(members) > target:
+                break
+            if rng.random() < 0.7 and friend not in chosen:
+                chosen.add(friend)
+                members.append(friend)
+        attempts = 0
+        while len(members) <= target and attempts < 4 * target:
+            attempts += 1
+            candidate = rng.randint(0, len(self.bundle.persons) - 1)
+            if candidate in chosen:
+                continue
+            interested = seed_tag in self.bundle.persons[candidate].interests
+            if interested or rng.random() < 0.1:
+                chosen.add(candidate)
+                members.append(candidate)
+        return members
+
+    # -- messages ----------------------------------------------------------
+
+    def _generate_post(
+        self,
+        rng: DeterministicRng,
+        forum: Forum,
+        author: int,
+        allow_image: bool,
+    ) -> None:
+        person = self.bundle.persons[author]
+        earliest = max(forum.creation_date, person.creation_date) + 1
+
+        tags = list(forum.tag_ids)
+        is_flashmob = (
+            self.out.flashmob_events
+            and forum.kind is not ForumKind.ALBUM
+            and rng.random() < FLASHMOB_POST_FRACTION
+        )
+        creation: DateTime | None = None
+        if is_flashmob:
+            event = self._pick_flashmob_event(rng)
+            creation = self._flashmob_time(rng, event, earliest)
+            if creation is not None:
+                tags = [event.tag_id] + tags
+        if creation is None:
+            creation = self._uniform_time(rng, earliest)
+
+        tags = self._enrich_tags(rng, tags)
+        country = self._message_country(rng, author)
+        language = rng.choice(person.speaks) if person.speaks else "en"
+
+        if allow_image and rng.random() < 0.8:
+            places = POPULAR_PLACES[self.dicts.country_names[country]]
+            image = f"photo_{self._message_id}_{rng.choice(places)}.jpg"
+            content, length = "", 0
+        else:
+            image = ""
+            content, length = self._content_for(rng, tags)
+
+        post = Post(
+            id=self._next_message_id(),
+            creation_date=creation,
+            location_ip=person.location_ip,
+            browser_used=person.browser_used,
+            content=content,
+            length=length,
+            creator_id=author,
+            forum_id=forum.id,
+            country_id=country,
+            language=language,
+            image_file=image,
+            tag_ids=tags,
+        )
+        self.out.posts.append(post)
+        self._generate_comments(rng, forum, post)
+        self._generate_likes(rng, post.id, author, creation, is_post=True)
+
+    def _comment_candidates(self, forum: Forum, author: int) -> list[int]:
+        """Repliers: the author's friends (wall/album) or any member id.
+
+        Group membership is recorded incrementally; rather than index all
+        memberships we approximate repliers with the author's friends
+        plus the moderator, which matches who actually sees the thread.
+        """
+        candidates = [friend for friend, _ in self.friends[author]]
+        if forum.moderator_id != author:
+            candidates.append(forum.moderator_id)
+        return candidates
+
+    def _generate_comments(
+        self, rng: DeterministicRng, forum: Forum, post: Post
+    ) -> None:
+        expected = (
+            COMMENTS_PER_POST
+            * self._activity_factor(post.creator_id)
+            * self.config.activity_scale
+        )
+        n_comments = _poisson_like(rng, expected)
+        if not n_comments:
+            return
+        candidates = self._comment_candidates(forum, post.creator_id)
+        if not candidates:
+            return
+        # Parents: the post plus previously created comments in the thread.
+        parents: list[tuple[int, bool, DateTime]] = [
+            (post.id, True, post.creation_date)
+        ]
+        for _ in range(n_comments):
+            author = rng.choice(candidates)
+            person = self.bundle.persons[author]
+            parent_id, parent_is_post, parent_ts = parents[
+                rng.zipf_rank(len(parents), exponent=0.8)
+            ]
+            earliest = max(parent_ts, person.creation_date) + 1
+            # Replies mostly arrive soon after the parent (temporal
+            # locality exploited by IC 8).
+            horizon = min(self.config.end_millis - 1, earliest + 14 * MILLIS_PER_DAY)
+            if earliest >= horizon:
+                continue
+            creation = earliest + int((rng.random() ** 2) * (horizon - earliest))
+            # Most replies stay on the post's topic, but some drift to the
+            # commenter's own interests (BI 11's "unrelated replies").
+            if person.interests and rng.random() < 0.3:
+                seed_tags = [rng.choice(person.interests)]
+            else:
+                seed_tags = list(post.tag_ids[:1])
+            tags = self._enrich_tags(rng, seed_tags)
+            content, length = self._content_for(rng, tags)
+            comment = Comment(
+                id=self._next_message_id(),
+                creation_date=creation,
+                location_ip=person.location_ip,
+                browser_used=person.browser_used,
+                content=content,
+                length=length,
+                creator_id=author,
+                country_id=self._message_country(rng, author),
+                reply_of_post=parent_id if parent_is_post else -1,
+                reply_of_comment=-1 if parent_is_post else parent_id,
+                tag_ids=tags,
+            )
+            self.out.comments.append(comment)
+            parents.append((comment.id, False, creation))
+            self._generate_likes(rng, comment.id, author, creation, is_post=False)
+
+    def _generate_likes(
+        self,
+        rng: DeterministicRng,
+        message_id: int,
+        author: int,
+        message_ts: DateTime,
+        is_post: bool,
+    ) -> None:
+        n_likes = _poisson_like(rng, LIKES_PER_MESSAGE * self.config.activity_scale)
+        if not n_likes:
+            return
+        friends = self.friends[author]
+        likers: set[int] = set()
+        for _ in range(n_likes):
+            if friends and rng.random() < 0.8:
+                liker = rng.choice(friends)[0]
+            else:
+                liker = rng.randint(0, len(self.bundle.persons) - 1)
+            if liker == author or liker in likers:
+                continue
+            liker_joined = self.bundle.persons[liker].creation_date
+            earliest = max(message_ts, liker_joined) + 1
+            horizon = min(self.config.end_millis - 1, earliest + 7 * MILLIS_PER_DAY)
+            if earliest >= horizon:
+                continue
+            likers.add(liker)
+            creation = earliest + int((rng.random() ** 2) * (horizon - earliest))
+            self.out.likes.append(Likes(liker, message_id, creation, is_post))
+
+
+def _poisson_like(rng: DeterministicRng, expected: float) -> int:
+    """Small-mean Poisson sampler (Knuth's method, capped for safety)."""
+    import math
+
+    if expected <= 0:
+        return 0
+    limit = math.exp(-min(expected, 30.0))
+    count = 0
+    product = rng.random()
+    while product > limit and count < 200:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def generate_activity(
+    config: DatagenConfig,
+    dicts: Dictionaries,
+    bundle: PersonBundle,
+    knows: list[Knows],
+) -> ActivityBundle:
+    """Run the full activity stage and return its output."""
+    generator = _ActivityGenerator(config, dicts, bundle, knows)
+    generator.generate_flashmob_events()
+    generator.generate_walls()
+    generator.generate_albums()
+    generator.generate_groups()
+    return generator.out

@@ -1,0 +1,274 @@
+"""Datagen orchestration (spec Figure 2.2).
+
+Runs the pipeline end to end:
+
+1. initialize dictionaries and parameters;
+2. generate persons (+ interests, target degrees);
+3. three knows passes over the correlation dimensions;
+4. person activity (forums, posts, comments, likes, flashmob events);
+5. package everything into a :class:`SocialNetworkData` with *global*
+   entity id spaces (places, organisations, tags, tag classes).
+
+The output holds the **whole** generated network.  The 90/10 split into
+bulk-load dataset and update streams (spec 2.3.4) is realized by
+:meth:`SocialNetworkData.is_before_cutoff` plus
+:mod:`repro.datagen.update_streams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.activity import ActivityBundle, FlashmobEvent, generate_activity
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import Dictionaries, build_dictionaries
+from repro.datagen.knows import generate_knows
+from repro.datagen.persons import PersonBundle, generate_persons
+from repro.schema.entities import (
+    Comment,
+    Forum,
+    Organisation,
+    OrganisationType,
+    Person,
+    Place,
+    PlaceType,
+    Post,
+    Tag,
+    TagClass,
+)
+from repro.schema.relations import HasMember, Knows, Likes, StudyAt, WorkAt
+from repro.util.dates import DateTime
+
+
+@dataclass(slots=True)
+class SocialNetworkData:
+    """The full generated network, global id spaces, ready to load."""
+
+    config: DatagenConfig
+    dicts: Dictionaries
+    places: list[Place] = field(default_factory=list)
+    organisations: list[Organisation] = field(default_factory=list)
+    tag_classes: list[TagClass] = field(default_factory=list)
+    tags: list[Tag] = field(default_factory=list)
+    persons: list[Person] = field(default_factory=list)
+    study_at: list[StudyAt] = field(default_factory=list)
+    work_at: list[WorkAt] = field(default_factory=list)
+    knows: list[Knows] = field(default_factory=list)
+    forums: list[Forum] = field(default_factory=list)
+    memberships: list[HasMember] = field(default_factory=list)
+    posts: list[Post] = field(default_factory=list)
+    comments: list[Comment] = field(default_factory=list)
+    likes: list[Likes] = field(default_factory=list)
+    flashmob_events: list[FlashmobEvent] = field(default_factory=list)
+
+    # Global-id offsets for the place table (continents, countries, cities).
+    country_offset: int = 0
+    city_offset: int = 0
+    company_offset: int = 0
+
+    _cutoff_cache: DateTime | None = None
+
+    def _event_timestamps(self) -> list[DateTime]:
+        """Timestamps of every dynamic event (node or edge creation)."""
+        timestamps = [p.creation_date for p in self.persons]
+        timestamps.extend(k.creation_date for k in self.knows)
+        timestamps.extend(f.creation_date for f in self.forums)
+        timestamps.extend(m.join_date for m in self.memberships)
+        timestamps.extend(p.creation_date for p in self.posts)
+        timestamps.extend(c.creation_date for c in self.comments)
+        timestamps.extend(l.creation_date for l in self.likes)
+        return timestamps
+
+    @property
+    def cutoff(self) -> DateTime:
+        """The update-stream cutoff instant.
+
+        The spec splits by *volume*: the bulk-load dataset "corresponds
+        to roughly the 90 % of the total generated network" and the
+        streams to the remaining 10 %.  The cutoff is therefore the
+        ``bulk_load_fraction`` quantile of all dynamic event timestamps.
+        """
+        if self._cutoff_cache is None:
+            timestamps = sorted(self._event_timestamps())
+            if not timestamps:
+                self._cutoff_cache = self.config.end_millis
+            else:
+                index = int(len(timestamps) * self.config.bulk_load_fraction)
+                index = min(index, len(timestamps) - 1)
+                self._cutoff_cache = timestamps[index]
+        return self._cutoff_cache
+
+    def is_before_cutoff(self, creation: DateTime) -> bool:
+        """True when an event belongs to the bulk-load dataset."""
+        return creation < self.cutoff
+
+    def node_count(self) -> int:
+        """Total node count (Table 2.12 metric)."""
+        return (
+            len(self.places)
+            + len(self.organisations)
+            + len(self.tag_classes)
+            + len(self.tags)
+            + len(self.persons)
+            + len(self.forums)
+            + len(self.posts)
+            + len(self.comments)
+        )
+
+    def edge_count(self) -> int:
+        """Total edge count across all 20 relation types (Table 2.12)."""
+        static_edges = (
+            len(self.organisations)                   # isLocatedIn
+            + sum(1 for p in self.places if p.part_of >= 0)
+            + len(self.tags)                          # hasType
+            + sum(1 for c in self.tag_classes if c.subclass_of >= 0)
+        )
+        message_edges = 0
+        for post in self.posts:
+            # hasCreator, containerOf, isLocatedIn + hasTag fanout.
+            message_edges += 3 + len(post.tag_ids)
+        for comment in self.comments:
+            # hasCreator, replyOf, isLocatedIn + hasTag fanout.
+            message_edges += 3 + len(comment.tag_ids)
+        person_edges = (
+            len(self.knows)
+            + len(self.study_at)
+            + len(self.work_at)
+            + sum(len(p.interests) for p in self.persons)
+            + len(self.persons)                       # person isLocatedIn
+        )
+        forum_edges = (
+            len(self.memberships)
+            + len(self.forums)                        # hasModerator
+            + sum(len(f.tag_ids) for f in self.forums)
+        )
+        return static_edges + message_edges + person_edges + forum_edges + len(self.likes)
+
+
+def _build_places(dicts: Dictionaries) -> tuple[list[Place], int, int]:
+    """Global place table: continents, then countries, then cities."""
+    places: list[Place] = []
+    for i, name in enumerate(dicts.continent_names):
+        places.append(Place(i, name, f"http://dbpedia.org/resource/{name}", PlaceType.CONTINENT))
+    country_offset = len(places)
+    for j, name in enumerate(dicts.country_names):
+        places.append(
+            Place(
+                country_offset + j,
+                name,
+                f"http://dbpedia.org/resource/{name}",
+                PlaceType.COUNTRY,
+                part_of=dicts.country_continent[j],
+            )
+        )
+    city_offset = len(places)
+    for k, name in enumerate(dicts.city_names):
+        places.append(
+            Place(
+                city_offset + k,
+                name,
+                f"http://dbpedia.org/resource/{name}",
+                PlaceType.CITY,
+                part_of=country_offset + dicts.city_country[k],
+            )
+        )
+    return places, country_offset, city_offset
+
+
+def _build_organisations(
+    dicts: Dictionaries, country_offset: int, city_offset: int
+) -> tuple[list[Organisation], int]:
+    organisations: list[Organisation] = []
+    for u, name in enumerate(dicts.university_names):
+        organisations.append(
+            Organisation(
+                u,
+                OrganisationType.UNIVERSITY,
+                name,
+                f"http://dbpedia.org/resource/{name}",
+                place_id=city_offset + dicts.university_city[u],
+            )
+        )
+    company_offset = len(organisations)
+    for c, name in enumerate(dicts.company_names):
+        organisations.append(
+            Organisation(
+                company_offset + c,
+                OrganisationType.COMPANY,
+                name,
+                f"http://dbpedia.org/resource/{name}",
+                place_id=country_offset + dicts.company_country[c],
+            )
+        )
+    return organisations, company_offset
+
+
+def _build_tags(dicts: Dictionaries) -> tuple[list[TagClass], list[Tag]]:
+    tag_classes = [
+        TagClass(
+            i,
+            name,
+            f"http://dbpedia.org/ontology/{name}",
+            subclass_of=dicts.tag_class_parent[i],
+        )
+        for i, name in enumerate(dicts.tag_class_names)
+    ]
+    tags = [
+        Tag(
+            t,
+            name,
+            f"http://dbpedia.org/resource/{name}",
+            type_id=dicts.tag_class_of_tag[t],
+        )
+        for t, name in enumerate(dicts.tag_names)
+    ]
+    return tag_classes, tags
+
+
+def generate(config: DatagenConfig) -> SocialNetworkData:
+    """Run the full Datagen pipeline for ``config``."""
+    dicts = build_dictionaries()
+    places, country_offset, city_offset = _build_places(dicts)
+    organisations, company_offset = _build_organisations(
+        dicts, country_offset, city_offset
+    )
+    tag_classes, tags = _build_tags(dicts)
+
+    bundle: PersonBundle = generate_persons(config, dicts)
+    knows = generate_knows(config, bundle)
+    activity: ActivityBundle = generate_activity(config, dicts, bundle, knows)
+
+    # Rebase dictionary-index references onto the global id spaces.
+    for person in bundle.persons:
+        person.city_id += city_offset
+    for post in activity.posts:
+        post.country_id += country_offset
+    for comment in activity.comments:
+        comment.country_id += country_offset
+    study_at = bundle.study_at  # university index == organisation id
+    work_at = [
+        WorkAt(w.person_id, company_offset + w.company_id, w.work_from)
+        for w in bundle.work_at
+    ]
+
+    return SocialNetworkData(
+        config=config,
+        dicts=dicts,
+        places=places,
+        organisations=organisations,
+        tag_classes=tag_classes,
+        tags=tags,
+        persons=bundle.persons,
+        study_at=study_at,
+        work_at=work_at,
+        knows=knows,
+        forums=activity.forums,
+        memberships=activity.memberships,
+        posts=activity.posts,
+        comments=activity.comments,
+        likes=activity.likes,
+        flashmob_events=activity.flashmob_events,
+        country_offset=country_offset,
+        city_offset=city_offset,
+        company_offset=company_offset,
+    )

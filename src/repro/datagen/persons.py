@@ -1,0 +1,167 @@
+"""Person generation — first Datagen stage (spec section 2.3.3.2).
+
+Generates all Persons "and the minimum necessary information to
+operate": correlated attributes (country -> city, names, languages, IP),
+interests, study/work relations, and each person's *target degree* for
+the knows-generation stage, drawn from the Facebook-like distribution.
+
+Attribute correlations implemented with the property-dictionary model:
+
+* country drawn by population weight; city by rank within country;
+* first/last names from the country-parameterised ranked dictionaries;
+* languages = country languages plus English with probability 0.4;
+* IP address inside the country's IP zone;
+* interests from the country's ranked tag dictionary via a Zipf-like
+  probability function (popular tags of the country are most likely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import (
+    BROWSERS,
+    Dictionaries,
+    EMAIL_PROVIDERS,
+    first_names_for,
+    surnames_for,
+)
+from repro.datagen.distributions import sample_degree
+from repro.schema.entities import Person
+from repro.schema.relations import StudyAt, WorkAt
+from repro.util.dates import MILLIS_PER_DAY, make_date
+from repro.util.rng import DeterministicRng
+
+_BIRTH_YEARS = (1980, 1995)
+_MIN_INTERESTS, _MAX_INTERESTS = 3, 8
+_STUDY_PROBABILITY = 0.8
+_SECOND_LANGUAGE_PROBABILITY = 0.4
+
+
+@dataclass(slots=True)
+class PersonBundle:
+    """Everything the person stage produces for later stages."""
+
+    persons: list[Person]
+    study_at: list[StudyAt]
+    work_at: list[WorkAt]
+    #: person index -> target number of knows edges.
+    target_degree: list[int]
+    #: person index -> country index (cached; city lookup is per person).
+    country_of: list[int]
+    #: person index -> university index (-1 when the person did not study).
+    university_of: list[int]
+
+
+def _browser(rng: DeterministicRng) -> str:
+    names = [name for name, _ in BROWSERS]
+    weights = [w for _, w in BROWSERS]
+    return names[rng.weighted_index(weights)]
+
+
+def _ip_address(rng: DeterministicRng, prefix: str) -> str:
+    return f"{prefix}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+
+
+def generate_persons(config: DatagenConfig, dicts: Dictionaries) -> PersonBundle:
+    """Generate ``config.num_persons`` Persons with correlated attributes."""
+    persons: list[Person] = []
+    study_at: list[StudyAt] = []
+    work_at: list[WorkAt] = []
+    target_degree: list[int] = []
+    country_of: list[int] = []
+    university_of: list[int] = []
+
+    weights = list(dicts.country_weights)
+    span_millis = config.end_millis - config.start_millis
+    # Keep one simulated month of headroom so persons can act after joining.
+    join_span = span_millis - 30 * MILLIS_PER_DAY
+
+    for pid in range(config.num_persons):
+        rng = DeterministicRng(config.seed, "person", pid)
+
+        country = rng.weighted_index(weights)
+        country_name = dicts.country_names[country]
+        # Cities ranked by population: rank 0 (the capital) most likely.
+        cities = dicts.cities_of_country[country]
+        city = cities[rng.zipf_rank(len(cities), exponent=1.2)]
+
+        gender = "male" if rng.random() < 0.5 else "female"
+        first_pool = first_names_for(country, country_name, gender)
+        last_pool = surnames_for(country, country_name)
+        first_name = first_pool[rng.zipf_rank(len(first_pool))]
+        last_name = last_pool[rng.zipf_rank(len(last_pool))]
+
+        birth_year = rng.randint(*_BIRTH_YEARS)
+        birthday = make_date(birth_year, rng.randint(1, 12), rng.randint(1, 28))
+
+        # Early-biased join dates: sqrt transform front-loads sign-ups,
+        # mimicking a network growing fastest after launch.
+        creation = config.start_millis + int((rng.random() ** 2) * join_span)
+
+        speaks = list(dicts.country_languages[country])
+        if "en" not in speaks and rng.random() < _SECOND_LANGUAGE_PROBABILITY:
+            speaks.append("en")
+
+        emails = [
+            f"{first_name}.{last_name}{pid}@{rng.choice(EMAIL_PROVIDERS)}".lower()
+            for _ in range(rng.randint(1, 3))
+        ]
+
+        # Interests: Zipf over the country's ranked tag dictionary.
+        ranked_tags = dicts.tags_by_country[country]
+        interests: list[int] = []
+        seen: set[int] = set()
+        for _ in range(rng.randint(_MIN_INTERESTS, _MAX_INTERESTS)):
+            tag = ranked_tags[rng.zipf_rank(len(ranked_tags), exponent=1.3)]
+            if tag not in seen:
+                seen.add(tag)
+                interests.append(tag)
+
+        person = Person(
+            id=pid,
+            first_name=first_name,
+            last_name=last_name,
+            gender=gender,
+            birthday=birthday,
+            creation_date=creation,
+            location_ip=_ip_address(rng, dicts.country_ip_prefix[country]),
+            browser_used=_browser(rng),
+            city_id=city,
+            emails=emails,
+            speaks=speaks,
+            interests=interests,
+        )
+        persons.append(person)
+        country_of.append(country)
+        target_degree.append(sample_degree(rng, config.num_persons))
+
+        university = -1
+        if rng.random() < _STUDY_PROBABILITY:
+            # Universities correlate with the home country (people mostly
+            # study where they live) with a small chance of going abroad.
+            uni_country = country
+            if rng.random() < 0.1:
+                uni_country = rng.randint(0, dicts.num_countries - 1)
+            unis = dicts.universities_of_country[uni_country]
+            if unis:
+                university = unis[rng.zipf_rank(len(unis), exponent=1.2)]
+                class_year = birth_year + rng.randint(21, 26)
+                study_at.append(StudyAt(pid, university, class_year))
+        university_of.append(university)
+
+        for _ in range(rng.weighted_index([0.35, 0.45, 0.2])):
+            companies = dicts.companies_of_country[country]
+            company = companies[rng.zipf_rank(len(companies))]
+            work_from = birth_year + rng.randint(20, 30)
+            work_at.append(WorkAt(pid, company, work_from))
+
+    return PersonBundle(
+        persons=persons,
+        study_at=study_at,
+        work_at=work_at,
+        target_degree=target_degree,
+        country_of=country_of,
+        university_of=university_of,
+    )

@@ -1,0 +1,68 @@
+"""Scale factors (spec section 2.3.4.1, Table 2.12).
+
+The spec defines SFs by the CSV size of the output and scales them by
+the number of Persons over a fixed 3-year window.  ``SCALE_FACTORS``
+reproduces Table 2.12's person counts; :func:`persons_for_scale_factor`
+interpolates the table for fractional "micro" SFs, which this pure-
+Python reproduction uses in its benchmarks (see DESIGN.md substitution
+table — large SFs are runtime-gated, the scaling *law* is what the
+benchmarks check).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Table 2.12 — scale factor -> (#persons, #nodes, #edges).
+SCALE_FACTORS: dict[float, tuple[int, int, int]] = {
+    0.1: (1_500, 327_600, 1_500_000),
+    0.3: (3_500, 908_000, 4_600_000),
+    1.0: (11_000, 3_200_000, 17_300_000),
+    3.0: (27_000, 9_300_000, 52_700_000),
+    10.0: (73_000, 30_000_000, 176_600_000),
+    30.0: (182_000, 88_800_000, 540_900_000),
+    100.0: (499_000, 282_600_000, 1_800_000_000),
+    300.0: (1_250_000, 817_300_000, 5_300_000_000),
+    1000.0: (3_600_000, 2_700_000_000, 17_000_000_000),
+}
+
+
+def persons_for_scale_factor(scale_factor: float) -> int:
+    """Number of Persons for a scale factor, per Table 2.12.
+
+    Exact for the table's SFs; log-log linear interpolation/extrapolation
+    for intermediate and micro SFs.  The table is very close to a power
+    law ``persons = 11000 * sf^0.83``.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    if scale_factor in SCALE_FACTORS:
+        return SCALE_FACTORS[scale_factor][0]
+    known = sorted(SCALE_FACTORS)
+    log_sf = math.log10(scale_factor)
+    xs = [math.log10(sf) for sf in known]
+    ys = [math.log10(SCALE_FACTORS[sf][0]) for sf in known]
+    if log_sf <= xs[0]:
+        lo, hi = 0, 1
+    elif log_sf >= xs[-1]:
+        lo, hi = len(xs) - 2, len(xs) - 1
+    else:
+        hi = next(i for i, x in enumerate(xs) if x >= log_sf)
+        lo = hi - 1
+    slope = (ys[hi] - ys[lo]) / (xs[hi] - xs[lo])
+    log_persons = ys[lo] + slope * (log_sf - xs[lo])
+    return max(10, round(10 ** log_persons))
+
+
+def approximate_scale_factor(num_persons: int) -> float:
+    """Inverse of :func:`persons_for_scale_factor` (bisection on the fit)."""
+    if num_persons <= 0:
+        raise ValueError("num_persons must be positive")
+    lo, hi = 1e-6, 1e5
+    for _ in range(80):
+        mid = math.sqrt(lo * hi)
+        if persons_for_scale_factor(mid) < num_persons:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)

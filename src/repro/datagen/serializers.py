@@ -1,0 +1,647 @@
+"""Dataset serializers (spec section 2.3.4.2, Tables 2.13 - 2.16).
+
+Implements the five output formats of Datagen:
+
+* **CsvBasic** — one file per entity, relation, and multi-valued
+  attribute (33 files, Table 2.13);
+* **CsvMergeForeign** — 1-to-1 / N-to-1 relations merged into the entity
+  files as foreign keys (20 files, Table 2.14);
+* **CsvComposite** — CsvBasic with multi-valued attributes stored as
+  composite (";"-separated) values (31 files, Table 2.15);
+* **CsvCompositeMergeForeign** — both traits combined (18 files,
+  Table 2.16);
+* **Turtle** — two RDF files, static and dynamic.
+
+CSV conventions per spec: pipe ("|") primary separator, semicolon (";")
+for multi-valued attributes, files split into ``static/`` and
+``dynamic/`` under ``social_network/``.  Per the spec, "depending on the
+number of threads used for generating the dataset, the number of files
+varies, since there is a file generated per thread" — the ``parts``
+option reproduces that sharding: each logical file is written as
+``<entity>_0_<part>.csv`` with rows distributed round-robin.  The
+default is one part (``<entity>_0_0.csv``).
+
+Only the bulk-load part of the network is serialized (events before the
+update cutoff); the remaining 10 % goes to the update streams
+(:mod:`repro.datagen.update_streams`).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.datagen.generator import SocialNetworkData
+from repro.util.dates import format_date, format_datetime
+
+#: File sets per serializer, as specified by Tables 2.13-2.16.
+CSV_BASIC_FILES = (
+    "organisation", "organisation_isLocatedIn_place", "place",
+    "place_isPartOf_place", "tag", "tag_hasType_tagclass", "tagclass",
+    "tagclass_isSubclassOf_tagclass", "comment", "comment_hasCreator_person",
+    "comment_hasTag_tag", "comment_isLocatedIn_place",
+    "comment_replyOf_comment", "comment_replyOf_post", "forum",
+    "forum_containerOf_post", "forum_hasMember_person",
+    "forum_hasModerator_person", "forum_hasTag_tag", "person",
+    "person_email_emailaddress", "person_hasInterest_tag",
+    "person_isLocatedIn_place", "person_knows_person",
+    "person_likes_comment", "person_likes_post", "person_speaks_language",
+    "person_studyAt_organisation", "person_workAt_organisation", "post",
+    "post_hasCreator_person", "post_hasTag_tag", "post_isLocatedIn_place",
+)
+
+CSV_MERGE_FOREIGN_FILES = (
+    "organisation", "place", "tag", "tagclass", "comment",
+    "comment_hasTag_tag", "forum", "forum_hasMember_person",
+    "forum_hasTag_tag", "person", "person_email_emailaddress",
+    "person_hasInterest_tag", "person_knows_person", "person_likes_comment",
+    "person_likes_post", "person_speaks_language",
+    "person_studyAt_organisation", "person_workAt_organisation", "post",
+    "post_hasTag_tag",
+)
+
+CSV_COMPOSITE_FILES = tuple(
+    name
+    for name in CSV_BASIC_FILES
+    if name not in ("person_email_emailaddress", "person_speaks_language")
+)
+
+CSV_COMPOSITE_MERGE_FOREIGN_FILES = tuple(
+    name
+    for name in CSV_MERGE_FOREIGN_FILES
+    if name not in ("person_email_emailaddress", "person_speaks_language")
+)
+
+_STATIC_FILES = frozenset(
+    {
+        "organisation", "organisation_isLocatedIn_place", "place",
+        "place_isPartOf_place", "tag", "tag_hasType_tagclass", "tagclass",
+        "tagclass_isSubclassOf_tagclass",
+    }
+)
+
+
+class _CsvSerializer:
+    """Shared machinery of the four CSV variants."""
+
+    merge_foreign = False
+    composite = False
+
+    def __init__(
+        self, net: SocialNetworkData, output_dir: Path | str, parts: int = 1
+    ):
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        self.net = net
+        self.root = Path(output_dir) / "social_network"
+        self.cutoff = net.cutoff
+        self.parts = parts
+
+    def _dir_for(self, name: str) -> Path:
+        return self.root / ("static" if name in _STATIC_FILES else "dynamic")
+
+    def _write(self, name: str, header: list[str], rows: Iterable[list]) -> None:
+        directory = self._dir_for(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        handles = [
+            open(directory / f"{name}_0_{part}.csv", "w", newline="")
+            for part in range(self.parts)
+        ]
+        try:
+            writers = [csv.writer(h, delimiter="|") for h in handles]
+            for writer in writers:
+                writer.writerow(header)
+            for index, row in enumerate(rows):
+                writers[index % self.parts].writerow(row)
+        finally:
+            for handle in handles:
+                handle.close()
+
+    def _included(self, creation: int) -> bool:
+        return creation < self.cutoff
+
+    # -- static part ---------------------------------------------------
+
+    def _write_static(self) -> None:
+        net = self.net
+        if self.merge_foreign:
+            self._write(
+                "organisation",
+                ["id", "type", "name", "url", "place"],
+                (
+                    [o.id, o.type.value, o.name, o.url, o.place_id]
+                    for o in net.organisations
+                ),
+            )
+            self._write(
+                "place",
+                ["id", "name", "url", "type", "isPartOf"],
+                (
+                    [p.id, p.name, p.url, p.type.value,
+                     p.part_of if p.part_of >= 0 else ""]
+                    for p in net.places
+                ),
+            )
+            self._write(
+                "tag",
+                ["id", "name", "url", "hasType"],
+                ([t.id, t.name, t.url, t.type_id] for t in net.tags),
+            )
+            self._write(
+                "tagclass",
+                ["id", "name", "url", "isSubclassOf"],
+                (
+                    [c.id, c.name, c.url,
+                     c.subclass_of if c.subclass_of >= 0 else ""]
+                    for c in net.tag_classes
+                ),
+            )
+        else:
+            self._write(
+                "organisation",
+                ["id", "type", "name", "url"],
+                ([o.id, o.type.value, o.name, o.url] for o in net.organisations),
+            )
+            self._write(
+                "organisation_isLocatedIn_place",
+                ["Organisation.id", "Place.id"],
+                ([o.id, o.place_id] for o in net.organisations),
+            )
+            self._write(
+                "place",
+                ["id", "name", "url", "type"],
+                ([p.id, p.name, p.url, p.type.value] for p in net.places),
+            )
+            self._write(
+                "place_isPartOf_place",
+                ["Place.id", "Place.id"],
+                ([p.id, p.part_of] for p in net.places if p.part_of >= 0),
+            )
+            self._write(
+                "tag",
+                ["id", "name", "url"],
+                ([t.id, t.name, t.url] for t in net.tags),
+            )
+            self._write(
+                "tag_hasType_tagclass",
+                ["Tag.id", "TagClass.id"],
+                ([t.id, t.type_id] for t in net.tags),
+            )
+            self._write(
+                "tagclass",
+                ["id", "name", "url"],
+                ([c.id, c.name, c.url] for c in net.tag_classes),
+            )
+            self._write(
+                "tagclass_isSubclassOf_tagclass",
+                ["TagClass.id", "TagClass.id"],
+                (
+                    [c.id, c.subclass_of]
+                    for c in net.tag_classes
+                    if c.subclass_of >= 0
+                ),
+            )
+
+    # -- dynamic part ----------------------------------------------------
+
+    def _persons(self) -> list:
+        return [p for p in self.net.persons if self._included(p.creation_date)]
+
+    def _forums(self) -> list:
+        return [f for f in self.net.forums if self._included(f.creation_date)]
+
+    def _posts(self) -> list:
+        return [p for p in self.net.posts if self._included(p.creation_date)]
+
+    def _comments(self) -> list:
+        return [c for c in self.net.comments if self._included(c.creation_date)]
+
+    def _write_person(self) -> None:
+        persons = self._persons()
+        header = [
+            "id", "firstName", "lastName", "gender", "birthday",
+            "creationDate", "locationIP", "browserUsed",
+        ]
+
+        def base(p) -> list:
+            return [
+                p.id, p.first_name, p.last_name, p.gender,
+                format_date(p.birthday), format_datetime(p.creation_date),
+                p.location_ip, p.browser_used,
+            ]
+
+        if self.merge_foreign and self.composite:
+            self._write(
+                "person",
+                header + ["place", "language", "emails"],
+                (
+                    base(p) + [p.city_id, ";".join(p.speaks), ";".join(p.emails)]
+                    for p in persons
+                ),
+            )
+        elif self.merge_foreign:
+            self._write(
+                "person",
+                header + ["place"],
+                (base(p) + [p.city_id] for p in persons),
+            )
+        elif self.composite:
+            self._write(
+                "person",
+                header + ["language", "emails"],
+                (
+                    base(p) + [";".join(p.speaks), ";".join(p.emails)]
+                    for p in persons
+                ),
+            )
+        else:
+            self._write("person", header, (base(p) for p in persons))
+
+        if not self.composite:
+            self._write(
+                "person_email_emailaddress",
+                ["Person.id", "email"],
+                ([p.id, e] for p in persons for e in p.emails),
+            )
+            self._write(
+                "person_speaks_language",
+                ["Person.id", "language"],
+                ([p.id, lang] for p in persons for lang in p.speaks),
+            )
+        if not self.merge_foreign:
+            self._write(
+                "person_isLocatedIn_place",
+                ["Person.id", "Place.id"],
+                ([p.id, p.city_id] for p in persons),
+            )
+        self._write(
+            "person_hasInterest_tag",
+            ["Person.id", "Tag.id"],
+            ([p.id, t] for p in persons for t in p.interests),
+        )
+        self._write(
+            "person_studyAt_organisation",
+            ["Person.id", "Organisation.id", "classYear"],
+            (
+                [s.person_id, s.university_id, s.class_year]
+                for s in self.net.study_at
+                if self._included(self.net.persons[s.person_id].creation_date)
+            ),
+        )
+        self._write(
+            "person_workAt_organisation",
+            ["Person.id", "Organisation.id", "workFrom"],
+            (
+                [w.person_id, w.company_id, w.work_from]
+                for w in self.net.work_at
+                if self._included(self.net.persons[w.person_id].creation_date)
+            ),
+        )
+        self._write(
+            "person_knows_person",
+            ["Person.id", "Person.id", "creationDate"],
+            (
+                [k.person1, k.person2, format_datetime(k.creation_date)]
+                for k in self.net.knows
+                if self._included(k.creation_date)
+            ),
+        )
+        self._write(
+            "person_likes_post",
+            ["Person.id", "Post.id", "creationDate"],
+            (
+                [l.person_id, l.message_id, format_datetime(l.creation_date)]
+                for l in self.net.likes
+                if l.is_post and self._included(l.creation_date)
+            ),
+        )
+        self._write(
+            "person_likes_comment",
+            ["Person.id", "Comment.id", "creationDate"],
+            (
+                [l.person_id, l.message_id, format_datetime(l.creation_date)]
+                for l in self.net.likes
+                if not l.is_post and self._included(l.creation_date)
+            ),
+        )
+
+    def _write_forum(self) -> None:
+        forums = self._forums()
+        if self.merge_foreign:
+            self._write(
+                "forum",
+                ["id", "title", "creationDate", "moderator"],
+                (
+                    [f.id, f.title, format_datetime(f.creation_date),
+                     f.moderator_id]
+                    for f in forums
+                ),
+            )
+        else:
+            self._write(
+                "forum",
+                ["id", "title", "creationDate"],
+                (
+                    [f.id, f.title, format_datetime(f.creation_date)]
+                    for f in forums
+                ),
+            )
+            self._write(
+                "forum_hasModerator_person",
+                ["Forum.id", "Person.id"],
+                ([f.id, f.moderator_id] for f in forums),
+            )
+            self._write(
+                "forum_containerOf_post",
+                ["Forum.id", "Post.id"],
+                ([p.forum_id, p.id] for p in self._posts()),
+            )
+        self._write(
+            "forum_hasTag_tag",
+            ["Forum.id", "Tag.id"],
+            ([f.id, t] for f in forums for t in f.tag_ids),
+        )
+        self._write(
+            "forum_hasMember_person",
+            ["Forum.id", "Person.id", "joinDate"],
+            (
+                [m.forum_id, m.person_id, format_datetime(m.join_date)]
+                for m in self.net.memberships
+                if self._included(m.join_date)
+            ),
+        )
+
+    def _write_messages(self) -> None:
+        posts = self._posts()
+        comments = self._comments()
+        post_header = [
+            "id", "imageFile", "creationDate", "locationIP", "browserUsed",
+            "language", "content", "length",
+        ]
+
+        def post_base(p) -> list:
+            return [
+                p.id, p.image_file, format_datetime(p.creation_date),
+                p.location_ip, p.browser_used, p.language, p.content, p.length,
+            ]
+
+        if self.merge_foreign:
+            self._write(
+                "post",
+                post_header + ["creator", "Forum.id", "place"],
+                (
+                    post_base(p) + [p.creator_id, p.forum_id, p.country_id]
+                    for p in posts
+                ),
+            )
+        else:
+            self._write("post", post_header, (post_base(p) for p in posts))
+            self._write(
+                "post_hasCreator_person",
+                ["Post.id", "Person.id"],
+                ([p.id, p.creator_id] for p in posts),
+            )
+            self._write(
+                "post_isLocatedIn_place",
+                ["Post.id", "Place.id"],
+                ([p.id, p.country_id] for p in posts),
+            )
+        self._write(
+            "post_hasTag_tag",
+            ["Post.id", "Tag.id"],
+            ([p.id, t] for p in posts for t in p.tag_ids),
+        )
+
+        comment_header = [
+            "id", "creationDate", "locationIP", "browserUsed", "content",
+            "length",
+        ]
+
+        def comment_base(c) -> list:
+            return [
+                c.id, format_datetime(c.creation_date), c.location_ip,
+                c.browser_used, c.content, c.length,
+            ]
+
+        if self.merge_foreign:
+            self._write(
+                "comment",
+                comment_header
+                + ["creator", "place", "replyOfPost", "replyOfComment"],
+                (
+                    comment_base(c)
+                    + [
+                        c.creator_id,
+                        c.country_id,
+                        c.reply_of_post if c.reply_of_post >= 0 else "",
+                        c.reply_of_comment if c.reply_of_comment >= 0 else "",
+                    ]
+                    for c in comments
+                ),
+            )
+        else:
+            self._write(
+                "comment", comment_header, (comment_base(c) for c in comments)
+            )
+            self._write(
+                "comment_hasCreator_person",
+                ["Comment.id", "Person.id"],
+                ([c.id, c.creator_id] for c in comments),
+            )
+            self._write(
+                "comment_isLocatedIn_place",
+                ["Comment.id", "Place.id"],
+                ([c.id, c.country_id] for c in comments),
+            )
+            self._write(
+                "comment_replyOf_post",
+                ["Comment.id", "Post.id"],
+                (
+                    [c.id, c.reply_of_post]
+                    for c in comments
+                    if c.reply_of_post >= 0
+                ),
+            )
+            self._write(
+                "comment_replyOf_comment",
+                ["Comment.id", "Comment.id"],
+                (
+                    [c.id, c.reply_of_comment]
+                    for c in comments
+                    if c.reply_of_comment >= 0
+                ),
+            )
+        self._write(
+            "comment_hasTag_tag",
+            ["Comment.id", "Tag.id"],
+            ([c.id, t] for c in comments for t in c.tag_ids),
+        )
+
+    def serialize(self) -> Path:
+        """Write all files; returns the ``social_network/`` directory."""
+        self._write_static()
+        self._write_person()
+        self._write_forum()
+        self._write_messages()
+        return self.root
+
+
+class CsvBasicSerializer(_CsvSerializer):
+    """Table 2.13 — 33 files."""
+
+    expected_files = CSV_BASIC_FILES
+
+
+class CsvMergeForeignSerializer(_CsvSerializer):
+    """Table 2.14 — 20 files."""
+
+    merge_foreign = True
+    expected_files = CSV_MERGE_FOREIGN_FILES
+
+
+class CsvCompositeSerializer(_CsvSerializer):
+    """Table 2.15 — 31 files."""
+
+    composite = True
+    expected_files = CSV_COMPOSITE_FILES
+
+
+class CsvCompositeMergeForeignSerializer(_CsvSerializer):
+    """Table 2.16 — 18 files."""
+
+    merge_foreign = True
+    composite = True
+    expected_files = CSV_COMPOSITE_MERGE_FOREIGN_FILES
+
+
+SERIALIZERS: dict[str, type[_CsvSerializer]] = {
+    "CsvBasic": CsvBasicSerializer,
+    "CsvMergeForeign": CsvMergeForeignSerializer,
+    "CsvComposite": CsvCompositeSerializer,
+    "CsvCompositeMergeForeign": CsvCompositeMergeForeignSerializer,
+}
+
+
+def serialize_csv(
+    net: SocialNetworkData,
+    output_dir: Path | str,
+    variant: str = "CsvBasic",
+    parts: int = 1,
+) -> Path:
+    """Serialize the bulk-load dataset with the chosen CSV variant,
+    sharded into ``parts`` files per logical file."""
+    try:
+        serializer_cls = SERIALIZERS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from {sorted(SERIALIZERS)}"
+        ) from None
+    return serializer_cls(net, output_dir, parts=parts).serialize()
+
+
+# ---------------------------------------------------------------------------
+# Turtle
+# ---------------------------------------------------------------------------
+
+_PREFIX = "@prefix snvoc: <http://www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/> .\n"
+
+
+def serialize_turtle(net: SocialNetworkData, output_dir: Path | str) -> Path:
+    """Write the two Turtle files (static + dynamic) of spec 2.3.4.2."""
+    root = Path(output_dir) / "social_network"
+    root.mkdir(parents=True, exist_ok=True)
+
+    def uri(kind: str, entity_id: int) -> str:
+        return f"<http://www.ldbc.eu/ldbc_socialnet/1.0/data/{kind}{entity_id}>"
+
+    def literal(value: str) -> str:
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+    static_path = root / "0_ldbc_socialnet_static_dbp.ttl"
+    with open(static_path, "w") as out:
+        out.write(_PREFIX)
+        for place in net.places:
+            out.write(
+                f"{uri('place', place.id)} a snvoc:{place.type.value.capitalize()} ;"
+                f" snvoc:name {literal(place.name)} .\n"
+            )
+            if place.part_of >= 0:
+                out.write(
+                    f"{uri('place', place.id)} snvoc:isPartOf"
+                    f" {uri('place', place.part_of)} .\n"
+                )
+        for org in net.organisations:
+            out.write(
+                f"{uri('organisation', org.id)} a snvoc:{org.type.value.capitalize()} ;"
+                f" snvoc:name {literal(org.name)} ;"
+                f" snvoc:isLocatedIn {uri('place', org.place_id)} .\n"
+            )
+        for tag_class in net.tag_classes:
+            out.write(
+                f"{uri('tagclass', tag_class.id)} a snvoc:TagClass ;"
+                f" snvoc:name {literal(tag_class.name)} .\n"
+            )
+            if tag_class.subclass_of >= 0:
+                out.write(
+                    f"{uri('tagclass', tag_class.id)} snvoc:isSubclassOf"
+                    f" {uri('tagclass', tag_class.subclass_of)} .\n"
+                )
+        for tag in net.tags:
+            out.write(
+                f"{uri('tag', tag.id)} a snvoc:Tag ;"
+                f" snvoc:name {literal(tag.name)} ;"
+                f" snvoc:hasType {uri('tagclass', tag.type_id)} .\n"
+            )
+
+    dynamic_path = root / "0_ldbc_socialnet.ttl"
+    cutoff = net.cutoff
+    with open(dynamic_path, "w") as out:
+        out.write(_PREFIX)
+        for person in net.persons:
+            if person.creation_date >= cutoff:
+                continue
+            out.write(
+                f"{uri('pers', person.id)} a snvoc:Person ;"
+                f" snvoc:firstName {literal(person.first_name)} ;"
+                f" snvoc:lastName {literal(person.last_name)} ;"
+                f" snvoc:isLocatedIn {uri('place', person.city_id)} .\n"
+            )
+        for edge in net.knows:
+            if edge.creation_date >= cutoff:
+                continue
+            out.write(
+                f"{uri('pers', edge.person1)} snvoc:knows"
+                f" {uri('pers', edge.person2)} .\n"
+            )
+        for forum in net.forums:
+            if forum.creation_date >= cutoff:
+                continue
+            out.write(
+                f"{uri('forum', forum.id)} a snvoc:Forum ;"
+                f" snvoc:title {literal(forum.title)} ;"
+                f" snvoc:hasModerator {uri('pers', forum.moderator_id)} .\n"
+            )
+        for post in net.posts:
+            if post.creation_date >= cutoff:
+                continue
+            out.write(
+                f"{uri('post', post.id)} a snvoc:Post ;"
+                f" snvoc:hasCreator {uri('pers', post.creator_id)} ;"
+                f" snvoc:containerOf {uri('forum', post.forum_id)} .\n"
+            )
+        for comment in net.comments:
+            if comment.creation_date >= cutoff:
+                continue
+            parent = (
+                comment.reply_of_post
+                if comment.reply_of_post >= 0
+                else comment.reply_of_comment
+            )
+            out.write(
+                f"{uri('comment', comment.id)} a snvoc:Comment ;"
+                f" snvoc:hasCreator {uri('pers', comment.creator_id)} ;"
+                f" snvoc:replyOf {uri('post', parent)} .\n"
+            )
+    return root

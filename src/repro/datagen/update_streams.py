@@ -1,0 +1,416 @@
+"""Update streams (spec section 2.3.4.3, Tables 2.17 - 2.18).
+
+Events with a creation date at or after the update cutoff — roughly the
+last 10 % of the generated network — become insert operations IU 1-8.
+Each operation carries the generic header of Table 2.17:
+
+* ``timestamp`` (t) — when the event happened in the simulation;
+* ``dependant timestamp`` (t_d) — the creation time of the newest
+  entity the operation depends on (the driver may not schedule the
+  operation before its dependency exists);
+* ``operation id`` — 1-8 per Table 2.18.
+
+The streams are partitioned as the spec prescribes:
+``updateStream_0_0_person.csv`` carries IU 1 and
+``updateStream_0_0_forum.csv`` carries IU 2-8.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.datagen.generator import SocialNetworkData
+from repro.queries.interactive.updates import (
+    AddCommentParams,
+    AddForumParams,
+    AddFriendshipParams,
+    AddLikeParams,
+    AddMembershipParams,
+    AddPersonParams,
+    AddPostParams,
+)
+from repro.util.dates import DateTime
+
+UpdateParams = Union[
+    AddPersonParams,
+    AddLikeParams,
+    AddForumParams,
+    AddMembershipParams,
+    AddPostParams,
+    AddCommentParams,
+    AddFriendshipParams,
+]
+
+
+@dataclass(slots=True, frozen=True)
+class UpdateOperation:
+    """One line of an update stream (Table 2.17 header + payload)."""
+
+    timestamp: DateTime
+    dependant_timestamp: DateTime
+    operation_id: int
+    params: UpdateParams
+
+
+def build_update_streams(net: SocialNetworkData) -> list[UpdateOperation]:
+    """Extract the post-cutoff events as IU operations, ordered by time."""
+    cutoff = net.cutoff
+    operations: list[UpdateOperation] = []
+    person_created = {p.id: p.creation_date for p in net.persons}
+    forum_created = {f.id: f.creation_date for f in net.forums}
+    message_created = {m.id: m.creation_date for m in net.posts}
+    message_created.update({m.id: m.creation_date for m in net.comments})
+    message_is_post = {m.id: True for m in net.posts}
+    message_is_post.update({m.id: False for m in net.comments})
+
+    study_by_person: dict[int, list] = {}
+    for record in net.study_at:
+        study_by_person.setdefault(record.person_id, []).append(record)
+    work_by_person: dict[int, list] = {}
+    for record in net.work_at:
+        work_by_person.setdefault(record.person_id, []).append(record)
+
+    for person in net.persons:
+        if person.creation_date < cutoff:
+            continue
+        operations.append(
+            UpdateOperation(
+                person.creation_date,
+                0,
+                1,
+                AddPersonParams(
+                    person_id=person.id,
+                    first_name=person.first_name,
+                    last_name=person.last_name,
+                    gender=person.gender,
+                    birthday=person.birthday,
+                    creation_date=person.creation_date,
+                    location_ip=person.location_ip,
+                    browser_used=person.browser_used,
+                    city_id=person.city_id,
+                    languages=tuple(person.speaks),
+                    emails=tuple(person.emails),
+                    tag_ids=tuple(person.interests),
+                    study_at=tuple(
+                        (s.university_id, s.class_year)
+                        for s in study_by_person.get(person.id, [])
+                    ),
+                    work_at=tuple(
+                        (w.company_id, w.work_from)
+                        for w in work_by_person.get(person.id, [])
+                    ),
+                ),
+            )
+        )
+
+    for like in net.likes:
+        if like.creation_date < cutoff:
+            continue
+        dependant = max(
+            person_created[like.person_id], message_created[like.message_id]
+        )
+        operations.append(
+            UpdateOperation(
+                like.creation_date,
+                dependant,
+                2 if like.is_post else 3,
+                AddLikeParams(like.person_id, like.message_id, like.creation_date),
+            )
+        )
+
+    for forum in net.forums:
+        if forum.creation_date < cutoff:
+            continue
+        operations.append(
+            UpdateOperation(
+                forum.creation_date,
+                person_created[forum.moderator_id],
+                4,
+                AddForumParams(
+                    forum.id,
+                    forum.title,
+                    forum.creation_date,
+                    forum.moderator_id,
+                    tuple(forum.tag_ids),
+                ),
+            )
+        )
+
+    for membership in net.memberships:
+        if membership.join_date < cutoff:
+            continue
+        dependant = max(
+            person_created[membership.person_id],
+            forum_created[membership.forum_id],
+        )
+        operations.append(
+            UpdateOperation(
+                membership.join_date,
+                dependant,
+                5,
+                AddMembershipParams(
+                    membership.person_id, membership.forum_id, membership.join_date
+                ),
+            )
+        )
+
+    for post in net.posts:
+        if post.creation_date < cutoff:
+            continue
+        dependant = max(
+            person_created[post.creator_id], forum_created[post.forum_id]
+        )
+        operations.append(
+            UpdateOperation(
+                post.creation_date,
+                dependant,
+                6,
+                AddPostParams(
+                    post_id=post.id,
+                    image_file=post.image_file,
+                    creation_date=post.creation_date,
+                    location_ip=post.location_ip,
+                    browser_used=post.browser_used,
+                    language=post.language,
+                    content=post.content,
+                    length=post.length,
+                    author_person_id=post.creator_id,
+                    forum_id=post.forum_id,
+                    country_id=post.country_id,
+                    tag_ids=tuple(post.tag_ids),
+                ),
+            )
+        )
+
+    for comment in net.comments:
+        if comment.creation_date < cutoff:
+            continue
+        parent = (
+            comment.reply_of_post
+            if comment.reply_of_post >= 0
+            else comment.reply_of_comment
+        )
+        dependant = max(
+            person_created[comment.creator_id], message_created[parent]
+        )
+        operations.append(
+            UpdateOperation(
+                comment.creation_date,
+                dependant,
+                7,
+                AddCommentParams(
+                    comment_id=comment.id,
+                    creation_date=comment.creation_date,
+                    location_ip=comment.location_ip,
+                    browser_used=comment.browser_used,
+                    content=comment.content,
+                    length=comment.length,
+                    author_person_id=comment.creator_id,
+                    country_id=comment.country_id,
+                    reply_to_post_id=comment.reply_of_post,
+                    reply_to_comment_id=comment.reply_of_comment,
+                    tag_ids=tuple(comment.tag_ids),
+                ),
+            )
+        )
+
+    for edge in net.knows:
+        if edge.creation_date < cutoff:
+            continue
+        dependant = max(
+            person_created[edge.person1], person_created[edge.person2]
+        )
+        operations.append(
+            UpdateOperation(
+                edge.creation_date,
+                dependant,
+                8,
+                AddFriendshipParams(edge.person1, edge.person2, edge.creation_date),
+            )
+        )
+
+    operations.sort(key=lambda op: (op.timestamp, op.operation_id))
+    return operations
+
+
+# ---------------------------------------------------------------------------
+# Serialization (Table 2.18 line formats)
+# ---------------------------------------------------------------------------
+
+
+def _join_ids(ids: tuple[int, ...]) -> str:
+    return ";".join(str(i) for i in ids)
+
+
+def _join_pairs(pairs: tuple[tuple[int, int], ...]) -> str:
+    return ";".join(f"{a},{b}" for a, b in pairs)
+
+
+def _payload(params: UpdateParams) -> list:
+    if isinstance(params, AddPersonParams):
+        return [
+            params.person_id, params.first_name, params.last_name,
+            params.gender, params.birthday, params.creation_date,
+            params.location_ip, params.browser_used, params.city_id,
+            ";".join(params.languages), ";".join(params.emails),
+            _join_ids(params.tag_ids), _join_pairs(params.study_at),
+            _join_pairs(params.work_at),
+        ]
+    if isinstance(params, AddLikeParams):
+        return [params.person_id, params.message_id, params.creation_date]
+    if isinstance(params, AddForumParams):
+        return [
+            params.forum_id, params.forum_title, params.creation_date,
+            params.moderator_person_id, _join_ids(params.tag_ids),
+        ]
+    if isinstance(params, AddMembershipParams):
+        return [params.person_id, params.forum_id, params.join_date]
+    if isinstance(params, AddPostParams):
+        return [
+            params.post_id, params.image_file, params.creation_date,
+            params.location_ip, params.browser_used, params.language,
+            params.content, params.length, params.author_person_id,
+            params.forum_id, params.country_id, _join_ids(params.tag_ids),
+        ]
+    if isinstance(params, AddCommentParams):
+        return [
+            params.comment_id, params.creation_date, params.location_ip,
+            params.browser_used, params.content, params.length,
+            params.author_person_id, params.country_id,
+            params.reply_to_post_id, params.reply_to_comment_id,
+            _join_ids(params.tag_ids),
+        ]
+    if isinstance(params, AddFriendshipParams):
+        return [params.person1_id, params.person2_id, params.creation_date]
+    raise TypeError(f"unknown params type {type(params)!r}")
+
+
+def write_update_streams(
+    operations: list[UpdateOperation],
+    output_dir: Path | str,
+    parts: int = 1,
+) -> tuple[Path, Path]:
+    """Write the person and forum stream files next to the dataset.
+
+    ``parts`` shards each stream into ``updateStream_0_<part>_person.csv``
+    / ``..._forum.csv`` round-robin — the spec's per-driver-thread stream
+    files (the ``*`` of section 2.3.4.3).  Returns the first part paths.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    root = Path(output_dir) / "social_network"
+    root.mkdir(parents=True, exist_ok=True)
+    person_files = [
+        open(root / f"updateStream_0_{part}_person.csv", "w", newline="")
+        for part in range(parts)
+    ]
+    forum_files = [
+        open(root / f"updateStream_0_{part}_forum.csv", "w", newline="")
+        for part in range(parts)
+    ]
+    try:
+        person_writers = [csv.writer(f, delimiter="|") for f in person_files]
+        forum_writers = [csv.writer(f, delimiter="|") for f in forum_files]
+        person_index = forum_index = 0
+        for op in operations:
+            if op.operation_id == 1:
+                writer = person_writers[person_index % parts]
+                person_index += 1
+            else:
+                writer = forum_writers[forum_index % parts]
+                forum_index += 1
+            writer.writerow(
+                [op.timestamp, op.dependant_timestamp, op.operation_id]
+                + _payload(op.params)
+            )
+    finally:
+        for handle in person_files + forum_files:
+            handle.close()
+    return (
+        root / "updateStream_0_0_person.csv",
+        root / "updateStream_0_0_forum.csv",
+    )
+
+
+def _split_ids(text: str) -> tuple[int, ...]:
+    return tuple(int(x) for x in text.split(";") if x)
+
+
+def _split_pairs(text: str) -> tuple[tuple[int, int], ...]:
+    pairs = []
+    for item in text.split(";"):
+        if item:
+            a, b = item.split(",")
+            pairs.append((int(a), int(b)))
+    return tuple(pairs)
+
+
+def _parse_payload(operation_id: int, fields: list[str]) -> UpdateParams:
+    if operation_id == 1:
+        return AddPersonParams(
+            person_id=int(fields[0]), first_name=fields[1],
+            last_name=fields[2], gender=fields[3], birthday=int(fields[4]),
+            creation_date=int(fields[5]), location_ip=fields[6],
+            browser_used=fields[7], city_id=int(fields[8]),
+            languages=tuple(x for x in fields[9].split(";") if x),
+            emails=tuple(x for x in fields[10].split(";") if x),
+            tag_ids=_split_ids(fields[11]),
+            study_at=_split_pairs(fields[12]),
+            work_at=_split_pairs(fields[13]),
+        )
+    if operation_id in (2, 3):
+        return AddLikeParams(int(fields[0]), int(fields[1]), int(fields[2]))
+    if operation_id == 4:
+        return AddForumParams(
+            int(fields[0]), fields[1], int(fields[2]), int(fields[3]),
+            _split_ids(fields[4]),
+        )
+    if operation_id == 5:
+        return AddMembershipParams(int(fields[0]), int(fields[1]), int(fields[2]))
+    if operation_id == 6:
+        return AddPostParams(
+            post_id=int(fields[0]), image_file=fields[1],
+            creation_date=int(fields[2]), location_ip=fields[3],
+            browser_used=fields[4], language=fields[5], content=fields[6],
+            length=int(fields[7]), author_person_id=int(fields[8]),
+            forum_id=int(fields[9]), country_id=int(fields[10]),
+            tag_ids=_split_ids(fields[11]),
+        )
+    if operation_id == 7:
+        return AddCommentParams(
+            comment_id=int(fields[0]), creation_date=int(fields[1]),
+            location_ip=fields[2], browser_used=fields[3], content=fields[4],
+            length=int(fields[5]), author_person_id=int(fields[6]),
+            country_id=int(fields[7]), reply_to_post_id=int(fields[8]),
+            reply_to_comment_id=int(fields[9]), tag_ids=_split_ids(fields[10]),
+        )
+    if operation_id == 8:
+        return AddFriendshipParams(int(fields[0]), int(fields[1]), int(fields[2]))
+    raise ValueError(f"unknown operation id {operation_id}")
+
+
+def read_update_streams(dataset_dir: Path | str) -> list[UpdateOperation]:
+    """Read every stream part back into globally ordered operations."""
+    root = Path(dataset_dir)
+    operations: list[UpdateOperation] = []
+    for path in sorted(root.glob("updateStream_0_*_person.csv")) + sorted(
+        root.glob("updateStream_0_*_forum.csv")
+    ):
+        with open(path, newline="") as handle:
+            for row in csv.reader(handle, delimiter="|"):
+                timestamp, dependant, operation_id = (
+                    int(row[0]), int(row[1]), int(row[2])
+                )
+                operations.append(
+                    UpdateOperation(
+                        timestamp,
+                        dependant,
+                        operation_id,
+                        _parse_payload(operation_id, row[3:]),
+                    )
+                )
+    operations.sort(key=lambda op: (op.timestamp, op.operation_id))
+    return operations

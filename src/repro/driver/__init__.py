@@ -1,0 +1,28 @@
+"""The benchmark test driver (spec sections 3.4 and 6.2).
+
+* :mod:`repro.driver.mix` — query frequencies per scale factor (Table B.1)
+  and the time-compression ratio.
+* :mod:`repro.driver.scheduler` — assigns issue times: updates at their
+  simulation timestamps, complex reads interleaved by frequency, short
+  reads in decaying-probability sequences.
+* :mod:`repro.driver.runner` — executes a schedule against a graph,
+  producing the results log and the on-time/throughput summary.
+* :mod:`repro.driver.validation` — validation datasets and comparison.
+"""
+
+from repro.driver.mix import FREQUENCIES, frequencies_for_scale_factor
+from repro.driver.runner import Driver, DriverReport, ResultsLogEntry
+from repro.driver.scheduler import ScheduledOperation, Scheduler
+from repro.driver.validation import create_validation_set, validate
+
+__all__ = [
+    "Driver",
+    "DriverReport",
+    "FREQUENCIES",
+    "ResultsLogEntry",
+    "ScheduledOperation",
+    "Scheduler",
+    "create_validation_set",
+    "frequencies_for_scale_factor",
+    "validate",
+]

@@ -1,0 +1,288 @@
+"""BI workload execution modes (the VLDB 2022 evaluation methodology).
+
+The BI workload is benchmarked in two modes:
+
+* **Power test** — every read query runs sequentially with curated
+  parameters on a frozen snapshot; the score aggregates per-query times
+  with a geometric mean (so no single query dominates):
+
+      power @ SF = 3600 * SF / geometric_mean(runtime_seconds)
+
+* **Throughput test** — simulation time is partitioned into write
+  *microbatches* (one simulated day each, containing that day's inserts
+  and deletes); after each batch the read mix runs against the updated
+  snapshot.  The score is the total number of operations per elapsed
+  second and the per-batch latency profile.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.datagen.delete_streams import DeleteOperation, build_delete_streams
+from repro.datagen.generator import SocialNetworkData
+from repro.datagen.update_streams import UpdateOperation, build_update_streams
+from repro.graph.store import SocialGraph
+from repro.params.curation import ParameterGenerator
+from repro.queries.bi import ALL_QUERIES
+from repro.queries.interactive.deletes import ALL_DELETES
+from repro.queries.interactive.updates import ALL_UPDATES
+from repro.util.dates import MILLIS_PER_DAY
+
+
+@dataclass
+class PowerTestResult:
+    """Per-query runtimes of one sequential pass over BI 1-25."""
+
+    #: query number -> runtime in seconds.
+    runtimes: dict[int, float]
+    scale_factor: float
+
+    @property
+    def geometric_mean(self) -> float:
+        values = [max(t, 1e-9) for t in self.runtimes.values()]
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    @property
+    def power_score(self) -> float:
+        """power @ SF, the paper's headline metric."""
+        return 3600.0 * self.scale_factor / self.geometric_mean
+
+    def format_table(self) -> str:
+        lines = [f"{'query':8s} {'runtime ms':>11s}"]
+        for number, runtime in sorted(self.runtimes.items()):
+            lines.append(f"BI {number:<5d} {1000 * runtime:11.3f}")
+        lines.append(
+            f"geomean {1000 * self.geometric_mean:.3f} ms ->"
+            f" power@SF {self.power_score:.1f}"
+        )
+        return "\n".join(lines)
+
+
+def power_test(
+    graph: SocialGraph,
+    params: ParameterGenerator,
+    scale_factor: float,
+    bindings_per_query: int = 1,
+) -> PowerTestResult:
+    """Run every BI read sequentially and score the snapshot."""
+    runtimes: dict[int, float] = {}
+    for number in sorted(ALL_QUERIES):
+        query, _ = ALL_QUERIES[number]
+        bindings = params.bi(number, count=bindings_per_query)
+        start = time.perf_counter()
+        for binding in bindings:
+            query(graph, *binding)
+        runtimes[number] = (time.perf_counter() - start) / len(bindings)
+    return PowerTestResult(runtimes=runtimes, scale_factor=scale_factor)
+
+
+@dataclass
+class Microbatch:
+    """One simulated day of writes."""
+
+    day_start: int
+    inserts: list[UpdateOperation] = field(default_factory=list)
+    deletes: list[DeleteOperation] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+def build_microbatches(
+    net: SocialNetworkData, include_deletes: bool = True
+) -> list[Microbatch]:
+    """Partition the update (and delete) streams into daily batches."""
+    batches: dict[int, Microbatch] = {}
+
+    def batch_for(timestamp: int) -> Microbatch:
+        day = timestamp // MILLIS_PER_DAY
+        if day not in batches:
+            batches[day] = Microbatch(day_start=day * MILLIS_PER_DAY)
+        return batches[day]
+
+    for op in build_update_streams(net):
+        batch_for(op.timestamp).inserts.append(op)
+    if include_deletes:
+        for op in build_delete_streams(net):
+            batch_for(op.timestamp).deletes.append(op)
+    return [batches[day] for day in sorted(batches)]
+
+
+@dataclass
+class ThroughputTestResult:
+    """Outcome of the microbatch throughput test."""
+
+    batch_seconds: list[float]
+    read_seconds: list[float]
+    operations: int
+    elapsed: float
+
+    @property
+    def throughput(self) -> float:
+        return self.operations / self.elapsed if self.elapsed else float("inf")
+
+    def format_table(self) -> str:
+        mean_batch = (
+            1000 * sum(self.batch_seconds) / len(self.batch_seconds)
+            if self.batch_seconds
+            else 0.0
+        )
+        mean_reads = (
+            1000 * sum(self.read_seconds) / len(self.read_seconds)
+            if self.read_seconds
+            else 0.0
+        )
+        return (
+            f"{len(self.batch_seconds)} microbatches,"
+            f" mean write batch {mean_batch:.2f} ms,"
+            f" mean read block {mean_reads:.2f} ms,"
+            f" {self.operations} ops in {self.elapsed:.2f}s"
+            f" -> {self.throughput:.0f} ops/s"
+        )
+
+
+@dataclass
+class ConcurrentTestResult:
+    """Outcome of the multi-stream concurrent read test."""
+
+    streams: int
+    queries_per_stream: int
+    elapsed: float
+
+    @property
+    def total_queries(self) -> int:
+        return self.streams * self.queries_per_stream
+
+    @property
+    def throughput(self) -> float:
+        return self.total_queries / self.elapsed if self.elapsed else float("inf")
+
+
+def _run_read_stream(args: tuple) -> int:
+    """One concurrent query stream (executed in a forked worker).
+
+    Streams offset their rotation through BI 1-25 so concurrent workers
+    exercise different queries at any instant, like the official
+    throughput test's distinct query streams.
+    """
+    stream_index, queries_per_stream = args
+    graph = _WORKER_GRAPH
+    bindings = _WORKER_BINDINGS
+    numbers = sorted(bindings)
+    executed = 0
+    cursor = stream_index * 7  # de-phase the streams
+    for _ in range(queries_per_stream):
+        number = numbers[cursor % len(numbers)]
+        binding = bindings[number][cursor % len(bindings[number])]
+        ALL_QUERIES[number][0](graph, *binding)
+        executed += 1
+        cursor += 1
+    return executed
+
+
+_WORKER_GRAPH = None
+_WORKER_BINDINGS = None
+
+
+def _init_worker(graph, bindings):  # pragma: no cover - subprocess body
+    global _WORKER_GRAPH, _WORKER_BINDINGS
+    _WORKER_GRAPH = graph
+    _WORKER_BINDINGS = bindings
+
+
+def concurrent_read_test(
+    graph: SocialGraph,
+    params: ParameterGenerator,
+    streams: int = 4,
+    queries_per_stream: int = 25,
+) -> ConcurrentTestResult:
+    """The multi-stream read throughput test (CP-6, "Parallelism and
+    Concurrency"): ``streams`` concurrent clients each run a rotation of
+    BI reads against the same read-only snapshot.
+
+    Uses process workers (fork start method where available) so the
+    streams execute genuinely in parallel; on platforms without fork the
+    snapshot is pickled to each worker once.
+    """
+    import multiprocessing as mp
+
+    if streams <= 0 or queries_per_stream <= 0:
+        raise ValueError("streams and queries_per_stream must be positive")
+    bindings = {n: params.bi(n, count=3) for n in sorted(ALL_QUERIES)}
+    if streams == 1:
+        start = time.perf_counter()
+        _init_worker(graph, bindings)
+        _run_read_stream((0, queries_per_stream))
+        return ConcurrentTestResult(1, queries_per_stream,
+                                    time.perf_counter() - start)
+    context = mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else None
+    )
+    start = time.perf_counter()
+    with context.Pool(
+        processes=streams,
+        initializer=_init_worker,
+        initargs=(graph, bindings),
+    ) as pool:
+        counts = pool.map(
+            _run_read_stream,
+            [(index, queries_per_stream) for index in range(streams)],
+        )
+    elapsed = time.perf_counter() - start
+    assert sum(counts) == streams * queries_per_stream
+    return ConcurrentTestResult(streams, queries_per_stream, elapsed)
+
+
+def throughput_test(
+    graph: SocialGraph,
+    params: ParameterGenerator,
+    batches: list[Microbatch],
+    reads_per_batch: int = 5,
+) -> ThroughputTestResult:
+    """Alternate write microbatches with blocks of BI reads.
+
+    ``reads_per_batch`` BI queries (rotating through BI 1-25 with
+    rotating curated bindings) run after each batch, emulating the
+    refresh-then-analyse loop of the paper's throughput test.
+    """
+    batch_seconds: list[float] = []
+    read_seconds: list[float] = []
+    operations = 0
+    read_cursor = 0
+    numbers = sorted(ALL_QUERIES)
+    bindings = {n: params.bi(n, count=3) for n in numbers}
+
+    started = time.perf_counter()
+    for batch in batches:
+        write_start = time.perf_counter()
+        for insert in batch.inserts:
+            try:
+                ALL_UPDATES[insert.operation_id][0](graph, insert.params)
+            except (KeyError, ValueError):
+                pass  # write invalidated by an earlier delete
+        for delete in batch.deletes:
+            ALL_DELETES[delete.operation_id][0](graph, delete.params)
+        batch_seconds.append(time.perf_counter() - write_start)
+        operations += batch.size
+
+        read_start = time.perf_counter()
+        for _ in range(reads_per_batch):
+            number = numbers[read_cursor % len(numbers)]
+            binding = bindings[number][read_cursor % len(bindings[number])]
+            try:
+                ALL_QUERIES[number][0](graph, *binding)
+            except KeyError:
+                pass  # parameter invalidated by a delete
+            read_cursor += 1
+            operations += 1
+        read_seconds.append(time.perf_counter() - read_start)
+    return ThroughputTestResult(
+        batch_seconds=batch_seconds,
+        read_seconds=read_seconds,
+        operations=operations,
+        elapsed=time.perf_counter() - started,
+    )

@@ -1,0 +1,319 @@
+"""Workload execution (spec sections 3.4 and 6.2).
+
+The :class:`Driver` executes a schedule against a :class:`SocialGraph`:
+
+* updates are applied through IU 1-8;
+* complex reads run IC 1-14 with their scheduled parameters;
+* after each complex read a **short-read sequence** is issued — person
+  centric (IS 1, IS 2, IS 3) or message centric (IS 4 - IS 7) depending
+  on the complex read type — with parameters taken from the results of
+  previously executed reads; after each sequence another one follows
+  with a decaying probability.  The same RNG seed makes the workload
+  deterministic across executions, as the spec requires.
+
+Simulation time maps to wall-clock time through the Time Compression
+Ratio: ``wall_gap = sim_gap * tcr``.  A TCR of 0 replays as fast as
+possible.  Every operation is logged with its scheduled and actual start
+time; the §6.2 validity rule (95 % of queries start within 1 second of
+schedule) is evaluated over the log.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.driver.scheduler import ScheduledOperation
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.complex import ALL_COMPLEX
+from repro.queries.interactive.deletes import ALL_DELETES
+from repro.queries.interactive.short import ALL_SHORT
+from repro.queries.interactive.updates import ALL_UPDATES
+from repro.util.rng import DeterministicRng
+
+#: Complex reads whose results contain message ids -> message-centric
+#: short-read sequences; all others are person centric.
+_MESSAGE_CENTRIC = frozenset({2, 7, 8, 9})
+#: Probability of issuing another short-read sequence after one finishes,
+#: multiplied by itself after every sequence (decaying, per spec 3.4).
+SHORT_SEQUENCE_PROBABILITY = 0.5
+
+_PERSON_FIELDS = ("person_id", "friend_id", "zombie_id", "person1_id")
+_MESSAGE_FIELDS = ("message_id", "comment_id", "comment_or_post_id", "post_id")
+
+
+@dataclass(slots=True)
+class ResultsLogEntry:
+    """One line of the ``results_log.csv`` the auditing rules require."""
+
+    operation: str
+    scheduled_start: float
+    actual_start: float
+    duration: float
+    result_count: int
+
+    @property
+    def start_delay(self) -> float:
+        return self.actual_start - self.scheduled_start
+
+
+@dataclass
+class DriverReport:
+    """Aggregated outcome of a benchmark run."""
+
+    log: list[ResultsLogEntry]
+    wall_seconds: float
+
+    @property
+    def total_operations(self) -> int:
+        return len(self.log)
+
+    @property
+    def invalidated_reads(self) -> int:
+        """Complex reads whose parameters a delete invalidated."""
+        return sum(1 for e in self.log if e.result_count < 0)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.log) / self.wall_seconds
+
+    def on_time_fraction(self, tolerance: float = 1.0) -> float:
+        """Fraction of operations starting within ``tolerance`` seconds
+        of schedule (the §6.2 validity rule uses 1 second / 95 %)."""
+        if not self.log:
+            return 1.0
+        on_time = sum(1 for e in self.log if e.start_delay < tolerance)
+        return on_time / len(self.log)
+
+    @property
+    def is_valid_run(self) -> bool:
+        return self.on_time_fraction() >= 0.95
+
+    def per_operation_stats(self) -> dict[str, dict[str, float]]:
+        """operation -> {count, mean_ms, p95_ms, max_ms}."""
+        buckets: dict[str, list[float]] = {}
+        for entry in self.log:
+            buckets.setdefault(entry.operation, []).append(entry.duration)
+        stats = {}
+        for operation, durations in sorted(buckets.items()):
+            ordered = sorted(durations)
+            stats[operation] = {
+                "count": len(ordered),
+                "mean_ms": 1000 * mean(ordered),
+                "p95_ms": 1000 * ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
+                "max_ms": 1000 * ordered[-1],
+            }
+        return stats
+
+    def summary_dict(self) -> dict:
+        """The driver's results-summary document (spec §6.2 mentions a
+        results summary next to the results log)."""
+        return {
+            "total_operations": self.total_operations,
+            "wall_seconds": self.wall_seconds,
+            "throughput_ops_per_second": self.throughput,
+            "on_time_fraction": self.on_time_fraction(),
+            "valid_run": self.is_valid_run,
+            "invalidated_reads": self.invalidated_reads,
+            "per_operation": self.per_operation_stats(),
+        }
+
+    def write_results_log(self, path) -> None:
+        """Write ``results_log.csv`` (spec §6.2, the driver's ``-rl``
+        output): operation, scheduled/actual start, duration, rows."""
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle, delimiter="|")
+            writer.writerow(
+                ["operation", "scheduled_start_time", "actual_start_time",
+                 "duration", "result_count"]
+            )
+            for entry in self.log:
+                writer.writerow(
+                    [entry.operation, f"{entry.scheduled_start:.6f}",
+                     f"{entry.actual_start:.6f}", f"{entry.duration:.6f}",
+                     entry.result_count]
+                )
+
+    def write_results_dir(self, directory, configuration: dict | None = None) -> None:
+        """Write the §6.2 results directory (the driver's ``-rd``):
+        ``configuration.json``, ``results_log.csv`` and
+        ``results_summary.json`` — everything the auditor retrieves and
+        discloses after a valid run."""
+        import json
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "configuration.json", "w") as handle:
+            json.dump(configuration or {}, handle, indent=2)
+        self.write_results_log(directory / "results_log.csv")
+        with open(directory / "results_summary.json", "w") as handle:
+            json.dump(self.summary_dict(), handle, indent=2)
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'operation':14s} {'count':>7s} {'mean ms':>9s} {'p95 ms':>9s} {'max ms':>9s}"
+        ]
+        for operation, row in self.per_operation_stats().items():
+            lines.append(
+                f"{operation:14s} {row['count']:7.0f} {row['mean_ms']:9.3f}"
+                f" {row['p95_ms']:9.3f} {row['max_ms']:9.3f}"
+            )
+        lines.append(
+            f"total {self.total_operations} ops in {self.wall_seconds:.2f}s"
+            f" -> {self.throughput:.0f} ops/s;"
+            f" on-time(1s) {100 * self.on_time_fraction():.1f}%"
+        )
+        return "\n".join(lines)
+
+
+class Driver:
+    """Executes a schedule, growing the graph and logging every query."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        time_compression_ratio: float = 0.0,
+        seed: int = 1234,
+    ):
+        self.graph = graph
+        self.tcr = time_compression_ratio
+        self.rng = DeterministicRng(seed, "driver")
+
+    def run(
+        self,
+        schedule: list[ScheduledOperation],
+        warmup_reads: int = 0,
+    ) -> DriverReport:
+        """Execute the schedule.
+
+        ``warmup_reads`` complex reads are executed before the clock
+        starts (spec §6.2's warmup phase): the first bindings of the
+        schedule's read operations run unlogged, warming the process and
+        any result caches, without mutating the graph.
+        """
+        if warmup_reads:
+            warmed = 0
+            for op in schedule:
+                if op.kind != "complex":
+                    continue
+                ALL_COMPLEX[op.number][0](self.graph, *op.params)
+                warmed += 1
+                if warmed >= warmup_reads:
+                    break
+        log: list[ResultsLogEntry] = []
+        run_start = time.perf_counter()
+        if schedule:
+            sim_origin = schedule[0].due
+
+        for op in schedule:
+            scheduled_wall = (
+                run_start + (op.due - sim_origin) / 1000.0 * self.tcr
+            )
+            now = time.perf_counter()
+            if self.tcr > 0 and now < scheduled_wall:
+                time.sleep(scheduled_wall - now)
+            if op.kind in ("update", "delete"):
+                prefix = "IU" if op.kind == "update" else "DEL"
+                name = f"{prefix} {op.number}"
+                registry = ALL_UPDATES if op.kind == "update" else ALL_DELETES
+                runner = registry[op.number][0]
+                actual = time.perf_counter()
+                try:
+                    runner(self.graph, op.params)
+                    rows = 1
+                except (KeyError, ValueError):
+                    # An earlier delete removed an entity this write
+                    # references (e.g. a like on a deleted post); the
+                    # official driver treats this as a skipped write.
+                    rows = -1
+            else:
+                name = f"IC {op.number}"
+                runner = ALL_COMPLEX[op.number][0]
+                actual = time.perf_counter()
+                try:
+                    result = runner(self.graph, *op.params)
+                    rows = len(result)
+                except KeyError:
+                    # A delete invalidated a curated parameter (e.g. the
+                    # start person was removed); logged as -1 rows.
+                    result = []
+                    rows = -1
+            finished = time.perf_counter()
+            log.append(
+                ResultsLogEntry(
+                    name, scheduled_wall, actual, finished - actual, rows
+                )
+            )
+            if op.kind == "complex":
+                self._run_short_sequences(op.number, result, log)
+        return DriverReport(log=log, wall_seconds=time.perf_counter() - run_start)
+
+    # -- short reads --------------------------------------------------------
+
+    def _extract_ids(self, rows: list, fields: tuple[str, ...]) -> list[int]:
+        ids = []
+        for row in rows:
+            row_fields = getattr(row, "_fields", ())
+            for candidate in fields:
+                if candidate in row_fields:
+                    ids.append(getattr(row, candidate))
+                    break
+        return ids
+
+    def _run_short_sequences(
+        self, complex_number: int, rows: list, log: list[ResultsLogEntry]
+    ) -> None:
+        message_centric = complex_number in _MESSAGE_CENTRIC
+        probability = 1.0  # the first sequence is always issued
+        while self.rng.random() < probability:
+            probability = (
+                SHORT_SEQUENCE_PROBABILITY
+                if probability == 1.0
+                else probability * SHORT_SEQUENCE_PROBABILITY
+            )
+            if message_centric:
+                ids = self._extract_ids(rows, _MESSAGE_FIELDS)
+                ids = [i for i in ids if self.graph.has_message(i)]
+                if not ids:
+                    return
+                message_id = self.rng.choice(ids)
+                rows = self._run_short_set((4, 5, 6, 7), message_id, log)
+            else:
+                ids = self._extract_ids(rows, _PERSON_FIELDS)
+                ids = [i for i in ids if i in self.graph.persons]
+                if not ids:
+                    return
+                person_id = self.rng.choice(ids)
+                rows = self._run_short_set((1, 2, 3), person_id, log)
+            if not rows:
+                return
+
+    def _run_short_set(
+        self, numbers: tuple[int, ...], entity_id: int, log: list[ResultsLogEntry]
+    ) -> list:
+        collected: list = []
+        for number in numbers:
+            runner = ALL_SHORT[number][0]
+            started = time.perf_counter()
+            try:
+                result = runner(self.graph, entity_id)
+            except KeyError:
+                # The entity's context was deleted between the producing
+                # read and this short read (e.g. its forum).
+                result = []
+            finished = time.perf_counter()
+            log.append(
+                ResultsLogEntry(
+                    f"IS {number}", started, started, finished - started,
+                    len(result),
+                )
+            )
+            collected.extend(result)
+        return collected

@@ -1,0 +1,95 @@
+"""Validation mode (spec section 6.2).
+
+"The queries are validated by means of the official validation datasets
+...  The auditor must load the provided dataset and run the driver in
+validation mode, which will test that the queries provide the official
+results."
+
+:func:`create_validation_set` runs every read query once per binding
+against a reference graph and records the results in a JSON-serializable
+form; :func:`validate` re-runs them on a system under test and reports
+every mismatch.  Row order matters — the queries define total sort
+orders — so comparison is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi import ALL_QUERIES as ALL_BI
+from repro.queries.interactive.complex import ALL_COMPLEX
+from repro.queries.interactive.short import ALL_SHORT
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _run(graph: SocialGraph, kind: str, number: int, params: tuple) -> list:
+    registry = {"bi": ALL_BI, "complex": ALL_COMPLEX, "short": ALL_SHORT}[kind]
+    rows = registry[number][0](graph, *params)
+    return [_jsonable(tuple(row)) for row in rows]
+
+
+def create_validation_set(
+    graph: SocialGraph,
+    bindings: dict[tuple[str, int], list[tuple]],
+) -> dict[str, Any]:
+    """Record expected results for every (kind, query number) binding.
+
+    ``bindings`` maps ("bi" | "complex" | "short", number) to parameter
+    tuples, typically produced by :mod:`repro.params.curation`.
+    """
+    entries = []
+    for (kind, number), param_list in sorted(bindings.items()):
+        for params in param_list:
+            entries.append(
+                {
+                    "kind": kind,
+                    "number": number,
+                    "params": _jsonable(tuple(params)),
+                    "expected": _run(graph, kind, number, params),
+                }
+            )
+    return {"version": 1, "entries": entries}
+
+
+def validate(
+    graph: SocialGraph, validation_set: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Re-run the validation queries; return one record per mismatch."""
+    mismatches = []
+    for entry in validation_set["entries"]:
+        actual = _run(
+            graph, entry["kind"], entry["number"], tuple(entry["params"])
+        )
+        if actual != entry["expected"]:
+            mismatches.append(
+                {
+                    "kind": entry["kind"],
+                    "number": entry["number"],
+                    "params": entry["params"],
+                    "expected": entry["expected"],
+                    "actual": actual,
+                }
+            )
+    return mismatches
+
+
+def write_validation_set(validation_set: dict[str, Any], path: Path | str) -> None:
+    """Persist a validation dataset as JSON."""
+    with open(path, "w") as handle:
+        json.dump(validation_set, handle)
+
+
+def read_validation_set(path: Path | str) -> dict[str, Any]:
+    """Load a validation dataset written by :func:`write_validation_set`."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,7 @@
+"""The reference System Under Test: an in-memory social-network graph
+store with per-relation adjacency indexes (spec sections 2.1, 6.1.3).
+"""
+
+from repro.graph.store import SocialGraph
+
+__all__ = ["SocialGraph"]

@@ -1,0 +1,635 @@
+"""In-memory graph store — the reference SUT.
+
+The LDBC SNB spec deliberately does not prescribe an internal data
+representation (section 2.3.2): any store exposing the logical schema is
+a valid System Under Test.  This store keeps each entity type in a
+dictionary keyed by id and maintains forward/backward adjacency indexes
+per relation type, which is what both workloads' traversals need
+(choke points CP-2.3 index-based joins, CP-3.3 scattered index access).
+
+``use_indexes=False`` disables all adjacency acceleration and degrades
+every traversal to a full scan of the relation — the FABL ablation
+benchmark quantifies what the indexes buy.
+
+The store supports the benchmark's two load paths:
+
+* :meth:`SocialGraph.from_data` — bulk load from a generated
+  :class:`~repro.datagen.generator.SocialNetworkData`, optionally
+  truncated at the update-stream cutoff;
+* the ``insert_*`` methods — the Interactive workload's updates
+  (IU 1-8), applied by the driver from the update streams, maintaining
+  every index incrementally.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.schema.entities import (
+    Comment,
+    Forum,
+    ForumKind,
+    Message,
+    Organisation,
+    Person,
+    Place,
+    PlaceType,
+    Post,
+    Tag,
+    TagClass,
+)
+from repro.schema.relations import HasMember, Knows, Likes, StudyAt, WorkAt
+from repro.util.dates import DateTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datagen.generator import SocialNetworkData
+
+
+class SocialGraph:
+    """The loaded social network plus its adjacency indexes."""
+
+    def __init__(self, use_indexes: bool = True):
+        self.use_indexes = use_indexes
+
+        # Entity tables.
+        self.places: dict[int, Place] = {}
+        self.organisations: dict[int, Organisation] = {}
+        self.tag_classes: dict[int, TagClass] = {}
+        self.tags: dict[int, Tag] = {}
+        self.persons: dict[int, Person] = {}
+        self.forums: dict[int, Forum] = {}
+        self.posts: dict[int, Post] = {}
+        self.comments: dict[int, Comment] = {}
+
+        # Relation tables (kept also in index-free form for ablations).
+        self.knows_edges: list[Knows] = []
+        self.likes_edges: list[Likes] = []
+        self.memberships: list[HasMember] = []
+        self.study_at: list[StudyAt] = []
+        self.work_at: list[WorkAt] = []
+
+        # Adjacency indexes.
+        self._friends: dict[int, dict[int, DateTime]] = defaultdict(dict)
+        self._posts_by_creator: dict[int, list[Post]] = defaultdict(list)
+        self._comments_by_creator: dict[int, list[Comment]] = defaultdict(list)
+        self._replies_of: dict[int, list[Comment]] = defaultdict(list)
+        self._messages_with_tag: dict[int, list[int]] = defaultdict(list)
+        self._likes_of_message: dict[int, list[Likes]] = defaultdict(list)
+        self._likes_by_person: dict[int, list[Likes]] = defaultdict(list)
+        self._forums_of_member: dict[int, list[HasMember]] = defaultdict(list)
+        self._members_of_forum: dict[int, list[HasMember]] = defaultdict(list)
+        self._posts_in_forum: dict[int, list[Post]] = defaultdict(list)
+        self._moderated_forums: dict[int, list[Forum]] = defaultdict(list)
+        self._persons_in_city: dict[int, list[int]] = defaultdict(list)
+        self._cities_of_country: dict[int, list[int]] = defaultdict(list)
+        self._persons_interested: dict[int, list[int]] = defaultdict(list)
+        self._study_at_of: dict[int, list[StudyAt]] = defaultdict(list)
+        self._work_at_of: dict[int, list[WorkAt]] = defaultdict(list)
+        self._tagclass_children: dict[int, list[int]] = defaultdict(list)
+        self._tags_of_class: dict[int, list[int]] = defaultdict(list)
+        self._forums_with_tag: dict[int, list[int]] = defaultdict(list)
+
+        # Name lookups (query parameters are names for places/tags/classes).
+        self._place_by_name: dict[tuple[str, PlaceType], int] = {}
+        self._tag_by_name: dict[str, int] = {}
+        self._tagclass_by_name: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_data(
+        cls,
+        net: "SocialNetworkData",
+        until: DateTime | None = None,
+        use_indexes: bool = True,
+    ) -> "SocialGraph":
+        """Bulk load a generated network.
+
+        ``until`` truncates the dynamic part at a timestamp: only events
+        with ``creationDate < until`` are loaded.  Datagen's timestamps
+        are causally ordered (an entity is always created after
+        everything it references), so a time-prefix is referentially
+        consistent — this realizes the spec's 90 % bulk-load dataset
+        when ``until`` is the update cutoff.
+        """
+        graph = cls(use_indexes=use_indexes)
+        for place in net.places:
+            graph.add_place(place)
+        for organisation in net.organisations:
+            graph.add_organisation(organisation)
+        for tag_class in net.tag_classes:
+            graph.add_tag_class(tag_class)
+        for tag in net.tags:
+            graph.add_tag(tag)
+
+        def included(creation: DateTime) -> bool:
+            return until is None or creation < until
+
+        person_ok = set()
+        for person in net.persons:
+            if included(person.creation_date):
+                graph.add_person(person)
+                person_ok.add(person.id)
+        for record in net.study_at:
+            if record.person_id in person_ok:
+                graph.add_study_at(record)
+        for record in net.work_at:
+            if record.person_id in person_ok:
+                graph.add_work_at(record)
+        for edge in net.knows:
+            if included(edge.creation_date):
+                graph.add_knows(edge)
+        forum_ok = set()
+        for forum in net.forums:
+            if included(forum.creation_date):
+                # Forums are the one entity the store mutates in place
+                # (a group's moderator is detached when the moderator is
+                # deleted), so each graph gets its own copy — deleting in
+                # one graph must not alter the network or sibling graphs.
+                graph.add_forum(copy.copy(forum))
+                forum_ok.add(forum.id)
+        for membership in net.memberships:
+            if included(membership.join_date) and membership.forum_id in forum_ok:
+                graph.add_membership(membership)
+        message_ok = set()
+        for post in net.posts:
+            if included(post.creation_date):
+                graph.add_post(post)
+                message_ok.add(post.id)
+        for comment in net.comments:
+            parent = (
+                comment.reply_of_post
+                if comment.reply_of_post >= 0
+                else comment.reply_of_comment
+            )
+            if included(comment.creation_date) and parent in message_ok:
+                graph.add_comment(comment)
+                message_ok.add(comment.id)
+        for like in net.likes:
+            if included(like.creation_date) and like.message_id in message_ok:
+                graph.add_like(like)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Static entity inserts
+    # ------------------------------------------------------------------
+
+    def add_place(self, place: Place) -> None:
+        self.places[place.id] = place
+        self._place_by_name[(place.name, place.type)] = place.id
+        if place.type is PlaceType.CITY and place.part_of >= 0:
+            self._cities_of_country[place.part_of].append(place.id)
+
+    def add_organisation(self, organisation: Organisation) -> None:
+        self.organisations[organisation.id] = organisation
+
+    def add_tag_class(self, tag_class: TagClass) -> None:
+        self.tag_classes[tag_class.id] = tag_class
+        self._tagclass_by_name[tag_class.name] = tag_class.id
+        if tag_class.subclass_of >= 0:
+            self._tagclass_children[tag_class.subclass_of].append(tag_class.id)
+
+    def add_tag(self, tag: Tag) -> None:
+        self.tags[tag.id] = tag
+        self._tag_by_name[tag.name] = tag.id
+        self._tags_of_class[tag.type_id].append(tag.id)
+
+    # ------------------------------------------------------------------
+    # Dynamic inserts (the IU operations route through these)
+    # ------------------------------------------------------------------
+
+    def add_person(self, person: Person) -> None:
+        if person.id in self.persons:
+            raise ValueError(f"duplicate person id {person.id}")
+        self.persons[person.id] = person
+        self._persons_in_city[person.city_id].append(person.id)
+        for tag_id in person.interests:
+            self._persons_interested[tag_id].append(person.id)
+
+    def add_study_at(self, record: StudyAt) -> None:
+        self.study_at.append(record)
+        self._study_at_of[record.person_id].append(record)
+
+    def add_work_at(self, record: WorkAt) -> None:
+        self.work_at.append(record)
+        self._work_at_of[record.person_id].append(record)
+
+    def add_knows(self, edge: Knows) -> None:
+        self.knows_edges.append(edge)
+        self._friends[edge.person1][edge.person2] = edge.creation_date
+        self._friends[edge.person2][edge.person1] = edge.creation_date
+
+    def add_forum(self, forum: Forum) -> None:
+        if forum.id in self.forums:
+            raise ValueError(f"duplicate forum id {forum.id}")
+        self.forums[forum.id] = forum
+        self._moderated_forums[forum.moderator_id].append(forum)
+        for tag_id in forum.tag_ids:
+            self._forums_with_tag[tag_id].append(forum.id)
+
+    def add_membership(self, membership: HasMember) -> None:
+        self.memberships.append(membership)
+        self._forums_of_member[membership.person_id].append(membership)
+        self._members_of_forum[membership.forum_id].append(membership)
+
+    def add_post(self, post: Post) -> None:
+        if post.id in self.posts or post.id in self.comments:
+            raise ValueError(f"duplicate message id {post.id}")
+        self.posts[post.id] = post
+        self._posts_by_creator[post.creator_id].append(post)
+        self._posts_in_forum[post.forum_id].append(post)
+        for tag_id in post.tag_ids:
+            self._messages_with_tag[tag_id].append(post.id)
+
+    def add_comment(self, comment: Comment) -> None:
+        if comment.id in self.posts or comment.id in self.comments:
+            raise ValueError(f"duplicate message id {comment.id}")
+        self.comments[comment.id] = comment
+        self._comments_by_creator[comment.creator_id].append(comment)
+        parent = (
+            comment.reply_of_post
+            if comment.reply_of_post >= 0
+            else comment.reply_of_comment
+        )
+        self._replies_of[parent].append(comment)
+        for tag_id in comment.tag_ids:
+            self._messages_with_tag[tag_id].append(comment.id)
+
+    def add_like(self, like: Likes) -> None:
+        self.likes_edges.append(like)
+        self._likes_of_message[like.message_id].append(like)
+        self._likes_by_person[like.person_id].append(like)
+
+    # ------------------------------------------------------------------
+    # Dynamic deletes (the DEL operations route through these).
+    #
+    # Cascade semantics follow the benchmark's delete design (the VLDB
+    # 2022 BI paper; the supplied spec flags deletes as in design,
+    # section 5.2): deleting an entity removes everything that cannot
+    # exist without it — a Message's likes and reply tree, a Forum's
+    # posts and memberships, a Person's personal forums, messages,
+    # likes, memberships and knows edges.  Group forums survive their
+    # moderator's deletion with the moderator detached.
+    # ------------------------------------------------------------------
+
+    def delete_like(self, person_id: int, message_id: int) -> None:
+        """Remove one likes edge (no-op if absent)."""
+        existing = [
+            l
+            for l in self._likes_of_message.get(message_id, [])
+            if l.person_id == person_id
+        ]
+        for like in existing:
+            self.likes_edges.remove(like)
+            self._likes_of_message[message_id].remove(like)
+            self._likes_by_person[person_id].remove(like)
+
+    def delete_knows(self, person1: int, person2: int) -> None:
+        """Remove a friendship edge (no-op if absent)."""
+        a, b = min(person1, person2), max(person1, person2)
+        self._friends.get(a, {}).pop(b, None)
+        self._friends.get(b, {}).pop(a, None)
+        self.knows_edges = [
+            e
+            for e in self.knows_edges
+            if not (e.person1 == a and e.person2 == b)
+        ]
+
+    def delete_membership(self, forum_id: int, person_id: int) -> None:
+        """Remove a hasMember edge (no-op if absent)."""
+        existing = [
+            m
+            for m in self._members_of_forum.get(forum_id, [])
+            if m.person_id == person_id
+        ]
+        for membership in existing:
+            self.memberships.remove(membership)
+            self._members_of_forum[forum_id].remove(membership)
+            self._forums_of_member[person_id].remove(membership)
+
+    def _delete_message_likes(self, message_id: int) -> None:
+        for like in self._likes_of_message.pop(message_id, []):
+            self.likes_edges.remove(like)
+            bucket = self._likes_by_person.get(like.person_id)
+            if bucket and like in bucket:
+                bucket.remove(like)
+
+    def delete_comment(self, comment_id: int) -> None:
+        """Delete a Comment, its likes, and its reply subtree."""
+        comment = self.comments.get(comment_id)
+        if comment is None:
+            return
+        for reply in list(self._replies_of.get(comment_id, [])):
+            self.delete_comment(reply.id)
+        self._replies_of.pop(comment_id, None)
+        self._delete_message_likes(comment_id)
+        parent = (
+            comment.reply_of_post
+            if comment.reply_of_post >= 0
+            else comment.reply_of_comment
+        )
+        parent_replies = self._replies_of.get(parent)
+        if parent_replies and comment in parent_replies:
+            parent_replies.remove(comment)
+        self._comments_by_creator[comment.creator_id].remove(comment)
+        for tag_id in comment.tag_ids:
+            self._messages_with_tag[tag_id].remove(comment_id)
+        del self.comments[comment_id]
+
+    def delete_post(self, post_id: int) -> None:
+        """Delete a Post, its likes, and its whole thread."""
+        post = self.posts.get(post_id)
+        if post is None:
+            return
+        for reply in list(self._replies_of.get(post_id, [])):
+            self.delete_comment(reply.id)
+        self._replies_of.pop(post_id, None)
+        self._delete_message_likes(post_id)
+        self._posts_by_creator[post.creator_id].remove(post)
+        self._posts_in_forum[post.forum_id].remove(post)
+        for tag_id in post.tag_ids:
+            self._messages_with_tag[tag_id].remove(post_id)
+        del self.posts[post_id]
+
+    def delete_forum(self, forum_id: int) -> None:
+        """Delete a Forum with its posts (cascading) and memberships."""
+        forum = self.forums.get(forum_id)
+        if forum is None:
+            return
+        for post in list(self._posts_in_forum.get(forum_id, [])):
+            self.delete_post(post.id)
+        self._posts_in_forum.pop(forum_id, None)
+        for membership in self._members_of_forum.pop(forum_id, []):
+            self.memberships.remove(membership)
+            self._forums_of_member[membership.person_id].remove(membership)
+        moderated = self._moderated_forums.get(forum.moderator_id)
+        if moderated and forum in moderated:
+            moderated.remove(forum)
+        for tag_id in forum.tag_ids:
+            self._forums_with_tag[tag_id].remove(forum_id)
+        del self.forums[forum_id]
+
+    def delete_person(self, person_id: int) -> None:
+        """Delete a Person and everything anchored on them.
+
+        Cascades: their knows edges, likes given, memberships, created
+        messages (with reply trees), and their personal forums (walls
+        and albums).  Moderated group forums survive with the moderator
+        detached (set to -1).
+        """
+        person = self.persons.get(person_id)
+        if person is None:
+            return
+        for friend in list(self._friends.get(person_id, {})):
+            self.delete_knows(person_id, friend)
+        self._friends.pop(person_id, None)
+        for like in list(self._likes_by_person.get(person_id, [])):
+            self.delete_like(person_id, like.message_id)
+        self._likes_by_person.pop(person_id, None)
+        for membership in list(self._forums_of_member.get(person_id, [])):
+            self.delete_membership(membership.forum_id, person_id)
+        self._forums_of_member.pop(person_id, None)
+        for forum in list(self._moderated_forums.get(person_id, [])):
+            if forum.kind is ForumKind.GROUP:
+                forum.moderator_id = -1
+            else:
+                self.delete_forum(forum.id)
+        self._moderated_forums.pop(person_id, None)
+        for comment in list(self._comments_by_creator.get(person_id, [])):
+            self.delete_comment(comment.id)
+        for post in list(self._posts_by_creator.get(person_id, [])):
+            self.delete_post(post.id)
+        self._posts_by_creator.pop(person_id, None)
+        self._comments_by_creator.pop(person_id, None)
+        self.study_at = [s for s in self.study_at if s.person_id != person_id]
+        self._study_at_of.pop(person_id, None)
+        self.work_at = [w for w in self.work_at if w.person_id != person_id]
+        self._work_at_of.pop(person_id, None)
+        self._persons_in_city[person.city_id].remove(person_id)
+        for tag_id in person.interests:
+            self._persons_interested[tag_id].remove(person_id)
+        del self.persons[person_id]
+
+    # ------------------------------------------------------------------
+    # Lookups — entity access
+    # ------------------------------------------------------------------
+
+    def message(self, message_id: int) -> Message:
+        """A Post or a Comment (Messages share one id space)."""
+        post = self.posts.get(message_id)
+        if post is not None:
+            return post
+        return self.comments[message_id]
+
+    def has_message(self, message_id: int) -> bool:
+        return message_id in self.posts or message_id in self.comments
+
+    def messages(self) -> Iterator[Message]:
+        """All Messages (Posts then Comments)."""
+        yield from self.posts.values()
+        yield from self.comments.values()
+
+    # ------------------------------------------------------------------
+    # Lookups — adjacency (all honour ``use_indexes``)
+    # ------------------------------------------------------------------
+
+    def friends_of(self, person_id: int) -> dict[int, DateTime]:
+        """Friend id -> knows.creationDate."""
+        if self.use_indexes:
+            return self._friends.get(person_id, {})
+        result: dict[int, DateTime] = {}
+        for edge in self.knows_edges:
+            if edge.person1 == person_id:
+                result[edge.person2] = edge.creation_date
+            elif edge.person2 == person_id:
+                result[edge.person1] = edge.creation_date
+        return result
+
+    def posts_by(self, person_id: int) -> list[Post]:
+        if self.use_indexes:
+            return self._posts_by_creator.get(person_id, [])
+        return [p for p in self.posts.values() if p.creator_id == person_id]
+
+    def comments_by(self, person_id: int) -> list[Comment]:
+        if self.use_indexes:
+            return self._comments_by_creator.get(person_id, [])
+        return [c for c in self.comments.values() if c.creator_id == person_id]
+
+    def messages_by(self, person_id: int) -> Iterable[Message]:
+        yield from self.posts_by(person_id)
+        yield from self.comments_by(person_id)
+
+    def replies_of(self, message_id: int) -> list[Comment]:
+        if self.use_indexes:
+            return self._replies_of.get(message_id, [])
+        return [
+            c
+            for c in self.comments.values()
+            if c.reply_of_post == message_id or c.reply_of_comment == message_id
+        ]
+
+    def parent_of(self, comment: Comment) -> Message:
+        parent = (
+            comment.reply_of_post
+            if comment.reply_of_post >= 0
+            else comment.reply_of_comment
+        )
+        return self.message(parent)
+
+    def root_post_of(self, message: Message) -> Post:
+        """The Post at the root of a Message's thread (replyOf*)."""
+        current = message
+        while isinstance(current, Comment):
+            current = self.parent_of(current)
+        return current
+
+    def thread_messages(self, post: Post) -> Iterator[Message]:
+        """The Post and every Comment transitively replying to it."""
+        stack: list[Message] = [post]
+        while stack:
+            message = stack.pop()
+            yield message
+            stack.extend(self.replies_of(message.id))
+
+    def messages_with_tag(self, tag_id: int) -> Iterator[Message]:
+        if self.use_indexes:
+            for mid in self._messages_with_tag.get(tag_id, []):
+                yield self.message(mid)
+            return
+        for message in self.messages():
+            if tag_id in message.tag_ids:
+                yield message
+
+    def forums_with_tag(self, tag_id: int) -> list[int]:
+        if self.use_indexes:
+            return self._forums_with_tag.get(tag_id, [])
+        return [f.id for f in self.forums.values() if tag_id in f.tag_ids]
+
+    def likes_of_message(self, message_id: int) -> list[Likes]:
+        if self.use_indexes:
+            return self._likes_of_message.get(message_id, [])
+        return [l for l in self.likes_edges if l.message_id == message_id]
+
+    def likes_by_person(self, person_id: int) -> list[Likes]:
+        if self.use_indexes:
+            return self._likes_by_person.get(person_id, [])
+        return [l for l in self.likes_edges if l.person_id == person_id]
+
+    def forums_of_member(self, person_id: int) -> list[HasMember]:
+        if self.use_indexes:
+            return self._forums_of_member.get(person_id, [])
+        return [m for m in self.memberships if m.person_id == person_id]
+
+    def members_of_forum(self, forum_id: int) -> list[HasMember]:
+        if self.use_indexes:
+            return self._members_of_forum.get(forum_id, [])
+        return [m for m in self.memberships if m.forum_id == forum_id]
+
+    def posts_in_forum(self, forum_id: int) -> list[Post]:
+        if self.use_indexes:
+            return self._posts_in_forum.get(forum_id, [])
+        return [p for p in self.posts.values() if p.forum_id == forum_id]
+
+    def moderated_forums(self, person_id: int) -> list[Forum]:
+        if self.use_indexes:
+            return self._moderated_forums.get(person_id, [])
+        return [f for f in self.forums.values() if f.moderator_id == person_id]
+
+    def persons_in_city(self, city_id: int) -> list[int]:
+        if self.use_indexes:
+            return self._persons_in_city.get(city_id, [])
+        return [p.id for p in self.persons.values() if p.city_id == city_id]
+
+    def cities_of_country(self, country_id: int) -> list[int]:
+        return self._cities_of_country.get(country_id, [])
+
+    def persons_in_country(self, country_id: int) -> Iterator[int]:
+        for city_id in self.cities_of_country(country_id):
+            yield from self.persons_in_city(city_id)
+
+    def country_of_person(self, person_id: int) -> int:
+        """The Country Place id of a Person's home City."""
+        city = self.places[self.persons[person_id].city_id]
+        return city.part_of
+
+    def persons_interested_in(self, tag_id: int) -> list[int]:
+        if self.use_indexes:
+            return self._persons_interested.get(tag_id, [])
+        return [p.id for p in self.persons.values() if tag_id in p.interests]
+
+    def study_at_of(self, person_id: int) -> list[StudyAt]:
+        return self._study_at_of.get(person_id, [])
+
+    def work_at_of(self, person_id: int) -> list[WorkAt]:
+        return self._work_at_of.get(person_id, [])
+
+    # ------------------------------------------------------------------
+    # Tag-class hierarchy
+    # ------------------------------------------------------------------
+
+    def tagclass_descendants(self, tagclass_id: int) -> set[int]:
+        """isSubclassOf* — the class and all transitive subclasses."""
+        result: set[int] = set()
+        stack = [tagclass_id]
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self._tagclass_children.get(current, []))
+        return result
+
+    def tags_of_class(self, tagclass_id: int) -> list[int]:
+        """Tags whose *direct* type (hasType) is the class."""
+        return self._tags_of_class.get(tagclass_id, [])
+
+    def tags_in_class_tree(self, tagclass_id: int) -> set[int]:
+        """Tags whose type is the class or any descendant."""
+        tags: set[int] = set()
+        for cls in self.tagclass_descendants(tagclass_id):
+            tags.update(self._tags_of_class.get(cls, []))
+        return tags
+
+    # ------------------------------------------------------------------
+    # Name resolution (query parameters)
+    # ------------------------------------------------------------------
+
+    def country_id(self, name: str) -> int:
+        return self._place_by_name[(name, PlaceType.COUNTRY)]
+
+    def city_id(self, name: str) -> int:
+        return self._place_by_name[(name, PlaceType.CITY)]
+
+    def tag_id(self, name: str) -> int:
+        return self._tag_by_name[name]
+
+    def tagclass_id(self, name: str) -> int:
+        return self._tagclass_by_name[name]
+
+    def copy(self) -> "SocialGraph":
+        """A deep, independent copy of the store (entities, relations
+        and every index).  Useful for measured runs that must not
+        disturb a shared loaded snapshot."""
+        import pickle
+
+        return pickle.loads(pickle.dumps(self))
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return (
+            len(self.places)
+            + len(self.organisations)
+            + len(self.tag_classes)
+            + len(self.tags)
+            + len(self.persons)
+            + len(self.forums)
+            + len(self.posts)
+            + len(self.comments)
+        )

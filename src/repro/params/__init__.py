@@ -1,0 +1,22 @@
+"""Substitution-parameter generation with Parameter Curation (spec 3.3)."""
+
+from repro.params.factors import FactorTables, build_factor_tables
+from repro.params.curation import (
+    CurationConfig,
+    curate_person_ids,
+    curate_person_pairs,
+    curate_tag_names,
+    generate_bi_parameters,
+    generate_interactive_parameters,
+)
+
+__all__ = [
+    "CurationConfig",
+    "FactorTables",
+    "build_factor_tables",
+    "curate_person_ids",
+    "curate_person_pairs",
+    "curate_tag_names",
+    "generate_bi_parameters",
+    "generate_interactive_parameters",
+]

@@ -1,0 +1,365 @@
+"""Parameter Curation (spec section 3.3).
+
+Stage 2 of the procedure: given the factor tables (stage 1), a greedy
+selection picks parameter bindings with *similar intermediate result
+counts*, so that (P1) query runtime has bounded variance, (P2) samples
+of bindings have stable runtime distributions, and (P3) the optimal
+plan does not flip between bindings.
+
+The greedy kernel is :func:`select_similar`: sort candidates by their
+count, slide a window of the requested size over the sorted order, and
+take the window with the smallest count spread, preferring windows
+centred on the median when tied — "the average runtime corresponds to
+the behaviour of the majority of the queries".
+
+On top of the kernel, :class:`ParameterGenerator` produces curated
+binding lists for every Interactive complex read (IC 1-14) and every BI
+read (BI 1-25), mirroring Datagen's ``substitution_parameters/`` output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.datagen.config import DatagenConfig
+from repro.graph.store import SocialGraph
+from repro.params.factors import FactorTables, build_factor_tables
+from repro.queries.common import knows_distances, shortest_path_length
+from repro.util.dates import Date
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class CurationConfig:
+    """Knobs of the greedy selection."""
+
+    #: Number of parameter bindings to produce per query template.
+    bindings: int = 20
+    #: Seed for the tie-breaking / pairing randomness.
+    seed: int = 99
+
+
+def select_similar(
+    candidates: dict[Any, int], count: int
+) -> list[Any]:
+    """Greedy stage-2 selection: ``count`` keys with similar counts.
+
+    Returns the window of the sorted-by-count candidates with minimal
+    spread; among equal spreads, the window whose centre is closest to
+    the median count wins.  Falls back to all candidates when fewer than
+    ``count`` exist.
+    """
+    if not candidates:
+        return []
+    items = sorted(candidates.items(), key=lambda kv: (kv[1], str(kv[0])))
+    if len(items) <= count:
+        return [key for key, _ in items]
+    counts = [value for _, value in items]
+    median = counts[len(counts) // 2]
+    best_start = 0
+    best_key = None
+    for start in range(len(items) - count + 1):
+        spread = counts[start + count - 1] - counts[start]
+        centre = counts[start + count // 2]
+        key = (spread, abs(centre - median))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_start = start
+    return [key for key, _ in items[best_start : best_start + count]]
+
+
+class ParameterGenerator:
+    """Curated substitution parameters for every read query."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        config: DatagenConfig,
+        tables: FactorTables | None = None,
+        curation: CurationConfig = CurationConfig(),
+    ):
+        self.graph = graph
+        self.config = config
+        self.tables = tables if tables is not None else build_factor_tables(graph)
+        self.curation = curation
+        self._rng = DeterministicRng(curation.seed, "parameter-curation")
+
+    # -- building blocks --------------------------------------------------
+
+    def person_ids(self, count: int | None = None) -> list[int]:
+        """Persons whose 2-hop neighbourhood workload is similar."""
+        count = count or self.curation.bindings
+        workload = {
+            pid: 10 * self.tables.two_hop_count[pid]
+            + self.tables.friend_message_count[pid]
+            for pid in self.graph.persons
+            if self.tables.friend_count[pid] > 0
+        }
+        return select_similar(workload, count)
+
+    def person_pairs(self, count: int | None = None) -> list[tuple[int, int]]:
+        """Connected person pairs with similar search workloads."""
+        count = count or self.curation.bindings
+        persons = self.person_ids(count * 2)
+        pairs: list[tuple[int, int]] = []
+        for offset in range(1, len(persons)):
+            if len(pairs) >= count:
+                break
+            for i in range(len(persons) - offset):
+                a, b = persons[i], persons[i + offset]
+                if a == b:
+                    continue
+                if shortest_path_length(self.graph, a, b) >= 1:
+                    pairs.append((a, b))
+                    if len(pairs) >= count:
+                        break
+        return pairs
+
+    def tag_names(self, count: int | None = None) -> list[str]:
+        """Tags with a similar number of messages."""
+        count = count or self.curation.bindings
+        selected = select_similar(dict(self.tables.tag_message_count), count)
+        return [self.graph.tags[tag_id].name for tag_id in selected]
+
+    def country_names(self, count: int | None = None) -> list[str]:
+        """Countries with a similar population."""
+        count = count or self.curation.bindings
+        selected = select_similar(dict(self.tables.country_person_count), count)
+        return [self.graph.places[c].name for c in selected]
+
+    def tagclass_names(self, count: int | None = None) -> list[str]:
+        """Tag classes whose *direct* tags carry similar message volume.
+
+        Classes without any tagged message are excluded — bindings on
+        them would make every class-scoped query trivially empty.
+        """
+        count = count or self.curation.bindings
+        message_volume: dict[int, int] = {}
+        for cls in self.graph.tag_classes:
+            volume = sum(
+                self.tables.tag_message_count.get(tag, 0)
+                for tag in self.graph.tags_of_class(cls)
+            )
+            if volume > 0:
+                message_volume[cls] = volume
+        selected = select_similar(message_volume, count)
+        return [self.graph.tag_classes[c].name for c in selected]
+
+    def home_country_name(self, person_id: int) -> str:
+        """The name of a person's home Country (for queries that scope a
+        person's social circle to a country, e.g. BI 16)."""
+        return self.graph.places[self.graph.country_of_person(person_id)].name
+
+    def dates(self, count: int, lo: float = 0.3, hi: float = 0.8) -> list[Date]:
+        """Evenly spaced dates across a mid-simulation fraction range."""
+        start = self.config.start_date
+        span = self.config.end_date - start
+        if count == 1:
+            return [start + int(span * (lo + hi) / 2)]
+        return [
+            start + int(span * (lo + (hi - lo) * i / (count - 1)))
+            for i in range(count)
+        ]
+
+    def year_months(self, count: int) -> list[tuple[int, int]]:
+        """(year, month) pairs inside the simulation, cycling over months."""
+        months = self.config.num_years * 12 - 1  # leave the next month inside
+        picks = []
+        for i in range(count):
+            index = (i * 7) % months
+            year = self.config.start_year + index // 12
+            month = index % 12 + 1
+            picks.append((year, month))
+        return picks
+
+    def common_languages(self, count: int = 3) -> list[str]:
+        histogram = Counter(
+            post.language for post in self.graph.posts.values() if post.language
+        )
+        return [lang for lang, _ in histogram.most_common(count)]
+
+    def _neighbourhood_first_name(self, person_id: int) -> str:
+        """The most frequent first name within 3 hops — guarantees IC 1
+        has matches for every curated start person."""
+        names = Counter(
+            self.graph.persons[p].first_name
+            for p in knows_distances(self.graph, person_id, 3)
+        )
+        if not names:
+            return self.graph.persons[person_id].first_name
+        return names.most_common(1)[0][0]
+
+    # -- per-query parameter lists ----------------------------------------
+
+    def interactive(self, query_number: int, count: int | None = None) -> list[tuple]:
+        """Curated parameter bindings for IC ``query_number``."""
+        count = count or self.curation.bindings
+        persons = self.person_ids(count)
+        if not persons:
+            return []
+        dates = self.dates(count)
+        countries = self.country_names(max(2, min(count, 8)))
+        tags = self.tag_names(count)
+        classes = self.tagclass_names(max(1, min(count, 6)))
+        producers: dict[int, Callable[[int], tuple]] = {
+            1: lambda i: (
+                persons[i % len(persons)],
+                self._neighbourhood_first_name(persons[i % len(persons)]),
+            ),
+            2: lambda i: (persons[i % len(persons)], dates[i % len(dates)]),
+            3: lambda i: (
+                persons[i % len(persons)],
+                countries[i % len(countries)],
+                countries[(i + 1) % len(countries)],
+                dates[i % len(dates)],
+                56,
+            ),
+            4: lambda i: (persons[i % len(persons)], dates[i % len(dates)], 28),
+            5: lambda i: (persons[i % len(persons)], dates[i % len(dates)]),
+            6: lambda i: (persons[i % len(persons)], tags[i % len(tags)]),
+            7: lambda i: (persons[i % len(persons)],),
+            8: lambda i: (persons[i % len(persons)],),
+            9: lambda i: (persons[i % len(persons)], dates[i % len(dates)]),
+            10: lambda i: (persons[i % len(persons)], i % 12 + 1),
+            11: lambda i: (
+                persons[i % len(persons)],
+                countries[i % len(countries)],
+                self.config.start_year + self.config.num_years - 1,
+            ),
+            12: lambda i: (persons[i % len(persons)], classes[i % len(classes)]),
+        }
+        if query_number in producers:
+            return [producers[query_number](i) for i in range(count)]
+        if query_number in (13, 14):
+            return [tuple(pair) for pair in self.person_pairs(count)]
+        raise ValueError(f"unknown interactive query {query_number}")
+
+    def bi(self, query_number: int, count: int | None = None) -> list[tuple]:
+        """Curated parameter bindings for BI ``query_number``."""
+        count = count or self.curation.bindings
+        dates = self.dates(count)
+        late_dates = self.dates(count, lo=0.5, hi=0.9)
+        early_dates = self.dates(count, lo=0.1, hi=0.4)
+        countries = self.country_names(max(2, min(count, 8)))
+        tags = self.tag_names(count)
+        classes = self.tagclass_names(max(2, min(count, 6)))
+        months = self.year_months(count)
+        languages = self.common_languages()
+        sim_end = self.config.end_date
+        persons = self.person_ids(count)
+        producers: dict[int, Callable[[int], tuple]] = {
+            1: lambda i: (late_dates[i % len(late_dates)],),
+            2: lambda i: (
+                early_dates[i % len(early_dates)],
+                late_dates[i % len(late_dates)],
+                countries[i % len(countries)],
+                countries[(i + 1) % len(countries)],
+                sim_end,
+            ),
+            3: lambda i: months[i % len(months)],
+            4: lambda i: (
+                classes[i % len(classes)],
+                countries[i % len(countries)],
+            ),
+            5: lambda i: (countries[i % len(countries)],),
+            6: lambda i: (tags[i % len(tags)],),
+            7: lambda i: (tags[i % len(tags)],),
+            8: lambda i: (tags[i % len(tags)],),
+            9: lambda i: (
+                classes[i % len(classes)],
+                classes[(i + 1) % len(classes)],
+                5,
+            ),
+            10: lambda i: (tags[i % len(tags)], dates[i % len(dates)]),
+            11: lambda i: (
+                countries[i % len(countries)],
+                ("tradition", "legend"),
+            ),
+            12: lambda i: (dates[i % len(dates)], 2),
+            13: lambda i: (countries[i % len(countries)],),
+            14: lambda i: (
+                early_dates[i % len(early_dates)],
+                late_dates[i % len(late_dates)],
+            ),
+            15: lambda i: (countries[i % len(countries)],),
+            16: lambda i: (
+                persons[i % len(persons)],
+                # The country must intersect the start person's circle:
+                # use their home country (friends are homophilous).
+                self.home_country_name(persons[i % len(persons)]),
+                classes[i % len(classes)],
+                1,
+                2,
+            ),
+            17: lambda i: (countries[i % len(countries)],),
+            18: lambda i: (early_dates[i % len(early_dates)], 120, languages),
+            19: lambda i: (
+                # Birthday threshold: the candidate-person birthdays span
+                # 1980-1995; the median keeps roughly half as candidates.
+                self.dates(1, lo=0.0, hi=0.0)[0] - 22 * 365,
+                classes[i % len(classes)],
+                classes[(i + 1) % len(classes)],
+            ),
+            20: lambda i: (
+                list(dict.fromkeys(
+                    classes[(i + k) % len(classes)]
+                    for k in range(min(3, len(classes)))
+                )),
+            ),
+            21: lambda i: (
+                countries[i % len(countries)],
+                late_dates[i % len(late_dates)],
+            ),
+            22: lambda i: (
+                countries[i % len(countries)],
+                countries[(i + 1) % len(countries)],
+            ),
+            23: lambda i: (countries[i % len(countries)],),
+            24: lambda i: (classes[i % len(classes)],),
+        }
+        if query_number in producers:
+            return [producers[query_number](i) for i in range(count)]
+        if query_number == 25:
+            pairs = self.person_pairs(count)
+            return [
+                (a, b, early_dates[i % len(early_dates)], late_dates[i % len(late_dates)])
+                for i, (a, b) in enumerate(pairs)
+            ]
+        raise ValueError(f"unknown BI query {query_number}")
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers
+# ---------------------------------------------------------------------------
+
+
+def curate_person_ids(
+    graph: SocialGraph, config: DatagenConfig, count: int = 20
+) -> list[int]:
+    return ParameterGenerator(graph, config).person_ids(count)
+
+
+def curate_person_pairs(
+    graph: SocialGraph, config: DatagenConfig, count: int = 20
+) -> list[tuple[int, int]]:
+    return ParameterGenerator(graph, config).person_pairs(count)
+
+
+def curate_tag_names(
+    graph: SocialGraph, config: DatagenConfig, count: int = 20
+) -> list[str]:
+    return ParameterGenerator(graph, config).tag_names(count)
+
+
+def generate_interactive_parameters(
+    graph: SocialGraph, config: DatagenConfig, query_number: int, count: int = 20
+) -> list[tuple]:
+    return ParameterGenerator(graph, config).interactive(query_number, count)
+
+
+def generate_bi_parameters(
+    graph: SocialGraph, config: DatagenConfig, query_number: int, count: int = 20
+) -> list[tuple]:
+    return ParameterGenerator(graph, config).bi(query_number, count)

@@ -1,0 +1,92 @@
+"""Factor tables — the per-entity counts parameter curation selects on.
+
+The spec (section 3.3) describes curation stage 1: "for each query
+template for all possible parameter bindings, we determine the size of
+intermediate results in the intended query plan ... this analysis is
+effectively a side effect of data generation, that is we keep all the
+necessary counts (number of friends per user, number of posts of
+friends etc.) as we create the dataset."
+
+Our generator is in-memory, so the equivalent is one pass over the
+generated network collecting the same counts.  The tables are consumed
+by :mod:`repro.params.curation` (stage 2, the greedy selection).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.graph.store import SocialGraph
+
+
+@dataclass(slots=True)
+class FactorTables:
+    """Counts describing each candidate parameter's expected work."""
+
+    #: person -> number of friends.
+    friend_count: dict[int, int] = field(default_factory=dict)
+    #: person -> number of friends + friends of friends (distinct).
+    two_hop_count: dict[int, int] = field(default_factory=dict)
+    #: person -> number of messages the person created.
+    message_count: dict[int, int] = field(default_factory=dict)
+    #: person -> total messages created by the person's friends.
+    friend_message_count: dict[int, int] = field(default_factory=dict)
+    #: person -> likes received across the person's messages.
+    like_count: dict[int, int] = field(default_factory=dict)
+    #: tag -> number of messages carrying the tag.
+    tag_message_count: dict[int, int] = field(default_factory=dict)
+    #: country place id -> number of persons living there.
+    country_person_count: dict[int, int] = field(default_factory=dict)
+    #: tag class -> number of tags with that direct type.
+    tagclass_tag_count: dict[int, int] = field(default_factory=dict)
+    #: forum -> number of members.
+    forum_member_count: dict[int, int] = field(default_factory=dict)
+
+
+def build_factor_tables(graph: SocialGraph) -> FactorTables:
+    """Collect all factor tables in one pass over the graph."""
+    tables = FactorTables()
+
+    for person_id in graph.persons:
+        friends = graph.friends_of(person_id)
+        tables.friend_count[person_id] = len(friends)
+        two_hop: set[int] = set(friends)
+        for friend in friends:
+            two_hop.update(graph.friends_of(friend))
+        two_hop.discard(person_id)
+        tables.two_hop_count[person_id] = len(two_hop)
+        own_messages = list(graph.messages_by(person_id))
+        tables.message_count[person_id] = len(own_messages)
+        tables.like_count[person_id] = sum(
+            len(graph.likes_of_message(m.id)) for m in own_messages
+        )
+
+    for person_id in graph.persons:
+        tables.friend_message_count[person_id] = sum(
+            tables.message_count[f] for f in graph.friends_of(person_id)
+        )
+
+    tag_counts: dict[int, int] = defaultdict(int)
+    for message in graph.messages():
+        for tag_id in message.tag_ids:
+            tag_counts[tag_id] += 1
+    tables.tag_message_count = dict(tag_counts)
+
+    for person_id in graph.persons:
+        country = graph.country_of_person(person_id)
+        tables.country_person_count[country] = (
+            tables.country_person_count.get(country, 0) + 1
+        )
+
+    for tagclass_id in graph.tag_classes:
+        tables.tagclass_tag_count[tagclass_id] = len(
+            graph.tags_of_class(tagclass_id)
+        )
+
+    for forum_id in graph.forums:
+        tables.forum_member_count[forum_id] = len(
+            graph.members_of_forum(forum_id)
+        )
+
+    return tables

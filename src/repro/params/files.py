@@ -1,0 +1,130 @@
+"""Substitution-parameter files (spec sections 2.3.4.4 and 3.3).
+
+Datagen materializes the curated bindings on disk: one file per
+operation in ``substitution_parameters/``, named
+``{interactive|bi}_<id>_param.txt``.  Every line is a JSON object of
+named parameters — the spec's example::
+
+    {"PersonID": 1, "Name": "Lei", ...}
+
+The parameter names used per query match the spec's *params* sections
+(camelCase).  :func:`write_parameter_files` produces the full directory
+from a :class:`~repro.params.curation.ParameterGenerator`;
+:func:`read_parameter_file` loads one back into positional tuples ready
+to splat into the query callables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.params.curation import ParameterGenerator
+
+#: Ordered parameter names per Interactive complex read (spec ch. 4).
+INTERACTIVE_PARAM_NAMES: dict[int, tuple[str, ...]] = {
+    1: ("personId", "firstName"),
+    2: ("personId", "maxDate"),
+    3: ("personId", "countryXName", "countryYName", "startDate", "durationDays"),
+    4: ("personId", "startDate", "durationDays"),
+    5: ("personId", "minDate"),
+    6: ("personId", "tagName"),
+    7: ("personId",),
+    8: ("personId",),
+    9: ("personId", "maxDate"),
+    10: ("personId", "month"),
+    11: ("personId", "countryName", "workFromYear"),
+    12: ("personId", "tagClassName"),
+    13: ("person1Id", "person2Id"),
+    14: ("person1Id", "person2Id"),
+}
+
+#: Ordered parameter names per BI read (spec ch. 5 / GRADES-NDA draft).
+BI_PARAM_NAMES: dict[int, tuple[str, ...]] = {
+    1: ("date",),
+    2: ("startDate", "endDate", "country1", "country2", "endOfSimulation"),
+    3: ("year", "month"),
+    4: ("tagClass", "country"),
+    5: ("country",),
+    6: ("tag",),
+    7: ("tag",),
+    8: ("tag",),
+    9: ("tagClass1", "tagClass2", "threshold"),
+    10: ("tag", "date"),
+    11: ("country", "blacklist"),
+    12: ("date", "likeThreshold"),
+    13: ("country",),
+    14: ("begin", "end"),
+    15: ("country",),
+    16: ("personId", "country", "tagClass", "minPathDistance", "maxPathDistance"),
+    17: ("country",),
+    18: ("date", "lengthThreshold", "languages"),
+    19: ("date", "tagClass1", "tagClass2"),
+    20: ("tagClasses",),
+    21: ("country", "endDate"),
+    22: ("country1", "country2"),
+    23: ("country",),
+    24: ("tagClass",),
+    25: ("person1Id", "person2Id", "startDate", "endDate"),
+}
+
+
+def _jsonable(value):
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_parameter_files(
+    generator: ParameterGenerator,
+    output_dir: Path | str,
+    bindings_per_query: int = 20,
+) -> Path:
+    """Write the full ``substitution_parameters/`` directory."""
+    root = Path(output_dir) / "substitution_parameters"
+    root.mkdir(parents=True, exist_ok=True)
+    for number, names in INTERACTIVE_PARAM_NAMES.items():
+        _write_one(
+            root / f"interactive_{number}_param.txt",
+            names,
+            generator.interactive(number, count=bindings_per_query),
+        )
+    for number, names in BI_PARAM_NAMES.items():
+        _write_one(
+            root / f"bi_{number}_param.txt",
+            names,
+            generator.bi(number, count=bindings_per_query),
+        )
+    return root
+
+
+def _write_one(path: Path, names: tuple[str, ...], bindings: list[tuple]) -> None:
+    with open(path, "w") as handle:
+        for binding in bindings:
+            if len(binding) != len(names):
+                raise ValueError(
+                    f"{path.name}: binding arity {len(binding)} !="
+                    f" {len(names)} names"
+                )
+            record = {
+                name: _jsonable(value) for name, value in zip(names, binding)
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_parameter_file(path: Path | str, names: tuple[str, ...]) -> list[tuple]:
+    """Read one parameter file back into positional binding tuples."""
+    bindings = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            bindings.append(
+                tuple(
+                    tuple(v) if isinstance(v, list) else v
+                    for v in (record[name] for name in names)
+                )
+            )
+    return bindings

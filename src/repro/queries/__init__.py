@@ -1,0 +1,6 @@
+"""Workload query implementations.
+
+* :mod:`repro.queries.bi` — Business Intelligence reads BI 1-25 (spec chapter 5).
+* :mod:`repro.queries.interactive` — Interactive complex reads IC 1-14,
+  short reads IS 1-7, updates IU 1-8 (spec chapter 4).
+"""

@@ -1,0 +1,61 @@
+"""Business Intelligence workload — read queries BI 1-25 (spec chapter 5).
+
+``ALL_QUERIES`` maps query number -> (callable, :class:`BiQueryInfo`),
+used by the driver, the parameter-curation module and the choke-point
+coverage benchmark.
+"""
+
+from repro.queries.bi.base import BiQueryInfo
+from repro.queries.bi.q01 import Bi1Row, bi1
+from repro.queries.bi.q02 import Bi2Row, bi2
+from repro.queries.bi.q03 import Bi3Row, bi3
+from repro.queries.bi.q04 import Bi4Row, bi4
+from repro.queries.bi.q05 import Bi5Row, bi5
+from repro.queries.bi.q06 import Bi6Row, bi6
+from repro.queries.bi.q07 import Bi7Row, bi7
+from repro.queries.bi.q08 import Bi8Row, bi8
+from repro.queries.bi.q09 import Bi9Row, bi9
+from repro.queries.bi.q10 import Bi10Row, bi10
+from repro.queries.bi.q11 import Bi11Row, bi11
+from repro.queries.bi.q12 import Bi12Row, bi12
+from repro.queries.bi.q13 import Bi13Row, bi13
+from repro.queries.bi.q14 import Bi14Row, bi14
+from repro.queries.bi.q15 import Bi15Row, bi15
+from repro.queries.bi.q16 import Bi16Row, bi16
+from repro.queries.bi.q17 import Bi17Row, bi17
+from repro.queries.bi.q18 import Bi18Row, bi18
+from repro.queries.bi.q19 import Bi19Row, bi19
+from repro.queries.bi.q20 import Bi20Row, bi20
+from repro.queries.bi.q21 import Bi21Row, bi21
+from repro.queries.bi.q22 import Bi22Row, bi22
+from repro.queries.bi.q23 import Bi23Row, bi23
+from repro.queries.bi.q24 import Bi24Row, bi24
+from repro.queries.bi.q25 import Bi25Row, bi25
+
+from repro.queries.bi import (
+    q01, q02, q03, q04, q05, q06, q07, q08, q09, q10,
+    q11, q12, q13, q14, q15, q16, q17, q18, q19, q20,
+    q21, q22, q23, q24, q25,
+)
+
+_MODULES = (
+    q01, q02, q03, q04, q05, q06, q07, q08, q09, q10,
+    q11, q12, q13, q14, q15, q16, q17, q18, q19, q20,
+    q21, q22, q23, q24, q25,
+)
+
+_FUNCTIONS = (
+    bi1, bi2, bi3, bi4, bi5, bi6, bi7, bi8, bi9, bi10,
+    bi11, bi12, bi13, bi14, bi15, bi16, bi17, bi18, bi19, bi20,
+    bi21, bi22, bi23, bi24, bi25,
+)
+
+#: query number -> (query callable, metadata).
+ALL_QUERIES: dict[int, tuple] = {
+    module.INFO.number: (function, module.INFO)
+    for module, function in zip(_MODULES, _FUNCTIONS)
+}
+
+__all__ = ["ALL_QUERIES", "BiQueryInfo"] + [
+    f"bi{i}" for i in range(1, 26)
+] + [f"Bi{i}Row" for i in range(1, 26)]

@@ -1,0 +1,21 @@
+"""Metadata shared by the BI query modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BiQueryInfo:
+    """Descriptor of one BI read query (spec section 5.1)."""
+
+    number: int
+    title: str
+    #: Choke-point identifiers, e.g. "1.2" (spec Appendix A, Table A.1).
+    choke_points: tuple[str, ...]
+    #: Result row limit from the query definition (None = unlimited).
+    limit: int | None = 100
+    #: True when the query text in the supplied spec was readable; False
+    #: when the definition was reconstructed from the GRADES-NDA 2018
+    #: first draft (see DESIGN.md, paper identification).
+    from_spec_text: bool = True

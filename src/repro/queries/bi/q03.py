@@ -1,0 +1,68 @@
+"""BI 3 — Tag evolution.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a year and a month, for each Tag count the Messages carrying it
+created in that month (``count_month1``) and in the following month
+(``count_month2``), and compute ``diff = |count_month1 - count_month2|``.
+Tags appearing in neither month are excluded.
+
+Sort: diff descending, tag name ascending.  Limit 100.
+Choke points: 2.4, 3.1, 3.2, 4.1, 4.3, 5.3, 6.1, 8.5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.dates import month_of, year_of
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    3,
+    "Tag evolution",
+    ("2.4", "3.1", "3.2", "4.1", "4.3", "5.3", "6.1", "8.5"),
+    from_spec_text=False,
+)
+
+
+class Bi3Row(NamedTuple):
+    tag_name: str
+    count_month1: int
+    count_month2: int
+    diff: int
+
+
+def bi3(graph: SocialGraph, year: int, month: int) -> list[Bi3Row]:
+    """Run BI 3 for the given month and its successor."""
+    if month == 12:
+        next_year, next_month = year + 1, 1
+    else:
+        next_year, next_month = year, month + 1
+
+    counts1: dict[int, int] = defaultdict(int)
+    counts2: dict[int, int] = defaultdict(int)
+    for message in graph.messages():
+        ts = message.creation_date
+        my, mm = year_of(ts), month_of(ts)
+        if (my, mm) == (year, month):
+            target = counts1
+        elif (my, mm) == (next_year, next_month):
+            target = counts2
+        else:
+            continue
+        for tag_id in message.tag_ids:
+            target[tag_id] += 1
+
+    top: TopK[Bi3Row] = TopK(
+        INFO.limit, key=lambda r: sort_key((r.diff, True), (r.tag_name, False))
+    )
+    for tag_id in counts1.keys() | counts2.keys():
+        c1 = counts1.get(tag_id, 0)
+        c2 = counts2.get(tag_id, 0)
+        top.add(Bi3Row(graph.tags[tag_id].name, c1, c2, abs(c1 - c2)))
+    return top.result()

@@ -1,0 +1,66 @@
+"""BI 6 — Most active posters of a given topic.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a Tag, for every Person who created a Message with that Tag
+compute: ``messageCount`` (their Messages with the Tag), ``replyCount``
+(Comments replying to those Messages), ``likeCount`` (likes those
+Messages received), and a score::
+
+    score = messageCount + 2 * replyCount + 10 * likeCount
+
+Sort: score descending, person id ascending.  Limit 100.
+Choke points: 1.2, 2.3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    6,
+    "Most active posters of a given topic",
+    ("1.2", "2.3"),
+    from_spec_text=False,
+)
+
+MESSAGE_WEIGHT = 1
+REPLY_WEIGHT = 2
+LIKE_WEIGHT = 10
+
+
+class Bi6Row(NamedTuple):
+    person_id: int
+    message_count: int
+    reply_count: int
+    like_count: int
+    score: int
+
+
+def bi6(graph: SocialGraph, tag: str) -> list[Bi6Row]:
+    """Run BI 6 for a tag name."""
+    tag_id = graph.tag_id(tag)
+    counts: dict[int, list[int]] = defaultdict(lambda: [0, 0, 0])
+    for message in graph.messages_with_tag(tag_id):
+        bucket = counts[message.creator_id]
+        bucket[0] += 1
+        bucket[1] += len(graph.replies_of(message.id))
+        bucket[2] += len(graph.likes_of_message(message.id))
+
+    top: TopK[Bi6Row] = TopK(
+        INFO.limit, key=lambda r: sort_key((r.score, True), (r.person_id, False))
+    )
+    for person_id, (messages, replies, likes) in counts.items():
+        score = (
+            MESSAGE_WEIGHT * messages
+            + REPLY_WEIGHT * replies
+            + LIKE_WEIGHT * likes
+        )
+        top.add(Bi6Row(person_id, messages, replies, likes, score))
+    return top.result()

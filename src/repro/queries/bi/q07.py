@@ -1,0 +1,66 @@
+"""BI 7 — Most authoritative users on a given topic.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a Tag, consider every Person who created a Message with the Tag.
+Their *authority score* is the sum, over the distinct Persons who liked
+any of those Messages, of the liker's *popularity* — the total number
+of likes ever received on the liker's own Messages.
+
+Sort: authority score descending, person id ascending.  Limit 100.
+Choke points: 1.2, 2.3, 3.2, 3.3, 6.1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    7,
+    "Most authoritative users on a given topic",
+    ("1.2", "2.3", "3.2", "3.3", "6.1"),
+    from_spec_text=False,
+)
+
+
+class Bi7Row(NamedTuple):
+    person_id: int
+    authority_score: int
+
+
+def _popularity(graph: SocialGraph, person_id: int, cache: dict[int, int]) -> int:
+    """Total likes received on a person's messages (memoized — the same
+    liker typically appears under many posters; CP-6.1 result reuse)."""
+    cached = cache.get(person_id)
+    if cached is not None:
+        return cached
+    score = sum(
+        len(graph.likes_of_message(m.id)) for m in graph.messages_by(person_id)
+    )
+    cache[person_id] = score
+    return score
+
+
+def bi7(graph: SocialGraph, tag: str) -> list[Bi7Row]:
+    """Run BI 7 for a tag name."""
+    tag_id = graph.tag_id(tag)
+    likers_of_poster: dict[int, set[int]] = defaultdict(set)
+    for message in graph.messages_with_tag(tag_id):
+        for like in graph.likes_of_message(message.id):
+            likers_of_poster[message.creator_id].add(like.person_id)
+
+    popularity_cache: dict[int, int] = {}
+    top: TopK[Bi7Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key((r.authority_score, True), (r.person_id, False)),
+    )
+    for person_id, likers in likers_of_poster.items():
+        score = sum(_popularity(graph, liker, popularity_cache) for liker in likers)
+        top.add(Bi7Row(person_id, score))
+    return top.result()

@@ -1,0 +1,54 @@
+"""BI 8 — Related topics.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a Tag, find the Comments that directly reply to a Message carrying
+the Tag, excluding Comments that themselves carry the Tag (a negative
+edge condition, CP-8.1).  Count distinct qualifying Comments per *other*
+Tag those Comments carry.
+
+Sort: comment count descending, related tag name ascending.  Limit 100.
+Choke points: 1.4, 3.3, 5.2, 8.1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    8,
+    "Related topics",
+    ("1.4", "3.3", "5.2", "8.1"),
+    from_spec_text=False,
+)
+
+
+class Bi8Row(NamedTuple):
+    related_tag_name: str
+    comment_count: int
+
+
+def bi8(graph: SocialGraph, tag: str) -> list[Bi8Row]:
+    """Run BI 8 for a tag name."""
+    tag_id = graph.tag_id(tag)
+    counted: dict[int, set[int]] = defaultdict(set)
+    for message in graph.messages_with_tag(tag_id):
+        for reply in graph.replies_of(message.id):
+            if tag_id in reply.tag_ids:
+                continue  # negative condition: reply must not share the tag
+            for related in reply.tag_ids:
+                counted[related].add(reply.id)
+
+    top: TopK[Bi8Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key((r.comment_count, True), (r.related_tag_name, False)),
+    )
+    for related_tag, replies in counted.items():
+        top.add(Bi8Row(graph.tags[related_tag].name, len(replies)))
+    return top.result()

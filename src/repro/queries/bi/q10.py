@@ -1,0 +1,71 @@
+"""BI 10 — Central person for a tag.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a Tag and a date, each Person gets a *score*: 100 points if the
+Person is interested in the Tag (hasInterest), plus one point per
+Message with the Tag the Person created after the date.  A Person's
+``friendsScore`` is the sum of their friends' scores.  Return persons
+with a positive ``score + friendsScore``.
+
+Sort: score + friendsScore descending, person id ascending.  Limit 100.
+Choke points: 2.1, 2.3, 3.2, 8.4.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.dates import Date, date_to_datetime
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    10,
+    "Central person for a tag",
+    ("1.2", "2.1", "2.3", "3.2", "8.4", "8.5"),
+    from_spec_text=False,
+)
+
+INTEREST_SCORE = 100
+
+
+class Bi10Row(NamedTuple):
+    person_id: int
+    score: int
+    friends_score: int
+
+
+def bi10(graph: SocialGraph, tag: str, date: Date) -> list[Bi10Row]:
+    """Run BI 10 for a tag name and a minimum message date."""
+    tag_id = graph.tag_id(tag)
+    threshold = date_to_datetime(date)
+
+    scores: dict[int, int] = defaultdict(int)
+    for person_id in graph.persons_interested_in(tag_id):
+        scores[person_id] += INTEREST_SCORE
+    for message in graph.messages_with_tag(tag_id):
+        if message.creation_date > threshold:
+            scores[message.creator_id] += 1
+
+    top: TopK[Bi10Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key(
+            (r.score + r.friends_score, True), (r.person_id, False)
+        ),
+    )
+    # Persons with zero own score can still enter through friends.
+    candidates = set(scores)
+    for person_id in scores:
+        candidates.update(graph.friends_of(person_id))
+    for person_id in candidates:
+        friends_score = sum(
+            scores.get(friend, 0) for friend in graph.friends_of(person_id)
+        )
+        score = scores.get(person_id, 0)
+        if score + friends_score > 0:
+            top.add(Bi10Row(person_id, score, friends_score))
+    return top.result()

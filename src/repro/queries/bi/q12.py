@@ -1,0 +1,54 @@
+"""BI 12 — Trending posts (spec page readable — implemented verbatim).
+
+Find all Messages created after a given date (exclusive) that received
+more than ``like_threshold`` likes.  Return the message, its creator's
+name, and the like count.
+
+Sort: like count descending, message id ascending.  Limit 100.
+Choke points: 1.2, 2.2, 3.1, 6.1, 8.5.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.dates import Date, DateTime, date_to_datetime
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(12, "Trending posts", ("1.2", "2.2", "3.1", "6.1", "8.5"))
+
+
+class Bi12Row(NamedTuple):
+    message_id: int
+    message_creation_date: DateTime
+    creator_first_name: str
+    creator_last_name: str
+    like_count: int
+
+
+def bi12(graph: SocialGraph, date: Date, like_threshold: int) -> list[Bi12Row]:
+    """Run BI 12 for a minimum creation date and like threshold."""
+    threshold = date_to_datetime(date)
+    top: TopK[Bi12Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key((r.like_count, True), (r.message_id, False)),
+    )
+    for message in graph.messages():
+        if message.creation_date <= threshold:
+            continue
+        like_count = len(graph.likes_of_message(message.id))
+        if like_count <= like_threshold:
+            continue
+        creator = graph.persons[message.creator_id]
+        top.add(
+            Bi12Row(
+                message.id,
+                message.creation_date,
+                creator.first_name,
+                creator.last_name,
+                like_count,
+            )
+        )
+    return top.result()

@@ -1,0 +1,74 @@
+"""BI 14 — Top thread initiators (spec page readable — implemented verbatim).
+
+For each Person, count the Posts they created in the closed interval
+[begin, end] (``threadCount``) and the Messages in the reply trees those
+Posts initiated — including the root Post — whose creation date also
+falls inside the interval (``messageCount``).  Only Persons with at
+least one thread are returned.
+
+Sort: message count descending, person id ascending.  Limit 100.
+Choke points: 1.2, 2.2, 2.3, 3.2, 7.2, 7.3, 7.4, 8.1, 8.5.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.dates import Date, MILLIS_PER_DAY, date_to_datetime
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    14,
+    "Top thread initiators",
+    ("1.2", "2.2", "2.3", "3.2", "7.2", "7.3", "7.4", "8.1", "8.5"),
+)
+
+
+class Bi14Row(NamedTuple):
+    person_id: int
+    first_name: str
+    last_name: str
+    thread_count: int
+    message_count: int
+
+
+def bi14(graph: SocialGraph, begin: Date, end: Date) -> list[Bi14Row]:
+    """Run BI 14 over the closed day interval [begin, end]."""
+    start_ts = date_to_datetime(begin)
+    end_ts = date_to_datetime(end) + MILLIS_PER_DAY  # inclusive end day
+
+    threads: dict[int, list[int]] = {}
+    for post in graph.posts.values():
+        if not start_ts <= post.creation_date < end_ts:
+            continue
+        counts = threads.setdefault(post.creator_id, [0, 0])
+        counts[0] += 1
+        # CP-7.4: the traversal terminates early — a reply is always
+        # newer than its parent, so a subtree past the end date is
+        # never entered.
+        stack = [post]
+        while stack:
+            message = stack.pop()
+            if message.creation_date >= end_ts:
+                continue
+            counts[1] += 1
+            stack.extend(graph.replies_of(message.id))
+
+    top: TopK[Bi14Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key((r.message_count, True), (r.person_id, False)),
+    )
+    for person_id, (thread_count, message_count) in threads.items():
+        person = graph.persons[person_id]
+        top.add(
+            Bi14Row(
+                person_id,
+                person.first_name,
+                person.last_name,
+                thread_count,
+                message_count,
+            )
+        )
+    return top.result()

@@ -1,0 +1,55 @@
+"""BI 15 — Social normals.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a Country, compute for each Person living there the number of
+their friends who also live in the Country.  The *social normal* is the
+floor of the average of these counts; return exactly the Persons whose
+count equals it.
+
+Sort: person id ascending.  Limit 100.
+Choke points: 1.2, 2.3, 3.2, 3.3, 5.3, 6.1, 8.4.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+
+INFO = BiQueryInfo(
+    15,
+    "Social normals",
+    ("1.2", "2.3", "3.2", "3.3", "5.3", "6.1", "8.4"),
+    from_spec_text=False,
+)
+
+
+class Bi15Row(NamedTuple):
+    person_id: int
+    friend_count: int
+
+
+def bi15(graph: SocialGraph, country: str) -> list[Bi15Row]:
+    """Run BI 15 for a country name."""
+    country_id = graph.country_id(country)
+    residents = set(graph.persons_in_country(country_id))
+    if not residents:
+        return []
+
+    counts = {
+        person_id: sum(
+            1 for friend in graph.friends_of(person_id) if friend in residents
+        )
+        for person_id in residents
+    }
+    social_normal = sum(counts.values()) // len(counts)
+    rows = [
+        Bi15Row(person_id, count)
+        for person_id, count in counts.items()
+        if count == social_normal
+    ]
+    rows.sort(key=lambda r: r.person_id)
+    return rows[: INFO.limit]

@@ -1,0 +1,46 @@
+"""BI 17 — Friend triangles.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a Country, count the distinct triangles of Persons all located in
+the Country: unordered triples (a, b, c) with knows edges a-b, b-c, a-c.
+
+Result: a single count.
+Choke points: 1.1, 1.2 (high-cardinality aggregation over a closed
+pattern).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+
+INFO = BiQueryInfo(
+    17, "Friend triangles", ("1.1",), limit=None, from_spec_text=False
+)
+
+
+class Bi17Row(NamedTuple):
+    triangle_count: int
+
+
+def bi17(graph: SocialGraph, country: str) -> list[Bi17Row]:
+    """Run BI 17 for a country name."""
+    country_id = graph.country_id(country)
+    residents = set(graph.persons_in_country(country_id))
+
+    # Classic oriented triangle counting: only enumerate a < b < c.
+    count = 0
+    for a in residents:
+        higher_a = [
+            f for f in graph.friends_of(a) if f > a and f in residents
+        ]
+        neighbour_set = set(higher_a)
+        for b in higher_a:
+            for c in graph.friends_of(b):
+                if c > b and c in neighbour_set:
+                    count += 1
+    return [Bi17Row(count)]

@@ -1,0 +1,68 @@
+"""BI 18 — How many persons have a given number of messages (spec page
+readable — implemented verbatim).
+
+For each Person, count their Messages (``messageCount``) that satisfy
+all of: non-empty content (so no image posts), length strictly below the
+threshold, creation date strictly after the date, and written in one of
+the given languages — a Comment's language is that of the Post rooting
+its thread, and the messages along the path need not themselves satisfy
+the other constraints.  Persons with no qualifying Message count as
+``messageCount = 0``.  Then, for each distinct ``messageCount`` value,
+count the Persons with exactly that many qualifying Messages.
+
+Sort: person count descending, message count descending.
+Choke points: 1.1, 1.2, 1.4, 3.2, 4.2, 4.3, 8.1, 8.2, 8.3, 8.4, 8.5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import NamedTuple, Sequence
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.queries.common import message_language
+from repro.util.dates import Date, date_to_datetime
+
+INFO = BiQueryInfo(
+    18,
+    "How many persons have a given number of messages",
+    ("1.1", "1.2", "1.4", "3.2", "4.2", "4.3", "8.1", "8.2", "8.3", "8.4", "8.5"),
+    limit=None,
+)
+
+
+class Bi18Row(NamedTuple):
+    message_count: int
+    person_count: int
+
+
+def bi18(
+    graph: SocialGraph,
+    date: Date,
+    length_threshold: int,
+    languages: Sequence[str],
+) -> list[Bi18Row]:
+    """Run BI 18 for a date, length threshold and language list."""
+    threshold = date_to_datetime(date)
+    wanted = set(languages)
+
+    per_person = Counter({person_id: 0 for person_id in graph.persons})
+    for message in graph.messages():
+        if not message.content:
+            continue
+        if message.length >= length_threshold:
+            continue
+        if message.creation_date <= threshold:
+            continue
+        if message_language(graph, message) not in wanted:
+            continue
+        per_person[message.creator_id] += 1
+
+    histogram = Counter(per_person.values())
+    rows = [
+        Bi18Row(message_count, person_count)
+        for message_count, person_count in histogram.items()
+    ]
+    rows.sort(key=lambda r: (-r.person_count, -r.message_count))
+    return rows

@@ -1,0 +1,85 @@
+"""BI 19 — Stranger's interaction.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+A *stranger candidate* is a Person who is a member of at least one Forum
+tagged with a Tag of the first TagClass **and** of at least one Forum
+tagged with a Tag of the second TagClass.  For each Person born after
+the given date, count their interactions with strangers: Comments by the
+Person that (directly) reply to a Message created by a stranger the
+Person does not know (and is not themselves).  Report the number of
+distinct strangers interacted with and the total interaction count;
+persons with no interactions are omitted.
+
+Sort: interaction count descending, person id ascending.  Limit 100.
+Choke points: 1.1, 1.3, 2.1, 2.3, 2.4, 3.3, 5.1, 7.3, 8.1, 8.5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.dates import Date
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    19,
+    "Stranger's interaction",
+    ("1.1", "1.3", "2.1", "2.3", "2.4", "3.3", "5.1", "7.3", "7.4", "8.1", "8.5"),
+    from_spec_text=False,
+)
+
+
+class Bi19Row(NamedTuple):
+    person_id: int
+    stranger_count: int
+    interaction_count: int
+
+
+def _members_of_forums_tagged(graph: SocialGraph, tag_ids: set[int]) -> set[int]:
+    members: set[int] = set()
+    for tag_id in tag_ids:
+        for forum_id in graph.forums_with_tag(tag_id):
+            members.update(
+                m.person_id for m in graph.members_of_forum(forum_id)
+            )
+    return members
+
+
+def bi19(
+    graph: SocialGraph, date: Date, tag_class1: str, tag_class2: str
+) -> list[Bi19Row]:
+    """Run BI 19 for a birthday threshold and two tag class names."""
+    tags1 = set(graph.tags_of_class(graph.tagclass_id(tag_class1)))
+    tags2 = set(graph.tags_of_class(graph.tagclass_id(tag_class2)))
+    strangers = _members_of_forums_tagged(graph, tags1) & _members_of_forums_tagged(
+        graph, tags2
+    )
+
+    interactions: dict[int, set[int]] = defaultdict(set)
+    interaction_counts: dict[int, int] = defaultdict(int)
+    for comment in graph.comments.values():
+        author = comment.creator_id
+        if graph.persons[author].birthday <= date:
+            continue
+        target = graph.parent_of(comment).creator_id
+        if target == author or target not in strangers:
+            continue
+        if target in graph.friends_of(author):
+            continue  # knows — not a stranger to this person
+        interactions[author].add(target)
+        interaction_counts[author] += 1
+
+    top: TopK[Bi19Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key((r.interaction_count, True), (r.person_id, False)),
+    )
+    for person_id, strangers_met in interactions.items():
+        top.add(
+            Bi19Row(person_id, len(strangers_met), interaction_counts[person_id])
+        )
+    return top.result()

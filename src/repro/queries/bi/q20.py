@@ -1,0 +1,46 @@
+"""BI 20 — High-level topics (spec page readable — implemented verbatim).
+
+For each given TagClass, count the Messages that have a Tag belonging to
+that TagClass or to any of its descendants (isSubclassOf*, transitive).
+A Message carrying several qualifying Tags is counted once per class
+(distinct-count semantics, spec section 3.2).
+
+Sort: message count descending, tag class name ascending.  Limit 100.
+Choke points: 1.4, 2.1, 6.1, 8.1.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(20, "High-level topics", ("1.4", "2.1", "6.1", "8.1"))
+
+
+class Bi20Row(NamedTuple):
+    tag_class_name: str
+    message_count: int
+
+
+def bi20(graph: SocialGraph, tag_classes: Sequence[str]) -> list[Bi20Row]:
+    """Run BI 20 for a list of tag class names (the UNWIND input).
+
+    The result is grouped by class name, so duplicate input names
+    collapse into one row.
+    """
+    top: TopK[Bi20Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key(
+            (r.message_count, True), (r.tag_class_name, False)
+        ),
+    )
+    for class_name in dict.fromkeys(tag_classes):
+        class_tags = graph.tags_in_class_tree(graph.tagclass_id(class_name))
+        messages: set[int] = set()
+        for tag_id in class_tags:
+            messages.update(m.id for m in graph.messages_with_tag(tag_id))
+        top.add(Bi20Row(class_name, len(messages)))
+    return top.result()

@@ -1,0 +1,73 @@
+"""BI 24 — Messages by topic and continent.
+
+Reconstructed from the GRADES-NDA 2018 first draft (figure-embedded in
+the supplied spec — see DESIGN.md).  Semantics implemented:
+
+Given a TagClass, take the Messages carrying a Tag whose direct type is
+that class.  Group them by (year, month, continent the message was
+posted from — the continent of its country) and report the distinct
+message count and the total number of likes those messages received.
+
+Sort: year descending, month ascending, continent name ascending.
+Limit 100.
+Choke points: 1.4, 2.1, 2.3, 2.4, 3.2, 4.3, 8.5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.bi.base import BiQueryInfo
+from repro.util.dates import month_of, year_of
+from repro.util.topk import TopK, sort_key
+
+INFO = BiQueryInfo(
+    24,
+    "Messages by topic and continent",
+    ("1.4", "2.1", "2.3", "2.4", "3.2", "4.3", "8.5"),
+    from_spec_text=False,
+)
+
+
+class Bi24Row(NamedTuple):
+    message_count: int
+    like_count: int
+    year: int
+    month: int
+    continent_name: str
+
+
+def bi24(graph: SocialGraph, tag_class: str) -> list[Bi24Row]:
+    """Run BI 24 for a tag class name."""
+    class_tags = set(graph.tags_of_class(graph.tagclass_id(tag_class)))
+
+    seen: set[int] = set()
+    groups: dict[tuple[int, int, int], list[int]] = defaultdict(lambda: [0, 0])
+    for tag_id in class_tags:
+        for message in graph.messages_with_tag(tag_id):
+            if message.id in seen:
+                continue  # distinct messages even with several class tags
+            seen.add(message.id)
+            country = graph.places[message.country_id]
+            key = (
+                year_of(message.creation_date),
+                month_of(message.creation_date),
+                country.part_of,
+            )
+            bucket = groups[key]
+            bucket[0] += 1
+            bucket[1] += len(graph.likes_of_message(message.id))
+
+    top: TopK[Bi24Row] = TopK(
+        INFO.limit,
+        key=lambda r: sort_key(
+            (r.year, True), (r.month, False), (r.continent_name, False)
+        ),
+    )
+    for (year, month, continent), (messages, likes) in groups.items():
+        top.add(
+            Bi24Row(messages, likes, year, month, graph.places[continent].name)
+        )
+    return top.result()

@@ -1,0 +1,9 @@
+"""Interactive workload (spec chapter 4): complex reads IC 1-14, short
+reads IS 1-7, and updates IU 1-8."""
+
+from repro.queries.interactive.base import IcQueryInfo
+from repro.queries.interactive.complex import ALL_COMPLEX
+from repro.queries.interactive.short import ALL_SHORT
+from repro.queries.interactive.updates import ALL_UPDATES
+
+__all__ = ["ALL_COMPLEX", "ALL_SHORT", "ALL_UPDATES", "IcQueryInfo"]

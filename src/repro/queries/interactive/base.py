@@ -1,0 +1,23 @@
+"""Metadata shared by the Interactive query modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IcQueryInfo:
+    """Descriptor of one Interactive query (spec chapter 4)."""
+
+    kind: str  # "complex", "short", "update" or "delete"
+    number: int
+    title: str
+    choke_points: tuple[str, ...] = ()
+    limit: int | None = None
+
+    @property
+    def name(self) -> str:
+        prefix = {
+            "complex": "IC", "short": "IS", "update": "IU", "delete": "DEL",
+        }[self.kind]
+        return f"{prefix} {self.number}"

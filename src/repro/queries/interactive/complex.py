@@ -1,0 +1,37 @@
+"""Registry of the Interactive complex reads IC 1 - IC 14."""
+
+from repro.queries.interactive import complex_part1 as _p1
+from repro.queries.interactive import complex_part2 as _p2
+from repro.queries.interactive.base import IcQueryInfo
+
+#: query number -> (callable, IcQueryInfo)
+ALL_COMPLEX: dict[int, tuple] = {
+    1: (_p1.ic1, _p1.IC1_INFO),
+    2: (_p1.ic2, _p1.IC2_INFO),
+    3: (_p1.ic3, _p1.IC3_INFO),
+    4: (_p1.ic4, _p1.IC4_INFO),
+    5: (_p1.ic5, _p1.IC5_INFO),
+    6: (_p1.ic6, _p1.IC6_INFO),
+    7: (_p1.ic7, _p1.IC7_INFO),
+    8: (_p2.ic8, _p2.IC8_INFO),
+    9: (_p2.ic9, _p2.IC9_INFO),
+    10: (_p2.ic10, _p2.IC10_INFO),
+    11: (_p2.ic11, _p2.IC11_INFO),
+    12: (_p2.ic12, _p2.IC12_INFO),
+    13: (_p2.ic13, _p2.IC13_INFO),
+    14: (_p2.ic14, _p2.IC14_INFO),
+}
+
+# Re-export the callables and row types at the package level.
+from repro.queries.interactive.complex_part1 import (  # noqa: E402,F401
+    Ic1Row, Ic2Row, Ic3Row, Ic4Row, Ic5Row, Ic6Row, Ic7Row,
+    ic1, ic2, ic3, ic4, ic5, ic6, ic7,
+)
+from repro.queries.interactive.complex_part2 import (  # noqa: E402,F401
+    Ic8Row, Ic9Row, Ic10Row, Ic11Row, Ic12Row, Ic13Row, Ic14Row,
+    ic8, ic9, ic10, ic11, ic12, ic13, ic14,
+)
+
+__all__ = ["ALL_COMPLEX", "IcQueryInfo"] + [f"ic{i}" for i in range(1, 15)] + [
+    f"Ic{i}Row" for i in range(1, 15)
+]

@@ -1,0 +1,392 @@
+"""Interactive complex reads IC 1 - IC 7 (spec section 4.1)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import NamedTuple
+
+from repro.graph.store import SocialGraph
+from repro.queries.common import in_window, knows_distances
+from repro.queries.interactive.base import IcQueryInfo
+from repro.util.dates import (
+    Date,
+    DateTime,
+    MILLIS_PER_DAY,
+    MILLIS_PER_MINUTE,
+    date_to_datetime,
+)
+from repro.util.topk import TopK, sort_key
+
+# ---------------------------------------------------------------------------
+# IC 1 — Friends with certain name
+# ---------------------------------------------------------------------------
+
+IC1_INFO = IcQueryInfo(
+    "complex", 1, "Friends with certain name", ("2.1", "5.3", "8.2"), limit=20
+)
+
+
+class Ic1Row(NamedTuple):
+    friend_id: int
+    friend_last_name: str
+    distance_from_person: int
+    friend_birthday: Date
+    friend_creation_date: DateTime
+    friend_gender: str
+    friend_browser_used: str
+    friend_location_ip: str
+    friend_emails: tuple[str, ...]
+    friend_languages: tuple[str, ...]
+    friend_city_name: str
+    friend_universities: tuple[tuple[str, int, str], ...]
+    friend_companies: tuple[tuple[str, int, str], ...]
+
+
+def ic1(graph: SocialGraph, person_id: int, first_name: str) -> list[Ic1Row]:
+    """Friends up to 3 knows hops with the given first name."""
+    distances = knows_distances(graph, person_id, 3)
+    top: TopK[tuple] = TopK(
+        IC1_INFO.limit, key=lambda t: t[0]
+    )  # key = (distance, lastName, id)
+    for friend_id, distance in distances.items():
+        person = graph.persons[friend_id]
+        if person.first_name != first_name:
+            continue
+        top.add(((distance, person.last_name, friend_id), friend_id))
+
+    rows = []
+    for (distance, _, friend_id), _ in top:
+        person = graph.persons[friend_id]
+        universities = tuple(
+            sorted(
+                (
+                    graph.organisations[s.university_id].name,
+                    s.class_year,
+                    graph.places[
+                        graph.organisations[s.university_id].place_id
+                    ].name,
+                )
+                for s in graph.study_at_of(friend_id)
+            )
+        )
+        companies = tuple(
+            sorted(
+                (
+                    graph.organisations[w.company_id].name,
+                    w.work_from,
+                    graph.places[graph.organisations[w.company_id].place_id].name,
+                )
+                for w in graph.work_at_of(friend_id)
+            )
+        )
+        rows.append(
+            Ic1Row(
+                friend_id=friend_id,
+                friend_last_name=person.last_name,
+                distance_from_person=distance,
+                friend_birthday=person.birthday,
+                friend_creation_date=person.creation_date,
+                friend_gender=person.gender,
+                friend_browser_used=person.browser_used,
+                friend_location_ip=person.location_ip,
+                friend_emails=tuple(person.emails),
+                friend_languages=tuple(person.speaks),
+                friend_city_name=graph.places[person.city_id].name,
+                friend_universities=universities,
+                friend_companies=companies,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# IC 2 — Recent messages by your friends
+# ---------------------------------------------------------------------------
+
+IC2_INFO = IcQueryInfo(
+    "complex", 2, "Recent messages by your friends",
+    ("1.1", "2.2", "2.3", "3.2", "8.5"), limit=20,
+)
+
+
+class Ic2Row(NamedTuple):
+    person_id: int
+    person_first_name: str
+    person_last_name: str
+    message_id: int
+    message_content: str
+    message_creation_date: DateTime
+
+
+def ic2(graph: SocialGraph, person_id: int, max_date: Date) -> list[Ic2Row]:
+    """Most recent friend messages created before max_date (exclusive)."""
+    threshold = date_to_datetime(max_date)
+    top: TopK[Ic2Row] = TopK(
+        IC2_INFO.limit,
+        key=lambda r: sort_key(
+            (r.message_creation_date, True), (r.message_id, False)
+        ),
+    )
+    for friend_id in graph.friends_of(person_id):
+        friend = graph.persons[friend_id]
+        for message in graph.messages_by(friend_id):
+            if message.creation_date >= threshold:
+                continue
+            if not top.would_enter(
+                sort_key((message.creation_date, True), (message.id, False))
+            ):
+                continue
+            top.add(
+                Ic2Row(
+                    friend_id,
+                    friend.first_name,
+                    friend.last_name,
+                    message.id,
+                    message.content_or_image,
+                    message.creation_date,
+                )
+            )
+    return top.result()
+
+
+# ---------------------------------------------------------------------------
+# IC 3 — Friends and friends of friends that have been to given countries
+# ---------------------------------------------------------------------------
+
+IC3_INFO = IcQueryInfo(
+    "complex", 3, "Friends within two hops that have been to given countries",
+    ("2.1", "3.1", "5.1", "8.2", "8.5"), limit=20,
+)
+
+
+class Ic3Row(NamedTuple):
+    person_id: int
+    person_first_name: str
+    person_last_name: str
+    x_count: int
+    y_count: int
+    count: int
+
+
+def ic3(
+    graph: SocialGraph,
+    person_id: int,
+    country_x: str,
+    country_y: str,
+    start_date: Date,
+    duration_days: int,
+) -> list[Ic3Row]:
+    """Foreign friends (<= 2 hops) with messages from both countries."""
+    x_id = graph.country_id(country_x)
+    y_id = graph.country_id(country_y)
+    start = date_to_datetime(start_date)
+    end = start + duration_days * MILLIS_PER_DAY
+
+    top: TopK[Ic3Row] = TopK(
+        IC3_INFO.limit,
+        key=lambda r: sort_key((r.x_count, True), (r.person_id, False)),
+    )
+    for friend_id in knows_distances(graph, person_id, 2):
+        home = graph.country_of_person(friend_id)
+        if home in (x_id, y_id):
+            continue  # only Persons foreign to both countries
+        x_count = y_count = 0
+        for message in graph.messages_by(friend_id):
+            if not in_window(message.creation_date, start, end):
+                continue
+            if message.country_id == x_id:
+                x_count += 1
+            elif message.country_id == y_id:
+                y_count += 1
+        if x_count and y_count:
+            person = graph.persons[friend_id]
+            top.add(
+                Ic3Row(
+                    friend_id,
+                    person.first_name,
+                    person.last_name,
+                    x_count,
+                    y_count,
+                    x_count + y_count,
+                )
+            )
+    return top.result()
+
+
+# ---------------------------------------------------------------------------
+# IC 4 — New topics
+# ---------------------------------------------------------------------------
+
+IC4_INFO = IcQueryInfo(
+    "complex", 4, "New topics", ("2.3", "8.2", "8.5"), limit=10
+)
+
+
+class Ic4Row(NamedTuple):
+    tag_name: str
+    post_count: int
+
+
+def ic4(
+    graph: SocialGraph, person_id: int, start_date: Date, duration_days: int
+) -> list[Ic4Row]:
+    """Tags on friends' posts in the window, never on their posts before."""
+    start = date_to_datetime(start_date)
+    end = start + duration_days * MILLIS_PER_DAY
+
+    in_counts: dict[int, int] = defaultdict(int)
+    before: set[int] = set()
+    for friend_id in graph.friends_of(person_id):
+        for post in graph.posts_by(friend_id):
+            if post.creation_date < start:
+                before.update(post.tag_ids)
+            elif post.creation_date < end:
+                for tag_id in post.tag_ids:
+                    in_counts[tag_id] += 1
+
+    top: TopK[Ic4Row] = TopK(
+        IC4_INFO.limit,
+        key=lambda r: sort_key((r.post_count, True), (r.tag_name, False)),
+    )
+    for tag_id, count in in_counts.items():
+        if tag_id not in before:
+            top.add(Ic4Row(graph.tags[tag_id].name, count))
+    return top.result()
+
+
+# ---------------------------------------------------------------------------
+# IC 5 — New groups
+# ---------------------------------------------------------------------------
+
+IC5_INFO = IcQueryInfo(
+    "complex", 5, "New groups", ("2.3", "3.3", "8.2", "8.5"), limit=20
+)
+
+
+class Ic5Row(NamedTuple):
+    forum_title: str
+    forum_id: int
+    post_count: int
+
+
+def ic5(graph: SocialGraph, person_id: int, min_date: Date) -> list[Ic5Row]:
+    """Forums friends (<= 2 hops) joined after min_date, ranked by the
+    number of posts those recent joiners made in the forum."""
+    threshold = date_to_datetime(min_date)
+    circle = knows_distances(graph, person_id, 2)
+
+    joiners: dict[int, set[int]] = defaultdict(set)
+    for friend_id in circle:
+        for membership in graph.forums_of_member(friend_id):
+            if membership.join_date > threshold:
+                joiners[membership.forum_id].add(friend_id)
+
+    top: TopK[Ic5Row] = TopK(
+        IC5_INFO.limit,
+        key=lambda r: sort_key((r.post_count, True), (r.forum_id, False)),
+    )
+    for forum_id, members in joiners.items():
+        post_count = sum(
+            1
+            for post in graph.posts_in_forum(forum_id)
+            if post.creator_id in members
+        )
+        top.add(Ic5Row(graph.forums[forum_id].title, forum_id, post_count))
+    return top.result()
+
+
+# ---------------------------------------------------------------------------
+# IC 6 — Tag co-occurrence
+# ---------------------------------------------------------------------------
+
+IC6_INFO = IcQueryInfo("complex", 6, "Tag co-occurrence", ("5.1",), limit=10)
+
+
+class Ic6Row(NamedTuple):
+    tag_name: str
+    post_count: int
+
+
+def ic6(graph: SocialGraph, person_id: int, tag_name: str) -> list[Ic6Row]:
+    """Other tags on friends' (<= 2 hops) posts carrying the given tag."""
+    tag_id = graph.tag_id(tag_name)
+    circle = knows_distances(graph, person_id, 2)
+
+    counts: dict[int, int] = defaultdict(int)
+    for friend_id in circle:
+        for post in graph.posts_by(friend_id):
+            if tag_id not in post.tag_ids:
+                continue
+            for other in post.tag_ids:
+                if other != tag_id:
+                    counts[other] += 1
+
+    top: TopK[Ic6Row] = TopK(
+        IC6_INFO.limit,
+        key=lambda r: sort_key((r.post_count, True), (r.tag_name, False)),
+    )
+    for other, count in counts.items():
+        top.add(Ic6Row(graph.tags[other].name, count))
+    return top.result()
+
+
+# ---------------------------------------------------------------------------
+# IC 7 — Recent likers
+# ---------------------------------------------------------------------------
+
+IC7_INFO = IcQueryInfo(
+    "complex", 7, "Recent likers",
+    ("2.2", "2.3", "3.3", "5.1", "8.1", "8.3"), limit=20,
+)
+
+
+class Ic7Row(NamedTuple):
+    person_id: int
+    person_first_name: str
+    person_last_name: str
+    like_creation_date: DateTime
+    comment_or_post_id: int
+    comment_or_post_content: str
+    minutes_latency: int
+    is_new: bool
+
+
+def ic7(graph: SocialGraph, person_id: int) -> list[Ic7Row]:
+    """Most recent like per liker of the start person's messages."""
+    # liker -> (like ts, message id) of their most recent like; ties on
+    # time resolved towards the message with the lowest id (spec note).
+    latest: dict[int, tuple[DateTime, int]] = {}
+    for message in graph.messages_by(person_id):
+        for like in graph.likes_of_message(message.id):
+            current = latest.get(like.person_id)
+            candidate = (like.creation_date, message.id)
+            if (
+                current is None
+                or candidate[0] > current[0]
+                or (candidate[0] == current[0] and candidate[1] < current[1])
+            ):
+                latest[like.person_id] = candidate
+
+    friends = set(graph.friends_of(person_id))
+    top: TopK[Ic7Row] = TopK(
+        IC7_INFO.limit,
+        key=lambda r: sort_key(
+            (r.like_creation_date, True), (r.person_id, False)
+        ),
+    )
+    for liker_id, (like_ts, message_id) in latest.items():
+        liker = graph.persons[liker_id]
+        message = graph.message(message_id)
+        top.add(
+            Ic7Row(
+                liker_id,
+                liker.first_name,
+                liker.last_name,
+                like_ts,
+                message_id,
+                message.content_or_image,
+                (like_ts - message.creation_date) // MILLIS_PER_MINUTE,
+                liker_id not in friends,
+            )
+        )
+    return top.result()

@@ -1,0 +1,117 @@
+"""Delete operations DEL 1 - DEL 8.
+
+The supplied spec (section 5.2) notes that "the task force is currently
+working on defining a mix of insert and delete operations that can be
+applied to both the Interactive and the BI workloads"; the VLDB 2022
+version of the BI workload ships them as DEL 1-8, mirroring the insert
+set.  This module implements that released design:
+
+========  =============================  ==========================
+DEL 1     Remove person                  cascades (see store docs)
+DEL 2     Remove like from post          edge only
+DEL 3     Remove like from comment       edge only
+DEL 4     Remove forum                   cascades to posts/threads
+DEL 5     Remove forum membership        edge only
+DEL 6     Remove post                    cascades to its thread
+DEL 7     Remove comment                 cascades to its subtree
+DEL 8     Remove friendship              edge only
+========  =============================  ==========================
+
+Every operation is tolerant of an already-absent target: a cascade from
+an earlier delete in the same stream may have removed it, which the
+official driver likewise treats as success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.base import IcQueryInfo
+
+DEL1_INFO = IcQueryInfo("delete", 1, "Remove person")
+DEL2_INFO = IcQueryInfo("delete", 2, "Remove like from post")
+DEL3_INFO = IcQueryInfo("delete", 3, "Remove like from comment")
+DEL4_INFO = IcQueryInfo("delete", 4, "Remove forum")
+DEL5_INFO = IcQueryInfo("delete", 5, "Remove forum membership")
+DEL6_INFO = IcQueryInfo("delete", 6, "Remove post")
+DEL7_INFO = IcQueryInfo("delete", 7, "Remove comment")
+DEL8_INFO = IcQueryInfo("delete", 8, "Remove friendship")
+
+
+@dataclass(slots=True, frozen=True)
+class DeletePersonParams:
+    person_id: int
+
+
+def del1(graph: SocialGraph, params: DeletePersonParams) -> None:
+    graph.delete_person(params.person_id)
+
+
+@dataclass(slots=True, frozen=True)
+class DeleteLikeParams:
+    person_id: int
+    message_id: int
+
+
+def del2(graph: SocialGraph, params: DeleteLikeParams) -> None:
+    graph.delete_like(params.person_id, params.message_id)
+
+
+def del3(graph: SocialGraph, params: DeleteLikeParams) -> None:
+    graph.delete_like(params.person_id, params.message_id)
+
+
+@dataclass(slots=True, frozen=True)
+class DeleteForumParams:
+    forum_id: int
+
+
+def del4(graph: SocialGraph, params: DeleteForumParams) -> None:
+    graph.delete_forum(params.forum_id)
+
+
+@dataclass(slots=True, frozen=True)
+class DeleteMembershipParams:
+    forum_id: int
+    person_id: int
+
+
+def del5(graph: SocialGraph, params: DeleteMembershipParams) -> None:
+    graph.delete_membership(params.forum_id, params.person_id)
+
+
+@dataclass(slots=True, frozen=True)
+class DeleteMessageParams:
+    message_id: int
+
+
+def del6(graph: SocialGraph, params: DeleteMessageParams) -> None:
+    graph.delete_post(params.message_id)
+
+
+def del7(graph: SocialGraph, params: DeleteMessageParams) -> None:
+    graph.delete_comment(params.message_id)
+
+
+@dataclass(slots=True, frozen=True)
+class DeleteFriendshipParams:
+    person1_id: int
+    person2_id: int
+
+
+def del8(graph: SocialGraph, params: DeleteFriendshipParams) -> None:
+    graph.delete_knows(params.person1_id, params.person2_id)
+
+
+#: operation id -> (callable, IcQueryInfo)
+ALL_DELETES: dict[int, tuple] = {
+    1: (del1, DEL1_INFO),
+    2: (del2, DEL2_INFO),
+    3: (del3, DEL3_INFO),
+    4: (del4, DEL4_INFO),
+    5: (del5, DEL5_INFO),
+    6: (del6, DEL6_INFO),
+    7: (del7, DEL7_INFO),
+    8: (del8, DEL8_INFO),
+}

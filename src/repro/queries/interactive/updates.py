@@ -1,0 +1,266 @@
+"""Interactive updates IU 1 - IU 8 (spec section 4.3, Table 2.18).
+
+Each update inserts either a single node with its edges to existing
+nodes, or a single edge between existing nodes.  The parameter records
+mirror the update-stream schemas of Table 2.18; the driver deserializes
+stream lines into these records and dispatches through ``ALL_UPDATES``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.base import IcQueryInfo
+from repro.schema.entities import Comment, Forum, ForumKind, Person, Post
+from repro.schema.relations import HasMember, Knows, Likes, StudyAt, WorkAt
+from repro.util.dates import Date, DateTime
+
+IU1_INFO = IcQueryInfo("update", 1, "Add person")
+IU2_INFO = IcQueryInfo("update", 2, "Add like to post")
+IU3_INFO = IcQueryInfo("update", 3, "Add like to comment")
+IU4_INFO = IcQueryInfo("update", 4, "Add forum")
+IU5_INFO = IcQueryInfo("update", 5, "Add forum membership")
+IU6_INFO = IcQueryInfo("update", 6, "Add post")
+IU7_INFO = IcQueryInfo("update", 7, "Add comment")
+IU8_INFO = IcQueryInfo("update", 8, "Add friendship")
+
+
+@dataclass(slots=True, frozen=True)
+class AddPersonParams:
+    person_id: int
+    first_name: str
+    last_name: str
+    gender: str
+    birthday: Date
+    creation_date: DateTime
+    location_ip: str
+    browser_used: str
+    city_id: int
+    languages: tuple[str, ...] = ()
+    emails: tuple[str, ...] = ()
+    tag_ids: tuple[int, ...] = ()
+    study_at: tuple[tuple[int, int], ...] = ()  # (university id, class year)
+    work_at: tuple[tuple[int, int], ...] = ()   # (company id, work from)
+
+
+def iu1(graph: SocialGraph, params: AddPersonParams) -> None:
+    """Add a Person node with its isLocatedIn/hasInterest/studyAt/workAt."""
+    graph.add_person(
+        Person(
+            id=params.person_id,
+            first_name=params.first_name,
+            last_name=params.last_name,
+            gender=params.gender,
+            birthday=params.birthday,
+            creation_date=params.creation_date,
+            location_ip=params.location_ip,
+            browser_used=params.browser_used,
+            city_id=params.city_id,
+            emails=list(params.emails),
+            speaks=list(params.languages),
+            interests=list(params.tag_ids),
+        )
+    )
+    for university_id, class_year in params.study_at:
+        graph.add_study_at(StudyAt(params.person_id, university_id, class_year))
+    for company_id, work_from in params.work_at:
+        graph.add_work_at(WorkAt(params.person_id, company_id, work_from))
+
+
+@dataclass(slots=True, frozen=True)
+class AddLikeParams:
+    person_id: int
+    message_id: int
+    creation_date: DateTime
+
+
+def iu2(graph: SocialGraph, params: AddLikeParams) -> None:
+    """Add a likes edge to a Post."""
+    if params.message_id not in graph.posts:
+        raise KeyError(f"post {params.message_id} does not exist")
+    if params.person_id not in graph.persons:
+        raise KeyError(f"person {params.person_id} does not exist")
+    graph.add_like(
+        Likes(params.person_id, params.message_id, params.creation_date, True)
+    )
+
+
+def iu3(graph: SocialGraph, params: AddLikeParams) -> None:
+    """Add a likes edge to a Comment."""
+    if params.message_id not in graph.comments:
+        raise KeyError(f"comment {params.message_id} does not exist")
+    if params.person_id not in graph.persons:
+        raise KeyError(f"person {params.person_id} does not exist")
+    graph.add_like(
+        Likes(params.person_id, params.message_id, params.creation_date, False)
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class AddForumParams:
+    forum_id: int
+    forum_title: str
+    creation_date: DateTime
+    moderator_person_id: int
+    tag_ids: tuple[int, ...] = ()
+
+
+def iu4(graph: SocialGraph, params: AddForumParams) -> None:
+    """Add a Forum node with hasModerator and hasTag edges."""
+    title = params.forum_title
+    if title.startswith("Wall"):
+        kind = ForumKind.WALL
+    elif title.startswith("Album"):
+        kind = ForumKind.ALBUM
+    else:
+        kind = ForumKind.GROUP
+    graph.add_forum(
+        Forum(
+            id=params.forum_id,
+            title=title,
+            creation_date=params.creation_date,
+            moderator_id=params.moderator_person_id,
+            kind=kind,
+            tag_ids=list(params.tag_ids),
+        )
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class AddMembershipParams:
+    person_id: int
+    forum_id: int
+    join_date: DateTime
+
+
+def iu5(graph: SocialGraph, params: AddMembershipParams) -> None:
+    """Add a hasMember edge.  Both endpoints must exist."""
+    if params.forum_id not in graph.forums:
+        raise KeyError(f"forum {params.forum_id} does not exist")
+    if params.person_id not in graph.persons:
+        raise KeyError(f"person {params.person_id} does not exist")
+    graph.add_membership(
+        HasMember(params.forum_id, params.person_id, params.join_date)
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class AddPostParams:
+    post_id: int
+    image_file: str
+    creation_date: DateTime
+    location_ip: str
+    browser_used: str
+    language: str
+    content: str
+    length: int
+    author_person_id: int
+    forum_id: int
+    country_id: int
+    tag_ids: tuple[int, ...] = ()
+
+
+def iu6(graph: SocialGraph, params: AddPostParams) -> None:
+    """Add a Post node with its edges.  Author and forum must exist."""
+    if params.forum_id not in graph.forums:
+        raise KeyError(f"forum {params.forum_id} does not exist")
+    if params.author_person_id not in graph.persons:
+        raise KeyError(f"person {params.author_person_id} does not exist")
+    graph.add_post(
+        Post(
+            id=params.post_id,
+            creation_date=params.creation_date,
+            location_ip=params.location_ip,
+            browser_used=params.browser_used,
+            content=params.content,
+            length=params.length,
+            creator_id=params.author_person_id,
+            forum_id=params.forum_id,
+            country_id=params.country_id,
+            language=params.language,
+            image_file=params.image_file,
+            tag_ids=list(params.tag_ids),
+        )
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class AddCommentParams:
+    comment_id: int
+    creation_date: DateTime
+    location_ip: str
+    browser_used: str
+    content: str
+    length: int
+    author_person_id: int
+    country_id: int
+    #: -1 when the comment replies to a comment (Table 2.18 convention).
+    reply_to_post_id: int
+    #: -1 when the comment replies to a post.
+    reply_to_comment_id: int
+    tag_ids: tuple[int, ...] = ()
+
+
+def iu7(graph: SocialGraph, params: AddCommentParams) -> None:
+    """Add a Comment node replying to a Post or Comment.  The author and
+    the parent Message must exist (a cascading delete may have removed
+    the parent, in which case the reply is rejected)."""
+    parent = (
+        params.reply_to_post_id
+        if params.reply_to_post_id >= 0
+        else params.reply_to_comment_id
+    )
+    if not graph.has_message(parent):
+        raise KeyError(f"message {parent} does not exist")
+    if params.author_person_id not in graph.persons:
+        raise KeyError(f"person {params.author_person_id} does not exist")
+    graph.add_comment(
+        Comment(
+            id=params.comment_id,
+            creation_date=params.creation_date,
+            location_ip=params.location_ip,
+            browser_used=params.browser_used,
+            content=params.content,
+            length=params.length,
+            creator_id=params.author_person_id,
+            country_id=params.country_id,
+            reply_of_post=params.reply_to_post_id,
+            reply_of_comment=params.reply_to_comment_id,
+            tag_ids=list(params.tag_ids),
+        )
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class AddFriendshipParams:
+    person1_id: int
+    person2_id: int
+    creation_date: DateTime
+
+
+def iu8(graph: SocialGraph, params: AddFriendshipParams) -> None:
+    """Add a knows edge between two existing Persons."""
+    for pid in (params.person1_id, params.person2_id):
+        if pid not in graph.persons:
+            raise KeyError(f"person {pid} does not exist")
+    graph.add_knows(
+        Knows(
+            min(params.person1_id, params.person2_id),
+            max(params.person1_id, params.person2_id),
+            params.creation_date,
+        )
+    )
+
+
+#: operation id (Table 2.18) -> (callable, IcQueryInfo)
+ALL_UPDATES: dict[int, tuple] = {
+    1: (iu1, IU1_INFO),
+    2: (iu2, IU2_INFO),
+    3: (iu3, IU3_INFO),
+    4: (iu4, IU4_INFO),
+    5: (iu5, IU5_INFO),
+    6: (iu6, IU6_INFO),
+    7: (iu7, IU7_INFO),
+    8: (iu8, IU8_INFO),
+}

@@ -1,0 +1,47 @@
+"""LDBC SNB data schema (spec section 2.3.2): entities and relations."""
+
+from repro.schema.entities import (
+    Comment,
+    Forum,
+    ForumKind,
+    Message,
+    Organisation,
+    OrganisationType,
+    Person,
+    Place,
+    PlaceType,
+    Post,
+    Tag,
+    TagClass,
+)
+from repro.schema.relations import (
+    HasMember,
+    Knows,
+    Likes,
+    RELATIONS,
+    RelationSpec,
+    StudyAt,
+    WorkAt,
+)
+
+__all__ = [
+    "Comment",
+    "Forum",
+    "ForumKind",
+    "HasMember",
+    "Knows",
+    "Likes",
+    "Message",
+    "Organisation",
+    "OrganisationType",
+    "Person",
+    "Place",
+    "PlaceType",
+    "Post",
+    "RELATIONS",
+    "RelationSpec",
+    "StudyAt",
+    "Tag",
+    "TagClass",
+    "WorkAt",
+]

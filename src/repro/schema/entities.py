@@ -1,0 +1,186 @@
+"""Entity types of the LDBC SNB schema (spec section 2.3.2, Figure 2.1).
+
+Each entity is a plain dataclass with ``slots`` — rows are created in the
+millions by Datagen, so per-instance dictionaries would dominate memory.
+Attribute names follow the spec's camelCase converted to snake_case.
+
+Dates are day ordinals and DateTimes epoch millis (see
+:mod:`repro.util.dates`).  Optional text attributes use the spec's
+"empty string" convention (section 2.3.2, textual restrictions): a Post
+has either ``content`` or ``image_file``, the other is ``""``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.dates import Date, DateTime
+
+
+class PlaceType(enum.Enum):
+    """Sub-classes of Place (spec: City, Country, Continent)."""
+
+    CITY = "city"
+    COUNTRY = "country"
+    CONTINENT = "continent"
+
+
+class OrganisationType(enum.Enum):
+    """Sub-classes of Organisation (spec: University, Company)."""
+
+    UNIVERSITY = "university"
+    COMPANY = "company"
+
+
+class ForumKind(enum.Enum):
+    """The three forum flavours distinguished by title (spec section 2.3.2.1)."""
+
+    WALL = "wall"
+    ALBUM = "album"
+    GROUP = "group"
+
+
+@dataclass(slots=True)
+class Place:
+    """A place in the world (Table 2.6) plus its isPartOf parent."""
+
+    id: int
+    name: str
+    url: str
+    type: PlaceType
+    #: id of the containing Place (country for a city, continent for a
+    #: country, -1 for a continent) — the isPartOf relation of Table 2.10.
+    part_of: int = -1
+
+
+@dataclass(slots=True)
+class Organisation:
+    """An institution (Table 2.4) plus its isLocatedIn place."""
+
+    id: int
+    type: OrganisationType
+    name: str
+    url: str
+    #: City id for a University, Country id for a Company (Table 2.10).
+    place_id: int = -1
+
+
+@dataclass(slots=True)
+class TagClass:
+    """A node of the tag-class hierarchy (Table 2.9)."""
+
+    id: int
+    name: str
+    url: str
+    #: Parent TagClass id, -1 at the root (isSubclassOf, cardinality 0..1).
+    subclass_of: int = -1
+
+
+@dataclass(slots=True)
+class Tag:
+    """A topic or concept (Table 2.8)."""
+
+    id: int
+    name: str
+    url: str
+    #: TagClass id (hasType, cardinality exactly 1).
+    type_id: int = -1
+
+
+@dataclass(slots=True)
+class Person:
+    """The avatar of a real-world person (Table 2.5)."""
+
+    id: int
+    first_name: str
+    last_name: str
+    gender: str
+    birthday: Date
+    creation_date: DateTime
+    location_ip: str
+    browser_used: str
+    #: Home City id (isLocatedIn, cardinality exactly 1).
+    city_id: int = -1
+    emails: list[str] = field(default_factory=list)
+    speaks: list[str] = field(default_factory=list)
+    #: Tag ids the person is interested in (hasInterest).
+    interests: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Forum:
+    """A meeting point where people post messages (Table 2.2)."""
+
+    id: int
+    title: str
+    creation_date: DateTime
+    #: Moderator Person id (hasModerator, cardinality exactly 1).
+    moderator_id: int = -1
+    kind: ForumKind = ForumKind.GROUP
+    #: Tag ids describing the forum's topics (hasTag).
+    tag_ids: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Post:
+    """A Message posted in a Forum (Tables 2.3 and 2.7).
+
+    Exactly one of ``content`` / ``image_file`` is non-empty.
+    """
+
+    id: int
+    creation_date: DateTime
+    location_ip: str
+    browser_used: str
+    content: str
+    length: int
+    creator_id: int
+    forum_id: int
+    #: Country id the post was issued from (isLocatedIn).
+    country_id: int
+    language: str = ""
+    image_file: str = ""
+    tag_ids: list[int] = field(default_factory=list)
+
+    @property
+    def is_comment(self) -> bool:
+        return False
+
+    @property
+    def content_or_image(self) -> str:
+        """The value IC 2/IC 9 project as ``messageContent``."""
+        return self.content if self.content else self.image_file
+
+
+@dataclass(slots=True)
+class Comment:
+    """A Message replying to another Message (Table 2.3).
+
+    Exactly one of ``reply_of_post`` / ``reply_of_comment`` is >= 0.
+    """
+
+    id: int
+    creation_date: DateTime
+    location_ip: str
+    browser_used: str
+    content: str
+    length: int
+    creator_id: int
+    #: Country id the comment was issued from (isLocatedIn).
+    country_id: int
+    reply_of_post: int = -1
+    reply_of_comment: int = -1
+    tag_ids: list[int] = field(default_factory=list)
+
+    @property
+    def is_comment(self) -> bool:
+        return True
+
+    @property
+    def content_or_image(self) -> str:
+        return self.content
+
+
+#: A Message is the abstract union of Post and Comment (spec Table 2.3).
+Message = Post | Comment

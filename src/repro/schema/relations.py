@@ -1,0 +1,100 @@
+"""Attributed relations and the relation registry (spec Table 2.10).
+
+Relations without attributes (hasCreator, containerOf, hasTag, ...) are
+stored as plain adjacency in the graph store; the four attributed
+relations (knows, likes, hasMember, studyAt, workAt) get record types
+here.  ``RELATIONS`` captures the full Table 2.10 metadata — tail/head
+types, cardinalities and direction — which the schema tests and the
+serializer inventory benchmark validate against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.dates import DateTime
+
+
+@dataclass(slots=True, frozen=True)
+class Knows:
+    """Undirected friendship edge.  Stored once with person1 < person2."""
+
+    person1: int
+    person2: int
+    creation_date: DateTime
+
+    def other(self, person_id: int) -> int:
+        return self.person2 if person_id == self.person1 else self.person1
+
+
+@dataclass(slots=True, frozen=True)
+class Likes:
+    """A Person liking a Message (``is_post`` disambiguates the target)."""
+
+    person_id: int
+    message_id: int
+    creation_date: DateTime
+    is_post: bool
+
+
+@dataclass(slots=True, frozen=True)
+class HasMember:
+    """Forum membership with join date."""
+
+    forum_id: int
+    person_id: int
+    join_date: DateTime
+
+
+@dataclass(slots=True, frozen=True)
+class StudyAt:
+    """Person studied at a University, graduating in ``class_year``."""
+
+    person_id: int
+    university_id: int
+    class_year: int
+
+
+@dataclass(slots=True, frozen=True)
+class WorkAt:
+    """Person works at a Company since ``work_from``."""
+
+    person_id: int
+    company_id: int
+    work_from: int
+
+
+@dataclass(slots=True, frozen=True)
+class RelationSpec:
+    """One row of spec Table 2.10."""
+
+    name: str
+    tail: str
+    head: str
+    directed: bool
+    #: Attribute name -> spec type, empty when the relation is plain.
+    attributes: tuple[tuple[str, str], ...] = ()
+
+
+RELATIONS: tuple[RelationSpec, ...] = (
+    RelationSpec("containerOf", "Forum", "Post", True),
+    RelationSpec("hasCreator", "Message", "Person", True),
+    RelationSpec("hasInterest", "Person", "Tag", True),
+    RelationSpec("hasMember", "Forum", "Person", True, (("joinDate", "DateTime"),)),
+    RelationSpec("hasModerator", "Forum", "Person", True),
+    RelationSpec("hasTag (message)", "Message", "Tag", True),
+    RelationSpec("hasTag (forum)", "Forum", "Tag", True),
+    RelationSpec("hasType", "Tag", "TagClass", True),
+    RelationSpec("isLocatedIn (company)", "Company", "Country", True),
+    RelationSpec("isLocatedIn (message)", "Message", "Country", True),
+    RelationSpec("isLocatedIn (person)", "Person", "City", True),
+    RelationSpec("isLocatedIn (university)", "University", "City", True),
+    RelationSpec("isPartOf (city)", "City", "Country", True),
+    RelationSpec("isPartOf (country)", "Country", "Continent", True),
+    RelationSpec("isSubclassOf", "TagClass", "TagClass", True),
+    RelationSpec("knows", "Person", "Person", False, (("creationDate", "DateTime"),)),
+    RelationSpec("likes", "Person", "Message", True, (("creationDate", "DateTime"),)),
+    RelationSpec("replyOf", "Comment", "Message", True),
+    RelationSpec("studyAt", "Person", "University", True, (("classYear", "32-bit Integer"),)),
+    RelationSpec("workAt", "Person", "Company", True, (("workFrom", "32-bit Integer"),)),
+)

@@ -1,0 +1,42 @@
+"""Shared utilities: deterministic RNG derivation, date arithmetic, top-k."""
+
+from repro.util.dates import (
+    MILLIS_PER_DAY,
+    Date,
+    DateTime,
+    date_to_datetime,
+    datetime_to_date,
+    days_between,
+    format_date,
+    format_datetime,
+    make_date,
+    make_datetime,
+    month_of,
+    months_between_inclusive,
+    parse_date,
+    parse_datetime,
+    year_of,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.topk import TopK
+
+__all__ = [
+    "MILLIS_PER_DAY",
+    "Date",
+    "DateTime",
+    "DeterministicRng",
+    "TopK",
+    "date_to_datetime",
+    "datetime_to_date",
+    "days_between",
+    "derive_seed",
+    "format_date",
+    "format_datetime",
+    "make_date",
+    "make_datetime",
+    "month_of",
+    "months_between_inclusive",
+    "parse_date",
+    "parse_datetime",
+    "year_of",
+]

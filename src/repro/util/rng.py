@@ -1,0 +1,122 @@
+"""Deterministic random number generation for Datagen.
+
+The spec (section 2.3.3) requires Datagen to be *deterministic regardless
+of the number of cores/machines used*.  The original generator achieves
+this by seeding every MapReduce task from (master seed, task id).  We
+reproduce the property with stream derivation: every generation stage and
+every per-entity decision draws from a ``random.Random`` seeded by a
+stable 64-bit hash of ``(master_seed, *labels)``, so the output never
+depends on iteration order, process count or Python hash randomization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(master_seed: int, *labels: object) -> int:
+    """Derive a stable 64-bit sub-seed from a master seed and labels.
+
+    Labels may be strings or integers; they are folded into a SHA-256
+    digest so distinct label tuples yield independent streams.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(master_seed).encode())
+    for label in labels:
+        hasher.update(b"\x1f")
+        hasher.update(str(label).encode())
+    return int.from_bytes(hasher.digest()[:8], "big") & _MASK64
+
+
+class DeterministicRng:
+    """A labelled random stream, plus helpers used throughout Datagen."""
+
+    def __init__(self, master_seed: int, *labels: object):
+        self.seed = derive_seed(master_seed, *labels)
+        self._rng = random.Random(self.seed)
+
+    # -- thin wrappers ---------------------------------------------------
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    # -- distributions used by the spec ----------------------------------
+    def geometric(self, p: float) -> int:
+        """Number of failures before the first success, support {0, 1, ...}.
+
+        Used for the sorted-window edge picking of section 2.3.3.2: the
+        probability of connecting to a person *k* positions away in the
+        similarity ranking decays geometrically.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        u = self._rng.random()
+        if p == 1.0:
+            return 0
+        # Inverse CDF of the geometric distribution.
+        import math
+
+        return int(math.log(1.0 - u) / math.log(1.0 - p))
+
+    def zipf_rank(self, n: int, exponent: float = 1.0) -> int:
+        """A rank in [0, n) drawn from a Zipf-like distribution.
+
+        Implements the probability function F of the property-dictionary
+        model (section 2.3.3.1): low ranks are much more likely.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        # Rejection-free approximation via inverse CDF of the continuous
+        # bounded Pareto; adequate for dictionary value picking.
+        u = self._rng.random()
+        if exponent == 1.0:
+            import math
+
+            rank = int((n + 1) ** u) - 1
+        else:
+            import math
+
+            h = (n + 1) ** (1.0 - exponent)
+            rank = int((u * (h - 1.0) + 1.0) ** (1.0 / (1.0 - exponent))) - 1
+        return min(max(rank, 0), n - 1)
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Pick an index proportionally to ``weights``."""
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must have a positive sum")
+        target = self._rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if target < acc:
+                return i
+        return len(weights) - 1
+
+    def subset(self, seq: Iterable[T], probability: float) -> list[T]:
+        """Independent Bernoulli selection of elements."""
+        return [x for x in seq if self._rng.random() < probability]

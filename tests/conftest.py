@@ -1,0 +1,57 @@
+"""Shared fixtures: generated networks at two micro scales.
+
+Generation is deterministic, so session-scoped fixtures are safe: tests
+must not mutate the shared graphs (tests that insert build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import SocialNetworkData, generate
+from repro.graph.store import SocialGraph
+from repro.params.curation import ParameterGenerator
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> DatagenConfig:
+    return DatagenConfig(num_persons=80, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_net(tiny_config) -> SocialNetworkData:
+    return generate(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_net) -> SocialGraph:
+    """The full tiny network (no cutoff truncation)."""
+    return SocialGraph.from_data(tiny_net)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> DatagenConfig:
+    return DatagenConfig(num_persons=300, seed=17)
+
+
+@pytest.fixture(scope="session")
+def small_net(small_config) -> SocialNetworkData:
+    return generate(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_net) -> SocialGraph:
+    """The full small network (no cutoff truncation)."""
+    return SocialGraph.from_data(small_net)
+
+
+@pytest.fixture(scope="session")
+def bulk_graph(small_net) -> SocialGraph:
+    """The small network truncated at the update cutoff (bulk load)."""
+    return SocialGraph.from_data(small_net, until=small_net.cutoff)
+
+
+@pytest.fixture(scope="session")
+def small_params(small_graph, small_config) -> ParameterGenerator:
+    return ParameterGenerator(small_graph, small_config)

@@ -1,0 +1,233 @@
+"""Tests for the activity stage: forums, messages, likes, flashmobs."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.schema.entities import ForumKind
+from repro.util.dates import MILLIS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def net(request):
+    return request.getfixturevalue("small_net")
+
+
+class TestForums:
+    def test_every_person_has_a_wall(self, small_net):
+        walls = [f for f in small_net.forums if f.kind is ForumKind.WALL]
+        assert len(walls) == len(small_net.persons)
+        assert {w.moderator_id for w in walls} == {
+            p.id for p in small_net.persons
+        }
+
+    def test_wall_created_with_person(self, small_net):
+        persons = {p.id: p for p in small_net.persons}
+        for forum in small_net.forums:
+            if forum.kind is ForumKind.WALL:
+                assert forum.creation_date == persons[forum.moderator_id].creation_date
+
+    def test_all_three_kinds_exist(self, small_net):
+        kinds = {f.kind for f in small_net.forums}
+        assert kinds == {ForumKind.WALL, ForumKind.ALBUM, ForumKind.GROUP}
+
+    def test_titles_encode_kind(self, small_net):
+        for forum in small_net.forums:
+            prefix = {
+                ForumKind.WALL: "Wall",
+                ForumKind.ALBUM: "Album",
+                ForumKind.GROUP: "Group",
+            }[forum.kind]
+            assert forum.title.startswith(prefix)
+
+    def test_forum_ids_unique(self, small_net):
+        ids = [f.id for f in small_net.forums]
+        assert len(set(ids)) == len(ids)
+
+    def test_membership_after_forum_creation(self, small_net):
+        created = {f.id: f.creation_date for f in small_net.forums}
+        for membership in small_net.memberships:
+            assert membership.join_date >= created[membership.forum_id]
+
+    def test_membership_after_person_joined_network(self, small_net):
+        persons = {p.id: p.creation_date for p in small_net.persons}
+        for membership in small_net.memberships:
+            assert membership.join_date >= persons[membership.person_id]
+
+    def test_wall_members_are_friends(self, small_net):
+        friends = defaultdict(set)
+        for edge in small_net.knows:
+            friends[edge.person1].add(edge.person2)
+            friends[edge.person2].add(edge.person1)
+        walls = {
+            f.id: f.moderator_id
+            for f in small_net.forums
+            if f.kind is ForumKind.WALL
+        }
+        for membership in small_net.memberships:
+            owner = walls.get(membership.forum_id)
+            if owner is not None:
+                assert membership.person_id in friends[owner]
+
+
+class TestMessages:
+    def test_message_ids_unique_across_posts_and_comments(self, small_net):
+        ids = [p.id for p in small_net.posts] + [c.id for c in small_net.comments]
+        assert len(set(ids)) == len(ids)
+
+    def test_posts_in_existing_forums(self, small_net):
+        forums = {f.id for f in small_net.forums}
+        assert all(p.forum_id in forums for p in small_net.posts)
+
+    def test_post_after_forum_and_creator(self, small_net):
+        forums = {f.id: f.creation_date for f in small_net.forums}
+        persons = {p.id: p.creation_date for p in small_net.persons}
+        for post in small_net.posts:
+            assert post.creation_date > forums[post.forum_id]
+            assert post.creation_date > persons[post.creator_id]
+
+    def test_content_xor_image(self, small_net):
+        # Spec: Posts have content or imageFile, one but never both.
+        for post in small_net.posts:
+            assert (post.content == "") != (post.image_file == "")
+
+    def test_image_posts_only_in_albums(self, small_net):
+        albums = {
+            f.id for f in small_net.forums if f.kind is ForumKind.ALBUM
+        }
+        for post in small_net.posts:
+            if post.image_file:
+                assert post.forum_id in albums
+
+    def test_length_matches_content(self, small_net):
+        for post in small_net.posts:
+            assert post.length == len(post.content)
+        for comment in small_net.comments:
+            assert comment.length == len(comment.content)
+
+    def test_length_bands_all_represented(self, small_net):
+        from repro.queries.bi.q01 import length_category
+
+        bands = {
+            length_category(m.length)
+            for m in small_net.posts
+            if m.content
+        }
+        assert bands == {0, 1, 2, 3}
+
+    def test_comment_parent_exists_and_precedes(self, small_net):
+        created = {p.id: p.creation_date for p in small_net.posts}
+        created.update({c.id: c.creation_date for c in small_net.comments})
+        for comment in small_net.comments:
+            assert (comment.reply_of_post >= 0) != (comment.reply_of_comment >= 0)
+            parent = (
+                comment.reply_of_post
+                if comment.reply_of_post >= 0
+                else comment.reply_of_comment
+            )
+            assert parent in created
+            assert comment.creation_date > created[parent]
+
+    def test_reply_trees_are_acyclic(self, small_net):
+        parents = {}
+        for comment in small_net.comments:
+            parents[comment.id] = (
+                comment.reply_of_post
+                if comment.reply_of_post >= 0
+                else comment.reply_of_comment
+            )
+        posts = {p.id for p in small_net.posts}
+        for start in parents:
+            seen = set()
+            node = start
+            while node not in posts:
+                assert node not in seen
+                seen.add(node)
+                node = parents[node]
+
+    def test_language_from_creator(self, small_net):
+        speaks = {p.id: set(p.speaks) for p in small_net.persons}
+        for post in small_net.posts:
+            assert post.language in speaks[post.creator_id]
+
+    def test_message_tags_unique(self, small_net):
+        for post in small_net.posts:
+            assert len(set(post.tag_ids)) == len(post.tag_ids)
+
+
+class TestLikes:
+    def test_no_self_likes(self, small_net):
+        creators = {p.id: p.creator_id for p in small_net.posts}
+        creators.update({c.id: c.creator_id for c in small_net.comments})
+        for like in small_net.likes:
+            assert like.person_id != creators[like.message_id]
+
+    def test_like_after_message(self, small_net):
+        created = {p.id: p.creation_date for p in small_net.posts}
+        created.update({c.id: c.creation_date for c in small_net.comments})
+        persons = {p.id: p.creation_date for p in small_net.persons}
+        for like in small_net.likes:
+            assert like.creation_date > created[like.message_id]
+            # Likes land within ~a week of the message becoming visible
+            # to the liker (message creation or the liker joining).
+            visible = max(created[like.message_id], persons[like.person_id])
+            assert like.creation_date <= visible + 8 * MILLIS_PER_DAY
+
+    def test_is_post_flag_correct(self, small_net):
+        posts = {p.id for p in small_net.posts}
+        for like in small_net.likes:
+            assert like.is_post == (like.message_id in posts)
+
+    def test_at_most_one_like_per_person_message(self, small_net):
+        pairs = [(l.person_id, l.message_id) for l in small_net.likes]
+        assert len(set(pairs)) == len(pairs)
+
+
+class TestActivityCorrelation:
+    def test_high_degree_persons_post_more(self, small_net):
+        degrees = defaultdict(int)
+        for edge in small_net.knows:
+            degrees[edge.person1] += 1
+            degrees[edge.person2] += 1
+        posts = defaultdict(int)
+        for post in small_net.posts:
+            posts[post.creator_id] += 1
+        persons = sorted(degrees, key=degrees.get)
+        n = len(persons) // 4
+        low = sum(posts[p] for p in persons[:n]) / n
+        high = sum(posts[p] for p in persons[-n:]) / n
+        assert high > 1.5 * low
+
+
+class TestFlashmobs:
+    def test_events_generated(self, small_net):
+        config = small_net.config
+        assert len(small_net.flashmob_events) == (
+            config.flashmob_events_per_year * config.num_years
+        )
+
+    def test_events_inside_simulation(self, small_net):
+        config = small_net.config
+        for event in small_net.flashmob_events:
+            assert config.start_millis <= event.peak < config.end_millis
+
+    def test_volume_spike_around_strong_event(self, small_net):
+        """Posts carrying an event's tag cluster around the peak: their
+        concentration in the +-7 day window beats the background rate."""
+
+        def window_fraction(posts, peak):
+            near = sum(
+                1
+                for p in posts
+                if abs(p.creation_date - peak) < 7 * MILLIS_PER_DAY
+            )
+            return near / len(posts) if posts else 0.0
+
+        event = max(small_net.flashmob_events, key=lambda e: e.intensity)
+        tagged = [
+            p for p in small_net.posts if p.tag_ids and p.tag_ids[0] == event.tag_id
+        ]
+        if len(tagged) < 10:
+            pytest.skip("strongest event drew too few posts at this scale")
+        background = window_fraction(small_net.posts, event.peak)
+        assert window_fraction(tagged, event.peak) > 3 * max(background, 0.01)

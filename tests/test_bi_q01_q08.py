@@ -1,0 +1,330 @@
+"""Exact-semantics tests for BI 1 - BI 8 on hand-built graphs."""
+
+import pytest
+
+from repro.queries.bi import bi1, bi2, bi3, bi4, bi5, bi6, bi7, bi8
+from repro.queries.bi.q01 import length_category
+from repro.util.dates import make_date
+
+from tests.builders import (
+    FRANCE,
+    GraphBuilder,
+    LYON,
+    PARIS,
+    TAG_BEBOP,
+    TAG_JAZZ,
+    TAG_ROCK,
+    TAG_SUMO,
+    TOKYO,
+    ts,
+)
+
+
+class TestBi1PostingSummary:
+    def test_length_categories(self):
+        assert length_category(0) == 0
+        assert length_category(39) == 0
+        assert length_category(40) == 1
+        assert length_category(79) == 1
+        assert length_category(80) == 2
+        assert length_category(159) == 2
+        assert length_category(160) == 3
+
+    def test_groups_and_percentages(self):
+        b = GraphBuilder()
+        p = b.person()
+        f = b.forum(p)
+        b.post(p, f, created=ts(5, 1, 2010), content="x" * 30)   # 2010 short
+        b.post(p, f, created=ts(6, 1, 2010), content="x" * 30)   # 2010 short
+        post = b.post(p, f, created=ts(5, 1, 2011), content="x" * 200)  # 2011 long
+        b.comment(p, post, created=ts(5, 2, 2011), content="x" * 50)    # comment
+        rows = bi1(b.graph, make_date(2012, 1, 1))
+        assert len(rows) == 3
+        # Sorted year desc, posts before comments, category asc.
+        assert [(r.year, r.is_comment, r.length_category) for r in rows] == [
+            (2011, False, 3), (2011, True, 1), (2010, False, 0),
+        ]
+        short_2010 = rows[2]
+        assert short_2010.message_count == 2
+        assert short_2010.average_message_length == 30.0
+        assert short_2010.sum_message_length == 60
+        assert short_2010.percentage_of_messages == pytest.approx(50.0)
+
+    def test_date_filter_excludes_later_messages(self):
+        b = GraphBuilder()
+        p = b.person()
+        f = b.forum(p)
+        b.post(p, f, created=ts(5, 1, 2010))
+        b.post(p, f, created=ts(5, 1, 2012))
+        rows = bi1(b.graph, make_date(2011, 1, 1))
+        assert sum(r.message_count for r in rows) == 1
+
+    def test_empty_graph(self):
+        b = GraphBuilder()
+        assert bi1(b.graph, make_date(2012, 1, 1)) == []
+
+
+class TestBi2TopTags:
+    def test_groups_by_country_month_gender_age_tag(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS, gender="female", born=make_date(1985, 6, 15))
+        bob = b.person(city=TOKYO, gender="male", born=make_date(1985, 6, 15))
+        f = b.forum(ann)
+        b.post(ann, f, created=ts(5, 10), tags=(TAG_ROCK,))
+        b.post(ann, f, created=ts(5, 20), tags=(TAG_ROCK,))
+        b.post(bob, f, created=ts(5, 10), tags=(TAG_JAZZ,))
+        rows = bi2(
+            b.graph, make_date(2012, 1, 1), make_date(2013, 1, 1),
+            "France", "Japan", make_date(2013, 1, 1),
+        )
+        assert rows[0].message_count == 2
+        assert rows[0].country_name == "France"
+        assert rows[0].tag_name == "Rock"
+        assert rows[0].person_gender == "female"
+        assert rows[0].message_month == 5
+        assert len(rows) == 2
+
+    def test_window_excludes_outside(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        f = b.forum(ann)
+        b.post(ann, f, created=ts(5, 10, 2010), tags=(TAG_ROCK,))
+        rows = bi2(
+            b.graph, make_date(2012, 1, 1), make_date(2013, 1, 1),
+            "France", "Japan", make_date(2013, 1, 1),
+        )
+        assert rows == []
+
+    def test_min_count_threshold(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        f = b.forum(ann)
+        b.post(ann, f, created=ts(5, 10), tags=(TAG_ROCK,))
+        rows = bi2(
+            b.graph, make_date(2012, 1, 1), make_date(2013, 1, 1),
+            "France", "Japan", make_date(2013, 1, 1), min_count=2,
+        )
+        assert rows == []
+
+    def test_age_group_is_five_year_bucket(self):
+        b = GraphBuilder()
+        young = b.person(city=PARIS, born=make_date(1992, 1, 1))
+        old = b.person(city=PARIS, born=make_date(1980, 1, 1))
+        f = b.forum(young)
+        b.post(young, f, created=ts(5, 10), tags=(TAG_ROCK,))
+        b.post(old, f, created=ts(5, 10), tags=(TAG_ROCK,))
+        rows = bi2(
+            b.graph, make_date(2012, 1, 1), make_date(2013, 1, 1),
+            "France", "Japan", make_date(2013, 1, 1),
+        )
+        assert {r.age_group for r in rows} == {4, 6}  # 21y -> 4, 33y -> 6
+
+
+class TestBi3TagEvolution:
+    def test_diff_between_months(self):
+        b = GraphBuilder()
+        p = b.person()
+        f = b.forum(p)
+        for day in (1, 2, 3):
+            b.post(p, f, created=ts(4, day), tags=(TAG_ROCK,))
+        b.post(p, f, created=ts(5, 1), tags=(TAG_ROCK,))
+        b.post(p, f, created=ts(5, 2), tags=(TAG_JAZZ,))
+        rows = bi3(b.graph, 2012, 4)
+        assert rows[0] == ("Rock", 3, 1, 2)
+        assert rows[1] == ("Jazz", 0, 1, 1)
+
+    def test_year_wraparound(self):
+        b = GraphBuilder()
+        p = b.person()
+        f = b.forum(p)
+        b.post(p, f, created=ts(12, 15, 2011), tags=(TAG_ROCK,))
+        b.post(p, f, created=ts(1, 15, 2012), tags=(TAG_ROCK,))
+        rows = bi3(b.graph, 2011, 12)
+        assert rows[0] == ("Rock", 1, 1, 0)
+
+    def test_other_months_ignored(self):
+        b = GraphBuilder()
+        p = b.person()
+        f = b.forum(p)
+        b.post(p, f, created=ts(1, 15), tags=(TAG_ROCK,))
+        assert bi3(b.graph, 2012, 5) == []
+
+
+class TestBi4PopularTopics:
+    def test_counts_posts_with_class_tag(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        bob = b.person(city=TOKYO)
+        f_ann = b.forum(ann, title="Group ann")
+        f_bob = b.forum(bob, title="Group bob")
+        b.post(ann, f_ann, tags=(TAG_ROCK,))
+        b.post(ann, f_ann, tags=(TAG_JAZZ,))
+        b.post(ann, f_ann, tags=(TAG_SUMO,))   # wrong class
+        b.post(bob, f_bob, tags=(TAG_ROCK,))   # moderator not in France
+        rows = bi4(b.graph, "Music", "France")
+        assert len(rows) == 1
+        assert rows[0].forum_id == f_ann
+        assert rows[0].post_count == 2
+
+    def test_direct_class_only(self):
+        """Bebop's class is JazzGenre (a subclass) — not counted for Music."""
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        f = b.forum(ann)
+        b.post(ann, f, tags=(TAG_BEBOP,))
+        assert bi4(b.graph, "Music", "France") == []
+
+    def test_sorting(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        f1 = b.forum(ann, title="Group one")
+        f2 = b.forum(ann, title="Group two")
+        b.post(ann, f1, tags=(TAG_ROCK,))
+        b.post(ann, f2, tags=(TAG_ROCK,))
+        b.post(ann, f2, tags=(TAG_JAZZ,))
+        rows = bi4(b.graph, "Music", "France")
+        assert [r.forum_id for r in rows] == [f2, f1]
+
+
+class TestBi5TopPosters:
+    def test_posts_in_popular_forums_counted(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        bob = b.person(city=PARIS)
+        f = b.forum(ann)
+        b.member(f, ann)
+        b.member(f, bob)
+        b.post(ann, f)
+        b.post(ann, f)
+        rows = bi5(b.graph, "France")
+        assert rows[0].person_id == ann
+        assert rows[0].post_count == 2
+        # Members with zero posts still appear.
+        assert rows[1].person_id == bob
+        assert rows[1].post_count == 0
+
+    def test_posts_outside_popular_forums_not_counted(self):
+        b = GraphBuilder()
+        persons = [b.person(city=PARIS) for _ in range(3)]
+        # 101 forums: one with 2 members (popular), then 100 single-member
+        # forums crowd the top-100 list; one extra forum falls out.
+        big = b.forum(persons[0], title="Group big")
+        for member in persons[:2]:
+            b.member(big, member)
+        small_forums = []
+        for i in range(101):
+            forum = b.forum(persons[2], title=f"Group s{i}")
+            b.member(forum, persons[2])
+            small_forums.append(forum)
+        # The last-created single-member forum loses the tie-break (ids
+        # ascend); posts there must not count.
+        b.post(persons[2], small_forums[-1])
+        rows = bi5(b.graph, "France")
+        by_person = {r.person_id: r.post_count for r in rows}
+        assert by_person[persons[2]] == 0
+
+
+class TestBi6ActivePosters:
+    def test_score_formula(self):
+        b = GraphBuilder()
+        ann = b.person()
+        bob = b.person()
+        carol = b.person()
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        b.comment(bob, post)          # 1 reply
+        b.like(bob, post)             # 1 like
+        b.like(carol, post)           # 2nd like
+        rows = bi6(b.graph, "Rock")
+        assert rows == [(ann, 1, 1, 2, 1 + 2 * 1 + 10 * 2)]
+
+    def test_only_tagged_messages(self):
+        b = GraphBuilder()
+        ann = b.person()
+        f = b.forum(ann)
+        b.post(ann, f, tags=(TAG_JAZZ,))
+        assert bi6(b.graph, "Rock") == []
+
+    def test_sorting_by_score_then_id(self):
+        b = GraphBuilder()
+        ann = b.person()
+        bob = b.person()
+        f = b.forum(ann)
+        b.post(ann, f, tags=(TAG_ROCK,))
+        b.post(bob, f, tags=(TAG_ROCK,))
+        rows = bi6(b.graph, "Rock")
+        assert [r.person_id for r in rows] == [ann, bob]
+
+
+class TestBi7AuthoritativeUsers:
+    def test_authority_is_liker_popularity_sum(self):
+        b = GraphBuilder()
+        author = b.person()
+        liker = b.person()
+        fan1 = b.person()
+        fan2 = b.person()
+        f = b.forum(author)
+        tagged = b.post(author, f, tags=(TAG_ROCK,))
+        liker_post = b.post(liker, f)
+        # liker's popularity: 2 likes on their post.
+        b.like(fan1, liker_post)
+        b.like(fan2, liker_post)
+        b.like(liker, tagged)
+        rows = bi7(b.graph, "Rock")
+        assert rows[0] == (author, 2)
+
+    def test_distinct_likers_counted_once(self):
+        b = GraphBuilder()
+        author = b.person()
+        liker = b.person()
+        fan = b.person()
+        f = b.forum(author)
+        p1 = b.post(author, f, tags=(TAG_ROCK,))
+        p2 = b.post(author, f, tags=(TAG_ROCK,))
+        own = b.post(liker, f)
+        b.like(fan, own)
+        b.like(liker, p1)
+        b.like(liker, p2)  # same liker on a second tagged message
+        rows = bi7(b.graph, "Rock")
+        assert rows[0].authority_score == 1
+
+    def test_zero_popularity_likers(self):
+        b = GraphBuilder()
+        author = b.person()
+        nobody = b.person()
+        f = b.forum(author)
+        post = b.post(author, f, tags=(TAG_ROCK,))
+        b.like(nobody, post)
+        assert bi7(b.graph, "Rock")[0].authority_score == 0
+
+
+class TestBi8RelatedTopics:
+    def test_counts_reply_tags(self):
+        b = GraphBuilder()
+        ann = b.person()
+        bob = b.person()
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        b.comment(bob, post, tags=(TAG_JAZZ,))
+        b.comment(bob, post, tags=(TAG_JAZZ, TAG_SUMO))
+        rows = bi8(b.graph, "Rock")
+        assert rows[0] == ("Jazz", 2)
+        assert rows[1] == ("Sumo", 1)
+
+    def test_replies_sharing_the_tag_excluded(self):
+        b = GraphBuilder()
+        ann = b.person()
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        b.comment(ann, post, tags=(TAG_ROCK, TAG_JAZZ))
+        assert bi8(b.graph, "Rock") == []
+
+    def test_only_direct_replies(self):
+        b = GraphBuilder()
+        ann = b.person()
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        direct = b.comment(ann, post, tags=(TAG_JAZZ,))
+        b.comment(ann, direct, tags=(TAG_SUMO,))  # transitive: excluded
+        rows = bi8(b.graph, "Rock")
+        assert [r.related_tag_name for r in rows] == ["Jazz"]

@@ -1,0 +1,312 @@
+"""Exact-semantics tests for BI 9 - BI 16 on hand-built graphs."""
+
+import pytest
+
+from repro.queries.bi import bi9, bi10, bi11, bi12, bi13, bi14, bi15, bi16
+from repro.util.dates import make_date
+
+from tests.builders import (
+    GraphBuilder,
+    LYON,
+    PARIS,
+    TAG_BEBOP,
+    TAG_JAZZ,
+    TAG_ROCK,
+    TAG_SUMO,
+    TOKYO,
+    ts,
+)
+
+
+class TestBi9ForumRelatedTags:
+    def test_counts_per_class(self):
+        b = GraphBuilder()
+        ann = b.person()
+        bob = b.person()
+        f = b.forum(ann)
+        b.member(f, ann)
+        b.member(f, bob)
+        b.post(ann, f, tags=(TAG_ROCK,))       # Music
+        b.post(ann, f, tags=(TAG_JAZZ,))       # Music
+        b.post(ann, f, tags=(TAG_SUMO,))       # Sport
+        rows = bi9(b.graph, "Music", "Sport", threshold=1)
+        assert rows == [(f, "Group for testing", 2, 1)]
+
+    def test_member_threshold_is_strict(self):
+        b = GraphBuilder()
+        ann = b.person()
+        f = b.forum(ann)
+        b.member(f, ann)
+        b.post(ann, f, tags=(TAG_ROCK,))
+        assert bi9(b.graph, "Music", "Sport", threshold=1) == []
+        assert len(bi9(b.graph, "Music", "Sport", threshold=0)) == 1
+
+    def test_forums_without_class_posts_excluded(self):
+        b = GraphBuilder()
+        ann = b.person()
+        f = b.forum(ann)
+        b.member(f, ann)
+        b.post(ann, f, tags=(TAG_BEBOP,))  # JazzGenre, neither class
+        assert bi9(b.graph, "Music", "Sport", threshold=0) == []
+
+
+class TestBi10CentralPerson:
+    def test_interest_and_message_scores(self):
+        b = GraphBuilder()
+        fan = b.person(interests=(TAG_ROCK,))
+        writer = b.person()
+        f = b.forum(writer)
+        b.post(writer, f, created=ts(6, 1), tags=(TAG_ROCK,))
+        b.post(writer, f, created=ts(6, 2), tags=(TAG_ROCK,))
+        rows = bi10(b.graph, "Rock", make_date(2012, 1, 1))
+        by_id = {r.person_id: r for r in rows}
+        assert by_id[fan].score == 100
+        assert by_id[writer].score == 2
+
+    def test_messages_before_date_ignored(self):
+        b = GraphBuilder()
+        writer = b.person()
+        f = b.forum(writer)
+        b.post(writer, f, created=ts(6, 1, 2010), tags=(TAG_ROCK,))
+        assert bi10(b.graph, "Rock", make_date(2012, 1, 1)) == []
+
+    def test_friends_score(self):
+        b = GraphBuilder()
+        fan = b.person(interests=(TAG_ROCK,))
+        friend = b.person()
+        b.knows(fan, friend)
+        rows = bi10(b.graph, "Rock", make_date(2012, 1, 1))
+        by_id = {r.person_id: r for r in rows}
+        assert by_id[friend].score == 0
+        assert by_id[friend].friends_score == 100
+        assert by_id[fan].friends_score == 0
+
+    def test_sorted_by_total(self):
+        b = GraphBuilder()
+        fan = b.person(interests=(TAG_ROCK,))
+        friend1 = b.person(interests=(TAG_ROCK,))
+        b.knows(fan, friend1)
+        rows = bi10(b.graph, "Rock", make_date(2012, 1, 1))
+        # Both have 100 + 100; tie broken by id.
+        assert [r.person_id for r in rows] == [fan, friend1]
+
+
+class TestBi11UnrelatedReplies:
+    def test_counts_unrelated_reply_tags_and_likes(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        bob = b.person(city=PARIS)
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        reply = b.comment(bob, post, tags=(TAG_JAZZ,), content="clean words")
+        b.like(ann, reply)
+        rows = bi11(b.graph, "France", ("bad",))
+        assert rows == [(bob, "Jazz", 1, 1)]
+
+    def test_related_replies_excluded(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        b.comment(ann, post, tags=(TAG_ROCK, TAG_JAZZ), content="clean")
+        assert bi11(b.graph, "France", ()) == []
+
+    def test_blacklisted_words_excluded(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        b.comment(ann, post, tags=(TAG_JAZZ,), content="This is Spam indeed")
+        assert bi11(b.graph, "France", ("spam",)) == []
+
+    def test_only_residents(self):
+        b = GraphBuilder()
+        ann = b.person(city=PARIS)
+        bob = b.person(city=TOKYO)
+        f = b.forum(ann)
+        post = b.post(ann, f, tags=(TAG_ROCK,))
+        b.comment(bob, post, tags=(TAG_JAZZ,), content="clean")
+        assert bi11(b.graph, "France", ()) == []
+
+
+class TestBi12TrendingPosts:
+    def test_threshold_is_strict(self):
+        b = GraphBuilder()
+        ann = b.person(first_name="Ann", last_name="Zed")
+        f1 = b.person()
+        f2 = b.person()
+        forum = b.forum(ann)
+        post = b.post(ann, forum, created=ts(6, 1))
+        b.like(f1, post)
+        b.like(f2, post)
+        rows = bi12(b.graph, make_date(2012, 1, 1), like_threshold=1)
+        assert rows == [(post, ts(6, 1), "Ann", "Zed", 2)]
+        assert bi12(b.graph, make_date(2012, 1, 1), like_threshold=2) == []
+
+    def test_date_is_exclusive(self):
+        b = GraphBuilder()
+        ann = b.person()
+        fan = b.person()
+        forum = b.forum(ann)
+        post = b.post(ann, forum, created=ts(1, 1, 2012, hour=0))
+        b.like(fan, post)
+        assert bi12(b.graph, make_date(2012, 1, 1), 0) == []
+
+    def test_comments_count_as_messages(self):
+        b = GraphBuilder()
+        ann = b.person()
+        fan = b.person()
+        forum = b.forum(ann)
+        post = b.post(ann, forum, created=ts(6, 1))
+        reply = b.comment(ann, post, created=ts(6, 2))
+        b.like(fan, reply)
+        rows = bi12(b.graph, make_date(2012, 1, 1), 0)
+        assert [r.message_id for r in rows] == [reply]
+
+
+class TestBi13PopularTags:
+    def test_top5_per_month(self):
+        b = GraphBuilder()
+        ann = b.person()
+        forum = b.forum(ann)
+        for _ in range(3):
+            b.post(ann, forum, created=ts(4, 2), tags=(TAG_ROCK,), country=10)
+        b.post(ann, forum, created=ts(4, 3), tags=(TAG_JAZZ,), country=10)
+        rows = bi13(b.graph, "France")
+        assert len(rows) == 1
+        assert rows[0].year == 2012 and rows[0].month == 4
+        assert rows[0].popular_tags == (("Rock", 3), ("Jazz", 1))
+
+    def test_month_without_tags_has_empty_list(self):
+        b = GraphBuilder()
+        ann = b.person()
+        forum = b.forum(ann)
+        b.post(ann, forum, created=ts(4, 2), country=10)  # untagged
+        rows = bi13(b.graph, "France")
+        assert rows == [(2012, 4, ())]
+
+    def test_groups_by_message_country_not_creator(self):
+        b = GraphBuilder()
+        ann = b.person(city=TOKYO)  # lives in Japan
+        forum = b.forum(ann)
+        b.post(ann, forum, created=ts(4, 2), tags=(TAG_ROCK,), country=10)
+        assert len(bi13(b.graph, "France")) == 1
+        assert bi13(b.graph, "Japan") == []
+
+    def test_sort_year_desc_month_asc(self):
+        b = GraphBuilder()
+        ann = b.person()
+        forum = b.forum(ann)
+        for year, month in ((2011, 3), (2012, 1), (2012, 7)):
+            b.post(ann, forum, created=ts(month, 1, year), country=10)
+        rows = bi13(b.graph, "France")
+        assert [(r.year, r.month) for r in rows] == [
+            (2012, 1), (2012, 7), (2011, 3),
+        ]
+
+
+class TestBi14ThreadInitiators:
+    def test_thread_and_message_counts(self):
+        b = GraphBuilder()
+        ann = b.person()
+        bob = b.person()
+        forum = b.forum(ann)
+        post = b.post(ann, forum, created=ts(5, 1))
+        reply = b.comment(bob, post, created=ts(5, 2))
+        b.comment(ann, reply, created=ts(5, 3))
+        rows = bi14(b.graph, make_date(2012, 1, 1), make_date(2012, 12, 31))
+        assert rows == [(ann, "Ann", "Lee", 1, 3)]
+
+    def test_messages_outside_window_not_counted(self):
+        b = GraphBuilder()
+        ann = b.person()
+        forum = b.forum(ann)
+        post = b.post(ann, forum, created=ts(5, 1))
+        b.comment(ann, post, created=ts(9, 1))  # after end
+        rows = bi14(b.graph, make_date(2012, 4, 1), make_date(2012, 6, 30))
+        assert rows[0].message_count == 1
+
+    def test_end_day_inclusive(self):
+        b = GraphBuilder()
+        ann = b.person()
+        forum = b.forum(ann)
+        b.post(ann, forum, created=ts(6, 30, hour=23))
+        rows = bi14(b.graph, make_date(2012, 6, 1), make_date(2012, 6, 30))
+        assert rows[0].thread_count == 1
+
+    def test_posts_outside_window_no_thread(self):
+        b = GraphBuilder()
+        ann = b.person()
+        forum = b.forum(ann)
+        post = b.post(ann, forum, created=ts(1, 1))
+        b.comment(ann, post, created=ts(5, 5))  # reply inside window
+        rows = bi14(b.graph, make_date(2012, 4, 1), make_date(2012, 6, 30))
+        assert rows == []  # the root post is outside -> no thread
+
+
+class TestBi15SocialNormals:
+    def test_average_and_matches(self):
+        b = GraphBuilder()
+        p = [b.person(city=PARIS) for _ in range(4)]
+        outsider = b.person(city=TOKYO)
+        # In-country degrees: p0:2, p1:1, p2:1, p3:0 -> avg = 1.
+        b.knows(p[0], p[1])
+        b.knows(p[0], p[2])
+        b.knows(p[3], outsider)  # cross-country edge does not count
+        rows = bi15(b.graph, "France")
+        assert rows == [(p[1], 1), (p[2], 1)]
+
+    def test_empty_country(self):
+        b = GraphBuilder()
+        b.person(city=TOKYO)
+        assert bi15(b.graph, "France") == []
+
+    def test_floor_of_average(self):
+        b = GraphBuilder()
+        p = [b.person(city=PARIS) for _ in range(3)]
+        b.knows(p[0], p[1])
+        # Degrees 1,1,0 -> avg 2/3 -> floor 0 -> only p2 matches.
+        rows = bi15(b.graph, "France")
+        assert rows == [(p[2], 0)]
+
+
+class TestBi16ExpertsInSocialCircle:
+    def _circle(self):
+        b = GraphBuilder()
+        start = b.person(city=PARIS)
+        hop1 = b.person(city=PARIS)
+        hop2 = b.person(city=PARIS)
+        hop3 = b.person(city=PARIS)
+        b.knows(start, hop1)
+        b.knows(hop1, hop2)
+        b.knows(hop2, hop3)
+        forum = b.forum(start)
+        return b, start, hop1, hop2, hop3, forum
+
+    def test_distance_range(self):
+        b, start, hop1, hop2, hop3, forum = self._circle()
+        for person in (hop1, hop2, hop3):
+            b.post(person, forum, tags=(TAG_ROCK,))
+        rows = bi16(b.graph, start, "France", "Music", 2, 3)
+        assert {r.person_id for r in rows} == {hop2, hop3}
+
+    def test_country_filter(self):
+        b, start, hop1, hop2, hop3, forum = self._circle()
+        tokyoite = b.person(city=TOKYO)
+        b.knows(hop1, tokyoite)
+        b.post(tokyoite, forum, tags=(TAG_ROCK,))
+        rows = bi16(b.graph, start, "France", "Music", 1, 2)
+        assert tokyoite not in {r.person_id for r in rows}
+
+    def test_groups_by_all_tags_of_matching_messages(self):
+        b, start, hop1, hop2, hop3, forum = self._circle()
+        b.post(hop1, forum, tags=(TAG_ROCK, TAG_SUMO))
+        rows = bi16(b.graph, start, "France", "Music", 1, 2)
+        assert {(r.person_id, r.tag_name) for r in rows} == {
+            (hop1, "Rock"), (hop1, "Sumo"),
+        }
+
+    def test_messages_without_class_tag_ignored(self):
+        b, start, hop1, hop2, hop3, forum = self._circle()
+        b.post(hop1, forum, tags=(TAG_SUMO,))  # Sport only
+        assert bi16(b.graph, start, "France", "Music", 1, 2) == []

@@ -1,0 +1,165 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_generates_all_artefacts(self, tmp_path, capsys):
+        code = main([
+            "generate", "--persons", "80", "--seed", "5",
+            "--output", str(tmp_path), "--bindings", "3", "--deletes",
+        ])
+        assert code == 0
+        assert (tmp_path / "social_network" / "dynamic" / "person_0_0.csv").exists()
+        assert (tmp_path / "social_network" / "updateStream_0_0_forum.csv").exists()
+        assert (tmp_path / "social_network" / "deleteStream_0_0.csv").exists()
+        params_dir = tmp_path / "substitution_parameters"
+        assert (params_dir / "interactive_1_param.txt").exists()
+        assert (params_dir / "bi_25_param.txt").exists()
+        out = capsys.readouterr().out
+        assert "generated 80 persons" in out
+
+    def test_parameter_files_are_json_lines(self, tmp_path):
+        main([
+            "generate", "--persons", "80", "--seed", "5",
+            "--output", str(tmp_path), "--bindings", "2",
+        ])
+        path = tmp_path / "substitution_parameters" / "bi_12_param.txt"
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert set(record) == {"date", "likeThreshold"}
+
+    def test_turtle_format(self, tmp_path):
+        main([
+            "generate", "--persons", "80", "--seed", "5",
+            "--output", str(tmp_path), "--format", "Turtle",
+        ])
+        assert (tmp_path / "social_network" / "0_ldbc_socialnet.ttl").exists()
+
+
+class TestRunBi:
+    def test_single_query(self, capsys):
+        code = main(["run-bi", "--persons", "80", "--query", "1", "--limit", "2"])
+        assert code == 0
+        assert "-- BI 1:" in capsys.readouterr().out
+
+    def test_power_test(self, capsys):
+        code = main(["run-bi", "--persons", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "power@SF" in out and "BI 25" in out
+
+
+class TestRunInteractive:
+    def test_driver_run(self, capsys):
+        code = main(["run-interactive", "--persons", "80", "--updates", "100"])
+        assert code == 0
+        assert "ops/s" in capsys.readouterr().out
+
+    def test_fdr_output(self, capsys):
+        code = main([
+            "run-interactive", "--persons", "80", "--updates", "50", "--fdr",
+        ])
+        assert code == 0
+        assert "Full Disclosure Report" in capsys.readouterr().out
+
+    def test_with_deletes(self, capsys):
+        code = main([
+            "run-interactive", "--persons", "80", "--updates", "200",
+            "--deletes",
+        ])
+        assert code == 0
+
+
+class TestValidate:
+    def test_create_then_check(self, tmp_path, capsys):
+        path = tmp_path / "validation.json"
+        assert main([
+            "validate", "--persons", "80", "--seed", "5", str(path),
+            "--create", "--bindings", "1",
+        ]) == 0
+        assert path.exists()
+        assert main([
+            "validate", "--persons", "80", "--seed", "5", str(path),
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_fails_for_different_seed(self, tmp_path, capsys):
+        path = tmp_path / "validation.json"
+        main([
+            "validate", "--persons", "80", "--seed", "5", str(path),
+            "--create", "--bindings", "1",
+        ])
+        code = main(["validate", "--persons", "80", "--seed", "6", str(path)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_chokepoints(self, capsys):
+        assert main(["report", "chokepoints"]) == 0
+        assert "CP" in capsys.readouterr().out
+
+    def test_scale_factors(self, capsys):
+        assert main(["report", "scale-factors"]) == 0
+        assert "1500" in capsys.readouterr().out
+
+
+class TestParameterFiles:
+    def test_roundtrip(self, tmp_path, small_params):
+        from repro.params.files import (
+            BI_PARAM_NAMES,
+            INTERACTIVE_PARAM_NAMES,
+            read_parameter_file,
+            write_parameter_files,
+        )
+
+        root = write_parameter_files(small_params, tmp_path, bindings_per_query=3)
+        for number, names in INTERACTIVE_PARAM_NAMES.items():
+            bindings = read_parameter_file(
+                root / f"interactive_{number}_param.txt", names
+            )
+            assert bindings == [
+                tuple(b) for b in small_params.interactive(number, count=3)
+            ]
+        for number, names in BI_PARAM_NAMES.items():
+            path = root / f"bi_{number}_param.txt"
+            parsed = read_parameter_file(path, names)
+            original = small_params.bi(number, count=3)
+            assert len(parsed) == len(original)
+
+    def test_read_back_bindings_run(self, tmp_path, small_graph, small_params):
+        from repro.params.files import (
+            BI_PARAM_NAMES,
+            read_parameter_file,
+            write_parameter_files,
+        )
+        from repro.queries.bi import ALL_QUERIES
+
+        root = write_parameter_files(small_params, tmp_path, bindings_per_query=2)
+        for number, names in BI_PARAM_NAMES.items():
+            bindings = read_parameter_file(root / f"bi_{number}_param.txt", names)
+            for binding in bindings:
+                ALL_QUERIES[number][0](small_graph, *binding)
+
+
+class TestResultsDir:
+    def test_results_directory_written(self, tmp_path, capsys):
+        code = main([
+            "run-interactive", "--persons", "80", "--updates", "100",
+            "--results-dir", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        results = tmp_path / "results"
+        assert (results / "configuration.json").exists()
+        assert (results / "results_log.csv").exists()
+        summary = json.loads((results / "results_summary.json").read_text())
+        assert summary["total_operations"] >= 100
+        assert "per_operation" in summary
+        config = json.loads((results / "configuration.json").read_text())
+        assert config["persons"] == 80

@@ -1,0 +1,115 @@
+"""Unit tests for repro.util.dates (spec Table 2.1 formats)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import dates
+
+
+class TestConstruction:
+    def test_epoch_is_day_zero(self):
+        assert dates.make_date(1970, 1, 1) == 0
+
+    def test_make_date_ordering(self):
+        assert dates.make_date(2010, 1, 1) < dates.make_date(2010, 1, 2)
+        assert dates.make_date(2010, 12, 31) < dates.make_date(2011, 1, 1)
+
+    def test_make_datetime_components(self):
+        ts = dates.make_datetime(2010, 1, 1, 1, 2, 3, 4)
+        assert ts == (
+            dates.make_date(2010, 1, 1) * dates.MILLIS_PER_DAY
+            + 1 * dates.MILLIS_PER_HOUR
+            + 2 * dates.MILLIS_PER_MINUTE
+            + 3 * dates.MILLIS_PER_SECOND
+            + 4
+        )
+
+    def test_date_to_datetime_is_midnight(self):
+        date = dates.make_date(2012, 6, 15)
+        assert dates.date_to_datetime(date) == dates.make_datetime(2012, 6, 15)
+
+    def test_datetime_to_date_truncates(self):
+        ts = dates.make_datetime(2012, 6, 15, 23, 59, 59, 999)
+        assert dates.datetime_to_date(ts) == dates.make_date(2012, 6, 15)
+
+
+class TestFormatting:
+    def test_format_date_spec_shape(self):
+        assert dates.format_date(dates.make_date(2010, 3, 7)) == "2010-03-07"
+
+    def test_format_datetime_spec_shape(self):
+        ts = dates.make_datetime(2010, 3, 7, 4, 5, 6, 78)
+        assert dates.format_datetime(ts) == "2010-03-07T04:05:06.078+0000"
+
+    def test_parse_date_roundtrip_literal(self):
+        assert dates.parse_date("2012-11-30") == dates.make_date(2012, 11, 30)
+
+    def test_parse_datetime_roundtrip_literal(self):
+        text = "2012-11-30T23:01:02.003+0000"
+        assert dates.format_datetime(dates.parse_datetime(text)) == text
+
+    @given(st.integers(min_value=0, max_value=40000))
+    def test_date_format_parse_roundtrip(self, date):
+        assert dates.parse_date(dates.format_date(date)) == date
+
+    @given(st.integers(min_value=0, max_value=40000 * dates.MILLIS_PER_DAY))
+    def test_datetime_format_parse_roundtrip(self, ts):
+        assert dates.parse_datetime(dates.format_datetime(ts)) == ts
+
+
+class TestExtraction:
+    def test_year_month_day(self):
+        ts = dates.make_datetime(2011, 9, 21, 10)
+        assert dates.year_of(ts) == 2011
+        assert dates.month_of(ts) == 9
+        assert dates.day_of(ts) == 21
+
+
+class TestMonthsBetween:
+    def test_bi21_example(self):
+        # Spec BI 21: Jan 31 to Mar 1 counts as 3 months.
+        start = dates.make_datetime(2012, 1, 31)
+        end = dates.make_datetime(2012, 3, 1)
+        assert dates.months_between_inclusive(start, end) == 3
+
+    def test_same_month_is_one(self):
+        start = dates.make_datetime(2012, 5, 1)
+        end = dates.make_datetime(2012, 5, 31)
+        assert dates.months_between_inclusive(start, end) == 1
+
+    def test_across_year_boundary(self):
+        start = dates.make_datetime(2011, 12, 15)
+        end = dates.make_datetime(2012, 1, 15)
+        assert dates.months_between_inclusive(start, end) == 2
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ValueError):
+            dates.months_between_inclusive(100, 50)
+
+    @given(
+        st.integers(min_value=0, max_value=20000 * dates.MILLIS_PER_DAY),
+        st.integers(min_value=0, max_value=2000 * dates.MILLIS_PER_DAY),
+    )
+    def test_positive_and_monotone(self, start, delta):
+        end = start + delta
+        months = dates.months_between_inclusive(start, end)
+        assert months >= 1
+        assert months <= delta // (28 * dates.MILLIS_PER_DAY) + 2
+
+
+class TestAddMonths:
+    def test_simple_shift(self):
+        date = dates.make_date(2012, 3, 10)
+        assert dates.add_months(date, 2) == dates.make_date(2012, 5, 10)
+
+    def test_clamps_to_month_end(self):
+        date = dates.make_date(2012, 1, 31)
+        assert dates.add_months(date, 1) == dates.make_date(2012, 2, 29)
+
+    def test_negative_shift(self):
+        date = dates.make_date(2012, 1, 15)
+        assert dates.add_months(date, -1) == dates.make_date(2011, 12, 15)
+
+    def test_december_shift(self):
+        date = dates.make_date(2012, 11, 30)
+        assert dates.add_months(date, 1) == dates.make_date(2012, 12, 30)

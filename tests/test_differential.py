@@ -1,0 +1,99 @@
+"""Differential tests: graph-algorithm queries cross-checked against
+networkx on the *generated* network (not hand-built cases)."""
+
+import networkx as nx
+import pytest
+
+from repro.queries.bi import bi17, bi25
+from repro.queries.interactive.complex import ic13, ic14
+from repro.util.dates import make_date
+
+
+@pytest.fixture(scope="module")
+def nx_graph(small_graph):
+    g = nx.Graph()
+    g.add_nodes_from(small_graph.persons)
+    g.add_edges_from(
+        (e.person1, e.person2) for e in small_graph.knows_edges
+    )
+    return g
+
+
+class TestTriangles:
+    def test_bi17_matches_networkx(self, small_graph, nx_graph):
+        """Per-country triangle counts vs networkx on the subgraph."""
+        for country in ("India", "China", "Germany"):
+            country_id = small_graph.country_id(country)
+            residents = set(small_graph.persons_in_country(country_id))
+            sub = nx_graph.subgraph(residents)
+            expected = sum(nx.triangles(sub).values()) // 3
+            assert bi17(small_graph, country) == [(expected,)]
+
+    def test_global_triangles_positive(self, nx_graph):
+        # Homophily implies triangles exist in the generated graph.
+        assert sum(nx.triangles(nx_graph).values()) > 0
+
+
+class TestShortestPaths:
+    def _pairs(self, small_graph):
+        persons = sorted(small_graph.persons)
+        return [
+            (persons[i], persons[j])
+            for i, j in [(0, 50), (3, 200), (10, 150), (7, 7), (2, 280)]
+        ]
+
+    def test_ic13_matches_networkx(self, small_graph, nx_graph):
+        for a, b in self._pairs(small_graph):
+            try:
+                expected = nx.shortest_path_length(nx_graph, a, b)
+            except nx.NetworkXNoPath:
+                expected = -1
+            assert ic13(small_graph, a, b) == [(expected,)]
+
+    def test_ic14_path_set_matches_networkx(self, small_graph, nx_graph):
+        for a, b in self._pairs(small_graph):
+            if a == b:
+                continue
+            try:
+                expected = sorted(
+                    tuple(p) for p in nx.all_shortest_paths(nx_graph, a, b)
+                )
+            except nx.NetworkXNoPath:
+                expected = []
+            rows = ic14(small_graph, a, b)
+            assert sorted(r.person_ids_in_path for r in rows) == expected
+
+    def test_bi25_same_paths_as_ic14(self, small_graph):
+        persons = sorted(small_graph.persons)
+        a, b = persons[0], persons[120]
+        window = (make_date(2010, 1, 1), make_date(2013, 1, 1))
+        bi_paths = {r.person_ids_in_path for r in bi25(small_graph, a, b, *window)}
+        ic_paths = {r.person_ids_in_path for r in ic14(small_graph, a, b)}
+        assert bi_paths == ic_paths
+
+    def test_bi25_full_window_weights_match_ic14(self, small_graph):
+        """With the window covering the whole simulation, BI 25 weights
+        must equal IC 14's (same weighting rule, no date filter)."""
+        persons = sorted(small_graph.persons)
+        a, b = persons[5], persons[210]
+        window = (make_date(2009, 1, 1), make_date(2014, 1, 1))
+        bi_rows = {r.person_ids_in_path: r.path_weight
+                   for r in bi25(small_graph, a, b, *window)}
+        ic_rows = {r.person_ids_in_path: r.path_weight
+                   for r in ic14(small_graph, a, b)}
+        assert bi_rows == ic_rows
+
+
+class TestDegreeConsistency:
+    def test_store_degrees_match_networkx(self, small_graph, nx_graph):
+        for pid in list(small_graph.persons)[:50]:
+            assert len(small_graph.friends_of(pid)) == nx_graph.degree(pid)
+
+    def test_connected_components_reasonable(self, nx_graph):
+        """The correlated generator must produce a dominant component —
+        a sanity property of the homophily windowing (it links the
+        similarity-sorted array locally but passes overlap globally)."""
+        components = sorted(
+            (len(c) for c in nx.connected_components(nx_graph)), reverse=True
+        )
+        assert components[0] > 0.5 * sum(components)

@@ -1,0 +1,102 @@
+"""Robustness: every read query degrades gracefully on a graph with the
+static world but no (or minimal) dynamic content."""
+
+import pytest
+
+from repro.queries.bi import ALL_QUERIES as ALL_BI
+from repro.queries.interactive.complex import ALL_COMPLEX
+from repro.queries.interactive.short import ALL_SHORT
+from repro.util.dates import make_date
+
+from tests.builders import GraphBuilder, build_micro_world
+
+_DATE = make_date(2012, 6, 1)
+
+#: Parameters referencing only the static micro world (no persons).
+BI_EMPTY_PARAMS = {
+    1: (_DATE,),
+    2: (_DATE, make_date(2013, 1, 1), "France", "Japan", make_date(2013, 1, 1)),
+    3: (2012, 5),
+    4: ("Music", "France"),
+    5: ("France",),
+    6: ("Rock",),
+    7: ("Rock",),
+    8: ("Rock",),
+    9: ("Music", "Sport", 1),
+    10: ("Rock", _DATE),
+    11: ("France", ("bad",)),
+    12: (_DATE, 1),
+    13: ("France",),
+    14: (_DATE, make_date(2012, 7, 1)),
+    15: ("France",),
+    17: ("France",),
+    18: (_DATE, 100, ["en"]),
+    19: (_DATE, "Music", "Sport"),
+    20: (["Music", "Sport"],),
+    21: ("France", _DATE),
+    22: ("France", "Japan"),
+    23: ("France",),
+    24: ("Music",),
+}
+
+
+@pytest.mark.parametrize("number", sorted(BI_EMPTY_PARAMS))
+def test_bi_on_empty_graph(number):
+    graph = build_micro_world()
+    rows = ALL_BI[number][0](graph, *BI_EMPTY_PARAMS[number])
+    if number == 17:
+        assert rows == [(0,)]  # triangle count is zero, not absent
+    elif number == 20:
+        # Each given class still reports its (zero) count.
+        assert rows == [("Music", 0), ("Sport", 0)]
+    else:
+        assert rows == []
+
+
+def test_bi16_and_25_with_isolated_persons():
+    """Person-anchored BI queries on persons with no edges at all."""
+    b = GraphBuilder()
+    a = b.person()
+    z = b.person()
+    assert ALL_BI[16][0](b.graph, a, "France", "Music", 1, 2) == []
+    assert ALL_BI[25][0](b.graph, a, z, _DATE, make_date(2012, 7, 1)) == []
+
+
+IC_EMPTY_PARAMS = {
+    1: lambda p: (p, "Nobody"),
+    2: lambda p: (p, _DATE),
+    3: lambda p: (p, "France", "Japan", _DATE, 30),
+    4: lambda p: (p, _DATE, 30),
+    5: lambda p: (p, _DATE),
+    6: lambda p: (p, "Rock"),
+    7: lambda p: (p,),
+    8: lambda p: (p,),
+    9: lambda p: (p, _DATE),
+    10: lambda p: (p, 4),
+    11: lambda p: (p, "France", 2015),
+    12: lambda p: (p, "Music"),
+}
+
+
+@pytest.mark.parametrize("number", sorted(IC_EMPTY_PARAMS))
+def test_ic_on_isolated_person(number):
+    b = GraphBuilder()
+    person = b.person()
+    rows = ALL_COMPLEX[number][0](b.graph, *IC_EMPTY_PARAMS[number](person))
+    assert rows == []
+
+
+def test_ic13_14_isolated_pair():
+    b = GraphBuilder()
+    a = b.person()
+    z = b.person()
+    assert ALL_COMPLEX[13][0](b.graph, a, z) == [(-1,)]
+    assert ALL_COMPLEX[14][0](b.graph, a, z) == []
+
+
+def test_short_reads_on_isolated_person():
+    b = GraphBuilder()
+    person = b.person()
+    assert len(ALL_SHORT[1][0](b.graph, person)) == 1  # profile still exists
+    assert ALL_SHORT[2][0](b.graph, person) == []
+    assert ALL_SHORT[3][0](b.graph, person) == []

@@ -1,0 +1,84 @@
+"""Hypothesis fuzzing of the whole datagen -> load -> stream pipeline
+across arbitrary micro configurations."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import generate
+from repro.datagen.update_streams import build_update_streams
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.updates import ALL_UPDATES
+
+_configs = st.builds(
+    DatagenConfig,
+    num_persons=st.integers(min_value=5, max_value=40),
+    seed=st.integers(min_value=0, max_value=2 ** 32),
+    num_years=st.integers(min_value=1, max_value=4),
+    start_year=st.integers(min_value=2005, max_value=2015),
+)
+
+_slow = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_slow
+@given(config=_configs)
+def test_generation_invariants(config):
+    net = generate(config)
+    assert len(net.persons) == config.num_persons
+    # Causal ordering of every dynamic event.
+    persons = {p.id: p.creation_date for p in net.persons}
+    forums = {f.id: f.creation_date for f in net.forums}
+    for edge in net.knows:
+        assert edge.creation_date > persons[edge.person1]
+        assert edge.creation_date > persons[edge.person2]
+    for post in net.posts:
+        assert post.creation_date > forums[post.forum_id]
+        assert post.creation_date > persons[post.creator_id]
+    messages = {p.id: p.creation_date for p in net.posts}
+    messages.update({c.id: c.creation_date for c in net.comments})
+    for comment in net.comments:
+        parent = (
+            comment.reply_of_post
+            if comment.reply_of_post >= 0
+            else comment.reply_of_comment
+        )
+        assert comment.creation_date > messages[parent]
+    for like in net.likes:
+        assert like.creation_date > messages[like.message_id]
+    # Simulation window containment.
+    for ts in net._event_timestamps():
+        assert config.start_millis <= ts < config.end_millis
+
+
+@_slow
+@given(config=_configs)
+def test_bulk_plus_stream_replay_equals_full(config):
+    net = generate(config)
+    bulk = SocialGraph.from_data(net, until=net.cutoff)
+    for op in build_update_streams(net):
+        ALL_UPDATES[op.operation_id][0](bulk, op.params)
+    full = SocialGraph.from_data(net)
+    assert bulk.node_count() == full.node_count()
+    assert len(bulk.knows_edges) == len(full.knows_edges)
+    assert len(bulk.likes_edges) == len(full.likes_edges)
+    assert len(bulk.memberships) == len(full.memberships)
+
+
+@_slow
+@given(
+    config=_configs,
+    fraction=st.floats(min_value=0.5, max_value=1.0, exclude_max=False),
+)
+def test_cutoff_fraction_respected(config, fraction):
+    import dataclasses
+
+    config = dataclasses.replace(config, bulk_load_fraction=fraction)
+    net = generate(config)
+    timestamps = net._event_timestamps()
+    before = sum(1 for t in timestamps if t < net.cutoff)
+    # Quantile split: within a small absolute tolerance of the target.
+    assert abs(before / len(timestamps) - fraction) < 0.05

@@ -1,0 +1,188 @@
+"""Integration tests for the full Datagen pipeline (spec Figure 2.2)."""
+
+import pytest
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.generator import generate
+from repro.schema.entities import OrganisationType, PlaceType
+
+
+class TestConfig:
+    def test_rejects_bad_persons(self):
+        with pytest.raises(ValueError):
+            DatagenConfig(num_persons=0)
+
+    def test_rejects_bad_years(self):
+        with pytest.raises(ValueError):
+            DatagenConfig(num_years=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            DatagenConfig(bulk_load_fraction=0.0)
+
+    def test_default_window_is_three_years_from_2010(self):
+        config = DatagenConfig()
+        from repro.util.dates import make_date
+
+        assert config.start_date == make_date(2010, 1, 1)
+        assert config.end_date == make_date(2013, 1, 1)
+
+
+class TestStaticWorld:
+    def test_place_hierarchy(self, small_net):
+        places = {p.id: p for p in small_net.places}
+        for place in small_net.places:
+            if place.type is PlaceType.CITY:
+                assert places[place.part_of].type is PlaceType.COUNTRY
+            elif place.type is PlaceType.COUNTRY:
+                assert places[place.part_of].type is PlaceType.CONTINENT
+            else:
+                assert place.part_of == -1
+
+    def test_organisation_placement(self, small_net):
+        places = {p.id: p for p in small_net.places}
+        for org in small_net.organisations:
+            expected = (
+                PlaceType.CITY
+                if org.type is OrganisationType.UNIVERSITY
+                else PlaceType.COUNTRY
+            )
+            assert places[org.place_id].type is expected
+
+    def test_tags_reference_tag_classes(self, small_net):
+        classes = {c.id for c in small_net.tag_classes}
+        assert all(t.type_id in classes for t in small_net.tags)
+
+
+class TestReferentialIntegrity:
+    def test_person_city_is_a_city(self, small_net):
+        places = {p.id: p for p in small_net.places}
+        for person in small_net.persons:
+            assert places[person.city_id].type is PlaceType.CITY
+
+    def test_message_country_is_a_country(self, small_net):
+        places = {p.id: p for p in small_net.places}
+        for message in list(small_net.posts) + list(small_net.comments):
+            assert places[message.country_id].type is PlaceType.COUNTRY
+
+    def test_study_at_university(self, small_net):
+        orgs = {o.id: o for o in small_net.organisations}
+        for record in small_net.study_at:
+            assert orgs[record.university_id].type is OrganisationType.UNIVERSITY
+
+    def test_work_at_company(self, small_net):
+        orgs = {o.id: o for o in small_net.organisations}
+        for record in small_net.work_at:
+            assert orgs[record.company_id].type is OrganisationType.COMPANY
+
+    def test_interests_are_tags(self, small_net):
+        tags = {t.id for t in small_net.tags}
+        for person in small_net.persons:
+            assert set(person.interests) <= tags
+
+    def test_message_tags_are_tags(self, small_net):
+        tags = {t.id for t in small_net.tags}
+        for message in list(small_net.posts) + list(small_net.comments):
+            assert set(message.tag_ids) <= tags
+
+
+class TestCounts:
+    def test_node_count_formula(self, small_net):
+        expected = (
+            len(small_net.places)
+            + len(small_net.organisations)
+            + len(small_net.tag_classes)
+            + len(small_net.tags)
+            + len(small_net.persons)
+            + len(small_net.forums)
+            + len(small_net.posts)
+            + len(small_net.comments)
+        )
+        assert small_net.node_count() == expected
+
+    def test_edge_count_at_least_relations(self, small_net):
+        minimum = (
+            len(small_net.knows)
+            + len(small_net.likes)
+            + len(small_net.memberships)
+        )
+        assert small_net.edge_count() > minimum
+
+    def test_more_messages_than_persons(self, small_net):
+        assert len(small_net.posts) > len(small_net.persons)
+        assert len(small_net.comments) > len(small_net.persons)
+
+
+class TestCutoff:
+    def test_cutoff_splits_ninety_ten(self, small_net):
+        timestamps = small_net._event_timestamps()
+        before = sum(1 for t in timestamps if t < small_net.cutoff)
+        fraction = before / len(timestamps)
+        assert 0.88 <= fraction <= 0.92
+
+    def test_cutoff_inside_simulation(self, small_net):
+        config = small_net.config
+        assert config.start_millis < small_net.cutoff <= config.end_millis
+
+    def test_is_before_cutoff(self, small_net):
+        assert small_net.is_before_cutoff(small_net.cutoff - 1)
+        assert not small_net.is_before_cutoff(small_net.cutoff)
+
+
+class TestDeterminism:
+    def test_identical_networks_for_same_seed(self):
+        config = DatagenConfig(num_persons=120, seed=77)
+        a = generate(config)
+        b = generate(config)
+        assert [p.first_name for p in a.persons] == [
+            p.first_name for p in b.persons
+        ]
+        assert a.knows == b.knows
+        assert [(p.id, p.creation_date) for p in a.posts] == [
+            (p.id, p.creation_date) for p in b.posts
+        ]
+        assert a.likes == b.likes
+        assert a.node_count() == b.node_count()
+        assert a.edge_count() == b.edge_count()
+
+    def test_different_seeds_differ(self):
+        a = generate(DatagenConfig(num_persons=120, seed=1))
+        b = generate(DatagenConfig(num_persons=120, seed=2))
+        assert a.knows != b.knows
+
+    def test_scaling_produces_prefix_independent_output(self):
+        """Person attributes depend only on (seed, person id), so the
+        first N persons of a larger run match a smaller run."""
+        small = generate(DatagenConfig(num_persons=50, seed=4))
+        large = generate(DatagenConfig(num_persons=100, seed=4))
+        for a, b in zip(small.persons, large.persons[:50]):
+            assert (a.first_name, a.last_name, a.birthday) == (
+                b.first_name, b.last_name, b.birthday
+            )
+
+
+class TestActivityScale:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DatagenConfig(activity_scale=0)
+
+    def test_scales_message_volume(self):
+        base = generate(DatagenConfig(num_persons=100, seed=3))
+        scaled = generate(
+            DatagenConfig(num_persons=100, seed=3, activity_scale=2.0)
+        )
+        base_messages = len(base.posts) + len(base.comments)
+        scaled_messages = len(scaled.posts) + len(scaled.comments)
+        # Posts scale ~linearly and comments superlinearly (per-post
+        # comment counts also scale), so expect at least 1.6x overall.
+        assert scaled_messages > 1.6 * base_messages
+
+    def test_does_not_change_persons_or_knows(self):
+        base = generate(DatagenConfig(num_persons=100, seed=3))
+        scaled = generate(
+            DatagenConfig(num_persons=100, seed=3, activity_scale=2.0)
+        )
+        assert [p.first_name for p in base.persons] == [
+            p.first_name for p in scaled.persons
+        ]
+        assert base.knows == scaled.knows

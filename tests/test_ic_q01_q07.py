@@ -1,0 +1,310 @@
+"""Exact-semantics tests for IC 1 - IC 7 on hand-built graphs."""
+
+import pytest
+
+from repro.queries.interactive.complex import ic1, ic2, ic3, ic4, ic5, ic6, ic7
+from repro.util.dates import MILLIS_PER_MINUTE, make_date
+
+from tests.builders import (
+    ACME,
+    FRANCE,
+    GraphBuilder,
+    JAPAN,
+    PARIS,
+    TAG_JAZZ,
+    TAG_ROCK,
+    TAG_SUMO,
+    TOKYO,
+    UNI_PARIS,
+    ts,
+)
+
+
+class TestIc1FriendsWithName:
+    def _chain(self):
+        b = GraphBuilder()
+        start = b.person(first_name="Zoe")
+        h1 = b.person(first_name="Ann", last_name="Beta")
+        h2 = b.person(first_name="Ann", last_name="Alpha")
+        h3 = b.person(first_name="Ann", last_name="Gamma")
+        h4 = b.person(first_name="Ann")
+        b.knows(start, h1)
+        b.knows(h1, h2)
+        b.knows(h2, h3)
+        b.knows(h3, h4)
+        return b, start, h1, h2, h3, h4
+
+    def test_three_hop_limit(self):
+        b, start, h1, h2, h3, h4 = self._chain()
+        rows = ic1(b.graph, start, "Ann")
+        assert [r.friend_id for r in rows] == [h1, h2, h3]  # h4 is 4 hops
+
+    def test_sorted_by_distance_name_id(self):
+        b, start, h1, h2, h3, h4 = self._chain()
+        b.knows(start, h3)  # h3 now at distance 1, h4 at distance 2
+        rows = ic1(b.graph, start, "Ann")
+        assert [(r.distance_from_person, r.friend_last_name) for r in rows] == [
+            (1, "Beta"), (1, "Gamma"), (2, "Alpha"), (2, "Lee"),
+        ]
+
+    def test_profile_projection(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person(first_name="Ann", city=PARIS)
+        b.knows(start, friend)
+        b.study(friend, UNI_PARIS, 2008)
+        b.work(friend, ACME, 2010)
+        row = ic1(b.graph, start, "Ann")[0]
+        assert row.friend_city_name == "Paris"
+        assert row.friend_universities == (("Uni_Paris", 2008, "Paris"),)
+        assert row.friend_companies == (("Acme", 2010, "France"),)
+
+    def test_start_person_excluded(self):
+        b = GraphBuilder()
+        start = b.person(first_name="Ann")
+        friend = b.person(first_name="Ann")
+        b.knows(start, friend)
+        rows = ic1(b.graph, start, "Ann")
+        assert [r.friend_id for r in rows] == [friend]
+
+
+class TestIc2RecentMessages:
+    def test_only_friends_messages_before_date(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person(first_name="Ann", last_name="Lee")
+        other = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        early = b.post(friend, forum, created=ts(3, 1))
+        b.post(friend, forum, created=ts(9, 1))   # after maxDate
+        b.post(other, forum, created=ts(3, 1))    # not a friend
+        rows = ic2(b.graph, start, make_date(2012, 6, 1))
+        assert [r.message_id for r in rows] == [early]
+        assert rows[0].person_first_name == "Ann"
+
+    def test_sorted_recent_first(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        first = b.post(friend, forum, created=ts(3, 1))
+        second = b.post(friend, forum, created=ts(4, 1))
+        rows = ic2(b.graph, start, make_date(2012, 6, 1))
+        assert [r.message_id for r in rows] == [second, first]
+
+    def test_limit_twenty(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        for day in range(1, 26):
+            b.post(friend, forum, created=ts(3, day))
+        rows = ic2(b.graph, start, make_date(2012, 6, 1))
+        assert len(rows) == 20
+
+    def test_image_posts_project_image_file(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        b.post(friend, forum, created=ts(3, 1), image_file="pic.jpg")
+        rows = ic2(b.graph, start, make_date(2012, 6, 1))
+        assert rows[0].message_content == "pic.jpg"
+
+
+class TestIc3CountryVisits:
+    """IC 3 needs a third country so the friend can be foreign to both
+    queried countries; tests extend the micro world with Spain."""
+
+    SPAIN = 12
+
+    def _world(self):
+        from repro.schema.entities import Place, PlaceType
+
+        b = GraphBuilder()
+        b.graph.add_place(Place(self.SPAIN, "Spain", "u", PlaceType.COUNTRY, 0))
+        start = b.person(city=TOKYO)
+        friend = b.person(city=TOKYO)
+        b.knows(start, friend)
+        forum = b.forum(start)
+        return b, start, friend, forum
+
+    def test_residents_of_queried_countries_excluded(self):
+        b, start, friend, forum = self._world()
+        parisian = b.person(city=PARIS)
+        b.knows(start, parisian)
+        b.post(parisian, forum, created=ts(5, 1), country=FRANCE)
+        b.post(parisian, forum, created=ts(5, 2), country=self.SPAIN)
+        rows = ic3(
+            b.graph, start, "France", "Spain", make_date(2012, 4, 1), 90
+        )
+        assert rows == []  # lives in France -> not foreign to France
+
+    def test_messages_from_both_countries_required(self):
+        b, start, friend, forum = self._world()
+        b.post(friend, forum, created=ts(5, 1), country=FRANCE)
+        rows = ic3(
+            b.graph, start, "France", "Spain", make_date(2012, 4, 1), 90
+        )
+        assert rows == []  # no Spanish message
+
+    def test_full_match(self):
+        b, start, friend, forum = self._world()
+        b.post(friend, forum, created=ts(5, 1), country=FRANCE)
+        b.post(friend, forum, created=ts(5, 2), country=FRANCE)
+        b.post(friend, forum, created=ts(5, 3), country=self.SPAIN)
+        rows = ic3(
+            b.graph, start, "France", "Spain", make_date(2012, 4, 1), 90
+        )
+        assert rows == [(friend, "Ann", "Lee", 2, 1, 3)]
+
+    def test_window_is_closed_open(self):
+        b, start, friend, forum = self._world()
+        b.post(friend, forum, created=ts(4, 1, hour=0), country=FRANCE)
+        b.post(friend, forum, created=ts(5, 1, hour=0), country=self.SPAIN)
+        rows = ic3(
+            b.graph, start, "France", "Spain", make_date(2012, 4, 1), 30
+        )
+        assert rows == []  # the May 1st message is outside [Apr 1, May 1)
+
+
+class TestIc4NewTopics:
+    def test_new_tags_only(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        b.post(friend, forum, created=ts(2, 1), tags=(TAG_ROCK,))   # before
+        b.post(friend, forum, created=ts(5, 1), tags=(TAG_ROCK,))   # old tag
+        b.post(friend, forum, created=ts(5, 2), tags=(TAG_JAZZ,))   # new
+        b.post(friend, forum, created=ts(5, 3), tags=(TAG_JAZZ,))
+        rows = ic4(b.graph, start, make_date(2012, 4, 20), 30)
+        assert rows == [("Jazz", 2)]
+
+    def test_posts_after_window_ignored(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        b.post(friend, forum, created=ts(8, 1), tags=(TAG_JAZZ,))
+        assert ic4(b.graph, start, make_date(2012, 4, 20), 30) == []
+
+    def test_non_friend_posts_ignored(self):
+        b = GraphBuilder()
+        start = b.person()
+        stranger = b.person()
+        forum = b.forum(start)
+        b.post(stranger, forum, created=ts(5, 1), tags=(TAG_JAZZ,))
+        assert ic4(b.graph, start, make_date(2012, 4, 20), 30) == []
+
+
+class TestIc5NewGroups:
+    def test_counts_posts_by_recent_joiners(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        fof = b.person()
+        b.knows(start, friend)
+        b.knows(friend, fof)
+        forum = b.forum(start, title="Group g")
+        b.member(forum, friend, joined=ts(5, 1))
+        b.member(forum, fof, joined=ts(1, 1, 2010))   # joined too early
+        b.post(friend, forum)
+        b.post(fof, forum)
+        rows = ic5(b.graph, start, make_date(2012, 1, 1))
+        assert rows == [("Group g", forum, 1)]
+
+    def test_sorted_by_post_count(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        quiet = b.forum(start, title="Group quiet")
+        busy = b.forum(start, title="Group busy")
+        b.member(quiet, friend, joined=ts(5, 1))
+        b.member(busy, friend, joined=ts(5, 1))
+        b.post(friend, busy)
+        rows = ic5(b.graph, start, make_date(2012, 1, 1))
+        assert [r.forum_id for r in rows] == [busy, quiet]
+
+
+class TestIc6TagCooccurrence:
+    def test_co_tags_counted(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        b.post(friend, forum, tags=(TAG_ROCK, TAG_JAZZ))
+        b.post(friend, forum, tags=(TAG_ROCK, TAG_JAZZ, TAG_SUMO))
+        b.post(friend, forum, tags=(TAG_JAZZ,))  # no Rock: ignored
+        rows = ic6(b.graph, start, "Rock")
+        assert rows == [("Jazz", 2), ("Sumo", 1)]
+
+    def test_the_tag_itself_excluded(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        b.post(friend, forum, tags=(TAG_ROCK,))
+        assert ic6(b.graph, start, "Rock") == []
+
+
+class TestIc7RecentLikers:
+    def test_latest_like_per_liker(self):
+        b = GraphBuilder()
+        start = b.person()
+        fan = b.person(first_name="Fan", last_name="One")
+        forum = b.forum(start)
+        p1 = b.post(start, forum, created=ts(4, 1))
+        p2 = b.post(start, forum, created=ts(4, 2))
+        b.like(fan, p1, created=ts(4, 3))
+        b.like(fan, p2, created=ts(4, 5))
+        rows = ic7(b.graph, start)
+        assert len(rows) == 1
+        assert rows[0].comment_or_post_id == p2
+        assert rows[0].like_creation_date == ts(4, 5)
+
+    def test_minutes_latency(self):
+        b = GraphBuilder()
+        start = b.person()
+        fan = b.person()
+        forum = b.forum(start)
+        post = b.post(start, forum, created=ts(4, 1, hour=10))
+        b.like(fan, post, created=ts(4, 1, hour=12))
+        rows = ic7(b.graph, start)
+        assert rows[0].minutes_latency == 120
+
+    def test_is_new_flag(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend_fan = b.person()
+        stranger_fan = b.person()
+        b.knows(start, friend_fan)
+        forum = b.forum(start)
+        post = b.post(start, forum, created=ts(4, 1))
+        b.like(friend_fan, post, created=ts(4, 2))
+        b.like(stranger_fan, post, created=ts(4, 3))
+        rows = {r.person_id: r for r in ic7(b.graph, start)}
+        assert rows[friend_fan].is_new is False
+        assert rows[stranger_fan].is_new is True
+
+    def test_tie_on_time_takes_lowest_message_id(self):
+        b = GraphBuilder()
+        start = b.person()
+        fan = b.person()
+        forum = b.forum(start)
+        p1 = b.post(start, forum, created=ts(4, 1))
+        p2 = b.post(start, forum, created=ts(4, 1))
+        moment = ts(4, 2)
+        b.like(fan, p2, created=moment)
+        b.like(fan, p1, created=moment)
+        rows = ic7(b.graph, start)
+        assert rows[0].comment_or_post_id == min(p1, p2)

@@ -1,0 +1,280 @@
+"""Exact-semantics tests for IC 8 - IC 14 on hand-built graphs."""
+
+import pytest
+
+from repro.queries.interactive.complex import (
+    ic8, ic9, ic10, ic11, ic12, ic13, ic14,
+)
+from repro.util.dates import make_date
+
+from tests.builders import (
+    ACME,
+    FRANCE,
+    GraphBuilder,
+    KAIJU,
+    PARIS,
+    TAG_BEBOP,
+    TAG_JAZZ,
+    TAG_ROCK,
+    TAG_SUMO,
+    TOKYO,
+    birthday,
+    ts,
+)
+
+
+class TestIc8RecentReplies:
+    def test_direct_replies_only(self):
+        b = GraphBuilder()
+        start = b.person()
+        replier = b.person(first_name="Rae")
+        forum = b.forum(start)
+        post = b.post(start, forum, created=ts(4, 1))
+        direct = b.comment(replier, post, created=ts(4, 2))
+        b.comment(replier, direct, created=ts(4, 3))  # reply-to-reply
+        rows = ic8(b.graph, start)
+        assert [r.comment_id for r in rows] == [direct]
+        assert rows[0].person_first_name == "Rae"
+
+    def test_replies_to_comments_included(self):
+        b = GraphBuilder()
+        start = b.person()
+        other = b.person()
+        forum = b.forum(other)
+        post = b.post(other, forum, created=ts(4, 1))
+        mine = b.comment(start, post, created=ts(4, 2))
+        reply = b.comment(other, mine, created=ts(4, 3))
+        rows = ic8(b.graph, start)
+        assert [r.comment_id for r in rows] == [reply]
+
+    def test_sorted_recent_first_limit(self):
+        b = GraphBuilder()
+        start = b.person()
+        replier = b.person()
+        forum = b.forum(start)
+        post = b.post(start, forum, created=ts(4, 1))
+        ids = [
+            b.comment(replier, post, created=ts(5, day)) for day in range(1, 25)
+        ]
+        rows = ic8(b.graph, start)
+        assert len(rows) == 20
+        assert rows[0].comment_id == ids[-1]
+
+
+class TestIc9TwoHopMessages:
+    def test_friends_and_fof(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        fof = b.person()
+        far = b.person()
+        b.knows(start, friend)
+        b.knows(friend, fof)
+        b.knows(fof, far)
+        forum = b.forum(start)
+        m1 = b.post(friend, forum, created=ts(3, 1))
+        m2 = b.post(fof, forum, created=ts(3, 2))
+        b.post(far, forum, created=ts(3, 3))     # 3 hops: excluded
+        b.post(start, forum, created=ts(3, 4))   # self: excluded
+        rows = ic9(b.graph, start, make_date(2012, 6, 1))
+        assert {r.message_id for r in rows} == {m1, m2}
+
+    def test_max_date_exclusive(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        b.post(friend, forum, created=ts(6, 1, hour=0))
+        assert ic9(b.graph, start, make_date(2012, 6, 1)) == []
+
+
+class TestIc10FriendRecommendation:
+    def _world(self, candidate_birthday):
+        b = GraphBuilder()
+        start = b.person(interests=(TAG_ROCK,))
+        friend = b.person()
+        candidate = b.person(born=candidate_birthday, city=PARIS)
+        b.knows(start, friend)
+        b.knows(friend, candidate)
+        forum = b.forum(start)
+        return b, start, friend, candidate, forum
+
+    def test_score_common_minus_uncommon(self):
+        b, start, friend, candidate, forum = self._world(birthday(1985, 4, 25))
+        b.post(candidate, forum, tags=(TAG_ROCK,))       # common
+        b.post(candidate, forum, tags=(TAG_JAZZ,))       # uncommon
+        b.post(candidate, forum, tags=(TAG_SUMO,))       # uncommon
+        rows = ic10(b.graph, start, month=4)
+        assert rows == [
+            (candidate, "Ann", "Lee", -1, "female", "Paris")
+        ]
+
+    def test_birthday_window(self):
+        # Month 4: birthdays in [Apr 21, May 22).
+        for born, month, expected in [
+            (birthday(1985, 4, 21), 4, True),
+            (birthday(1985, 4, 20), 4, False),
+            (birthday(1985, 5, 21), 4, True),
+            (birthday(1985, 5, 22), 4, False),
+            (birthday(1985, 1, 2), 12, True),   # December wraps to January
+        ]:
+            b, start, friend, candidate, forum = self._world(born)
+            rows = ic10(b.graph, start, month=month)
+            assert bool(rows) is expected, (born, month)
+
+    def test_immediate_friends_excluded(self):
+        b, start, friend, candidate, forum = self._world(birthday(1985, 4, 25))
+        b.knows(start, candidate)  # now a direct friend
+        assert ic10(b.graph, start, month=4) == []
+
+
+class TestIc11JobReferral:
+    def test_filters_and_sort(self):
+        b = GraphBuilder()
+        start = b.person()
+        f1 = b.person()
+        f2 = b.person()
+        b.knows(start, f1)
+        b.knows(f1, f2)
+        b.work(f1, ACME, 2005)
+        b.work(f2, ACME, 2003)
+        b.work(f2, KAIJU, 2001)  # company in Japan: excluded
+        rows = ic11(b.graph, start, "France", 2010)
+        assert [(r.person_id, r.organisation_name, r.work_from) for r in rows] == [
+            (f2, "Acme", 2003), (f1, "Acme", 2005),
+        ]
+
+    def test_work_from_strict(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        b.work(friend, ACME, 2010)
+        assert ic11(b.graph, start, "France", 2010) == []
+
+    def test_start_person_not_included(self):
+        b = GraphBuilder()
+        start = b.person()
+        b.work(start, ACME, 2000)
+        assert ic11(b.graph, start, "France", 2010) == []
+
+
+class TestIc12ExpertSearch:
+    def test_counts_replies_to_classified_posts(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person(first_name="Exp")
+        b.knows(start, friend)
+        forum = b.forum(start)
+        rock_post = b.post(start, forum, tags=(TAG_ROCK,))
+        sumo_post = b.post(start, forum, tags=(TAG_SUMO,))
+        b.comment(friend, rock_post)
+        b.comment(friend, rock_post)
+        b.comment(friend, sumo_post)  # wrong class
+        rows = ic12(b.graph, start, "Music")
+        assert rows == [(friend, "Exp", "Lee", ("Rock",), 2)]
+
+    def test_descendant_classes_count(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        bebop_post = b.post(start, forum, tags=(TAG_BEBOP,))
+        b.comment(friend, bebop_post)
+        rows = ic12(b.graph, start, "Music")  # JazzGenre < Music
+        assert rows[0].tag_names == ("Bebop",)
+
+    def test_only_direct_replies_to_posts(self):
+        b = GraphBuilder()
+        start = b.person()
+        friend = b.person()
+        b.knows(start, friend)
+        forum = b.forum(start)
+        post = b.post(start, forum, tags=(TAG_ROCK,))
+        first = b.comment(start, post)
+        b.comment(friend, first)  # reply to a comment: excluded
+        assert ic12(b.graph, start, "Music") == []
+
+
+class TestIc13ShortestPath:
+    def test_path_length(self):
+        b = GraphBuilder()
+        p = [b.person() for _ in range(4)]
+        b.knows(p[0], p[1])
+        b.knows(p[1], p[2])
+        b.knows(p[2], p[3])
+        assert ic13(b.graph, p[0], p[3]) == [(3,)]
+
+    def test_same_person_is_zero(self):
+        b = GraphBuilder()
+        p = b.person()
+        assert ic13(b.graph, p, p) == [(0,)]
+
+    def test_disconnected_is_minus_one(self):
+        b = GraphBuilder()
+        a = b.person()
+        z = b.person()
+        assert ic13(b.graph, a, z) == [(-1,)]
+
+    def test_takes_shortcut(self):
+        b = GraphBuilder()
+        p = [b.person() for _ in range(4)]
+        b.knows(p[0], p[1])
+        b.knows(p[1], p[2])
+        b.knows(p[2], p[3])
+        b.knows(p[0], p[3])
+        assert ic13(b.graph, p[0], p[3]) == [(1,)]
+
+
+class TestIc14TrustedPaths:
+    def test_weights(self):
+        b = GraphBuilder()
+        start = b.person()
+        mid1 = b.person()
+        mid2 = b.person()
+        end = b.person()
+        b.knows(start, mid1)
+        b.knows(start, mid2)
+        b.knows(mid1, end)
+        b.knows(mid2, end)
+        forum = b.forum(start)
+        post = b.post(start, forum)
+        b.comment(mid1, post)                        # start-mid1: +1.0
+        comment = b.comment(start, post)
+        b.comment(mid2, comment)                     # start-mid2: +0.5
+        rows = ic14(b.graph, start, end)
+        assert rows[0].person_ids_in_path == (start, mid1, end)
+        assert rows[0].path_weight == pytest.approx(1.0)
+        assert rows[1].path_weight == pytest.approx(0.5)
+
+    def test_both_directions_contribute(self):
+        b = GraphBuilder()
+        a = b.person()
+        z = b.person()
+        b.knows(a, z)
+        forum = b.forum(a)
+        post_a = b.post(a, forum)
+        post_z = b.post(z, forum)
+        b.comment(z, post_a)   # z replies to a: +1.0
+        b.comment(a, post_z)   # a replies to z: +1.0
+        rows = ic14(b.graph, a, z)
+        assert rows[0].path_weight == pytest.approx(2.0)
+
+    def test_no_path_returns_empty(self):
+        b = GraphBuilder()
+        a = b.person()
+        z = b.person()
+        assert ic14(b.graph, a, z) == []
+
+    def test_all_shortest_paths_enumerated(self):
+        b = GraphBuilder()
+        start = b.person()
+        mids = [b.person() for _ in range(3)]
+        end = b.person()
+        for mid in mids:
+            b.knows(start, mid)
+            b.knows(mid, end)
+        rows = ic14(b.graph, start, end)
+        assert len(rows) == 3

@@ -1,0 +1,129 @@
+"""Tests for knows generation: degree law, homophily, determinism."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import build_dictionaries
+from repro.datagen.distributions import mean_degree
+from repro.datagen.knows import degree_map, generate_knows
+from repro.datagen.persons import generate_persons
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = DatagenConfig(num_persons=500, seed=23)
+    bundle = generate_persons(config, build_dictionaries())
+    edges = generate_knows(config, bundle)
+    return config, bundle, edges
+
+
+def _adjacency(edges, n):
+    adj = defaultdict(set)
+    for e in edges:
+        adj[e.person1].add(e.person2)
+        adj[e.person2].add(e.person1)
+    return adj
+
+
+class TestStructure:
+    def test_edges_are_unique_and_canonical(self, world):
+        _, _, edges = world
+        pairs = [(e.person1, e.person2) for e in edges]
+        assert len(set(pairs)) == len(pairs)
+        assert all(p1 < p2 for p1, p2 in pairs)
+
+    def test_no_self_loops(self, world):
+        _, _, edges = world
+        assert all(e.person1 != e.person2 for e in edges)
+
+    def test_endpoints_exist(self, world):
+        config, _, edges = world
+        n = config.num_persons
+        assert all(0 <= e.person1 < n and 0 <= e.person2 < n for e in edges)
+
+    def test_deterministic(self, world):
+        config, bundle, edges = world
+        assert generate_knows(config, bundle) == edges
+
+
+class TestDegreeDistribution:
+    def test_mean_close_to_facebook_law(self, world):
+        config, _, edges = world
+        degrees = degree_map(edges, config.num_persons)
+        realized = sum(degrees) / len(degrees)
+        target = mean_degree(config.num_persons)
+        # Window saturation loses a bit of the target; within 25 %.
+        assert 0.75 * target <= realized <= 1.1 * target
+
+    def test_degrees_do_not_exceed_target_much(self, world):
+        config, bundle, edges = world
+        degrees = degree_map(edges, config.num_persons)
+        # remaining[] bookkeeping allows at most target_degree edges.
+        assert all(
+            deg <= target or target == 0
+            for deg, target in zip(degrees, bundle.target_degree)
+        )
+
+    def test_heavy_tail(self, world):
+        config, _, edges = world
+        degrees = sorted(degree_map(edges, config.num_persons))
+        assert degrees[-1] > 2.5 * (sum(degrees) / len(degrees))
+
+
+class TestHomophily:
+    """The spec requires more triangles than a random graph (2.3.3.2)."""
+
+    @staticmethod
+    def _clustering(edges, n):
+        adj = _adjacency(edges, n)
+        triangles = wedges = 0
+        for node, neighbours in adj.items():
+            ns = sorted(neighbours)
+            for i, a in enumerate(ns):
+                for b in ns[i + 1 :]:
+                    wedges += 1
+                    if b in adj[a]:
+                        triangles += 1
+        return triangles / wedges if wedges else 0.0
+
+    def test_clustering_exceeds_random_graph(self, world):
+        config, _, edges = world
+        n = config.num_persons
+        clustering = self._clustering(edges, n)
+        # An Erdos-Renyi graph with the same density has clustering ~= p.
+        density = 2 * len(edges) / (n * (n - 1))
+        assert clustering > 3 * density
+
+    def test_university_correlation(self, world):
+        """Friends share a university far more often than random pairs."""
+        config, bundle, edges = world
+        same_uni = sum(
+            1
+            for e in edges
+            if bundle.university_of[e.person1] >= 0
+            and bundle.university_of[e.person1] == bundle.university_of[e.person2]
+        )
+        # Baseline: expected same-university rate over random pairs.
+        from collections import Counter
+
+        unis = Counter(u for u in bundle.university_of if u >= 0)
+        total = config.num_persons
+        random_rate = sum(c * c for c in unis.values()) / (total * total)
+        assert same_uni / len(edges) > 3 * random_rate
+
+
+class TestTimestamps:
+    def test_after_both_persons_joined(self, world):
+        _, bundle, edges = world
+        for e in edges:
+            assert e.creation_date > bundle.persons[e.person1].creation_date
+            assert e.creation_date > bundle.persons[e.person2].creation_date
+
+    def test_within_simulation(self, world):
+        config, _, edges = world
+        assert all(
+            config.start_millis < e.creation_date < config.end_millis
+            for e in edges
+        )

@@ -1,0 +1,119 @@
+"""Tests for multi-part (threaded) serializer output, dataset
+statistics, and the results-log writer."""
+
+import csv
+
+import pytest
+
+from repro.analysis.stats import compute_statistics
+from repro.datagen.serializers import serialize_csv
+from repro.graph.loader import load_csv_basic
+from repro.graph.store import SocialGraph
+
+
+class TestMultiPartSerialization:
+    def test_rejects_bad_parts(self, tiny_net, tmp_path):
+        from repro.datagen.serializers import CsvBasicSerializer
+
+        with pytest.raises(ValueError):
+            CsvBasicSerializer(tiny_net, tmp_path, parts=0)
+
+    def test_part_files_written(self, tiny_net, tmp_path):
+        root = serialize_csv(tiny_net, tmp_path, parts=3)
+        names = sorted(
+            p.name for p in (root / "dynamic").glob("person_0_*.csv")
+        )
+        assert names == ["person_0_0.csv", "person_0_1.csv", "person_0_2.csv"]
+
+    def test_rows_partitioned_without_loss(self, tiny_net, tmp_path):
+        root = serialize_csv(tiny_net, tmp_path, parts=3)
+        total = 0
+        for path in (root / "dynamic").glob("person_0_*.csv"):
+            with open(path, newline="") as handle:
+                reader = csv.reader(handle, delimiter="|")
+                next(reader)
+                total += sum(1 for _ in reader)
+        expected = sum(
+            1 for p in tiny_net.persons if p.creation_date < tiny_net.cutoff
+        )
+        assert total == expected
+
+    def test_multipart_load_equals_single_part(self, tiny_net, tmp_path):
+        single = load_csv_basic(
+            serialize_csv(tiny_net, tmp_path / "one", parts=1)
+        )
+        multi = load_csv_basic(
+            serialize_csv(tiny_net, tmp_path / "four", parts=4)
+        )
+        assert multi.node_count() == single.node_count()
+        assert len(multi.knows_edges) == len(single.knows_edges)
+        assert len(multi.likes_edges) == len(single.likes_edges)
+        for pid in list(single.persons)[:10]:
+            assert multi.friends_of(pid) == single.friends_of(pid)
+
+
+class TestDatasetStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self, small_net):
+        return compute_statistics(SocialGraph.from_data(small_net))
+
+    def test_entity_counts_match_network(self, stats, small_net):
+        assert stats.entity_counts["persons"] == len(small_net.persons)
+        assert stats.entity_counts["posts"] == len(small_net.posts)
+        assert stats.entity_counts["comments"] == len(small_net.comments)
+
+    def test_relation_counts(self, stats, small_net):
+        assert stats.relation_counts["knows"] == len(small_net.knows)
+        assert stats.relation_counts["likes"] == len(small_net.likes)
+
+    def test_degree_statistics_consistent(self, stats, small_net):
+        assert 0 < stats.degree_mean <= stats.degree_max
+        assert stats.degree_percentiles[50] <= stats.degree_percentiles[99]
+
+    def test_thread_depths(self, stats):
+        assert stats.thread_depth_max >= 1
+        assert 1.0 <= stats.thread_depth_mean <= stats.thread_depth_max
+
+    def test_forum_kinds(self, stats):
+        assert set(stats.forum_kind_counts) == {"wall", "album", "group"}
+
+    def test_top_tags(self, stats):
+        assert len(stats.top_tags) == 5
+        counts = [count for _, count in stats.top_tags]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_format_renders(self, stats):
+        text = stats.format()
+        assert "knows degree" in text and "thread depth" in text
+
+    def test_empty_graph(self):
+        from tests.builders import build_micro_world
+
+        stats = compute_statistics(build_micro_world())
+        assert stats.entity_counts["persons"] == 0
+        assert stats.degree_mean == 0.0
+        assert stats.format()
+
+
+class TestResultsLogWriter:
+    def test_written_log_parses(self, tmp_path):
+        from repro.driver.runner import DriverReport, ResultsLogEntry
+
+        report = DriverReport(
+            log=[
+                ResultsLogEntry("IC 1", 1.0, 1.1, 0.01, 20),
+                ResultsLogEntry("IU 2", 2.0, 2.0, 0.001, 1),
+            ],
+            wall_seconds=1.5,
+        )
+        path = tmp_path / "results_log.csv"
+        report.write_results_log(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle, delimiter="|"))
+        assert rows[0] == [
+            "operation", "scheduled_start_time", "actual_start_time",
+            "duration", "result_count",
+        ]
+        assert rows[1][0] == "IC 1"
+        assert float(rows[1][2]) - float(rows[1][1]) == pytest.approx(0.1)
+        assert int(rows[2][4]) == 1

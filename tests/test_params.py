@@ -1,0 +1,176 @@
+"""Tests for parameter curation (spec section 3.3, properties P1-P3)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.params.curation import ParameterGenerator, select_similar
+from repro.params.factors import build_factor_tables
+from repro.queries.bi import ALL_QUERIES as ALL_BI
+from repro.queries.interactive.complex import ALL_COMPLEX
+
+
+class TestFactorTables:
+    @pytest.fixture(scope="class")
+    def tables(self, small_graph):
+        return build_factor_tables(small_graph)
+
+    def test_friend_counts_match_store(self, small_graph, tables):
+        for pid in list(small_graph.persons)[:25]:
+            assert tables.friend_count[pid] == len(small_graph.friends_of(pid))
+
+    def test_two_hop_at_least_one_hop(self, tables):
+        for pid, one in tables.friend_count.items():
+            assert tables.two_hop_count[pid] >= one
+
+    def test_message_counts(self, small_graph, tables):
+        for pid in list(small_graph.persons)[:25]:
+            assert tables.message_count[pid] == len(
+                list(small_graph.messages_by(pid))
+            )
+
+    def test_friend_message_counts(self, small_graph, tables):
+        for pid in list(small_graph.persons)[:10]:
+            expected = sum(
+                tables.message_count[f] for f in small_graph.friends_of(pid)
+            )
+            assert tables.friend_message_count[pid] == expected
+
+    def test_tag_message_counts(self, small_graph, tables):
+        from collections import Counter
+
+        expected = Counter()
+        for message in small_graph.messages():
+            for tag in message.tag_ids:
+                expected[tag] += 1
+        assert tables.tag_message_count == dict(expected)
+
+    def test_country_person_counts_total(self, small_graph, tables):
+        assert sum(tables.country_person_count.values()) == len(
+            small_graph.persons
+        )
+
+
+class TestSelectSimilar:
+    def test_empty(self):
+        assert select_similar({}, 5) == []
+
+    def test_all_when_fewer_than_count(self):
+        assert sorted(select_similar({"a": 1, "b": 9}, 5)) == ["a", "b"]
+
+    def test_minimal_spread_window(self):
+        candidates = {"a": 1, "b": 10, "c": 11, "d": 12, "e": 50}
+        assert sorted(select_similar(candidates, 3)) == ["b", "c", "d"]
+
+    def test_prefers_median_on_ties(self):
+        # Two zero-spread windows: values 5,5 and 9,9; median count is 5.
+        candidates = {"a": 1, "b": 5, "c": 5, "d": 9, "e": 9}
+        selected = select_similar(candidates, 2)
+        assert sorted(selected) == ["b", "c"]
+
+    def test_deterministic(self):
+        candidates = {f"k{i}": i % 7 for i in range(50)}
+        assert select_similar(candidates, 10) == select_similar(candidates, 10)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 1000), st.integers(0, 100), min_size=1, max_size=60
+        ),
+        st.integers(1, 20),
+    )
+    def test_window_has_minimal_spread(self, candidates, count):
+        selected = select_similar(candidates, count)
+        assert len(selected) == min(count, len(candidates))
+        if len(candidates) <= count:
+            return
+        counts = sorted(candidates.values())
+        spread = max(candidates[k] for k in selected) - min(
+            candidates[k] for k in selected
+        )
+        best = min(
+            counts[i + count - 1] - counts[i]
+            for i in range(len(counts) - count + 1)
+        )
+        assert spread == best
+
+
+class TestCuratedBindings:
+    def test_person_ids_have_similar_workload(self, small_params):
+        persons = small_params.person_ids(10)
+        tables = small_params.tables
+        workloads = [
+            10 * tables.two_hop_count[p] + tables.friend_message_count[p]
+            for p in persons
+        ]
+        assert max(workloads) - min(workloads) <= 0.5 * max(
+            statistics.mean(workloads), 1
+        )
+
+    def test_person_pairs_are_connected(self, small_graph, small_params):
+        from repro.queries.common import shortest_path_length
+
+        for a, b in small_params.person_pairs(8):
+            assert shortest_path_length(small_graph, a, b) >= 1
+
+    def test_tag_names_resolve(self, small_graph, small_params):
+        for name in small_params.tag_names(10):
+            small_graph.tag_id(name)
+
+    def test_country_names_resolve(self, small_graph, small_params):
+        for name in small_params.country_names(5):
+            small_graph.country_id(name)
+
+    def test_dates_inside_simulation(self, small_params, small_config):
+        for date in small_params.dates(10):
+            assert small_config.start_date <= date < small_config.end_date
+
+    def test_year_months_inside_simulation(self, small_params, small_config):
+        for year, month in small_params.year_months(10):
+            assert small_config.start_year <= year
+            assert 1 <= month <= 12
+
+    @pytest.mark.parametrize("number", sorted(ALL_COMPLEX))
+    def test_interactive_bindings_run(self, small_graph, small_params, number):
+        bindings = small_params.interactive(number, count=2)
+        assert bindings
+        query = ALL_COMPLEX[number][0]
+        for params in bindings:
+            query(small_graph, *params)  # must not raise
+
+    @pytest.mark.parametrize("number", sorted(ALL_BI))
+    def test_bi_bindings_run(self, small_graph, small_params, number):
+        bindings = small_params.bi(number, count=2)
+        assert bindings
+        query = ALL_BI[number][0]
+        for params in bindings:
+            query(small_graph, *params)  # must not raise
+
+    def test_unknown_query_rejected(self, small_params):
+        with pytest.raises(ValueError):
+            small_params.interactive(99)
+        with pytest.raises(ValueError):
+            small_params.bi(99)
+
+
+class TestP1BoundedVariance:
+    """Curated bindings must yield lower work variance than random ones
+    (spec P1) — work measured by result/traversal size proxies."""
+
+    def test_two_hop_variance_lower_than_random(self, small_graph, small_params):
+        import random
+
+        tables = small_params.tables
+        curated = small_params.person_ids(12)
+        rng = random.Random(0)
+        candidates = [
+            p for p in small_graph.persons if tables.friend_count[p] > 0
+        ]
+        random_sets = [rng.sample(candidates, 12) for _ in range(20)]
+
+        def spread(persons):
+            values = [tables.two_hop_count[p] for p in persons]
+            return statistics.pstdev(values)
+
+        random_spreads = [spread(s) for s in random_sets]
+        assert spread(curated) <= statistics.median(random_spreads)

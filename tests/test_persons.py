@@ -1,0 +1,157 @@
+"""Tests for the person-generation stage (correlated attributes)."""
+
+import pytest
+
+from repro.datagen.config import DatagenConfig
+from repro.datagen.dictionaries import build_dictionaries, first_names_for, surnames_for
+from repro.datagen.persons import generate_persons
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = DatagenConfig(num_persons=400, seed=9)
+    dicts = build_dictionaries()
+    bundle = generate_persons(config, dicts)
+    return config, dicts, bundle
+
+
+class TestBasics:
+    def test_count(self, world):
+        config, _, bundle = world
+        assert len(bundle.persons) == config.num_persons
+
+    def test_sequential_ids(self, world):
+        _, _, bundle = world
+        assert [p.id for p in bundle.persons] == list(range(len(bundle.persons)))
+
+    def test_parallel_arrays_aligned(self, world):
+        _, _, bundle = world
+        n = len(bundle.persons)
+        assert len(bundle.target_degree) == n
+        assert len(bundle.country_of) == n
+        assert len(bundle.university_of) == n
+
+    def test_deterministic(self, world):
+        config, dicts, bundle = world
+        again = generate_persons(config, dicts)
+        assert [p.first_name for p in again.persons] == [
+            p.first_name for p in bundle.persons
+        ]
+        assert again.target_degree == bundle.target_degree
+
+
+class TestAttributeRanges:
+    def test_creation_inside_simulation(self, world):
+        config, _, bundle = world
+        for person in bundle.persons:
+            assert config.start_millis <= person.creation_date < config.end_millis
+
+    def test_birthdays_in_range(self, world):
+        _, _, bundle = world
+        from repro.util.dates import make_date
+
+        lo, hi = make_date(1980, 1, 1), make_date(1996, 1, 1)
+        assert all(lo <= p.birthday < hi for p in bundle.persons)
+
+    def test_both_genders_present(self, world):
+        _, _, bundle = world
+        genders = {p.gender for p in bundle.persons}
+        assert genders == {"male", "female"}
+
+    def test_emails_nonempty_and_unique_to_person(self, world):
+        _, _, bundle = world
+        for person in bundle.persons:
+            assert 1 <= len(person.emails) <= 3
+            assert all(f"{person.id}@" in email.split(".")[-2] + "@" + email
+                       or str(person.id) in email for email in person.emails)
+
+    def test_interest_counts(self, world):
+        _, _, bundle = world
+        for person in bundle.persons:
+            assert 1 <= len(person.interests) <= 8
+            assert len(set(person.interests)) == len(person.interests)
+
+
+class TestCorrelations:
+    """The property-dictionary correlations the spec prescribes."""
+
+    def test_city_matches_country(self, world):
+        _, dicts, bundle = world
+        for person, country in zip(bundle.persons, bundle.country_of):
+            assert dicts.city_country[person.city_id] == country
+
+    def test_ip_prefix_matches_country(self, world):
+        _, dicts, bundle = world
+        for person, country in zip(bundle.persons, bundle.country_of):
+            assert person.location_ip.startswith(
+                dicts.country_ip_prefix[country] + "."
+            )
+
+    def test_speaks_includes_country_language(self, world):
+        _, dicts, bundle = world
+        for person, country in zip(bundle.persons, bundle.country_of):
+            assert dicts.country_languages[country][0] in person.speaks
+
+    def test_names_from_country_dictionary(self, world):
+        _, dicts, bundle = world
+        for person, country in zip(bundle.persons, bundle.country_of):
+            name = dicts.country_names[country]
+            assert person.first_name in first_names_for(country, name, person.gender)
+            assert person.last_name in surnames_for(country, name)
+
+    def test_population_weights_respected(self, world):
+        _, dicts, bundle = world
+        from collections import Counter
+
+        counts = Counter(bundle.country_of)
+        big = dicts.country_names.index("India")
+        small = dicts.country_names.index("New_Zealand")
+        assert counts[big] > counts.get(small, 0)
+
+    def test_interests_favor_country_popular_tags(self, world):
+        _, dicts, bundle = world
+        # The top-10 ranked tags of a person's country should appear as
+        # interests far more often than the bottom-10.
+        top_hits = bottom_hits = 0
+        for person, country in zip(bundle.persons, bundle.country_of):
+            ranking = dicts.tags_by_country[country]
+            top, bottom = set(ranking[:10]), set(ranking[-10:])
+            top_hits += sum(1 for t in person.interests if t in top)
+            bottom_hits += sum(1 for t in person.interests if t in bottom)
+        assert top_hits > 3 * max(bottom_hits, 1)
+
+
+class TestStudyWork:
+    def test_study_at_references_existing_university(self, world):
+        _, dicts, bundle = world
+        for record in bundle.study_at:
+            assert 0 <= record.university_id < len(dicts.university_names)
+
+    def test_class_year_after_birth(self, world):
+        _, _, bundle = world
+        persons = {p.id: p for p in bundle.persons}
+        from repro.util.dates import make_date
+
+        for record in bundle.study_at:
+            birth_year = 1970 + persons[record.person_id].birthday // 365
+            assert record.class_year >= birth_year + 18
+
+    def test_most_persons_studied(self, world):
+        _, _, bundle = world
+        studied = {s.person_id for s in bundle.study_at}
+        assert len(studied) > 0.6 * len(bundle.persons)
+
+    def test_work_at_in_home_country(self, world):
+        _, dicts, bundle = world
+        for record in bundle.work_at:
+            assert (
+                dicts.company_country[record.company_id]
+                == bundle.country_of[record.person_id]
+            )
+
+    def test_university_of_matches_study_records(self, world):
+        _, _, bundle = world
+        by_person = {s.person_id: s.university_id for s in bundle.study_at}
+        for pid, uni in enumerate(bundle.university_of):
+            if uni >= 0:
+                assert by_person[pid] == uni

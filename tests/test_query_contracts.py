@@ -1,0 +1,99 @@
+"""Contract tests: every read query's output respects its declared sort
+order and row limit on the *generated* graph (not hand-built cases).
+
+The sort keys here are re-derived from the spec's sort clauses,
+independently of the TopK keys inside the implementations — a
+double-entry check on ordering bugs.
+"""
+
+import pytest
+
+from repro.queries.bi import ALL_QUERIES as ALL_BI
+from repro.queries.interactive.complex import ALL_COMPLEX
+
+# query number -> ascending sort key over a result row (spec sort clause).
+BI_SORT_KEYS = {
+    1: lambda r: (-r.year, r.is_comment, r.length_category),
+    2: lambda r: (-r.message_count, r.tag_name),
+    3: lambda r: (-r.diff, r.tag_name),
+    4: lambda r: (-r.post_count, r.forum_id),
+    5: lambda r: (-r.post_count, r.person_id),
+    6: lambda r: (-r.score, r.person_id),
+    7: lambda r: (-r.authority_score, r.person_id),
+    8: lambda r: (-r.comment_count, r.related_tag_name),
+    9: lambda r: (-r.count1, -r.count2, r.forum_id),
+    10: lambda r: (-(r.score + r.friends_score), r.person_id),
+    11: lambda r: (-r.like_count, r.person_id, r.tag_name),
+    12: lambda r: (-r.like_count, r.message_id),
+    13: lambda r: (-r.year, r.month),
+    14: lambda r: (-r.message_count, r.person_id),
+    15: lambda r: (r.person_id,),
+    16: lambda r: (-r.message_count, r.tag_name, r.person_id),
+    17: lambda r: (),
+    18: lambda r: (-r.person_count, -r.message_count),
+    19: lambda r: (-r.interaction_count, r.person_id),
+    20: lambda r: (-r.message_count, r.tag_class_name),
+    21: lambda r: (-r.zombie_score, r.zombie_id),
+    22: lambda r: (-r.score, r.person1_id, r.person2_id),
+    23: lambda r: (-r.message_count, r.destination_name, r.month),
+    24: lambda r: (-r.year, r.month, r.continent_name),
+    25: lambda r: (-r.path_weight, r.person_ids_in_path),
+}
+
+IC_SORT_KEYS = {
+    1: lambda r: (r.distance_from_person, r.friend_last_name, r.friend_id),
+    2: lambda r: (-r.message_creation_date, r.message_id),
+    3: lambda r: (-r.x_count, r.person_id),
+    4: lambda r: (-r.post_count, r.tag_name),
+    5: lambda r: (-r.post_count, r.forum_id),
+    6: lambda r: (-r.post_count, r.tag_name),
+    7: lambda r: (-r.like_creation_date, r.person_id),
+    8: lambda r: (-r.comment_creation_date, r.comment_id),
+    9: lambda r: (-r.message_creation_date, r.message_id),
+    10: lambda r: (-r.common_interest_score, r.person_id),
+    11: lambda r: (r.work_from, r.person_id),
+    12: lambda r: (-r.reply_count, r.person_id),
+    13: lambda r: (),
+    14: lambda r: (-r.path_weight,),
+}
+
+
+def _assert_sorted(rows, key):
+    keys = [key(row) for row in rows]
+    assert keys == sorted(keys), "rows violate the declared sort order"
+
+
+@pytest.mark.parametrize("number", sorted(ALL_BI))
+def test_bi_sort_and_limit(number, small_graph, small_params):
+    query, info = ALL_BI[number]
+    for params in small_params.bi(number, count=2):
+        rows = query(small_graph, *params)
+        if info.limit is not None:
+            assert len(rows) <= info.limit
+        _assert_sorted(rows, BI_SORT_KEYS[number])
+
+
+@pytest.mark.parametrize("number", sorted(ALL_COMPLEX))
+def test_ic_sort_and_limit(number, small_graph, small_params):
+    query, info = ALL_COMPLEX[number]
+    for params in small_params.interactive(number, count=2):
+        rows = query(small_graph, *params)
+        if info.limit is not None:
+            assert len(rows) <= info.limit
+        _assert_sorted(rows, IC_SORT_KEYS[number])
+
+
+@pytest.mark.parametrize("number", sorted(ALL_BI))
+def test_bi_rows_have_no_duplicates(number, small_graph, small_params):
+    query, _ = ALL_BI[number]
+    params = small_params.bi(number, count=1)[0]
+    rows = query(small_graph, *params)
+    assert len(set(map(tuple, rows))) == len(rows)
+
+
+@pytest.mark.parametrize("number", sorted(ALL_COMPLEX))
+def test_ic_deterministic(number, small_graph, small_params):
+    """Read queries are pure: re-running yields identical rows."""
+    query, _ = ALL_COMPLEX[number]
+    params = small_params.interactive(number, count=1)[0]
+    assert query(small_graph, *params) == query(small_graph, *params)

@@ -1,0 +1,57 @@
+"""Tests for the scale-factor law (spec Table 2.12)."""
+
+import pytest
+
+from repro.datagen.scale import (
+    SCALE_FACTORS,
+    approximate_scale_factor,
+    persons_for_scale_factor,
+)
+
+
+class TestTableValues:
+    @pytest.mark.parametrize("sf,persons", [
+        (0.1, 1_500), (0.3, 3_500), (1.0, 11_000), (3.0, 27_000),
+        (10.0, 73_000), (30.0, 182_000), (100.0, 499_000),
+        (300.0, 1_250_000), (1000.0, 3_600_000),
+    ])
+    def test_exact_table_values(self, sf, persons):
+        assert persons_for_scale_factor(sf) == persons
+
+    def test_table_nodes_edges_monotone(self):
+        rows = [SCALE_FACTORS[sf] for sf in sorted(SCALE_FACTORS)]
+        for (p1, n1, e1), (p2, n2, e2) in zip(rows, rows[1:]):
+            assert p1 < p2 and n1 < n2 and e1 < e2
+
+
+class TestInterpolation:
+    def test_monotone_between_table_points(self):
+        previous = 0
+        for sf in (0.05, 0.1, 0.2, 0.5, 1, 2, 5, 20, 50, 200, 500, 2000):
+            persons = persons_for_scale_factor(sf)
+            assert persons > previous
+            previous = persons
+
+    def test_micro_scale_factors(self):
+        assert 10 <= persons_for_scale_factor(0.001) < 1_500
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            persons_for_scale_factor(0)
+
+    def test_extrapolation_above_table(self):
+        assert persons_for_scale_factor(3000) > 3_600_000
+
+
+class TestInverse:
+    @pytest.mark.parametrize("sf", [0.1, 1.0, 10.0, 100.0])
+    def test_roundtrip_at_table_points(self, sf):
+        persons = persons_for_scale_factor(sf)
+        assert approximate_scale_factor(persons) == pytest.approx(sf, rel=0.05)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            approximate_scale_factor(0)
+
+    def test_monotone(self):
+        assert approximate_scale_factor(1_000) < approximate_scale_factor(50_000)

@@ -1,0 +1,86 @@
+"""Tests for the schema entities and the Table 2.10 relation registry."""
+
+import pytest
+
+from repro.schema.entities import (
+    Comment,
+    Forum,
+    ForumKind,
+    OrganisationType,
+    PlaceType,
+    Post,
+)
+from repro.schema.relations import RELATIONS, Knows
+
+
+class TestEnums:
+    def test_place_types(self):
+        assert {t.value for t in PlaceType} == {"city", "country", "continent"}
+
+    def test_organisation_types(self):
+        assert {t.value for t in OrganisationType} == {"university", "company"}
+
+    def test_forum_kinds(self):
+        assert {k.value for k in ForumKind} == {"wall", "album", "group"}
+
+
+class TestMessages:
+    def _post(self, content="hi", image=""):
+        return Post(
+            id=1, creation_date=0, location_ip="", browser_used="",
+            content=content, length=len(content), creator_id=0,
+            forum_id=0, country_id=0, image_file=image,
+        )
+
+    def test_post_is_not_comment(self):
+        assert self._post().is_comment is False
+
+    def test_comment_is_comment(self):
+        comment = Comment(
+            id=2, creation_date=0, location_ip="", browser_used="",
+            content="x", length=1, creator_id=0, country_id=0,
+            reply_of_post=1,
+        )
+        assert comment.is_comment is True
+        assert comment.content_or_image == "x"
+
+    def test_content_or_image(self):
+        assert self._post("hello").content_or_image == "hello"
+        assert self._post("", "p.jpg").content_or_image == "p.jpg"
+
+
+class TestKnows:
+    def test_other_endpoint(self):
+        edge = Knows(1, 5, 0)
+        assert edge.other(1) == 5
+        assert edge.other(5) == 1
+
+
+class TestRelationRegistry:
+    def test_twenty_relations(self):
+        # Spec Table 2.10 defines 20 relation rows.
+        assert len(RELATIONS) == 20
+
+    def test_knows_is_the_only_undirected(self):
+        undirected = [r.name for r in RELATIONS if not r.directed]
+        assert undirected == ["knows"]
+
+    def test_attributed_relations(self):
+        attributed = {r.name: dict(r.attributes) for r in RELATIONS if r.attributes}
+        assert attributed == {
+            "hasMember": {"joinDate": "DateTime"},
+            "knows": {"creationDate": "DateTime"},
+            "likes": {"creationDate": "DateTime"},
+            "studyAt": {"classYear": "32-bit Integer"},
+            "workAt": {"workFrom": "32-bit Integer"},
+        }
+
+    def test_tail_head_types_are_known(self):
+        known = {
+            "Forum", "Post", "Comment", "Message", "Person", "Tag",
+            "TagClass", "Company", "Country", "City", "University",
+            "Continent",
+        }
+        for relation in RELATIONS:
+            assert relation.tail in known
+            assert relation.head in known

@@ -1,0 +1,180 @@
+"""Tests for the dataset serializers and the CsvBasic loader round trip
+(spec Tables 2.13 - 2.16)."""
+
+import csv
+
+import pytest
+
+from repro.datagen.serializers import (
+    CSV_BASIC_FILES,
+    CSV_COMPOSITE_FILES,
+    CSV_COMPOSITE_MERGE_FOREIGN_FILES,
+    CSV_MERGE_FOREIGN_FILES,
+    SERIALIZERS,
+    serialize_csv,
+    serialize_turtle,
+)
+from repro.graph.loader import load_csv_basic
+from repro.graph.store import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory, tiny_net):
+    root = tmp_path_factory.mktemp("datasets")
+    paths = {}
+    for variant in SERIALIZERS:
+        paths[variant] = serialize_csv(tiny_net, root / variant, variant)
+    paths["Turtle"] = serialize_turtle(tiny_net, root / "Turtle")
+    return paths
+
+
+class TestFileInventories:
+    """The spec fixes the exact file count of each variant."""
+
+    def test_expected_file_name_counts(self):
+        assert len(CSV_BASIC_FILES) == 33
+        assert len(CSV_MERGE_FOREIGN_FILES) == 20
+        assert len(CSV_COMPOSITE_FILES) == 31
+        assert len(CSV_COMPOSITE_MERGE_FOREIGN_FILES) == 18
+
+    @pytest.mark.parametrize("variant", list(SERIALIZERS))
+    def test_written_files_match_table(self, exported, variant):
+        expected = {
+            f"{name}_0_0.csv" for name in SERIALIZERS[variant].expected_files
+        }
+        written = {p.name for p in exported[variant].rglob("*.csv")}
+        assert written == expected
+
+    def test_static_dynamic_split(self, exported):
+        static = {p.name for p in (exported["CsvBasic"] / "static").glob("*")}
+        assert "place_0_0.csv" in static
+        assert "person_0_0.csv" not in static
+        dynamic = {p.name for p in (exported["CsvBasic"] / "dynamic").glob("*")}
+        assert "person_0_0.csv" in dynamic
+
+    def test_unknown_variant_rejected(self, tiny_net, tmp_path):
+        with pytest.raises(ValueError):
+            serialize_csv(tiny_net, tmp_path, "CsvBogus")
+
+
+class TestCsvConventions:
+    def test_pipe_separator_and_header(self, exported):
+        path = exported["CsvBasic"] / "dynamic" / "person_0_0.csv"
+        with open(path) as handle:
+            header = handle.readline().strip()
+        assert header.split("|")[:3] == ["id", "firstName", "lastName"]
+
+    def test_datetime_format(self, exported):
+        path = exported["CsvBasic"] / "dynamic" / "person_0_0.csv"
+        with open(path) as handle:
+            reader = csv.reader(handle, delimiter="|")
+            next(reader)
+            row = next(reader)
+        creation = row[5]
+        assert creation.endswith("+0000")
+        assert "T" in creation
+
+    def test_composite_multivalued_attributes(self, exported):
+        path = exported["CsvComposite"] / "dynamic" / "person_0_0.csv"
+        with open(path) as handle:
+            reader = csv.reader(handle, delimiter="|")
+            header = next(reader)
+            rows = list(reader)
+        assert "emails" in header and "language" in header
+        email_idx = header.index("emails")
+        assert any(";" in row[email_idx] or "@" in row[email_idx] for row in rows)
+
+    def test_merge_foreign_embeds_keys(self, exported):
+        path = exported["CsvMergeForeign"] / "dynamic" / "comment_0_0.csv"
+        with open(path) as handle:
+            header = next(csv.reader(handle, delimiter="|"))
+        assert header[-4:] == ["creator", "place", "replyOfPost", "replyOfComment"]
+
+    def test_only_pre_cutoff_rows(self, exported, tiny_net):
+        path = exported["CsvBasic"] / "dynamic" / "post_0_0.csv"
+        with open(path) as handle:
+            reader = csv.reader(handle, delimiter="|")
+            next(reader)
+            count = sum(1 for _ in reader)
+        expected = sum(
+            1 for p in tiny_net.posts if p.creation_date < tiny_net.cutoff
+        )
+        assert count == expected
+
+
+class TestTurtle:
+    def test_two_files(self, exported):
+        names = {p.name for p in exported["Turtle"].glob("*.ttl")}
+        assert names == {
+            "0_ldbc_socialnet_static_dbp.ttl", "0_ldbc_socialnet.ttl",
+        }
+
+    def test_prefix_and_triples(self, exported):
+        static = exported["Turtle"] / "0_ldbc_socialnet_static_dbp.ttl"
+        text = static.read_text()
+        assert text.startswith("@prefix snvoc:")
+        assert "snvoc:isPartOf" in text
+        dynamic = (exported["Turtle"] / "0_ldbc_socialnet.ttl").read_text()
+        assert "snvoc:knows" in text or "snvoc:knows" in dynamic
+
+
+class TestLoaderRoundTrip:
+    @pytest.fixture(scope="class")
+    def loaded(self, exported):
+        return load_csv_basic(exported["CsvBasic"])
+
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_net):
+        return SocialGraph.from_data(tiny_net, until=tiny_net.cutoff)
+
+    def test_entity_counts(self, loaded, reference):
+        assert len(loaded.persons) == len(reference.persons)
+        assert len(loaded.forums) == len(reference.forums)
+        assert len(loaded.posts) == len(reference.posts)
+        assert len(loaded.comments) == len(reference.comments)
+        assert len(loaded.places) == len(reference.places)
+        assert len(loaded.organisations) == len(reference.organisations)
+        assert len(loaded.tags) == len(reference.tags)
+
+    def test_relation_counts(self, loaded, reference):
+        assert len(loaded.knows_edges) == len(reference.knows_edges)
+        assert len(loaded.likes_edges) == len(reference.likes_edges)
+        assert len(loaded.memberships) == len(reference.memberships)
+        assert len(loaded.study_at) == len(reference.study_at)
+        assert len(loaded.work_at) == len(reference.work_at)
+
+    def test_person_attributes_roundtrip(self, loaded, reference):
+        for pid, person in reference.persons.items():
+            other = loaded.persons[pid]
+            assert other.first_name == person.first_name
+            assert other.birthday == person.birthday
+            assert other.creation_date == person.creation_date
+            assert other.city_id == person.city_id
+            assert sorted(other.emails) == sorted(person.emails)
+            assert sorted(other.speaks) == sorted(person.speaks)
+            assert sorted(other.interests) == sorted(person.interests)
+
+    def test_message_attributes_roundtrip(self, loaded, reference):
+        for mid, post in reference.posts.items():
+            other = loaded.posts[mid]
+            assert other.content == post.content
+            assert other.image_file == post.image_file
+            assert other.length == post.length
+            assert other.creator_id == post.creator_id
+            assert other.forum_id == post.forum_id
+            assert other.country_id == post.country_id
+            assert sorted(other.tag_ids) == sorted(post.tag_ids)
+
+    def test_comment_reply_structure_roundtrip(self, loaded, reference):
+        for cid, comment in reference.comments.items():
+            other = loaded.comments[cid]
+            assert other.reply_of_post == comment.reply_of_post
+            assert other.reply_of_comment == comment.reply_of_comment
+
+    def test_adjacency_equivalence(self, loaded, reference):
+        for pid in list(reference.persons)[:15]:
+            assert loaded.friends_of(pid) == reference.friends_of(pid)
+
+    def test_forum_kind_inferred_from_title(self, loaded, reference):
+        for fid, forum in reference.forums.items():
+            assert loaded.forums[fid].kind is forum.kind

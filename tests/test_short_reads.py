@@ -1,0 +1,150 @@
+"""Exact-semantics tests for the short reads IS 1 - IS 7."""
+
+import pytest
+
+from repro.queries.interactive.short import is1, is2, is3, is4, is5, is6, is7
+
+from tests.builders import GraphBuilder, PARIS, ts
+
+
+@pytest.fixture
+def world():
+    b = GraphBuilder()
+    ann = b.person(first_name="Ann", last_name="Lee", city=PARIS)
+    bob = b.person(first_name="Bob", last_name="Kim")
+    eve = b.person(first_name="Eve", last_name="Wu")
+    b.knows(ann, bob, created=ts(2, 1, 2010))
+    b.knows(ann, eve, created=ts(3, 1, 2010))
+    forum = b.forum(ann, title="Group g")
+    post = b.post(ann, forum, created=ts(4, 1), content="root post")
+    c1 = b.comment(bob, post, created=ts(4, 2), content="first")
+    c2 = b.comment(eve, c1, created=ts(4, 3), content="second")
+    return b, dict(ann=ann, bob=bob, eve=eve, forum=forum, post=post, c1=c1, c2=c2)
+
+
+class TestIs1Profile:
+    def test_projection(self, world):
+        b, ids = world
+        row = is1(b.graph, ids["ann"])[0]
+        assert row.first_name == "Ann"
+        assert row.last_name == "Lee"
+        assert row.city_id == PARIS
+        assert row.gender == "female"
+
+    def test_unknown_person_raises(self, world):
+        b, _ = world
+        with pytest.raises(KeyError):
+            is1(b.graph, 999)
+
+
+class TestIs2RecentMessages:
+    def test_root_post_resolution(self, world):
+        b, ids = world
+        rows = is2(b.graph, ids["eve"])
+        assert rows[0].message_id == ids["c2"]
+        assert rows[0].original_post_id == ids["post"]
+        assert rows[0].original_post_author_id == ids["ann"]
+        assert rows[0].original_post_author_first_name == "Ann"
+
+    def test_post_is_its_own_root(self, world):
+        b, ids = world
+        rows = is2(b.graph, ids["ann"])
+        assert rows[0].original_post_id == ids["post"]
+        assert rows[0].message_id == ids["post"]
+
+    def test_limit_ten_most_recent(self, world):
+        b, ids = world
+        forum = ids["forum"]
+        for day in range(1, 15):
+            b.post(ids["bob"], forum, created=ts(6, day))
+        rows = is2(b.graph, ids["bob"])
+        assert len(rows) == 10
+        dates = [r.message_creation_date for r in rows]
+        assert dates == sorted(dates, reverse=True)
+
+
+class TestIs3Friends:
+    def test_friends_with_dates_sorted_desc(self, world):
+        b, ids = world
+        rows = is3(b.graph, ids["ann"])
+        assert [(r.person_id, r.friendship_creation_date) for r in rows] == [
+            (ids["eve"], ts(3, 1, 2010)),
+            (ids["bob"], ts(2, 1, 2010)),
+        ]
+
+    def test_no_friends(self, world):
+        b, _ = world
+        loner = b.person()
+        assert is3(b.graph, loner) == []
+
+
+class TestIs4MessageContent:
+    def test_post(self, world):
+        b, ids = world
+        row = is4(b.graph, ids["post"])[0]
+        assert row.message_content == "root post"
+        assert row.message_creation_date == ts(4, 1)
+
+    def test_comment(self, world):
+        b, ids = world
+        assert is4(b.graph, ids["c1"])[0].message_content == "first"
+
+    def test_image_post(self, world):
+        b, ids = world
+        pic = b.post(ids["ann"], ids["forum"], image_file="x.jpg")
+        assert is4(b.graph, pic)[0].message_content == "x.jpg"
+
+
+class TestIs5MessageCreator:
+    def test_post_creator(self, world):
+        b, ids = world
+        assert is5(b.graph, ids["post"])[0] == (ids["ann"], "Ann", "Lee")
+
+    def test_comment_creator(self, world):
+        b, ids = world
+        assert is5(b.graph, ids["c2"])[0] == (ids["eve"], "Eve", "Wu")
+
+
+class TestIs6MessageForum:
+    def test_post_forum(self, world):
+        b, ids = world
+        row = is6(b.graph, ids["post"])[0]
+        assert row.forum_id == ids["forum"]
+        assert row.forum_title == "Group g"
+        assert row.moderator_id == ids["ann"]
+
+    def test_comment_resolves_through_thread(self, world):
+        b, ids = world
+        row = is6(b.graph, ids["c2"])[0]
+        assert row.forum_id == ids["forum"]
+
+
+class TestIs7Replies:
+    def test_direct_replies_with_knows_flag(self, world):
+        b, ids = world
+        rows = is7(b.graph, ids["post"])
+        assert [r.comment_id for r in rows] == [ids["c1"]]
+        assert rows[0].reply_author_knows_original is True  # bob knows ann
+
+    def test_knows_flag_false_for_stranger(self, world):
+        b, ids = world
+        stranger = b.person()
+        reply = b.comment(stranger, ids["post"], created=ts(5, 1))
+        rows = is7(b.graph, ids["post"])
+        flags = {r.comment_id: r.reply_author_knows_original for r in rows}
+        assert flags[reply] is False
+
+    def test_self_reply_flag_false(self, world):
+        b, ids = world
+        self_reply = b.comment(ids["ann"], ids["post"], created=ts(5, 2))
+        flags = {
+            r.comment_id: r.reply_author_knows_original
+            for r in is7(b.graph, ids["post"])
+        }
+        assert flags[self_reply] is False
+
+    def test_sorted_by_date_desc(self, world):
+        b, ids = world
+        later = b.comment(ids["eve"], ids["post"], created=ts(6, 1))
+        rows = is7(b.graph, ids["post"])
+        assert rows[0].comment_id == later

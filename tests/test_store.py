@@ -1,0 +1,245 @@
+"""Tests for the graph store: adjacency correctness, inserts, ablation."""
+
+import pytest
+
+from repro.graph.store import SocialGraph
+from repro.schema.entities import Comment, ForumKind, Post
+
+from tests.builders import (
+    FRANCE,
+    GraphBuilder,
+    JAPAN,
+    PARIS,
+    TAG_BEBOP,
+    TAG_JAZZ,
+    TAG_ROCK,
+    TC_JAZZ,
+    TC_MUSIC,
+    TC_THING,
+    TOKYO,
+    ts,
+)
+
+
+@pytest.fixture
+def simple():
+    b = GraphBuilder()
+    alice = b.person(city=PARIS, first_name="Alice")
+    bob = b.person(city=TOKYO, first_name="Bob")
+    carol = b.person(city=PARIS, first_name="Carol", interests=(TAG_JAZZ,))
+    b.knows(alice, bob, ts(1, 10, 2010))
+    forum = b.forum(alice, tags=(TAG_ROCK,))
+    b.member(forum, bob)
+    post = b.post(alice, forum, tags=(TAG_ROCK,))
+    comment = b.comment(bob, post, tags=(TAG_JAZZ,))
+    nested = b.comment(carol, comment)
+    b.like(bob, post)
+    b.like(carol, comment)
+    b.study(alice, 0, 2006)
+    b.work(bob, 3, 2010)
+    return b, dict(
+        alice=alice, bob=bob, carol=carol, forum=forum,
+        post=post, comment=comment, nested=nested,
+    )
+
+
+class TestEntityAccess:
+    def test_message_union(self, simple):
+        b, ids = simple
+        assert isinstance(b.graph.message(ids["post"]), Post)
+        assert isinstance(b.graph.message(ids["comment"]), Comment)
+
+    def test_has_message(self, simple):
+        b, ids = simple
+        assert b.graph.has_message(ids["post"])
+        assert not b.graph.has_message(99999)
+
+    def test_messages_iterates_all(self, simple):
+        b, _ = simple
+        assert len(list(b.graph.messages())) == 3
+
+    def test_duplicate_person_rejected(self, simple):
+        b, _ = simple
+        from repro.schema.entities import Person
+
+        with pytest.raises(ValueError):
+            b.graph.add_person(
+                Person(0, "X", "Y", "male", 0, 0, "ip", "b", PARIS)
+            )
+
+    def test_duplicate_message_id_rejected(self, simple):
+        b, ids = simple
+        post = b.graph.posts[ids["post"]]
+        with pytest.raises(ValueError):
+            b.graph.add_post(post)
+
+
+class TestAdjacency:
+    def test_friends_symmetric(self, simple):
+        b, ids = simple
+        assert ids["bob"] in b.graph.friends_of(ids["alice"])
+        assert ids["alice"] in b.graph.friends_of(ids["bob"])
+        assert b.graph.friends_of(ids["carol"]) == {}
+
+    def test_friendship_date_stored(self, simple):
+        b, ids = simple
+        assert b.graph.friends_of(ids["alice"])[ids["bob"]] == ts(1, 10, 2010)
+
+    def test_messages_by(self, simple):
+        b, ids = simple
+        assert [m.id for m in b.graph.messages_by(ids["alice"])] == [ids["post"]]
+        assert [m.id for m in b.graph.messages_by(ids["bob"])] == [ids["comment"]]
+
+    def test_replies_of(self, simple):
+        b, ids = simple
+        assert [c.id for c in b.graph.replies_of(ids["post"])] == [ids["comment"]]
+        assert [c.id for c in b.graph.replies_of(ids["comment"])] == [ids["nested"]]
+
+    def test_parent_of(self, simple):
+        b, ids = simple
+        nested = b.graph.comments[ids["nested"]]
+        assert b.graph.parent_of(nested).id == ids["comment"]
+
+    def test_root_post_of(self, simple):
+        b, ids = simple
+        nested = b.graph.comments[ids["nested"]]
+        assert b.graph.root_post_of(nested).id == ids["post"]
+        post = b.graph.posts[ids["post"]]
+        assert b.graph.root_post_of(post) is post
+
+    def test_thread_messages(self, simple):
+        b, ids = simple
+        post = b.graph.posts[ids["post"]]
+        thread = {m.id for m in b.graph.thread_messages(post)}
+        assert thread == {ids["post"], ids["comment"], ids["nested"]}
+
+    def test_messages_with_tag(self, simple):
+        b, ids = simple
+        rock = {m.id for m in b.graph.messages_with_tag(TAG_ROCK)}
+        jazz = {m.id for m in b.graph.messages_with_tag(TAG_JAZZ)}
+        assert rock == {ids["post"]}
+        assert jazz == {ids["comment"]}
+
+    def test_likes_indexes(self, simple):
+        b, ids = simple
+        assert len(b.graph.likes_of_message(ids["post"])) == 1
+        assert len(b.graph.likes_by_person(ids["carol"])) == 1
+
+    def test_forum_indexes(self, simple):
+        b, ids = simple
+        assert [m.person_id for m in b.graph.members_of_forum(ids["forum"])] == [
+            ids["bob"]
+        ]
+        assert [m.forum_id for m in b.graph.forums_of_member(ids["bob"])] == [
+            ids["forum"]
+        ]
+        assert [p.id for p in b.graph.posts_in_forum(ids["forum"])] == [ids["post"]]
+        assert [f.id for f in b.graph.moderated_forums(ids["alice"])] == [
+            ids["forum"]
+        ]
+
+    def test_geography(self, simple):
+        b, ids = simple
+        assert set(b.graph.persons_in_city(PARIS)) == {ids["alice"], ids["carol"]}
+        assert set(b.graph.persons_in_country(FRANCE)) == {
+            ids["alice"], ids["carol"]
+        }
+        assert b.graph.country_of_person(ids["bob"]) == JAPAN
+
+    def test_interests(self, simple):
+        b, ids = simple
+        assert b.graph.persons_interested_in(TAG_JAZZ) == [ids["carol"]]
+
+    def test_study_work(self, simple):
+        b, ids = simple
+        assert b.graph.study_at_of(ids["alice"])[0].class_year == 2006
+        assert b.graph.work_at_of(ids["bob"])[0].work_from == 2010
+
+
+class TestTagClassHierarchy:
+    def test_descendants(self, simple):
+        b, _ = simple
+        assert b.graph.tagclass_descendants(TC_MUSIC) == {TC_MUSIC, TC_JAZZ}
+        assert TC_MUSIC in b.graph.tagclass_descendants(TC_THING)
+
+    def test_tags_in_class_tree(self, simple):
+        b, _ = simple
+        assert b.graph.tags_in_class_tree(TC_MUSIC) == {
+            TAG_ROCK, TAG_JAZZ, TAG_BEBOP,
+        }
+        assert b.graph.tags_of_class(TC_MUSIC) == [TAG_ROCK, TAG_JAZZ]
+
+
+class TestNameLookups:
+    def test_country_and_city(self, simple):
+        b, _ = simple
+        assert b.graph.country_id("France") == FRANCE
+        assert b.graph.city_id("Paris") == PARIS
+
+    def test_tags_and_classes(self, simple):
+        b, _ = simple
+        assert b.graph.tag_id("Jazz") == TAG_JAZZ
+        assert b.graph.tagclass_id("Music") == TC_MUSIC
+
+    def test_unknown_name_raises(self, simple):
+        b, _ = simple
+        with pytest.raises(KeyError):
+            b.graph.country_id("Atlantis")
+
+
+class TestIndexAblation:
+    """use_indexes=False must return identical answers via full scans."""
+
+    def test_equivalence_on_generated_graph(self, small_net):
+        indexed = SocialGraph.from_data(small_net)
+        scanning = SocialGraph.from_data(small_net, use_indexes=False)
+        pids = list(indexed.persons)[:20]
+        for pid in pids:
+            assert indexed.friends_of(pid) == scanning.friends_of(pid)
+            assert [p.id for p in indexed.posts_by(pid)] == sorted(
+                p.id for p in scanning.posts_by(pid)
+            ) or [p.id for p in indexed.posts_by(pid)] == [
+                p.id for p in scanning.posts_by(pid)
+            ]
+            assert {m.forum_id for m in indexed.forums_of_member(pid)} == {
+                m.forum_id for m in scanning.forums_of_member(pid)
+            }
+        mid = next(iter(indexed.posts))
+        assert {c.id for c in indexed.replies_of(mid)} == {
+            c.id for c in scanning.replies_of(mid)
+        }
+        assert {l.person_id for l in indexed.likes_of_message(mid)} == {
+            l.person_id for l in scanning.likes_of_message(mid)
+        }
+
+    def test_loader_from_data_counts(self, small_net):
+        graph = SocialGraph.from_data(small_net)
+        assert graph.node_count() == small_net.node_count()
+        assert len(graph.knows_edges) == len(small_net.knows)
+        assert len(graph.likes_edges) == len(small_net.likes)
+
+
+class TestCutoffLoad:
+    def test_truncated_graph_smaller(self, small_net):
+        full = SocialGraph.from_data(small_net)
+        bulk = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        assert bulk.node_count() < full.node_count()
+
+    def test_truncated_graph_is_consistent(self, small_net):
+        bulk = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        for comment in bulk.comments.values():
+            parent = (
+                comment.reply_of_post
+                if comment.reply_of_post >= 0
+                else comment.reply_of_comment
+            )
+            assert bulk.has_message(parent)
+        for like in bulk.likes_edges:
+            assert bulk.has_message(like.message_id)
+            assert like.person_id in bulk.persons
+        for membership in bulk.memberships:
+            assert membership.forum_id in bulk.forums
+            assert membership.person_id in bulk.persons
+        for post in bulk.posts.values():
+            assert post.forum_id in bulk.forums
+            assert post.creator_id in bulk.persons

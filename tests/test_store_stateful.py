@@ -1,0 +1,255 @@
+"""Stateful property test: the graph store's adjacency indexes stay
+consistent with a naive relational model under arbitrary interleavings
+of inserts (IU-shaped) and deletes (DEL-shaped)."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.schema.entities import Comment, Forum, ForumKind, Person, Post
+from repro.schema.relations import HasMember, Knows, Likes
+
+from tests.builders import build_micro_world, PARIS, TAG_ROCK
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Model-based test: every mutation is mirrored in plain sets; the
+    invariants recompute expected adjacency from the model."""
+
+    persons = Bundle("persons")
+    messages = Bundle("messages")
+    forums = Bundle("forums")
+
+    @initialize()
+    def setup(self):
+        self.graph = build_micro_world()
+        self.next_id = 0
+        # The naive model.
+        self.model_persons: set[int] = set()
+        self.model_forums: set[int] = set()
+        self.model_posts: dict[int, int] = {}      # post -> forum
+        self.model_comments: dict[int, int] = {}   # comment -> parent
+        self.model_knows: set[tuple[int, int]] = set()
+        self.model_likes: set[tuple[int, int]] = set()
+        self.model_members: set[tuple[int, int]] = set()
+        self.ts = 1_000_000
+
+    def _tick(self) -> int:
+        self.ts += 1000
+        return self.ts
+
+    # -- inserts ---------------------------------------------------------
+
+    @rule(target=persons)
+    def add_person(self):
+        pid = self.next_id
+        self.next_id += 1
+        self.graph.add_person(
+            Person(pid, "P", "Q", "male", 0, self._tick(), "ip", "b",
+                   PARIS, interests=[TAG_ROCK])
+        )
+        self.model_persons.add(pid)
+        return pid
+
+    @rule(target=forums, moderator=persons)
+    def add_forum(self, moderator):
+        if moderator not in self.model_persons:
+            return 0  # moderator was deleted; reuse forum id 0 sentinel
+        fid = self.next_id
+        self.next_id += 1
+        self.graph.add_forum(
+            Forum(fid, f"Group {fid}", self._tick(), moderator,
+                  ForumKind.GROUP, [TAG_ROCK])
+        )
+        self.model_forums.add(fid)
+        return fid
+
+    @rule(target=messages, creator=persons, forum=forums)
+    def add_post(self, creator, forum):
+        if creator not in self.model_persons or forum not in self.model_forums:
+            return -1
+        mid = self.next_id
+        self.next_id += 1
+        self.graph.add_post(
+            Post(mid, self._tick(), "ip", "b", "hi", 2, creator, forum,
+                 10, "en", "", [TAG_ROCK])
+        )
+        self.model_posts[mid] = forum
+        return mid
+
+    @rule(target=messages, creator=persons, parent=messages)
+    def add_comment(self, creator, parent):
+        parent_alive = parent in self.model_posts or parent in self.model_comments
+        if creator not in self.model_persons or not parent_alive:
+            return -1
+        mid = self.next_id
+        self.next_id += 1
+        is_post = parent in self.model_posts
+        self.graph.add_comment(
+            Comment(mid, self._tick(), "ip", "b", "re", 2, creator, 10,
+                    parent if is_post else -1, -1 if is_post else parent,
+                    [TAG_ROCK])
+        )
+        self.model_comments[mid] = parent
+        return mid
+
+    @rule(a=persons, b=persons)
+    def add_knows(self, a, b):
+        pair = (min(a, b), max(a, b))
+        if a == b or pair in self.model_knows:
+            return
+        if a not in self.model_persons or b not in self.model_persons:
+            return
+        self.graph.add_knows(Knows(pair[0], pair[1], self._tick()))
+        self.model_knows.add(pair)
+
+    @rule(person=persons, message=messages)
+    def add_like(self, person, message):
+        alive = message in self.model_posts or message in self.model_comments
+        if person not in self.model_persons or not alive:
+            return
+        if (person, message) in self.model_likes:
+            return
+        self.graph.add_like(
+            Likes(person, message, self._tick(), message in self.model_posts)
+        )
+        self.model_likes.add((person, message))
+
+    @rule(person=persons, forum=forums)
+    def add_member(self, person, forum):
+        if person not in self.model_persons or forum not in self.model_forums:
+            return
+        if (forum, person) in self.model_members:
+            return
+        self.graph.add_membership(HasMember(forum, person, self._tick()))
+        self.model_members.add((forum, person))
+
+    # -- deletes ---------------------------------------------------------
+
+    def _model_delete_message(self, mid):
+        self.model_posts.pop(mid, None)
+        self.model_comments.pop(mid, None)
+        self.model_likes = {
+            (p, m) for (p, m) in self.model_likes if m != mid
+        }
+        for child, parent in list(self.model_comments.items()):
+            if parent == mid:
+                self._model_delete_message(child)
+
+    @rule(message=messages)
+    def delete_message(self, message):
+        if message in self.model_posts:
+            self.graph.delete_post(message)
+            self._model_delete_message(message)
+        elif message in self.model_comments:
+            self.graph.delete_comment(message)
+            self._model_delete_message(message)
+
+    @rule(forum=forums)
+    def delete_forum(self, forum):
+        if forum not in self.model_forums:
+            return
+        self.graph.delete_forum(forum)
+        self.model_forums.discard(forum)
+        for mid, container in list(self.model_posts.items()):
+            if container == forum:
+                self._model_delete_message(mid)
+        self.model_members = {
+            (f, p) for (f, p) in self.model_members if f != forum
+        }
+
+    @rule(a=persons, b=persons)
+    def delete_knows(self, a, b):
+        pair = (min(a, b), max(a, b))
+        self.graph.delete_knows(*pair)
+        self.model_knows.discard(pair)
+
+    @rule(person=persons)
+    def delete_person(self, person):
+        if person not in self.model_persons:
+            return
+        self.graph.delete_person(person)
+        self.model_persons.discard(person)
+        self.model_knows = {
+            (a, b) for (a, b) in self.model_knows
+            if a != person and b != person
+        }
+        self.model_likes = {
+            (p, m) for (p, m) in self.model_likes if p != person
+        }
+        self.model_members = {
+            (f, p) for (f, p) in self.model_members if p != person
+        }
+        # Their group forums survive; their messages cascade — sync the
+        # model by removing whatever the store's cascade removed.
+        for mid in [m for m in list(self.model_posts) if m not in self.graph.posts]:
+            self._model_delete_message(mid)
+        for mid in [
+            m for m in list(self.model_comments) if m not in self.graph.comments
+        ]:
+            self._model_delete_message(mid)
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def entity_sets_match(self):
+        assert set(self.graph.persons) == self.model_persons
+        assert set(self.graph.forums) == self.model_forums
+        assert set(self.graph.posts) == set(self.model_posts)
+        assert set(self.graph.comments) == set(self.model_comments)
+
+    @invariant()
+    def knows_matches(self):
+        actual = {
+            (e.person1, e.person2) for e in self.graph.knows_edges
+        }
+        assert actual == self.model_knows
+        # Index agrees with edge list.
+        for a, b in self.model_knows:
+            assert b in self.graph.friends_of(a)
+            assert a in self.graph.friends_of(b)
+
+    @invariant()
+    def likes_match(self):
+        actual = {
+            (l.person_id, l.message_id) for l in self.graph.likes_edges
+        }
+        assert actual == self.model_likes
+
+    @invariant()
+    def memberships_match(self):
+        actual = {
+            (m.forum_id, m.person_id) for m in self.graph.memberships
+        }
+        assert actual == self.model_members
+
+    @invariant()
+    def reply_index_consistent(self):
+        for comment in self.graph.comments.values():
+            parent = (
+                comment.reply_of_post
+                if comment.reply_of_post >= 0
+                else comment.reply_of_comment
+            )
+            assert self.graph.has_message(parent)
+            assert comment in self.graph.replies_of(parent)
+
+    @invariant()
+    def creator_indexes_consistent(self):
+        for post in self.graph.posts.values():
+            assert post in self.graph.posts_by(post.creator_id)
+        for pid in self.graph.persons:
+            for message in self.graph.messages_by(pid):
+                assert message.creator_id == pid
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,108 @@
+"""Unit + property tests for the bounded top-k accumulator (CP-1.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.topk import TopK, sort_key
+
+
+class TestSortKey:
+    def test_ascending_component(self):
+        assert sort_key((1, False)) < sort_key((2, False))
+
+    def test_descending_component(self):
+        assert sort_key((2, True)) < sort_key((1, True))
+
+    def test_mixed_components(self):
+        # Descending count first, ascending id second: (5, 1) beats (5, 2).
+        a = sort_key((5, True), (1, False))
+        b = sort_key((5, True), (2, False))
+        c = sort_key((4, True), (0, False))
+        assert a < b < c
+
+    def test_equal_keys(self):
+        assert sort_key((3, True)) == sort_key((3, True))
+
+
+class TestTopK:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TopK(0, key=lambda x: x)
+
+    def test_keeps_smallest_by_key(self):
+        top = TopK(3, key=lambda x: x)
+        top.extend([5, 1, 4, 2, 8, 3])
+        assert top.result() == [1, 2, 3]
+
+    def test_result_is_sorted(self):
+        top = TopK(4, key=lambda x: -x)  # largest values
+        top.extend([5, 1, 4, 2, 8, 3])
+        assert top.result() == [8, 5, 4, 3]
+
+    def test_fewer_items_than_k(self):
+        top = TopK(10, key=lambda x: x)
+        top.extend([3, 1])
+        assert top.result() == [1, 3]
+
+    def test_len(self):
+        top = TopK(2, key=lambda x: x)
+        top.extend([1, 2, 3])
+        assert len(top) == 2
+
+    def test_would_enter_when_not_full(self):
+        top = TopK(2, key=lambda x: x)
+        top.add(5)
+        assert top.would_enter(100)
+
+    def test_would_enter_when_full(self):
+        top = TopK(2, key=lambda x: x)
+        top.extend([1, 2])
+        assert top.would_enter(0)
+        assert not top.would_enter(3)
+
+    def test_iteration_matches_result(self):
+        top = TopK(3, key=lambda x: x)
+        top.extend([9, 7, 8, 1])
+        assert list(top) == top.result()
+
+    @given(st.lists(st.integers(), max_size=200), st.integers(1, 20))
+    def test_equals_full_sort_prefix(self, values, k):
+        top = TopK(k, key=lambda x: x)
+        top.extend(values)
+        assert top.result() == sorted(values)[:k]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 100)),
+            max_size=200,
+            unique=True,
+        ),
+        st.integers(1, 10),
+    )
+    def test_composite_desc_asc_matches_sort(self, rows, k):
+        """The dominant query shape: count desc, id asc, LIMIT k."""
+        top = TopK(k, key=lambda r: sort_key((r[0], True), (r[1], False)))
+        top.extend(rows)
+        expected = sorted(rows, key=lambda r: (-r[0], r[1]))[:k]
+        assert top.result() == expected
+
+
+class TestWouldEnterInterleaved:
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=150),
+        st.integers(1, 10),
+    )
+    def test_interleaved_would_enter_never_loses_results(self, values, k):
+        """Interleaving would_enter probes with adds must not change the
+        final result (probes are advisory, possibly conservative)."""
+        top = TopK(k, key=lambda x: x)
+        for index, value in enumerate(values):
+            if index % 3 == 0:
+                probe = top.would_enter(value)
+                if not probe:
+                    # A rejecting probe means the value truly cannot be
+                    # among the k smallest seen so far.
+                    seen = sorted(values[:index])[:k]
+                    assert len(seen) == k and value >= seen[-1]
+            top.add(value)
+        assert top.result() == sorted(values)[:k]

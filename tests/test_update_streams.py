@@ -1,0 +1,107 @@
+"""Tests for the update streams (spec 2.3.4.3, Tables 2.17 - 2.18)."""
+
+import pytest
+
+from repro.datagen.update_streams import (
+    build_update_streams,
+    read_update_streams,
+    write_update_streams,
+)
+from repro.graph.store import SocialGraph
+from repro.queries.interactive.updates import ALL_UPDATES, AddPersonParams
+
+
+@pytest.fixture(scope="module")
+def operations(small_net):
+    return build_update_streams(small_net)
+
+
+class TestStreamContents:
+    def test_roughly_ten_percent_of_events(self, small_net, operations):
+        total = len(small_net._event_timestamps())
+        assert 0.08 <= len(operations) / total <= 0.12
+
+    def test_ordered_by_timestamp(self, operations):
+        times = [op.timestamp for op in operations]
+        assert times == sorted(times)
+
+    def test_all_at_or_after_cutoff(self, small_net, operations):
+        assert all(op.timestamp >= small_net.cutoff for op in operations)
+
+    def test_dependant_precedes_operation(self, operations):
+        assert all(op.dependant_timestamp <= op.timestamp for op in operations)
+
+    def test_every_operation_type_possible(self, operations):
+        present = {op.operation_id for op in operations}
+        assert present <= set(range(1, 9))
+        # Likes, posts and comments dominate the tail of the simulation.
+        assert {2, 3, 6, 7} <= present
+
+    def test_person_inserts_have_no_dependency(self, operations):
+        for op in operations:
+            if op.operation_id == 1:
+                assert op.dependant_timestamp == 0
+                assert isinstance(op.params, AddPersonParams)
+
+
+class TestReplay:
+    def test_replay_reconstructs_full_graph(self, small_net, operations):
+        graph = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        for op in operations:
+            ALL_UPDATES[op.operation_id][0](graph, op.params)
+        full = SocialGraph.from_data(small_net)
+        assert graph.node_count() == full.node_count()
+        assert len(graph.knows_edges) == len(full.knows_edges)
+        assert len(graph.likes_edges) == len(full.likes_edges)
+        assert len(graph.memberships) == len(full.memberships)
+
+    def test_replay_preserves_adjacency(self, small_net, operations):
+        graph = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        for op in operations:
+            ALL_UPDATES[op.operation_id][0](graph, op.params)
+        full = SocialGraph.from_data(small_net)
+        for pid in list(full.persons)[:20]:
+            assert graph.friends_of(pid) == full.friends_of(pid)
+            assert len(list(graph.messages_by(pid))) == len(
+                list(full.messages_by(pid))
+            )
+
+
+class TestSerialization:
+    def test_file_split_person_vs_forum(self, small_net, operations, tmp_path):
+        person_path, forum_path = write_update_streams(operations, tmp_path)
+        assert person_path.name == "updateStream_0_0_person.csv"
+        assert forum_path.name == "updateStream_0_0_forum.csv"
+        with open(person_path) as handle:
+            assert all(line.split("|")[2] == "1" for line in handle)
+        with open(forum_path) as handle:
+            ids = {line.split("|")[2] for line in handle}
+        assert ids <= {"2", "3", "4", "5", "6", "7", "8"}
+
+    def test_write_read_roundtrip(self, operations, tmp_path):
+        write_update_streams(operations, tmp_path)
+        again = read_update_streams(tmp_path / "social_network")
+        assert again == sorted(
+            operations, key=lambda op: (op.timestamp, op.operation_id)
+        )
+
+    def test_read_missing_directory_is_empty(self, tmp_path):
+        assert read_update_streams(tmp_path) == []
+
+
+class TestMultiPartStreams:
+    def test_parts_split_and_read_back(self, operations, tmp_path):
+        write_update_streams(operations, tmp_path, parts=3)
+        root = tmp_path / "social_network"
+        person_parts = sorted(root.glob("updateStream_0_*_person.csv"))
+        forum_parts = sorted(root.glob("updateStream_0_*_forum.csv"))
+        assert len(person_parts) == 3 and len(forum_parts) == 3
+        again = read_update_streams(root)
+        # (timestamp, operation_id) ties may interleave differently
+        # across parts; compare under a total order.
+        total = lambda op: (op.timestamp, op.operation_id, repr(op.params))
+        assert sorted(again, key=total) == sorted(operations, key=total)
+
+    def test_rejects_bad_parts(self, operations, tmp_path):
+        with pytest.raises(ValueError):
+            write_update_streams(operations, tmp_path, parts=0)

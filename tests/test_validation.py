@@ -1,0 +1,70 @@
+"""Tests for validation mode (spec section 6.2)."""
+
+import pytest
+
+from repro.driver.validation import (
+    create_validation_set,
+    read_validation_set,
+    validate,
+    write_validation_set,
+)
+from repro.graph.store import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def validation_bindings(small_params):
+    return {
+        ("bi", 1): small_params.bi(1, count=1),
+        ("bi", 12): small_params.bi(12, count=2),
+        ("complex", 2): small_params.interactive(2, count=2),
+        ("complex", 13): small_params.interactive(13, count=1),
+    }
+
+
+@pytest.fixture(scope="module")
+def validation_set(small_graph, validation_bindings):
+    return create_validation_set(small_graph, validation_bindings)
+
+
+class TestCreate:
+    def test_entry_per_binding(self, validation_set, validation_bindings):
+        expected = sum(len(v) for v in validation_bindings.values())
+        assert len(validation_set["entries"]) == expected
+
+    def test_entries_are_json_serializable(self, validation_set):
+        import json
+
+        json.dumps(validation_set)
+
+    def test_expected_results_non_trivial(self, validation_set):
+        assert any(entry["expected"] for entry in validation_set["entries"])
+
+
+class TestValidate:
+    def test_same_graph_passes(self, small_graph, validation_set):
+        assert validate(small_graph, validation_set) == []
+
+    def test_mutated_graph_fails(self, small_net, validation_set):
+        mutated = SocialGraph.from_data(small_net)
+        # Remove a like from a message that BI 12's expected output
+        # counts, so its like count must change.
+        bi12_entry = next(
+            e
+            for e in validation_set["entries"]
+            if e["kind"] == "bi" and e["number"] == 12 and e["expected"]
+        )
+        message_id = bi12_entry["expected"][0][0]
+        victim = mutated._likes_of_message[message_id][0]
+        mutated.likes_edges.remove(victim)
+        mutated._likes_of_message[message_id].remove(victim)
+        mismatches = validate(mutated, validation_set)
+        assert mismatches
+        assert {"kind", "number", "params", "expected", "actual"} <= set(
+            mismatches[0]
+        )
+
+    def test_roundtrip_through_file(self, small_graph, validation_set, tmp_path):
+        path = tmp_path / "validation.json"
+        write_validation_set(validation_set, path)
+        loaded = read_validation_set(path)
+        assert validate(small_graph, loaded) == []

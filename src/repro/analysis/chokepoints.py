@@ -122,6 +122,35 @@ APPENDIX_COVERAGE: dict[str, frozenset[str]] = {
 }
 
 
+#: Engine operator counter -> the spec choke point it instruments.
+#: ``repro.engine.stats.OperatorCounters`` fields must all appear here
+#: (checked by tests/test_engine.py), so every number the BI driver
+#: reports is attributable to a CP of Appendix A.
+OPERATOR_COUNTER_CPS: dict[str, str] = {
+    "rows_scanned": "2.2",      # late projection: rows surviving pushdown
+    "index_scans": "3.3",       # scattered secondary/adjacency index access
+    "full_scans": "3.2",        # dimensional clustering: unpruned scans
+    "edges_expanded": "2.3",    # index-based join traversal work
+    "groups_created": "1.2",    # high-cardinality group-by
+    "heap_inserts": "1.3",      # top-k pushdown: rows offered
+    "heap_rejections": "1.3",   # top-k pushdown: threshold short-cuts
+    "heap_evictions": "1.3",    # top-k pushdown: compaction drops
+    "cache_hits": "6.1",        # inter-query result reuse
+    "cache_misses": "6.1",
+    "cache_invalidations": "6.1",
+    "cache_evictions": "6.1",
+}
+
+
+def counter_choke_point(counter_name: str) -> ChokePoint:
+    """The registry entry a driver counter maps to (KeyError if unknown)."""
+    identifier = OPERATOR_COUNTER_CPS[counter_name]
+    for cp in CHOKE_POINTS:
+        if cp.identifier == identifier:
+            return cp
+    raise KeyError(identifier)
+
+
 def coverage_matrix() -> dict[str, frozenset[str]]:
     """CP identifier -> set of query labels, derived from query metadata."""
     matrix: dict[str, set[str]] = {cp.identifier: set() for cp in CHOKE_POINTS}

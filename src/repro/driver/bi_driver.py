@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from repro.datagen.delete_streams import DeleteOperation, build_delete_streams
 from repro.datagen.generator import SocialNetworkData
 from repro.datagen.update_streams import UpdateOperation, build_update_streams
+from repro.engine import reset_counters
+from repro.graph.cache import CachedQueryExecutor
 from repro.graph.store import SocialGraph
 from repro.params.curation import ParameterGenerator
 from repro.queries.bi import ALL_QUERIES
@@ -39,6 +41,10 @@ class PowerTestResult:
     #: query number -> runtime in seconds.
     runtimes: dict[int, float]
     scale_factor: float
+    #: query number -> engine operator counters (non-zero only); every
+    #: counter name maps to a spec choke-point id through
+    #: ``repro.analysis.chokepoints.OPERATOR_COUNTER_CPS``.
+    operator_stats: dict[int, dict[str, int]] = field(default_factory=dict)
 
     @property
     def geometric_mean(self) -> float:
@@ -51,9 +57,13 @@ class PowerTestResult:
         return 3600.0 * self.scale_factor / self.geometric_mean
 
     def format_table(self) -> str:
-        lines = [f"{'query':8s} {'runtime ms':>11s}"]
+        lines = [f"{'query':8s} {'runtime ms':>11s}  operators"]
         for number, runtime in sorted(self.runtimes.items()):
-            lines.append(f"BI {number:<5d} {1000 * runtime:11.3f}")
+            counters = self.operator_stats.get(number, {})
+            summary = " ".join(
+                f"{name}={value}" for name, value in counters.items()
+            )
+            lines.append(f"BI {number:<5d} {1000 * runtime:11.3f}  {summary}")
         lines.append(
             f"geomean {1000 * self.geometric_mean:.3f} ms ->"
             f" power@SF {self.power_score:.1f}"
@@ -67,16 +77,29 @@ def power_test(
     scale_factor: float,
     bindings_per_query: int = 1,
 ) -> PowerTestResult:
-    """Run every BI read sequentially and score the snapshot."""
+    """Run every BI read sequentially and score the snapshot.
+
+    Alongside each runtime, the engine's per-operator counters (rows
+    scanned, access path taken, heap activity) are snapshotted per
+    query, so the result maps runtime to operator work and on to the
+    spec's choke points.
+    """
     runtimes: dict[int, float] = {}
+    operator_stats: dict[int, dict[str, int]] = {}
     for number in sorted(ALL_QUERIES):
         query, _ = ALL_QUERIES[number]
         bindings = params.bi(number, count=bindings_per_query)
+        reset_counters()
         start = time.perf_counter()
         for binding in bindings:
             query(graph, *binding)
         runtimes[number] = (time.perf_counter() - start) / len(bindings)
-    return PowerTestResult(runtimes=runtimes, scale_factor=scale_factor)
+        operator_stats[number] = reset_counters().as_dict(skip_zero=True)
+    return PowerTestResult(
+        runtimes=runtimes,
+        scale_factor=scale_factor,
+        operator_stats=operator_stats,
+    )
 
 
 @dataclass
@@ -120,6 +143,9 @@ class ThroughputTestResult:
     read_seconds: list[float]
     operations: int
     elapsed: float
+    #: Result-cache counters (CP-6.1) when the test ran through a
+    #: :class:`~repro.graph.cache.CachedQueryExecutor`; empty otherwise.
+    cache_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -136,13 +162,22 @@ class ThroughputTestResult:
             if self.read_seconds
             else 0.0
         )
-        return (
+        line = (
             f"{len(self.batch_seconds)} microbatches,"
             f" mean write batch {mean_batch:.2f} ms,"
             f" mean read block {mean_reads:.2f} ms,"
             f" {self.operations} ops in {self.elapsed:.2f}s"
             f" -> {self.throughput:.0f} ops/s"
         )
+        if self.cache_stats:
+            line += (
+                f"\ncache: hits={self.cache_stats['hits']:.0f}"
+                f" misses={self.cache_stats['misses']:.0f}"
+                f" invalidations={self.cache_stats['invalidations']:.0f}"
+                f" evictions={self.cache_stats['evictions']:.0f}"
+                f" hit_rate={self.cache_stats['hit_rate']:.2f}"
+            )
+        return line
 
 
 @dataclass
@@ -242,13 +277,21 @@ def throughput_test(
     params: ParameterGenerator,
     batches: list[Microbatch],
     reads_per_batch: int = 5,
+    executor: CachedQueryExecutor | None = None,
 ) -> ThroughputTestResult:
     """Alternate write microbatches with blocks of BI reads.
 
     ``reads_per_batch`` BI queries (rotating through BI 1-25 with
     rotating curated bindings) run after each batch, emulating the
     refresh-then-analyse loop of the paper's throughput test.
+
+    With ``executor`` supplied (a :class:`CachedQueryExecutor` wrapping
+    ``graph``), reads route through the inter-query result cache and
+    writes invalidate it; the executor's counters land in
+    :attr:`ThroughputTestResult.cache_stats` (CP-6.1).
     """
+    if executor is not None and executor.graph is not graph:
+        raise ValueError("executor must wrap the same graph")
     batch_seconds: list[float] = []
     read_seconds: list[float] = []
     operations = 0
@@ -259,6 +302,8 @@ def throughput_test(
     started = time.perf_counter()
     for batch in batches:
         write_start = time.perf_counter()
+        if executor is not None and batch.size:
+            executor.invalidate()
         for insert in batch.inserts:
             try:
                 ALL_UPDATES[insert.operation_id][0](graph, insert.params)
@@ -273,8 +318,12 @@ def throughput_test(
         for _ in range(reads_per_batch):
             number = numbers[read_cursor % len(numbers)]
             binding = bindings[number][read_cursor % len(bindings[number])]
+            query = ALL_QUERIES[number][0]
             try:
-                ALL_QUERIES[number][0](graph, *binding)
+                if executor is not None:
+                    executor.run(f"bi{number}", query, *binding)
+                else:
+                    query(graph, *binding)
             except KeyError:
                 pass  # parameter invalidated by a delete
             read_cursor += 1
@@ -285,4 +334,5 @@ def throughput_test(
         read_seconds=read_seconds,
         operations=operations,
         elapsed=time.perf_counter() - started,
+        cache_stats=executor.stats() if executor is not None else {},
     )

@@ -1,0 +1,36 @@
+"""The shared query-operator layer (scan / expand / aggregate / top-k).
+
+See :mod:`repro.engine.operators` for the operator inventory and
+:mod:`repro.engine.stats` for the per-operator instrumentation the BI
+driver surfaces in its run metrics.
+"""
+
+from repro.engine.operators import (
+    expand,
+    group_agg,
+    group_count,
+    scan_forum_posts,
+    scan_messages,
+    sort_key,
+    top_k,
+)
+from repro.engine.stats import (
+    COUNTER_NAMES,
+    OperatorCounters,
+    counters,
+    reset_counters,
+)
+
+__all__ = [
+    "COUNTER_NAMES",
+    "OperatorCounters",
+    "counters",
+    "expand",
+    "group_agg",
+    "group_count",
+    "reset_counters",
+    "scan_forum_posts",
+    "scan_messages",
+    "sort_key",
+    "top_k",
+]

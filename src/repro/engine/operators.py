@@ -1,0 +1,278 @@
+"""Reusable query operators with predicate pushdown and instrumentation.
+
+The BI and Interactive read queries are compositions of a handful of
+physical operators:
+
+* :func:`scan_messages` — Message access with pushdown of temporal
+  (creationDate window), tag, and creator predicates into the store's
+  secondary indexes (CP-2.2 late projection / CP-3.2 dimensional
+  clustering / CP-3.3 scattered index access);
+* :func:`scan_forum_posts` — a Forum's Posts through the forum→post
+  date index;
+* :func:`expand` — adjacency flat-map (CP-2.3 index-based joins);
+* :func:`group_count` / :func:`group_agg` — hash aggregation
+  (CP-1.2 / CP-1.4);
+* :func:`top_k` — the bounded-heap ORDER BY … LIMIT accumulator
+  (CP-1.3 top-k pushdown), unifying :mod:`repro.util.topk`.
+
+Every operator tallies its work into :mod:`repro.engine.stats`, so a
+driver run can report rows scanned, the access path taken, and heap
+activity per query.  Access-path selection honours the store's
+``use_indexes`` / ``use_date_index`` / ``use_tag_index`` ablation flags:
+with an index disabled the same operator silently degrades to a
+filtered full scan, so ablation runs return identical rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from repro.engine.stats import counters
+from repro.graph.store import SocialGraph
+from repro.schema.entities import Message, Post
+from repro.util.dates import DateTime
+from repro.util.topk import TopK, sort_key
+
+__all__ = [
+    "scan_messages",
+    "scan_forum_posts",
+    "expand",
+    "group_count",
+    "group_agg",
+    "top_k",
+    "sort_key",
+]
+
+T = TypeVar("T")
+K = TypeVar("K")
+S = TypeVar("S")
+
+#: (start, end) closed-open DateTime window; either bound may be None.
+Window = "tuple[DateTime | None, DateTime | None]"
+
+
+def _bounds(
+    window: tuple[DateTime | None, DateTime | None] | None,
+) -> tuple[DateTime | None, DateTime | None]:
+    if window is None:
+        return None, None
+    start, end = window
+    return start, end
+
+
+def _in_bounds(
+    ts: DateTime, start: DateTime | None, end: DateTime | None
+) -> bool:
+    return (start is None or ts >= start) and (end is None or ts < end)
+
+
+def scan_messages(
+    graph: SocialGraph,
+    *,
+    window: tuple[DateTime | None, DateTime | None] | None = None,
+    tag: int | None = None,
+    creator: int | None = None,
+    kind: str | None = None,
+) -> Iterator[Message]:
+    """Scan Messages, pushing the given predicates into the best index.
+
+    ``window`` is a closed-open ``[start, end)`` creationDate interval
+    (either bound ``None``); ``tag`` a Tag id the Message must carry;
+    ``creator`` the creating Person's id; ``kind`` restricts to
+    ``"post"`` or ``"comment"``.  Access-path order: creator adjacency,
+    tag postings (date-bisected), month buckets, full scan.  All
+    remaining predicates are applied as filters, so every path returns
+    the same rows.
+    """
+    start, end = _bounds(window)
+    stats = counters()
+    if creator is not None:
+        if kind == "post":
+            source: Iterable[Message] = graph.posts_by(creator)
+        elif kind == "comment":
+            source = graph.comments_by(creator)
+        else:
+            source = graph.messages_by(creator)
+        if graph.use_indexes:
+            stats.index_scans += 1
+        else:
+            stats.full_scans += 1
+        produced = 0
+        try:
+            for message in source:
+                if not _in_bounds(message.creation_date, start, end):
+                    continue
+                if tag is not None and tag not in message.tag_ids:
+                    continue
+                produced += 1
+                yield message
+        finally:
+            stats.rows_scanned += produced
+        return
+
+    if tag is not None:
+        if graph.use_indexes and graph.use_tag_index:
+            stats.index_scans += 1
+        else:
+            stats.full_scans += 1
+        produced = 0
+        try:
+            for message in graph.messages_with_tag_in_window(tag, start, end):
+                if kind == "post" and message.is_comment:
+                    continue
+                if kind == "comment" and not message.is_comment:
+                    continue
+                produced += 1
+                yield message
+        finally:
+            stats.rows_scanned += produced
+        return
+
+    if (start is not None or end is not None) and (
+        graph.use_indexes and graph.use_date_index
+    ):
+        stats.index_scans += 1
+        produced = 0
+        try:
+            for message in graph.messages_in_window(start, end, kind):
+                produced += 1
+                yield message
+        finally:
+            stats.rows_scanned += produced
+        return
+
+    stats.full_scans += 1
+    if kind == "post":
+        source = graph.posts.values()
+    elif kind == "comment":
+        source = graph.comments.values()
+    else:
+        source = graph.messages()
+    produced = 0
+    try:
+        for message in source:
+            if not _in_bounds(message.creation_date, start, end):
+                continue
+            produced += 1
+            yield message
+    finally:
+        stats.rows_scanned += produced
+
+
+def scan_forum_posts(
+    graph: SocialGraph,
+    forum_id: int,
+    *,
+    window: tuple[DateTime | None, DateTime | None] | None = None,
+) -> Iterator[Post]:
+    """Scan one Forum's Posts, date window pushed into the forum index."""
+    start, end = _bounds(window)
+    stats = counters()
+    if graph.use_indexes and graph.use_date_index:
+        stats.index_scans += 1
+        source: Iterable[Post] = graph.posts_in_forum_window(
+            forum_id, start, end
+        )
+    elif graph.use_indexes:
+        stats.index_scans += 1
+        source = (
+            p
+            for p in graph.posts_in_forum(forum_id)
+            if _in_bounds(p.creation_date, start, end)
+        )
+    else:
+        stats.full_scans += 1
+        source = (
+            p
+            for p in graph.posts_in_forum(forum_id)
+            if _in_bounds(p.creation_date, start, end)
+        )
+    produced = 0
+    try:
+        for post in source:
+            produced += 1
+            yield post
+    finally:
+        stats.rows_scanned += produced
+
+
+def expand(
+    sources: Iterable[S], neighbors: Callable[[S], Iterable[T]]
+) -> Iterator[tuple[S, T]]:
+    """Adjacency flat-map: yield ``(source, neighbor)`` for every edge.
+
+    ``neighbors`` is any store adjacency accessor (``friends_of``,
+    ``replies_of``, ``members_of_forum``, …).  Tallies the number of
+    edges followed (CP-2.3 index-based join work).
+    """
+    stats = counters()
+    followed = 0
+    try:
+        for source in sources:
+            for item in neighbors(source):
+                followed += 1
+                yield source, item
+    finally:
+        stats.edges_expanded += followed
+
+
+def group_count(keys: Iterable[K]) -> Counter:
+    """Hash-aggregate COUNT(*) per key (CP-1.2 group-by)."""
+    groups = Counter(keys)
+    counters().groups_created += len(groups)
+    return groups
+
+
+def group_agg(
+    items: Iterable[T],
+    key: Callable[[T], K],
+    zero: Callable[[], Any],
+    fold: Callable[[Any, T], None],
+) -> dict[K, Any]:
+    """Hash-aggregate with a mutable accumulator per group.
+
+    ``zero`` builds a fresh accumulator, ``fold(acc, item)`` updates it
+    in place — the shape every multi-measure BI group-by uses.
+    """
+    groups: dict[K, Any] = {}
+    for item in items:
+        k = key(item)
+        acc = groups.get(k)
+        if acc is None:
+            acc = groups[k] = zero()
+        fold(acc, item)
+    counters().groups_created += len(groups)
+    return groups
+
+
+class _CountingTopK(TopK[T]):
+    """A :class:`TopK` that tallies heap activity into the engine stats."""
+
+    def add(self, item: T) -> None:
+        stats = counters()
+        stats.heap_inserts += 1
+        key = self._key(item)
+        if self._threshold is not None and not key < self._threshold:
+            stats.heap_rejections += 1
+            return
+        self._buffer.append((key, item))
+        if len(self._buffer) >= self._capacity:
+            self._compact()
+
+    def _compact(self) -> None:
+        before = len(self._buffer)
+        super()._compact()
+        dropped = before - len(self._buffer)
+        if dropped:
+            counters().heap_evictions += dropped
+
+
+def top_k(limit: int, key: Callable[[T], Any]) -> TopK[T]:
+    """An ORDER BY … LIMIT accumulator with eviction instrumentation.
+
+    The single entry point for query result limiting (CP-1.3): behaves
+    exactly like :class:`repro.util.topk.TopK` but reports inserts,
+    threshold rejections and compaction evictions.
+    """
+    return _CountingTopK(limit, key=key)

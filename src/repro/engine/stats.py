@@ -1,0 +1,74 @@
+"""Per-operator instrumentation for the query-operator layer.
+
+Every engine operator tallies its work into a process-global
+:class:`OperatorCounters` record: rows produced by scans, which access
+path a scan took (secondary index vs full scan), adjacency expansions,
+aggregation group counts, and bounded-heap activity of the top-k
+accumulator.  The BI driver resets the counters around each query and
+attaches the per-query snapshot to its run metrics, giving the power
+test the per-operator profile the choke-point analysis needs
+(``repro.analysis.chokepoints.OPERATOR_COUNTER_CPS`` maps each counter
+to its spec choke-point id).
+
+A single global record (rather than a per-query context object) keeps
+the per-row cost of counting to one integer add and works unchanged in
+the fork-based concurrent driver — each worker process accumulates into
+its own copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class OperatorCounters:
+    """Work tallies of the engine operators since the last reset."""
+
+    #: Rows produced by scan operators (post-pushdown, pre-predicate).
+    rows_scanned: int = 0
+    #: Scans served by a secondary or adjacency index.
+    index_scans: int = 0
+    #: Scans that fell back to a full relation scan.
+    full_scans: int = 0
+    #: Adjacency edges followed by expand().
+    edges_expanded: int = 0
+    #: Distinct groups materialized by group_count()/group_agg().
+    groups_created: int = 0
+    #: Rows offered to top_k() accumulators.
+    heap_inserts: int = 0
+    #: Rows rejected by the top-k threshold without entering the heap.
+    heap_rejections: int = 0
+    #: Buffered rows evicted when a top-k accumulator compacted.
+    heap_evictions: int = 0
+
+    def as_dict(self, skip_zero: bool = False) -> dict[str, int]:
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        if skip_zero:
+            values = {name: v for name, v in values.items() if v}
+        return values
+
+    def clear(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: Names of all counters, in declaration order (the driver's table order).
+COUNTER_NAMES: tuple[str, ...] = tuple(
+    f.name for f in fields(OperatorCounters)
+)
+
+#: The process-global tally the operators write into.
+_COUNTERS = OperatorCounters()
+
+
+def counters() -> OperatorCounters:
+    """The live global counter record (mutated in place by operators)."""
+    return _COUNTERS
+
+
+def reset_counters() -> OperatorCounters:
+    """Snapshot the current counters and zero the global record."""
+    snapshot = OperatorCounters(**_COUNTERS.as_dict())
+    _COUNTERS.clear()
+    return snapshot

@@ -23,6 +23,16 @@ from typing import Any, Callable
 from repro.graph.store import SocialGraph
 
 
+def _freeze(value: Any) -> Any:
+    """A hashable cache-key form of a parameter (lists become tuples —
+    some curated bindings carry list parameters)."""
+    if isinstance(value, (list, tuple, set)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
 class CachedQueryExecutor:
     """Memoizes read-query results until the next write."""
 
@@ -35,10 +45,12 @@ class CachedQueryExecutor:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Entries dropped by the LRU capacity bound (not by writes).
+        self.evictions = 0
 
     def run(self, name: str, query: Callable, *params: Any) -> list:
         """Execute ``query(graph, *params)`` through the cache."""
-        key = (name, params)
+        key = (name, _freeze(params))
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
@@ -49,6 +61,7 @@ class CachedQueryExecutor:
         self._cache[key] = result
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
+            self.evictions += 1
         return result
 
     def write(self, operation: Callable, *args: Any) -> None:
@@ -65,3 +78,14 @@ class CachedQueryExecutor:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for the driver's results log (CP-6.1)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+            "hit_rate": self.hit_rate,
+        }

@@ -24,6 +24,7 @@ The store supports the benchmark's two load paths:
 from __future__ import annotations
 
 import copy
+from bisect import bisect_left, insort
 from collections import defaultdict
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -41,7 +42,7 @@ from repro.schema.entities import (
     TagClass,
 )
 from repro.schema.relations import HasMember, Knows, Likes, StudyAt, WorkAt
-from repro.util.dates import DateTime
+from repro.util.dates import DateTime, month_bucket
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.datagen.generator import SocialNetworkData
@@ -50,8 +51,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class SocialGraph:
     """The loaded social network plus its adjacency indexes."""
 
-    def __init__(self, use_indexes: bool = True):
+    def __init__(
+        self,
+        use_indexes: bool = True,
+        use_date_index: bool = True,
+        use_tag_index: bool = True,
+    ):
         self.use_indexes = use_indexes
+        #: Secondary-index ablation flags (benchmarks/test_ablations.py).
+        #: ``use_indexes=False`` master-disables both regardless.
+        self.use_date_index = use_date_index
+        self.use_tag_index = use_tag_index
 
         # Entity tables.
         self.places: dict[int, Place] = {}
@@ -75,7 +85,25 @@ class SocialGraph:
         self._posts_by_creator: dict[int, list[Post]] = defaultdict(list)
         self._comments_by_creator: dict[int, list[Comment]] = defaultdict(list)
         self._replies_of: dict[int, list[Comment]] = defaultdict(list)
-        self._messages_with_tag: dict[int, list[int]] = defaultdict(list)
+        #: Tag postings list: tag id -> [(creationDate, message id), ...]
+        #: kept sorted, so tag+date predicates bisect instead of filtering.
+        self._messages_with_tag: dict[int, list[tuple[DateTime, int]]] = (
+            defaultdict(list)
+        )
+        #: Messages-by-month bucket index: month ordinal -> message ids.
+        #: month bucket -> {message id: Message}, split by kind so a
+        #: kind-restricted window scan touches only that kind; holding
+        #: the objects keeps the bucket scan free of per-id lookups.
+        self._posts_by_month: dict[int, dict[int, Message]] = (
+            defaultdict(dict)
+        )
+        self._comments_by_month: dict[int, dict[int, Message]] = (
+            defaultdict(dict)
+        )
+        #: Forum posts ordered by date: forum id -> [(creationDate, post id)].
+        self._forum_posts_by_date: dict[int, list[tuple[DateTime, int]]] = (
+            defaultdict(list)
+        )
         self._likes_of_message: dict[int, list[Likes]] = defaultdict(list)
         self._likes_by_person: dict[int, list[Likes]] = defaultdict(list)
         self._forums_of_member: dict[int, list[HasMember]] = defaultdict(list)
@@ -106,6 +134,8 @@ class SocialGraph:
         net: "SocialNetworkData",
         until: DateTime | None = None,
         use_indexes: bool = True,
+        use_date_index: bool = True,
+        use_tag_index: bool = True,
     ) -> "SocialGraph":
         """Bulk load a generated network.
 
@@ -116,7 +146,11 @@ class SocialGraph:
         consistent — this realizes the spec's 90 % bulk-load dataset
         when ``until`` is the update cutoff.
         """
-        graph = cls(use_indexes=use_indexes)
+        graph = cls(
+            use_indexes=use_indexes,
+            use_date_index=use_date_index,
+            use_tag_index=use_tag_index,
+        )
         for place in net.places:
             graph.add_place(place)
         for organisation in net.organisations:
@@ -236,14 +270,44 @@ class SocialGraph:
         self._forums_of_member[membership.person_id].append(membership)
         self._members_of_forum[membership.forum_id].append(membership)
 
+    def _index_message(self, message: Message) -> None:
+        """Maintain the secondary indexes for a new Post or Comment."""
+        entry = (message.creation_date, message.id)
+        for tag_id in message.tag_ids:
+            insort(self._messages_with_tag[tag_id], entry)
+        by_month = (
+            self._comments_by_month
+            if message.is_comment
+            else self._posts_by_month
+        )
+        by_month[month_bucket(message.creation_date)][message.id] = message
+
+    def _unindex_message(self, message: Message) -> None:
+        """Evict a deleted Post or Comment from the secondary indexes."""
+        entry = (message.creation_date, message.id)
+        for tag_id in message.tag_ids:
+            postings = self._messages_with_tag[tag_id]
+            index = bisect_left(postings, entry)
+            if index < len(postings) and postings[index] == entry:
+                del postings[index]
+        by_month = (
+            self._comments_by_month
+            if message.is_comment
+            else self._posts_by_month
+        )
+        bucket = by_month.get(month_bucket(message.creation_date))
+        if bucket is not None:
+            bucket.pop(message.id, None)
+
     def add_post(self, post: Post) -> None:
         if post.id in self.posts or post.id in self.comments:
             raise ValueError(f"duplicate message id {post.id}")
         self.posts[post.id] = post
         self._posts_by_creator[post.creator_id].append(post)
         self._posts_in_forum[post.forum_id].append(post)
-        for tag_id in post.tag_ids:
-            self._messages_with_tag[tag_id].append(post.id)
+        insort(self._forum_posts_by_date[post.forum_id],
+               (post.creation_date, post.id))
+        self._index_message(post)
 
     def add_comment(self, comment: Comment) -> None:
         if comment.id in self.posts or comment.id in self.comments:
@@ -256,8 +320,7 @@ class SocialGraph:
             else comment.reply_of_comment
         )
         self._replies_of[parent].append(comment)
-        for tag_id in comment.tag_ids:
-            self._messages_with_tag[tag_id].append(comment.id)
+        self._index_message(comment)
 
     def add_like(self, like: Likes) -> None:
         self.likes_edges.append(like)
@@ -336,8 +399,7 @@ class SocialGraph:
         if parent_replies and comment in parent_replies:
             parent_replies.remove(comment)
         self._comments_by_creator[comment.creator_id].remove(comment)
-        for tag_id in comment.tag_ids:
-            self._messages_with_tag[tag_id].remove(comment_id)
+        self._unindex_message(comment)
         del self.comments[comment_id]
 
     def delete_post(self, post_id: int) -> None:
@@ -351,8 +413,11 @@ class SocialGraph:
         self._delete_message_likes(post_id)
         self._posts_by_creator[post.creator_id].remove(post)
         self._posts_in_forum[post.forum_id].remove(post)
-        for tag_id in post.tag_ids:
-            self._messages_with_tag[tag_id].remove(post_id)
+        dated = self._forum_posts_by_date[post.forum_id]
+        index = bisect_left(dated, (post.creation_date, post.id))
+        if index < len(dated) and dated[index] == (post.creation_date, post.id):
+            del dated[index]
+        self._unindex_message(post)
         del self.posts[post_id]
 
     def delete_forum(self, forum_id: int) -> None:
@@ -363,6 +428,7 @@ class SocialGraph:
         for post in list(self._posts_in_forum.get(forum_id, [])):
             self.delete_post(post.id)
         self._posts_in_forum.pop(forum_id, None)
+        self._forum_posts_by_date.pop(forum_id, None)
         for membership in self._members_of_forum.pop(forum_id, []):
             self.memberships.remove(membership)
             self._forums_of_member[membership.person_id].remove(membership)
@@ -496,13 +562,114 @@ class SocialGraph:
             stack.extend(self.replies_of(message.id))
 
     def messages_with_tag(self, tag_id: int) -> Iterator[Message]:
-        if self.use_indexes:
-            for mid in self._messages_with_tag.get(tag_id, []):
+        if self.use_indexes and self.use_tag_index:
+            for _, mid in self._messages_with_tag.get(tag_id, []):
                 yield self.message(mid)
             return
         for message in self.messages():
             if tag_id in message.tag_ids:
                 yield message
+
+    def messages_with_tag_in_window(
+        self,
+        tag_id: int,
+        start: DateTime | None = None,
+        end: DateTime | None = None,
+    ) -> Iterator[Message]:
+        """Messages carrying a Tag with creationDate in [start, end).
+
+        With the tag postings index the date bounds bisect into the
+        date-ordered postings list; without it this degrades to a
+        filtered full scan.
+        """
+        if self.use_indexes and self.use_tag_index:
+            postings = self._messages_with_tag.get(tag_id, [])
+            lo = 0 if start is None else bisect_left(postings, (start, -1))
+            hi = len(postings) if end is None else bisect_left(
+                postings, (end, -1)
+            )
+            for index in range(lo, hi):
+                yield self.message(postings[index][1])
+            return
+        for message in self.messages():
+            if tag_id not in message.tag_ids:
+                continue
+            ts = message.creation_date
+            if (start is None or ts >= start) and (end is None or ts < end):
+                yield message
+
+    def messages_in_window(
+        self,
+        start: DateTime | None = None,
+        end: DateTime | None = None,
+        kind: str | None = None,
+    ) -> Iterator[Message]:
+        """Messages with creationDate in [start, end), optionally only
+        ``"post"`` or ``"comment"`` rows.
+
+        The messages-by-month bucket index prunes the scan to the
+        buckets overlapping the window (and to the requested kind);
+        only boundary buckets re-check the timestamp (dimensional
+        clustering, CP-3.2).
+        """
+        if not (self.use_indexes and self.use_date_index):
+            if kind == "post":
+                source: Iterable[Message] = self.posts.values()
+            elif kind == "comment":
+                source = self.comments.values()
+            else:
+                source = self.messages()
+            for message in source:
+                ts = message.creation_date
+                if (start is None or ts >= start) and (
+                    end is None or ts < end
+                ):
+                    yield message
+            return
+        indexes = []
+        if kind != "comment":
+            indexes.append(self._posts_by_month)
+        if kind != "post":
+            indexes.append(self._comments_by_month)
+        lo_bucket = None if start is None else month_bucket(start)
+        hi_bucket = None if end is None else month_bucket(end - 1)
+        for by_month in indexes:
+            for bucket_key in sorted(by_month):
+                if lo_bucket is not None and bucket_key < lo_bucket:
+                    continue
+                if hi_bucket is not None and bucket_key > hi_bucket:
+                    continue
+                bucket = by_month[bucket_key]
+                if (lo_bucket is None or bucket_key > lo_bucket) and (
+                    hi_bucket is None or bucket_key < hi_bucket
+                ):
+                    yield from bucket.values()
+                    continue
+                for message in bucket.values():
+                    ts = message.creation_date
+                    if (start is None or ts >= start) and (
+                        end is None or ts < end
+                    ):
+                        yield message
+
+    def posts_in_forum_window(
+        self,
+        forum_id: int,
+        start: DateTime | None = None,
+        end: DateTime | None = None,
+    ) -> Iterator[Post]:
+        """A Forum's Posts with creationDate in [start, end), date order."""
+        if self.use_indexes and self.use_date_index:
+            dated = self._forum_posts_by_date.get(forum_id, [])
+            lo = 0 if start is None else bisect_left(dated, (start, -1))
+            hi = len(dated) if end is None else bisect_left(dated, (end, -1))
+            for index in range(lo, hi):
+                yield self.posts[dated[index][1]]
+            return
+        for post in self.posts_in_forum(forum_id):
+            ts = post.creation_date
+            if (start is None or ts >= start) and (end is None or ts < end):
+                yield post
 
     def forums_with_tag(self, tag_id: int) -> list[int]:
         if self.use_indexes:

@@ -12,9 +12,9 @@ Choke points: 1.2, 3.2, 4.1, 8.5.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import NamedTuple
 
+from repro.engine import group_agg, scan_messages
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import Date, date_to_datetime, year_of
@@ -46,20 +46,22 @@ def length_category(length: int) -> int:
 def bi1(graph: SocialGraph, date: Date) -> list[Bi1Row]:
     """Run BI 1 for a maximum creation ``date`` (exclusive)."""
     threshold = date_to_datetime(date)
-    groups: dict[tuple[int, bool, int], list[int]] = defaultdict(lambda: [0, 0])
-    total = 0
-    for message in graph.messages():
-        if message.creation_date >= threshold:
-            continue
-        total += 1
-        key = (
-            year_of(message.creation_date),
-            message.is_comment,
-            length_category(message.length),
-        )
-        bucket = groups[key]
+
+    def fold(bucket: list[int], message) -> None:
         bucket[0] += 1
         bucket[1] += message.length
+
+    groups = group_agg(
+        scan_messages(graph, window=(None, threshold)),
+        key=lambda m: (
+            year_of(m.creation_date),
+            m.is_comment,
+            length_category(m.length),
+        ),
+        zero=lambda: [0, 0],
+        fold=fold,
+    )
+    total = sum(count for count, _ in groups.values())
     rows = [
         Bi1Row(
             year=year,

@@ -23,9 +23,8 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.queries.common import in_window
 from repro.util.dates import Date, date_to_datetime, month_of
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     2,
@@ -69,9 +68,9 @@ def bi2(
             age_group = int(
                 (simulation_end - person.birthday) / _DAYS_PER_YEAR / AGE_GROUP_YEARS
             )
-            for message in graph.messages_by(person_id):
-                if not in_window(message.creation_date, start, end):
-                    continue
+            for message in scan_messages(
+                graph, creator=person_id, window=(start, end)
+            ):
                 month = month_of(message.creation_date)
                 for tag_id in message.tag_ids:
                     key = (
@@ -83,7 +82,7 @@ def bi2(
                     )
                     groups[key] += 1
 
-    top: TopK[Bi2Row] = TopK(
+    top = top_k(
         INFO.limit, key=lambda r: sort_key((r.message_count, True), (r.tag_name, False))
     )
     for (country, month, gender, age_group, tag_name), count in groups.items():

@@ -14,13 +14,12 @@ Choke points: 2.4, 3.1, 3.2, 4.1, 4.3, 5.3, 6.1, 8.5.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import NamedTuple
 
+from repro.engine import group_count, scan_messages, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.dates import month_of, year_of
-from repro.util.topk import TopK, sort_key
+from repro.util.dates import month_window
 
 INFO = BiQueryInfo(
     3,
@@ -39,26 +38,24 @@ class Bi3Row(NamedTuple):
 
 def bi3(graph: SocialGraph, year: int, month: int) -> list[Bi3Row]:
     """Run BI 3 for the given month and its successor."""
+    window1 = month_window(year, month)
     if month == 12:
-        next_year, next_month = year + 1, 1
+        window2 = month_window(year + 1, 1)
     else:
-        next_year, next_month = year, month + 1
+        window2 = month_window(year, month + 1)
 
-    counts1: dict[int, int] = defaultdict(int)
-    counts2: dict[int, int] = defaultdict(int)
-    for message in graph.messages():
-        ts = message.creation_date
-        my, mm = year_of(ts), month_of(ts)
-        if (my, mm) == (year, month):
-            target = counts1
-        elif (my, mm) == (next_year, next_month):
-            target = counts2
-        else:
-            continue
-        for tag_id in message.tag_ids:
-            target[tag_id] += 1
+    counts1 = group_count(
+        tag_id
+        for message in scan_messages(graph, window=window1)
+        for tag_id in message.tag_ids
+    )
+    counts2 = group_count(
+        tag_id
+        for message in scan_messages(graph, window=window2)
+        for tag_id in message.tag_ids
+    )
 
-    top: TopK[Bi3Row] = TopK(
+    top = top_k(
         INFO.limit, key=lambda r: sort_key((r.diff, True), (r.tag_name, False))
     )
     for tag_id in counts1.keys() | counts2.keys():

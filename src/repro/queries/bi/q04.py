@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro.engine import scan_forum_posts, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import DateTime
-from repro.util.topk import TopK, sort_key
 
 INFO = BiQueryInfo(
     4,
@@ -44,7 +44,7 @@ def bi4(graph: SocialGraph, tag_class: str, country: str) -> list[Bi4Row]:
     class_id = graph.tagclass_id(tag_class)
     class_tags = set(graph.tags_of_class(class_id))
 
-    top: TopK[Bi4Row] = TopK(
+    top = top_k(
         INFO.limit, key=lambda r: sort_key((r.post_count, True), (r.forum_id, False))
     )
     for forum in graph.forums.values():
@@ -56,7 +56,7 @@ def bi4(graph: SocialGraph, tag_class: str, country: str) -> list[Bi4Row]:
             continue
         post_count = sum(
             1
-            for post in graph.posts_in_forum(forum.id)
+            for post in scan_forum_posts(graph, forum.id)
             if class_tags.intersection(post.tag_ids)
         )
         if post_count:

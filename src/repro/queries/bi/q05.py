@@ -19,7 +19,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import sort_key, top_k
 
 INFO = BiQueryInfo(
     5,
@@ -50,7 +50,7 @@ def bi5(graph: SocialGraph, country: str) -> list[Bi5Row]:
         for membership in graph.members_of_forum(forum_id):
             if membership.person_id in country_persons:
                 forum_popularity[forum_id] += 1
-    popular = TopK(
+    popular = top_k(
         POPULAR_FORUM_COUNT, key=lambda item: sort_key((item[1], True), (item[0], False))
     )
     popular.extend(forum_popularity.items())
@@ -60,7 +60,7 @@ def bi5(graph: SocialGraph, country: str) -> list[Bi5Row]:
     for forum_id in popular_forums:
         members.update(m.person_id for m in graph.members_of_forum(forum_id))
 
-    top: TopK[Bi5Row] = TopK(
+    top = top_k(
         INFO.limit, key=lambda r: sort_key((r.post_count, True), (r.person_id, False))
     )
     for person_id in members:

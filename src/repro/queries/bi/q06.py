@@ -21,7 +21,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     6,
@@ -47,13 +47,13 @@ def bi6(graph: SocialGraph, tag: str) -> list[Bi6Row]:
     """Run BI 6 for a tag name."""
     tag_id = graph.tag_id(tag)
     counts: dict[int, list[int]] = defaultdict(lambda: [0, 0, 0])
-    for message in graph.messages_with_tag(tag_id):
+    for message in scan_messages(graph, tag=tag_id):
         bucket = counts[message.creator_id]
         bucket[0] += 1
         bucket[1] += len(graph.replies_of(message.id))
         bucket[2] += len(graph.likes_of_message(message.id))
 
-    top: TopK[Bi6Row] = TopK(
+    top = top_k(
         INFO.limit, key=lambda r: sort_key((r.score, True), (r.person_id, False))
     )
     for person_id, (messages, replies, likes) in counts.items():

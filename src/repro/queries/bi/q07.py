@@ -19,7 +19,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     7,
@@ -51,12 +51,12 @@ def bi7(graph: SocialGraph, tag: str) -> list[Bi7Row]:
     """Run BI 7 for a tag name."""
     tag_id = graph.tag_id(tag)
     likers_of_poster: dict[int, set[int]] = defaultdict(set)
-    for message in graph.messages_with_tag(tag_id):
+    for message in scan_messages(graph, tag=tag_id):
         for like in graph.likes_of_message(message.id):
             likers_of_poster[message.creator_id].add(like.person_id)
 
     popularity_cache: dict[int, int] = {}
-    top: TopK[Bi7Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key((r.authority_score, True), (r.person_id, False)),
     )

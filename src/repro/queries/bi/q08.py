@@ -19,7 +19,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import expand, scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     8,
@@ -38,14 +38,14 @@ def bi8(graph: SocialGraph, tag: str) -> list[Bi8Row]:
     """Run BI 8 for a tag name."""
     tag_id = graph.tag_id(tag)
     counted: dict[int, set[int]] = defaultdict(set)
-    for message in graph.messages_with_tag(tag_id):
-        for reply in graph.replies_of(message.id):
-            if tag_id in reply.tag_ids:
-                continue  # negative condition: reply must not share the tag
-            for related in reply.tag_ids:
-                counted[related].add(reply.id)
+    tagged = (m.id for m in scan_messages(graph, tag=tag_id))
+    for _, reply in expand(tagged, graph.replies_of):
+        if tag_id in reply.tag_ids:
+            continue  # negative condition: reply must not share the tag
+        for related in reply.tag_ids:
+            counted[related].add(reply.id)
 
-    top: TopK[Bi8Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key((r.comment_count, True), (r.related_tag_name, False)),
     )

@@ -19,7 +19,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_forum_posts, sort_key, top_k
 
 INFO = BiQueryInfo(
     9,
@@ -43,7 +43,7 @@ def bi9(
     tags1 = set(graph.tags_of_class(graph.tagclass_id(tag_class1)))
     tags2 = set(graph.tags_of_class(graph.tagclass_id(tag_class2)))
 
-    top: TopK[Bi9Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.count1, True), (r.count2, True), (r.forum_id, False)
@@ -53,7 +53,7 @@ def bi9(
         if len(graph.members_of_forum(forum.id)) <= threshold:
             continue
         count1 = count2 = 0
-        for post in graph.posts_in_forum(forum.id):
+        for post in scan_forum_posts(graph, forum.id):
             post_tags = set(post.tag_ids)
             if post_tags & tags1:
                 count1 += 1

@@ -21,7 +21,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import Date, date_to_datetime
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     10,
@@ -47,11 +47,10 @@ def bi10(graph: SocialGraph, tag: str, date: Date) -> list[Bi10Row]:
     scores: dict[int, int] = defaultdict(int)
     for person_id in graph.persons_interested_in(tag_id):
         scores[person_id] += INTEREST_SCORE
-    for message in graph.messages_with_tag(tag_id):
-        if message.creation_date > threshold:
-            scores[message.creator_id] += 1
+    for message in scan_messages(graph, tag=tag_id, window=(threshold + 1, None)):
+        scores[message.creator_id] += 1
 
-    top: TopK[Bi10Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.score + r.friends_score, True), (r.person_id, False)

@@ -22,7 +22,7 @@ from typing import NamedTuple, Sequence
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     11,
@@ -48,7 +48,7 @@ def bi11(
     lowered = [word.lower() for word in blacklist]
 
     groups: dict[tuple[int, int], list[int]] = defaultdict(lambda: [0, 0])
-    for comment in graph.comments.values():
+    for comment in scan_messages(graph, kind="comment"):
         if comment.creator_id not in country_persons:
             continue
         parent = graph.parent_of(comment)
@@ -63,7 +63,7 @@ def bi11(
             bucket[0] += 1
             bucket[1] += likes
 
-    top: TopK[Bi11Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.like_count, True), (r.person_id, False), (r.tag_name, False)

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro.engine import scan_messages, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import Date, DateTime, date_to_datetime
-from repro.util.topk import TopK, sort_key
 
 INFO = BiQueryInfo(12, "Trending posts", ("1.2", "2.2", "3.1", "6.1", "8.5"))
 
@@ -31,13 +31,13 @@ class Bi12Row(NamedTuple):
 def bi12(graph: SocialGraph, date: Date, like_threshold: int) -> list[Bi12Row]:
     """Run BI 12 for a minimum creation date and like threshold."""
     threshold = date_to_datetime(date)
-    top: TopK[Bi12Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key((r.like_count, True), (r.message_id, False)),
     )
-    for message in graph.messages():
-        if message.creation_date <= threshold:
-            continue
+    # creationDate > threshold: timestamps are integer millis, so the
+    # closed-open window starts one milli past the threshold.
+    for message in scan_messages(graph, window=(threshold + 1, None)):
         like_count = len(graph.likes_of_message(message.id))
         if like_count <= like_threshold:
             continue

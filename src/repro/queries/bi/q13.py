@@ -19,7 +19,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import month_of, year_of
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     13,
@@ -42,7 +42,7 @@ def bi13(graph: SocialGraph, country: str) -> list[Bi13Row]:
     country_id = graph.country_id(country)
     month_tag_counts: dict[tuple[int, int], Counter] = defaultdict(Counter)
     months_seen: set[tuple[int, int]] = set()
-    for message in graph.messages():
+    for message in scan_messages(graph):
         if message.country_id != country_id:
             continue
         key = (year_of(message.creation_date), month_of(message.creation_date))
@@ -50,7 +50,7 @@ def bi13(graph: SocialGraph, country: str) -> list[Bi13Row]:
         for tag_id in message.tag_ids:
             month_tag_counts[key][graph.tags[tag_id].name] += 1
 
-    top: TopK[Bi13Row] = TopK(
+    top = top_k(
         INFO.limit, key=lambda r: sort_key((r.year, True), (r.month, False))
     )
     for key in months_seen:

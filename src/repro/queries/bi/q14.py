@@ -17,7 +17,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import Date, MILLIS_PER_DAY, date_to_datetime
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     14,
@@ -40,9 +40,7 @@ def bi14(graph: SocialGraph, begin: Date, end: Date) -> list[Bi14Row]:
     end_ts = date_to_datetime(end) + MILLIS_PER_DAY  # inclusive end day
 
     threads: dict[int, list[int]] = {}
-    for post in graph.posts.values():
-        if not start_ts <= post.creation_date < end_ts:
-            continue
+    for post in scan_messages(graph, window=(start_ts, end_ts), kind="post"):
         counts = threads.setdefault(post.creator_id, [0, 0])
         counts[0] += 1
         # CP-7.4: the traversal terminates early — a reply is always
@@ -56,7 +54,7 @@ def bi14(graph: SocialGraph, begin: Date, end: Date) -> list[Bi14Row]:
             counts[1] += 1
             stack.extend(graph.replies_of(message.id))
 
-    top: TopK[Bi14Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key((r.message_count, True), (r.person_id, False)),
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro.engine import expand, group_count, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 
@@ -39,17 +40,15 @@ def bi15(graph: SocialGraph, country: str) -> list[Bi15Row]:
     if not residents:
         return []
 
-    counts = {
-        person_id: sum(
-            1 for friend in graph.friends_of(person_id) if friend in residents
-        )
-        for person_id in residents
-    }
+    in_country = group_count(
+        person
+        for person, friend in expand(residents, graph.friends_of)
+        if friend in residents
+    )
+    counts = {person_id: in_country.get(person_id, 0) for person_id in residents}
     social_normal = sum(counts.values()) // len(counts)
-    rows = [
-        Bi15Row(person_id, count)
-        for person_id, count in counts.items()
-        if count == social_normal
-    ]
-    rows.sort(key=lambda r: r.person_id)
-    return rows[: INFO.limit]
+    top = top_k(INFO.limit, key=lambda r: sort_key((r.person_id, False)))
+    for person_id, count in counts.items():
+        if count == social_normal:
+            top.add(Bi15Row(person_id, count))
+    return top.result()

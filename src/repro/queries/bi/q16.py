@@ -26,7 +26,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.queries.common import knows_distances
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     16,
@@ -63,14 +63,14 @@ def bi16(
 
     groups: dict[tuple[int, str], int] = defaultdict(int)
     for expert in experts:
-        for message in graph.messages_by(expert):
+        for message in scan_messages(graph, creator=expert):
             tags = set(message.tag_ids)
             if not tags & class_tags:
                 continue
             for tag_id in tags:
                 groups[(expert, graph.tags[tag_id].name)] += 1
 
-    top: TopK[Bi16Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.message_count, True), (r.tag_name, False), (r.person_id, False)

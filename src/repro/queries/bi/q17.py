@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro.engine import expand
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 
@@ -39,8 +40,7 @@ def bi17(graph: SocialGraph, country: str) -> list[Bi17Row]:
             f for f in graph.friends_of(a) if f > a and f in residents
         ]
         neighbour_set = set(higher_a)
-        for b in higher_a:
-            for c in graph.friends_of(b):
-                if c > b and c in neighbour_set:
-                    count += 1
+        for b, c in expand(higher_a, graph.friends_of):
+            if c > b and c in neighbour_set:
+                count += 1
     return [Bi17Row(count)]

@@ -21,6 +21,7 @@ from typing import NamedTuple, Sequence
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
+from repro.engine import scan_messages
 from repro.queries.common import message_language
 from repro.util.dates import Date, date_to_datetime
 
@@ -48,12 +49,10 @@ def bi18(
     wanted = set(languages)
 
     per_person = Counter({person_id: 0 for person_id in graph.persons})
-    for message in graph.messages():
+    for message in scan_messages(graph, window=(threshold + 1, None)):
         if not message.content:
             continue
         if message.length >= length_threshold:
-            continue
-        if message.creation_date <= threshold:
             continue
         if message_language(graph, message) not in wanted:
             continue

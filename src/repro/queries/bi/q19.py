@@ -24,7 +24,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import Date
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     19,
@@ -62,7 +62,7 @@ def bi19(
 
     interactions: dict[int, set[int]] = defaultdict(set)
     interaction_counts: dict[int, int] = defaultdict(int)
-    for comment in graph.comments.values():
+    for comment in scan_messages(graph, kind="comment"):
         author = comment.creator_id
         if graph.persons[author].birthday <= date:
             continue
@@ -74,7 +74,7 @@ def bi19(
         interactions[author].add(target)
         interaction_counts[author] += 1
 
-    top: TopK[Bi19Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key((r.interaction_count, True), (r.person_id, False)),
     )

@@ -15,7 +15,7 @@ from typing import NamedTuple, Sequence
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(20, "High-level topics", ("1.4", "2.1", "6.1", "8.1"))
 
@@ -31,7 +31,7 @@ def bi20(graph: SocialGraph, tag_classes: Sequence[str]) -> list[Bi20Row]:
     The result is grouped by class name, so duplicate input names
     collapse into one row.
     """
-    top: TopK[Bi20Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.message_count, True), (r.tag_class_name, False)
@@ -41,6 +41,6 @@ def bi20(graph: SocialGraph, tag_classes: Sequence[str]) -> list[Bi20Row]:
         class_tags = graph.tags_in_class_tree(graph.tagclass_id(class_name))
         messages: set[int] = set()
         for tag_id in class_tags:
-            messages.update(m.id for m in graph.messages_with_tag(tag_id))
+            messages.update(m.id for m in scan_messages(graph, tag=tag_id))
         top.add(Bi20Row(class_name, len(messages)))
     return top.result()

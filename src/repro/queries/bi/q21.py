@@ -24,7 +24,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import Date, date_to_datetime, months_between_inclusive
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     21,
@@ -53,13 +53,14 @@ def bi21(graph: SocialGraph, country: str, end_date: Date) -> list[Bi21Row]:
         months = months_between_inclusive(person.creation_date, end_ts)
         message_count = sum(
             1
-            for message in graph.messages_by(person_id)
-            if message.creation_date < end_ts
+            for _ in scan_messages(
+                graph, creator=person_id, window=(None, end_ts)
+            )
         )
         if message_count / months < 1.0:
             zombies.add(person_id)
 
-    top: TopK[Bi21Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key((r.zombie_score, True), (r.zombie_id, False)),
     )

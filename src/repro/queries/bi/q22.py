@@ -27,7 +27,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     22,
@@ -63,7 +63,7 @@ def bi22(graph: SocialGraph, country1: str, country2: str) -> list[Bi22Row]:
             return (b, a)
         return None
 
-    for comment in graph.comments.values():
+    for comment in scan_messages(graph, kind="comment"):
         target = graph.parent_of(comment).creator_id
         pair = pair_of(comment.creator_id, target)
         if pair is not None:
@@ -107,7 +107,7 @@ def bi22(graph: SocialGraph, country1: str, country2: str) -> list[Bi22Row]:
         ):
             best_per_city[city] = row
 
-    top: TopK[Bi22Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.score, True), (r.person1_id, False), (r.person2_id, False)

@@ -20,7 +20,7 @@ from typing import NamedTuple
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import month_of
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     23,
@@ -42,14 +42,14 @@ def bi23(graph: SocialGraph, country: str) -> list[Bi23Row]:
     residents = set(graph.persons_in_country(home))
 
     groups: dict[tuple[int, int], int] = defaultdict(int)
-    for message in graph.messages():
+    for message in scan_messages(graph):
         if message.creator_id not in residents:
             continue
         if message.country_id == home:
             continue
         groups[(message.country_id, month_of(message.creation_date))] += 1
 
-    top: TopK[Bi23Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.message_count, True), (r.destination_name, False), (r.month, False)

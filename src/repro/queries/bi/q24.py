@@ -18,10 +18,10 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import NamedTuple
 
+from repro.engine import scan_messages, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import month_of, year_of
-from repro.util.topk import TopK, sort_key
 
 INFO = BiQueryInfo(
     24,
@@ -46,7 +46,7 @@ def bi24(graph: SocialGraph, tag_class: str) -> list[Bi24Row]:
     seen: set[int] = set()
     groups: dict[tuple[int, int, int], list[int]] = defaultdict(lambda: [0, 0])
     for tag_id in class_tags:
-        for message in graph.messages_with_tag(tag_id):
+        for message in scan_messages(graph, tag=tag_id):
             if message.id in seen:
                 continue  # distinct messages even with several class tags
             seen.add(message.id)
@@ -60,7 +60,7 @@ def bi24(graph: SocialGraph, tag_class: str) -> list[Bi24Row]:
             bucket[0] += 1
             bucket[1] += len(graph.likes_of_message(message.id))
 
-    top: TopK[Bi24Row] = TopK(
+    top = top_k(
         INFO.limit,
         key=lambda r: sort_key(
             (r.year, True), (r.month, False), (r.continent_name, False)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import NamedTuple
 
+from repro.engine import scan_messages, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.queries.common import all_shortest_paths
@@ -51,9 +52,9 @@ def _pair_weights(
 ) -> dict[tuple[int, int], float]:
     """Interaction weight per unordered person pair within the window."""
     weights: dict[tuple[int, int], float] = defaultdict(float)
-    for comment in graph.comments.values():
-        if not start_ts <= comment.creation_date < end_ts:
-            continue
+    for comment in scan_messages(
+        graph, window=(start_ts, end_ts), kind="comment"
+    ):
         parent = graph.parent_of(comment)
         a, b = comment.creator_id, parent.creator_id
         if a == b:
@@ -79,12 +80,16 @@ def bi25(
     weights = _pair_weights(
         graph, date_to_datetime(start_date), date_to_datetime(end_date)
     )
-    rows = []
+    top = top_k(
+        INFO.limit,
+        key=lambda r: sort_key(
+            (r.path_weight, True), (r.person_ids_in_path, False)
+        ),
+    )
     for path in paths:
         weight = sum(
             weights.get((min(a, b), max(a, b)), 0.0)
             for a, b in zip(path, path[1:])
         )
-        rows.append(Bi25Row(tuple(path), weight))
-    rows.sort(key=lambda r: (-r.path_weight, r.person_ids_in_path))
-    return rows[: INFO.limit]
+        top.add(Bi25Row(tuple(path), weight))
+    return top.result()

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from collections import deque
-
+from repro.engine import expand
 from repro.graph.store import SocialGraph
 from repro.schema.entities import Comment, Message, Post
 from repro.util.dates import DateTime
@@ -16,18 +15,20 @@ def knows_distances(
 
     The start person is excluded, matching every query that asks for
     "friends and friends of friends (excluding the start Person)".
+    Level-synchronous expansion through the engine's expand() operator,
+    which tallies the knows edges followed (CP-7.3).
     """
     distances: dict[int, int] = {start: 0}
-    frontier = deque([start])
-    while frontier:
-        current = frontier.popleft()
-        depth = distances[current]
-        if depth >= max_hops:
-            continue
-        for friend in graph.friends_of(current):
+    frontier = [start]
+    depth = 0
+    while frontier and depth < max_hops:
+        depth += 1
+        next_frontier: list[int] = []
+        for _, friend in expand(frontier, graph.friends_of):
             if friend not in distances:
-                distances[friend] = depth + 1
-                frontier.append(friend)
+                distances[friend] = depth
+                next_frontier.append(friend)
+        frontier = next_frontier
     del distances[start]
     return distances
 

@@ -6,7 +6,7 @@ from collections import defaultdict
 from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
-from repro.queries.common import in_window, knows_distances
+from repro.queries.common import knows_distances
 from repro.queries.interactive.base import IcQueryInfo
 from repro.util.dates import (
     Date,
@@ -15,7 +15,7 @@ from repro.util.dates import (
     MILLIS_PER_MINUTE,
     date_to_datetime,
 )
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 # ---------------------------------------------------------------------------
 # IC 1 — Friends with certain name
@@ -45,7 +45,7 @@ class Ic1Row(NamedTuple):
 def ic1(graph: SocialGraph, person_id: int, first_name: str) -> list[Ic1Row]:
     """Friends up to 3 knows hops with the given first name."""
     distances = knows_distances(graph, person_id, 3)
-    top: TopK[tuple] = TopK(
+    top = top_k(
         IC1_INFO.limit, key=lambda t: t[0]
     )  # key = (distance, lastName, id)
     for friend_id, distance in distances.items():
@@ -121,7 +121,7 @@ class Ic2Row(NamedTuple):
 def ic2(graph: SocialGraph, person_id: int, max_date: Date) -> list[Ic2Row]:
     """Most recent friend messages created before max_date (exclusive)."""
     threshold = date_to_datetime(max_date)
-    top: TopK[Ic2Row] = TopK(
+    top = top_k(
         IC2_INFO.limit,
         key=lambda r: sort_key(
             (r.message_creation_date, True), (r.message_id, False)
@@ -129,9 +129,9 @@ def ic2(graph: SocialGraph, person_id: int, max_date: Date) -> list[Ic2Row]:
     )
     for friend_id in graph.friends_of(person_id):
         friend = graph.persons[friend_id]
-        for message in graph.messages_by(friend_id):
-            if message.creation_date >= threshold:
-                continue
+        for message in scan_messages(
+            graph, creator=friend_id, window=(None, threshold)
+        ):
             if not top.would_enter(
                 sort_key((message.creation_date, True), (message.id, False))
             ):
@@ -182,7 +182,7 @@ def ic3(
     start = date_to_datetime(start_date)
     end = start + duration_days * MILLIS_PER_DAY
 
-    top: TopK[Ic3Row] = TopK(
+    top = top_k(
         IC3_INFO.limit,
         key=lambda r: sort_key((r.x_count, True), (r.person_id, False)),
     )
@@ -191,9 +191,9 @@ def ic3(
         if home in (x_id, y_id):
             continue  # only Persons foreign to both countries
         x_count = y_count = 0
-        for message in graph.messages_by(friend_id):
-            if not in_window(message.creation_date, start, end):
-                continue
+        for message in scan_messages(
+            graph, creator=friend_id, window=(start, end)
+        ):
             if message.country_id == x_id:
                 x_count += 1
             elif message.country_id == y_id:
@@ -244,7 +244,7 @@ def ic4(
                 for tag_id in post.tag_ids:
                     in_counts[tag_id] += 1
 
-    top: TopK[Ic4Row] = TopK(
+    top = top_k(
         IC4_INFO.limit,
         key=lambda r: sort_key((r.post_count, True), (r.tag_name, False)),
     )
@@ -281,7 +281,7 @@ def ic5(graph: SocialGraph, person_id: int, min_date: Date) -> list[Ic5Row]:
             if membership.join_date > threshold:
                 joiners[membership.forum_id].add(friend_id)
 
-    top: TopK[Ic5Row] = TopK(
+    top = top_k(
         IC5_INFO.limit,
         key=lambda r: sort_key((r.post_count, True), (r.forum_id, False)),
     )
@@ -321,7 +321,7 @@ def ic6(graph: SocialGraph, person_id: int, tag_name: str) -> list[Ic6Row]:
                 if other != tag_id:
                     counts[other] += 1
 
-    top: TopK[Ic6Row] = TopK(
+    top = top_k(
         IC6_INFO.limit,
         key=lambda r: sort_key((r.post_count, True), (r.tag_name, False)),
     )
@@ -368,7 +368,7 @@ def ic7(graph: SocialGraph, person_id: int) -> list[Ic7Row]:
                 latest[like.person_id] = candidate
 
     friends = set(graph.friends_of(person_id))
-    top: TopK[Ic7Row] = TopK(
+    top = top_k(
         IC7_INFO.limit,
         key=lambda r: sort_key(
             (r.like_creation_date, True), (r.person_id, False)

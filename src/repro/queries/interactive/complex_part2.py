@@ -13,7 +13,7 @@ from repro.queries.common import (
 )
 from repro.queries.interactive.base import IcQueryInfo
 from repro.util.dates import Date, DateTime, date_to_datetime, day_of, month_of
-from repro.util.topk import TopK, sort_key
+from repro.engine import scan_messages, sort_key, top_k
 
 # ---------------------------------------------------------------------------
 # IC 8 — Recent replies
@@ -35,7 +35,7 @@ class Ic8Row(NamedTuple):
 
 def ic8(graph: SocialGraph, person_id: int) -> list[Ic8Row]:
     """Most recent direct (single-hop) replies to the person's messages."""
-    top: TopK[Ic8Row] = TopK(
+    top = top_k(
         IC8_INFO.limit,
         key=lambda r: sort_key(
             (r.comment_creation_date, True), (r.comment_id, False)
@@ -83,7 +83,7 @@ class Ic9Row(NamedTuple):
 def ic9(graph: SocialGraph, person_id: int, max_date: Date) -> list[Ic9Row]:
     """Messages by friends <= 2 hops created before max_date (exclusive)."""
     threshold = date_to_datetime(max_date)
-    top: TopK[Ic9Row] = TopK(
+    top = top_k(
         IC9_INFO.limit,
         key=lambda r: sort_key(
             (r.message_creation_date, True), (r.message_id, False)
@@ -91,9 +91,9 @@ def ic9(graph: SocialGraph, person_id: int, max_date: Date) -> list[Ic9Row]:
     )
     for friend_id in knows_distances(graph, person_id, 2):
         friend = graph.persons[friend_id]
-        for message in graph.messages_by(friend_id):
-            if message.creation_date >= threshold:
-                continue
+        for message in scan_messages(
+            graph, creator=friend_id, window=(None, threshold)
+        ):
             if not top.would_enter(
                 sort_key((message.creation_date, True), (message.id, False))
             ):
@@ -146,7 +146,7 @@ def ic10(graph: SocialGraph, person_id: int, month: int) -> list[Ic10Row]:
     interests = set(graph.persons[person_id].interests)
     distances = knows_distances(graph, person_id, 2)
 
-    top: TopK[Ic10Row] = TopK(
+    top = top_k(
         IC10_INFO.limit,
         key=lambda r: sort_key(
             (r.common_interest_score, True), (r.person_id, False)
@@ -200,7 +200,7 @@ def ic11(
     """Friends <= 2 hops working at a company in the country since before
     ``work_from_year``."""
     country_id = graph.country_id(country_name)
-    top: TopK[Ic11Row] = TopK(
+    top = top_k(
         IC11_INFO.limit,
         key=lambda r: sort_key(
             (r.work_from, False),
@@ -262,7 +262,7 @@ def ic12(graph: SocialGraph, person_id: int, tag_class_name: str) -> list[Ic12Ro
             reply_counts[friend_id] += 1
             tag_sets[friend_id].update(graph.tags[t].name for t in matched)
 
-    top: TopK[Ic12Row] = TopK(
+    top = top_k(
         IC12_INFO.limit,
         key=lambda r: sort_key((r.reply_count, True), (r.person_id, False)),
     )

@@ -122,6 +122,32 @@ def day_of(ts: DateTime) -> int:
     return _as_date(datetime_to_date(ts)).day
 
 
+def month_bucket(ts: DateTime) -> int:
+    """The calendar-month ordinal of a ``DateTime`` (months since 1970-01).
+
+    This is the bucketing key of the store's messages-by-month secondary
+    index: contiguous month buckets make window scans a range of bucket
+    lookups instead of a full scan (choke point CP-3.2).
+    """
+    d = _as_date(datetime_to_date(ts))
+    return (d.year - 1970) * 12 + (d.month - 1)
+
+
+def month_window(year: int, month: int) -> tuple[DateTime, DateTime]:
+    """The closed-open ``DateTime`` interval covering one calendar month.
+
+    Handles the December→January wrap: ``month_window(2012, 12)`` ends at
+    midnight of 2013-01-01.  This is the single definition of the
+    "messages created in a month" predicate that BI 3 and friends use.
+    """
+    start = make_datetime(year, month, 1)
+    if month == 12:
+        end = make_datetime(year + 1, 1, 1)
+    else:
+        end = make_datetime(year, month + 1, 1)
+    return start, end
+
+
 def days_between(start: Date, end: Date) -> int:
     """Whole days from ``start`` to ``end`` (may be negative)."""
     return end - start

@@ -39,6 +39,24 @@ class TestPowerTest:
         assert sorted(result.runtimes) == list(range(1, 26))
         assert all(t >= 0 for t in result.runtimes.values())
 
+    def test_operator_stats_per_query(self, small_graph, small_params):
+        """Every query gets an engine-counter snapshot, every counter
+        name maps to a spec choke point, and the index-path queries of
+        the acceptance criteria actually took an index path."""
+        from repro.analysis.chokepoints import OPERATOR_COUNTER_CPS
+
+        result = power_test(small_graph, small_params, 1.0)
+        assert sorted(result.operator_stats) == list(range(1, 26))
+        for number, stats in result.operator_stats.items():
+            assert stats, f"BI {number} recorded no operator work"
+            for name in stats:
+                assert name in OPERATOR_COUNTER_CPS, name
+        for number in (1, 3, 4, 12, 24):
+            stats = result.operator_stats[number]
+            assert stats.get("index_scans", 0) > 0, f"BI {number}"
+        table = result.format_table()
+        assert "rows_scanned=" in table and "power@SF" in table
+
 
 class TestMicrobatches:
     def test_batches_cover_all_stream_ops(self, small_net):
@@ -90,3 +108,43 @@ class TestThroughputTest:
         batches = build_microbatches(small_net, include_deletes=False)[:10]
         throughput_test(graph, small_params, batches, reads_per_batch=0)
         assert graph.node_count() > before
+
+    def test_cached_run_matches_and_logs_stats(self, small_net, small_params):
+        from repro.graph.cache import CachedQueryExecutor
+
+        batches = build_microbatches(small_net)[:5]
+        plain_graph = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        plain = throughput_test(
+            plain_graph, small_params, batches, reads_per_batch=4
+        )
+        assert plain.cache_stats == {}
+
+        cached_graph = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        executor = CachedQueryExecutor(cached_graph)
+        cached = throughput_test(
+            cached_graph,
+            small_params,
+            batches,
+            reads_per_batch=4,
+            executor=executor,
+        )
+        assert cached.operations == plain.operations
+        stats = cached.cache_stats
+        assert stats["hits"] + stats["misses"] == 5 * 4
+        assert "hit_rate" in stats
+        assert "cache:" in cached.format_table()
+        # Both runs end with the same graph state (cache is read-only).
+        assert cached_graph.node_count() == plain_graph.node_count()
+
+    def test_cached_run_rejects_foreign_graph(self, small_net, small_params):
+        from repro.graph.cache import CachedQueryExecutor
+
+        graph = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        other = SocialGraph.from_data(small_net, until=small_net.cutoff)
+        with pytest.raises(ValueError):
+            throughput_test(
+                graph,
+                small_params,
+                [],
+                executor=CachedQueryExecutor(other),
+            )

@@ -65,9 +65,29 @@ class TestCachedQueryExecutor:
         )
         for day in (1, 2, 3):
             executor.run("bi12", bi12, make_date(2012, 6, day), 2)
-        # The first entry was evicted; re-running it misses again.
+        # The first entry was evicted; re-running it misses again (and
+        # evicts the day-2 entry in turn).
         executor.run("bi12", bi12, make_date(2012, 6, 1), 2)
         assert executor.misses == 4
+        assert executor.evictions == 2
+        assert executor.invalidations == 0  # LRU drops aren't write drops
+
+    def test_eviction_accounting_at_capacity(self, small_net):
+        """The stats() snapshot the driver logs: entries never exceed
+        capacity and every overflow is tallied as an eviction."""
+        executor = CachedQueryExecutor(
+            SocialGraph.from_data(small_net), capacity=3
+        )
+        for day in range(1, 9):
+            executor.run("bi12", bi12, make_date(2012, 6, day), 2)
+        stats = executor.stats()
+        assert stats["entries"] == 3
+        assert stats["evictions"] == 5
+        assert stats["misses"] == 8 and stats["hits"] == 0
+        # A hit refreshes recency without touching the eviction counter.
+        executor.run("bi12", bi12, make_date(2012, 6, 8), 2)
+        assert executor.stats()["hits"] == 1
+        assert executor.stats()["evictions"] == 5
 
 
 class TestDurability:

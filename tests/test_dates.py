@@ -113,3 +113,52 @@ class TestAddMonths:
     def test_december_shift(self):
         date = dates.make_date(2012, 11, 30)
         assert dates.add_months(date, 1) == dates.make_date(2012, 12, 30)
+
+
+class TestMonthWindow:
+    def test_covers_exactly_one_month(self):
+        start, end = dates.month_window(2012, 6)
+        assert start == dates.make_datetime(2012, 6, 1)
+        assert end == dates.make_datetime(2012, 7, 1)
+        # Closed-open: the last millisecond of June is in, July 1 is out.
+        assert start <= end - 1 < end
+
+    def test_december_wraps_to_january(self):
+        start, end = dates.month_window(2011, 12)
+        assert start == dates.make_datetime(2011, 12, 1)
+        assert end == dates.make_datetime(2012, 1, 1)
+
+    def test_windows_tile_the_year(self):
+        """Consecutive month windows must share their boundary, across
+        the December -> January wrap included."""
+        previous_end = dates.month_window(2011, 1)[0]
+        for offset in range(24):
+            year, month = 2011 + offset // 12, 1 + offset % 12
+            start, end = dates.month_window(year, month)
+            assert start == previous_end
+            assert start < end
+            previous_end = end
+
+    def test_leap_february(self):
+        start, end = dates.month_window(2012, 2)
+        assert (end - start) // dates.MILLIS_PER_DAY == 29
+
+
+class TestMonthBucket:
+    def test_epoch_month_is_zero(self):
+        assert dates.month_bucket(dates.make_datetime(1970, 1, 15)) == 0
+        assert dates.month_bucket(dates.make_datetime(1970, 2, 1)) == 1
+
+    def test_buckets_follow_month_windows(self):
+        """Every timestamp inside month_window(y, m) lands in the same
+        bucket, and the next window starts a new bucket."""
+        for year, month in [(2010, 1), (2011, 12), (2012, 2)]:
+            start, end = dates.month_window(year, month)
+            assert dates.month_bucket(start) == dates.month_bucket(end - 1)
+            assert dates.month_bucket(end) == dates.month_bucket(start) + 1
+
+    def test_monotone_over_years(self):
+        assert (
+            dates.month_bucket(dates.make_datetime(2012, 1, 1))
+            - dates.month_bucket(dates.make_datetime(2011, 1, 1))
+        ) == 12

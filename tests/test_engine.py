@@ -1,0 +1,267 @@
+"""Unit tests for the shared query-operator layer (repro.engine)."""
+
+import pytest
+
+from repro.analysis.chokepoints import (
+    CHOKE_POINTS,
+    OPERATOR_COUNTER_CPS,
+    counter_choke_point,
+)
+from repro.engine import (
+    expand,
+    group_agg,
+    group_count,
+    reset_counters,
+    scan_forum_posts,
+    scan_messages,
+    top_k,
+)
+from repro.engine.stats import COUNTER_NAMES, counters
+from repro.graph.store import SocialGraph
+from repro.util.dates import make_datetime
+
+
+def _ids(messages):
+    return sorted(m.id for m in messages)
+
+
+@pytest.fixture
+def window(tiny_graph):
+    return make_datetime(2010, 6, 1), make_datetime(2012, 6, 1)
+
+
+class TestScanMessages:
+    """Every access path must return exactly the reference rows."""
+
+    def _reference(self, graph, start=None, end=None, tag=None, creator=None,
+                   kind=None):
+        rows = []
+        for m in graph.messages():
+            if start is not None and m.creation_date < start:
+                continue
+            if end is not None and m.creation_date >= end:
+                continue
+            if tag is not None and tag not in m.tag_ids:
+                continue
+            if creator is not None and m.creator_id != creator:
+                continue
+            if kind == "post" and m.is_comment:
+                continue
+            if kind == "comment" and not m.is_comment:
+                continue
+            rows.append(m)
+        return _ids(rows)
+
+    def test_unfiltered_scan_is_all_messages(self, tiny_graph):
+        assert _ids(scan_messages(tiny_graph)) == self._reference(tiny_graph)
+
+    def test_window_path(self, tiny_graph, window):
+        start, end = window
+        assert _ids(
+            scan_messages(tiny_graph, window=window)
+        ) == self._reference(tiny_graph, start, end)
+
+    def test_open_ended_windows(self, tiny_graph, window):
+        start, end = window
+        assert _ids(
+            scan_messages(tiny_graph, window=(start, None))
+        ) == self._reference(tiny_graph, start=start)
+        assert _ids(
+            scan_messages(tiny_graph, window=(None, end))
+        ) == self._reference(tiny_graph, end=end)
+
+    def test_tag_path(self, tiny_graph, window):
+        start, end = window
+        tags = sorted(
+            {t for m in tiny_graph.messages() for t in m.tag_ids}
+        )[:5]
+        assert tags, "fixture has no tagged messages"
+        for tag in tags:
+            assert _ids(
+                scan_messages(tiny_graph, tag=tag, window=window)
+            ) == self._reference(tiny_graph, start, end, tag=tag)
+
+    def test_creator_path(self, tiny_graph, window):
+        start, end = window
+        creator = next(iter(tiny_graph.posts.values())).creator_id
+        for kind in (None, "post", "comment"):
+            assert _ids(
+                scan_messages(
+                    tiny_graph, creator=creator, window=window, kind=kind
+                )
+            ) == self._reference(
+                tiny_graph, start, end, creator=creator, kind=kind
+            )
+
+    def test_kind_filter_on_window_path(self, tiny_graph, window):
+        start, end = window
+        assert _ids(
+            scan_messages(tiny_graph, window=window, kind="post")
+        ) == self._reference(tiny_graph, start, end, kind="post")
+
+    def test_ablated_graph_returns_same_rows(self, tiny_net, window):
+        start, end = window
+        plain = SocialGraph.from_data(tiny_net)
+        for flags in (
+            {"use_indexes": False},
+            {"use_date_index": False},
+            {"use_tag_index": False},
+        ):
+            ablated = SocialGraph.from_data(tiny_net, **flags)
+            tag = next(
+                t for m in plain.messages() for t in m.tag_ids
+            )
+            assert _ids(scan_messages(ablated, window=window)) == _ids(
+                scan_messages(plain, window=window)
+            )
+            assert _ids(scan_messages(ablated, tag=tag)) == _ids(
+                scan_messages(plain, tag=tag)
+            )
+
+
+class TestScanForumPosts:
+    def test_matches_forum_contents(self, tiny_graph, window):
+        forum = next(
+            f for f in tiny_graph.forums.values()
+            if tiny_graph.posts_in_forum(f.id)
+        )
+        expected = _ids(
+            p
+            for p in tiny_graph.posts_in_forum(forum.id)
+            if window[0] <= p.creation_date < window[1]
+        )
+        assert _ids(
+            scan_forum_posts(tiny_graph, forum.id, window=window)
+        ) == expected
+        assert _ids(scan_forum_posts(tiny_graph, forum.id)) == _ids(
+            tiny_graph.posts_in_forum(forum.id)
+        )
+
+
+class TestIndexMaintenance:
+    """Deletes must evict from the month/tag/forum indexes."""
+
+    def test_delete_post_evicts_from_indexes(self, tiny_net):
+        graph = SocialGraph.from_data(tiny_net)
+        post = next(p for p in graph.posts.values() if p.tag_ids)
+        tag = next(iter(post.tag_ids))
+        month = (post.creation_date, post.creation_date + 1)
+        assert post.id in _ids(scan_messages(graph, window=month))
+        assert post.id in _ids(scan_messages(graph, tag=tag))
+        graph.delete_post(post.id)
+        assert post.id not in _ids(scan_messages(graph, window=month))
+        assert post.id not in _ids(scan_messages(graph, tag=tag))
+        assert post.id not in _ids(scan_forum_posts(graph, post.forum_id))
+
+    def test_delete_comment_evicts_from_indexes(self, tiny_net):
+        graph = SocialGraph.from_data(tiny_net)
+        comment = next(
+            c for c in graph.comments.values()
+            if c.tag_ids and not graph.replies_of(c.id)
+        )
+        tag = next(iter(comment.tag_ids))
+        graph.delete_comment(comment.id)
+        assert comment.id not in _ids(scan_messages(graph, tag=tag))
+        assert comment.id not in _ids(
+            scan_messages(
+                graph,
+                window=(comment.creation_date, comment.creation_date + 1),
+            )
+        )
+
+
+class TestCounters:
+    def test_scan_counts_rows_and_path(self, tiny_graph):
+        reset_counters()
+        rows = list(scan_messages(tiny_graph))
+        snap = reset_counters()
+        assert snap.full_scans == 1 and snap.index_scans == 0
+        assert snap.rows_scanned == len(rows)
+
+    def test_window_scan_uses_index_path(self, tiny_graph, window):
+        reset_counters()
+        rows = list(scan_messages(tiny_graph, window=window))
+        snap = reset_counters()
+        assert snap.index_scans == 1 and snap.full_scans == 0
+        assert snap.rows_scanned == len(rows)
+
+    def test_ablated_scan_counts_full_scan(self, tiny_net, window):
+        graph = SocialGraph.from_data(tiny_net, use_indexes=False)
+        reset_counters()
+        list(scan_messages(graph, window=window))
+        tag = next(t for m in graph.messages() for t in m.tag_ids)
+        list(scan_messages(graph, tag=tag))
+        snap = reset_counters()
+        assert snap.full_scans == 2 and snap.index_scans == 0
+
+    def test_abandoned_scan_still_flushes_rows(self, tiny_graph):
+        reset_counters()
+        scan = scan_messages(tiny_graph)
+        next(scan)
+        scan.close()  # early LIMIT-style termination
+        assert counters().rows_scanned == 1
+        reset_counters()
+
+    def test_expand_counts_edges(self, tiny_graph):
+        persons = sorted(tiny_graph.persons)[:10]
+        reset_counters()
+        pairs = list(expand(persons, tiny_graph.friends_of))
+        snap = reset_counters()
+        assert snap.edges_expanded == len(pairs)
+        assert pairs == [
+            (p, f) for p in persons for f in tiny_graph.friends_of(p)
+        ]
+
+    def test_group_operators_count_groups(self):
+        reset_counters()
+        groups = group_count(["a", "b", "a", "c"])
+        assert groups == {"a": 2, "b": 1, "c": 1}
+        aggs = group_agg(
+            [1, 2, 3, 4],
+            key=lambda x: x % 2,
+            zero=lambda: [0],
+            fold=lambda acc, x: acc.__setitem__(0, acc[0] + x),
+        )
+        snap = reset_counters()
+        assert {k: v[0] for k, v in aggs.items()} == {0: 6, 1: 4}
+        assert snap.groups_created == 3 + 2
+
+    def test_top_k_counts_heap_activity(self):
+        reset_counters()
+        top = top_k(2, key=lambda x: x)
+        for value in range(100):
+            top.add(value)
+        assert top.result() == [0, 1]
+        snap = reset_counters()
+        # Ascending adds past the 64-entry buffer: one compaction sets
+        # the threshold, later rows are rejected without buffering, and
+        # every offered row is tallied regardless of outcome.
+        assert snap.heap_inserts == 100
+        assert snap.heap_evictions > 0
+        assert snap.heap_rejections > 0
+        assert (
+            snap.heap_inserts
+            >= snap.heap_rejections + snap.heap_evictions
+        )
+
+
+class TestChokePointMapping:
+    def test_every_counter_maps_to_a_choke_point(self):
+        known = {cp.identifier for cp in CHOKE_POINTS}
+        for name in COUNTER_NAMES:
+            assert name in OPERATOR_COUNTER_CPS, name
+        for name, cp in OPERATOR_COUNTER_CPS.items():
+            assert cp in known, f"{name} -> unknown CP {cp}"
+
+    def test_cache_counters_mapped(self):
+        for name in (
+            "cache_hits",
+            "cache_misses",
+            "cache_invalidations",
+            "cache_evictions",
+        ):
+            assert counter_choke_point(name).identifier == "6.1"
+
+    def test_counter_choke_point_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            counter_choke_point("not_a_counter")

@@ -1,12 +1,21 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-tables examples all
+.PHONY: install test lint bench bench-tables examples all
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+lint:  ## benchmark-invariant checker + (if installed) strict typing
+	PYTHONPATH=src python -m repro.lint src
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict --follow-imports=silent \
+			src/repro/engine src/repro/util src/repro/lint; \
+	else \
+		echo "mypy not installed; skipping type check (CI runs it)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -21,4 +30,4 @@ examples:
 	python examples/datagen_export.py
 	python examples/bi_power_throughput.py
 
-all: install test bench
+all: install lint test bench

@@ -10,7 +10,10 @@ from repro.engine.operators import (
     group_agg,
     group_count,
     scan_forum_posts,
+    scan_forums,
+    scan_likes,
     scan_messages,
+    scan_persons,
     sort_key,
     top_k,
 )
@@ -30,7 +33,10 @@ __all__ = [
     "group_count",
     "reset_counters",
     "scan_forum_posts",
+    "scan_forums",
+    "scan_likes",
     "scan_messages",
+    "scan_persons",
     "sort_key",
     "top_k",
 ]

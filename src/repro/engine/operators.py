@@ -30,13 +30,17 @@ from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from repro.engine.stats import counters
 from repro.graph.store import SocialGraph
-from repro.schema.entities import Message, Post
+from repro.schema.entities import Forum, Message, Person, Post
+from repro.schema.relations import Likes
 from repro.util.dates import DateTime
 from repro.util.topk import TopK, sort_key
 
 __all__ = [
     "scan_messages",
     "scan_forum_posts",
+    "scan_persons",
+    "scan_forums",
+    "scan_likes",
     "expand",
     "group_count",
     "group_agg",
@@ -197,6 +201,40 @@ def scan_forum_posts(
         stats.rows_scanned += produced
 
 
+def _counted_scan(source: Iterable[T]) -> Iterator[T]:
+    """Full-table scan bookkeeping shared by the entity scan operators."""
+    stats = counters()
+    stats.full_scans += 1
+    produced = 0
+    try:
+        for item in source:
+            produced += 1
+            yield item
+    finally:
+        stats.rows_scanned += produced
+
+
+def scan_persons(graph: SocialGraph) -> Iterator[Person]:
+    """Scan every Person (no pushdown: Person has no secondary index).
+
+    The instrumented counterpart of ``graph.persons.values()`` — query
+    modules must come through here so the full scan shows up in the
+    per-query operator counters (and so R2 of ``repro.lint`` can hold
+    the engine boundary).
+    """
+    return _counted_scan(graph.persons.values())
+
+
+def scan_forums(graph: SocialGraph) -> Iterator[Forum]:
+    """Scan every Forum, tallying the full-scan into the counters."""
+    return _counted_scan(graph.forums.values())
+
+
+def scan_likes(graph: SocialGraph) -> Iterator[Likes]:
+    """Scan every likes edge, tallying the full-scan into the counters."""
+    return _counted_scan(graph.likes_edges)
+
+
 def expand(
     sources: Iterable[S], neighbors: Callable[[S], Iterable[T]]
 ) -> Iterator[tuple[S, T]]:
@@ -217,7 +255,7 @@ def expand(
         stats.edges_expanded += followed
 
 
-def group_count(keys: Iterable[K]) -> Counter:
+def group_count(keys: Iterable[K]) -> Counter[K]:
     """Hash-aggregate COUNT(*) per key (CP-1.2 group-by)."""
     groups = Counter(keys)
     counters().groups_created += len(groups)

@@ -47,9 +47,34 @@ from repro.util.dates import DateTime, month_bucket
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.datagen.generator import SocialNetworkData
 
+__all__ = ["SocialGraph"]
+
 
 class SocialGraph:
-    """The loaded social network plus its adjacency indexes."""
+    """The loaded social network plus its adjacency indexes.
+
+    The public surface is the entity/relation tables and the accessor
+    methods; everything ``_``-prefixed is a secondary index whose layout
+    may change between PRs.  Query modules additionally may not *iterate*
+    the raw tables in :attr:`RAW_TABLES` — they scan through
+    :mod:`repro.engine` so the work is instrumented (enforced statically
+    by rule R2 of ``repro.lint``; point lookups like
+    ``graph.persons[pid]`` remain fine).
+    """
+
+    #: Raw entity/relation tables (plus the ``messages()`` full-scan
+    #: accessor) that are public for point access but off-limits to
+    #: iterate from query code.  Mirrored by
+    #: ``repro.lint.spec.RAW_STORE_COLLECTIONS``.
+    RAW_TABLES: frozenset[str] = frozenset(
+        {
+            "places", "organisations", "tag_classes", "tags",
+            "persons", "forums", "posts", "comments",
+            "knows_edges", "likes_edges", "memberships",
+            "study_at", "work_at",
+            "messages",
+        }
+    )
 
     def __init__(
         self,

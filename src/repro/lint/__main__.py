@@ -1,0 +1,58 @@
+"""CLI: ``python -m repro.lint <path>... [--format {text,github}]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error (bad flag,
+nonexistent path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.checker import lint_paths
+from repro.lint.diagnostics import format_diagnostic
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based benchmark-invariant checker: determinism (R1), "
+            "engine discipline (R2), query contracts (R3), "
+            "total-order sorts (R4)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="Python files or directory trees to check",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="diagnostic format (github = workflow annotations)",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:
+        # argparse exits 2 on usage errors and 0 on --help; keep both.
+        return int(exit_.code or 0)
+    try:
+        diagnostics = lint_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for diag in diagnostics:
+        print(format_diagnostic(diag, args.format))
+    if diagnostics:
+        print(
+            f"{len(diagnostics)} violation(s) found", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The checker driver: expand paths, run rules, filter suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.base import Rule, make_context
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ALL_RULES
+
+
+def lint_source(
+    path: str, source: str, rules: Sequence[Rule] = ALL_RULES
+) -> list[Diagnostic]:
+    """Lint one in-memory module; returns post-suppression diagnostics."""
+    context = make_context(path, source)
+    if isinstance(context, Diagnostic):
+        return [context]
+    found: list[Diagnostic] = list(context.suppressions.problems)
+    for rule in rules:
+        for diag in rule(context):
+            if not context.suppressions.is_suppressed(diag.slug, diag.line):
+                found.append(diag)
+    found.sort(key=lambda d: (d.path, d.line, d.col, d.rule, d.slug))
+    return found
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Sequence[Rule] = ALL_RULES
+) -> list[Diagnostic]:
+    """Lint files and directory trees (``*.py``, sorted traversal).
+
+    Raises :class:`FileNotFoundError` for a path that does not exist —
+    the CLI maps that to exit code 2 (usage error), because a silently
+    skipped path would report "clean" without having checked anything.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    found: list[Diagnostic] = []
+    for file in files:
+        found.extend(
+            lint_source(str(file), file.read_text(encoding="utf-8"), rules)
+        )
+    return found

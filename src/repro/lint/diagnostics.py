@@ -1,0 +1,37 @@
+"""Diagnostic records and output formatting for the lint checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    #: Rule family, e.g. ``"R2"`` (``"R0"`` for checker-level problems).
+    rule: str
+    #: Stable violation slug, also the suppression token
+    #: (``# lint: allow-<slug> <reason>``).
+    slug: str
+    message: str
+
+
+def format_diagnostic(diag: Diagnostic, fmt: str = "text") -> str:
+    """Render a diagnostic as ``text`` or GitHub Actions ``github``.
+
+    The ``github`` format emits workflow annotation commands, so CI
+    findings become clickable file/line markers on the pull request.
+    """
+    if fmt == "github":
+        return (
+            f"::error file={diag.path},line={diag.line},"
+            f"col={diag.col},title={diag.rule} {diag.slug}::{diag.message}"
+        )
+    return (
+        f"{diag.path}:{diag.line}:{diag.col}: "
+        f"{diag.rule}[{diag.slug}] {diag.message}"
+    )

@@ -1,0 +1,328 @@
+"""R3 — query contracts.
+
+Every BI/IC read query carries machine-readable metadata — an ``INFO``
+descriptor (number, choke points, result limit), a ``NamedTuple`` row
+type and an entry point whose signature mirrors the curated parameter
+files.  The driver, the parameter curation and the Table A.1 coverage
+matrix all trust that metadata, so this rule checks each declaration
+against the spec transcriptions in :mod:`repro.lint.spec`:
+
+* ``INFO`` exists, its number matches the filename, every choke-point
+  id resolves in Appendix A, and ``limit`` equals the spec's table;
+* a ``Bi<N>Row`` / ``Ic<N>Row`` ``NamedTuple`` exists;
+* the ``bi<N>`` / ``ic<N>`` entry point takes ``graph`` plus the
+  snake_case forms of the spec's camelCase parameter names, in order.
+
+Everything is read from the AST — the module under scrutiny is never
+imported.  Slug: ``query-contract``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.base import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.spec import (
+    SPEC_BI_LIMITS,
+    SPEC_BI_PARAMS,
+    SPEC_IC_LIMITS,
+    SPEC_IC_PARAMS,
+    VALID_CHOKE_POINTS,
+    camel_to_snake,
+)
+
+RULE = "R3"
+SLUG = "query-contract"
+
+_BI_FILE_RE = re.compile(r"q(\d+)\.py")
+_IC_INFO_RE = re.compile(r"IC(\d+)_INFO")
+
+
+def check_query_contracts(ctx: FileContext) -> list[Diagnostic]:
+    parts = ctx.module_parts
+    if len(parts) < 3 or parts[0] != "queries":
+        return []
+    if parts[1] == "bi":
+        match = _BI_FILE_RE.fullmatch(parts[-1])
+        if match is not None:
+            return _check_bi_module(ctx, int(match.group(1)))
+    if parts[1] == "interactive" and parts[-1].startswith("complex_part"):
+        return _check_ic_module(ctx)
+    return []
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+def _top_level_assign(tree: ast.Module, name: str) -> ast.Call | None:
+    """The RHS call of ``<name> = SomeInfo(...)`` at module level."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and target.id == name:
+            if isinstance(node.value, ast.Call):
+                return node.value
+    return None
+
+
+def _call_argument(
+    call: ast.Call, position: int, keyword: str
+) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if 0 <= position < len(call.args):
+        return call.args[position]
+    return None
+
+
+def _constant(node: ast.expr | None) -> object:
+    if isinstance(node, ast.Constant):
+        return node.value
+    return _MISSING
+
+
+_MISSING = object()
+
+
+def _has_namedtuple_class(tree: ast.Module, name: str) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            for base in node.bases:
+                base_name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr if isinstance(base, ast.Attribute) else ""
+                )
+                if base_name == "NamedTuple":
+                    return True
+    return False
+
+
+def _function_def(tree: ast.Module, name: str) -> ast.FunctionDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _check_choke_points(
+    ctx: FileContext, info: ast.Call, label: str, position: int
+) -> list[Diagnostic]:
+    found: list[Diagnostic] = []
+    cps = _call_argument(info, position, "choke_points")
+    if not isinstance(cps, ast.Tuple):
+        found.append(
+            ctx.diagnostic(
+                info, RULE, SLUG,
+                f"{label}: choke_points must be a literal tuple of "
+                "Appendix A identifiers",
+            )
+        )
+        return found
+    for element in cps.elts:
+        value = _constant(element)
+        if value not in VALID_CHOKE_POINTS:
+            found.append(
+                ctx.diagnostic(
+                    element, RULE, SLUG,
+                    f"{label}: choke point {value!r} does not resolve in "
+                    "Appendix A (repro.analysis.chokepoints)",
+                )
+            )
+    return found
+
+
+def _check_entry_point(
+    ctx: FileContext,
+    tree: ast.Module,
+    label: str,
+    func_name: str,
+    spec_params: tuple[str, ...],
+) -> list[Diagnostic]:
+    func = _function_def(tree, func_name)
+    if func is None:
+        return [
+            ctx.diagnostic(
+                tree, RULE, SLUG,
+                f"{label}: entry point '{func_name}' not found at module "
+                "level",
+            )
+        ]
+    actual = [arg.arg for arg in func.args.args]
+    expected = ["graph"] + [camel_to_snake(p) for p in spec_params]
+    # Trailing implementation knobs are fine iff they carry defaults —
+    # the driver binds only the curated parameters.
+    extras = len(actual) - len(expected)
+    if actual[: len(expected)] != expected or (
+        extras > len(func.args.defaults)
+    ):
+        return [
+            ctx.diagnostic(
+                func, RULE, SLUG,
+                f"{label}: parameters {actual} do not match the curated "
+                f"parameter file names {expected} (graph + snake_case of "
+                f"{list(spec_params)}; extra trailing parameters must "
+                "have defaults)",
+            )
+        ]
+    return []
+
+
+def _check_limit(
+    ctx: FileContext,
+    info: ast.Call,
+    label: str,
+    position: int,
+    expected: int | None,
+    default: int | None,
+) -> list[Diagnostic]:
+    node = _call_argument(info, position, "limit")
+    declared = default if node is None else _constant(node)
+    if declared is _MISSING or declared != expected:
+        shown = "<non-literal>" if declared is _MISSING else repr(declared)
+        return [
+            ctx.diagnostic(
+                node or info, RULE, SLUG,
+                f"{label}: declared limit {shown} != spec table limit "
+                f"{expected!r}",
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# BI modules (one query per file, q<NN>.py)
+# ----------------------------------------------------------------------
+
+def _check_bi_module(ctx: FileContext, number: int) -> list[Diagnostic]:
+    label = f"BI {number}"
+    if number not in SPEC_BI_PARAMS:
+        return [
+            ctx.diagnostic(
+                ctx.tree, RULE, SLUG,
+                f"{label}: no such query in the spec (BI 1-25)",
+            )
+        ]
+    info = _top_level_assign(ctx.tree, "INFO")
+    if info is None:
+        return [
+            ctx.diagnostic(
+                ctx.tree, RULE, SLUG,
+                f"{label}: module must export 'INFO = BiQueryInfo(...)'",
+            )
+        ]
+    found: list[Diagnostic] = []
+    declared_number = _constant(_call_argument(info, 0, "number"))
+    if declared_number != number:
+        found.append(
+            ctx.diagnostic(
+                info, RULE, SLUG,
+                f"{label}: INFO.number is {declared_number!r} but the file "
+                f"is q{number:02d}.py",
+            )
+        )
+    found.extend(_check_choke_points(ctx, info, label, 2))
+    found.extend(
+        _check_limit(ctx, info, label, 3, SPEC_BI_LIMITS[number], default=100)
+    )
+    if not _has_namedtuple_class(ctx.tree, f"Bi{number}Row"):
+        found.append(
+            ctx.diagnostic(
+                ctx.tree, RULE, SLUG,
+                f"{label}: missing 'Bi{number}Row(NamedTuple)' row type",
+            )
+        )
+    found.extend(
+        _check_entry_point(
+            ctx, ctx.tree, label, f"bi{number}", SPEC_BI_PARAMS[number]
+        )
+    )
+    return found
+
+
+# ----------------------------------------------------------------------
+# IC modules (several queries per file, complex_part*.py)
+# ----------------------------------------------------------------------
+
+def _check_ic_module(ctx: FileContext) -> list[Diagnostic]:
+    found: list[Diagnostic] = []
+    covered: set[int] = set()
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        match = _IC_INFO_RE.fullmatch(target.id)
+        if match is None or not isinstance(node.value, ast.Call):
+            continue
+        number = int(match.group(1))
+        covered.add(number)
+        found.extend(_check_one_ic(ctx, node.value, number))
+    for node in ctx.tree.body:
+        if isinstance(node, ast.FunctionDef):
+            match_fn = re.fullmatch(r"ic(\d+)", node.name)
+            if match_fn and int(match_fn.group(1)) not in covered:
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, SLUG,
+                        f"IC {match_fn.group(1)}: entry point has no "
+                        f"matching IC{match_fn.group(1)}_INFO descriptor",
+                    )
+                )
+    return found
+
+
+def _check_one_ic(
+    ctx: FileContext, info: ast.Call, number: int
+) -> list[Diagnostic]:
+    label = f"IC {number}"
+    if number not in SPEC_IC_PARAMS:
+        return [
+            ctx.diagnostic(
+                info, RULE, SLUG,
+                f"{label}: no such query in the spec (IC 1-14)",
+            )
+        ]
+    found: list[Diagnostic] = []
+    kind = _constant(_call_argument(info, 0, "kind"))
+    if kind != "complex":
+        found.append(
+            ctx.diagnostic(
+                info, RULE, SLUG,
+                f"{label}: INFO.kind is {kind!r}, expected 'complex'",
+            )
+        )
+    declared_number = _constant(_call_argument(info, 1, "number"))
+    if declared_number != number:
+        found.append(
+            ctx.diagnostic(
+                info, RULE, SLUG,
+                f"{label}: INFO.number is {declared_number!r} but the "
+                f"descriptor is named IC{number}_INFO",
+            )
+        )
+    found.extend(_check_choke_points(ctx, info, label, 3))
+    found.extend(
+        _check_limit(
+            ctx, info, label, 4, SPEC_IC_LIMITS[number], default=None
+        )
+    )
+    if not _has_namedtuple_class(ctx.tree, f"Ic{number}Row"):
+        found.append(
+            ctx.diagnostic(
+                info, RULE, SLUG,
+                f"{label}: missing 'Ic{number}Row(NamedTuple)' row type",
+            )
+        )
+    found.extend(
+        _check_entry_point(
+            ctx, ctx.tree, label, f"ic{number}", SPEC_IC_PARAMS[number]
+        )
+    )
+    return found

@@ -1,0 +1,175 @@
+"""R1 — determinism.
+
+The spec (section 2.3.3) requires the whole pipeline to be deterministic
+regardless of parallelism; the in-depth SNB benchmarking study traces
+most cross-system result mismatches to exactly the two leaks this rule
+closes:
+
+* wall-clock reads (``datetime.now()``, ``time.time()``) and stdlib
+  ``random`` — every random decision must flow through the labelled
+  streams of :mod:`repro.util.rng` (slugs ``wall-clock``,
+  ``raw-random``);
+* result lists built directly from iterating an unordered collection
+  (a ``set`` or dict view) with no intervening ``sorted()`` / ``top_k``
+  — the rows would depend on hash seeding or insertion accidents
+  (slug ``unordered-return``, query modules only, heuristic: only
+  directly returned comprehensions are examined).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import FileContext
+from repro.lint.diagnostics import Diagnostic
+
+RULE = "R1"
+
+#: Zero-argument "current moment" constructors on datetime/date objects.
+_CLOCK_ATTRS = frozenset({"now", "utcnow", "today"})
+#: Receivers those attributes are temporal on (module aliases included).
+_TEMPORAL_RECEIVERS = frozenset({"datetime", "date", "_dt"})
+#: Wall-clock functions of the ``time`` module.
+_TIME_FUNCS = frozenset({"time", "time_ns", "localtime"})
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def check_clock_and_random(ctx: FileContext) -> list[Diagnostic]:
+    """Forbid wall-clock reads and stdlib ``random`` outside the RNG hub."""
+    if ctx.is_rng_module:
+        return []
+    found: list[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    found.append(
+                        ctx.diagnostic(
+                            node, RULE, "raw-random",
+                            "stdlib random imported; draw from the labelled "
+                            "streams of repro.util.rng instead",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "raw-random",
+                        "stdlib random imported; draw from the labelled "
+                        "streams of repro.util.rng instead",
+                    )
+                )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            receiver = _receiver_name(node.func.value)
+            if receiver == "random":
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "raw-random",
+                        f"random.{node.func.attr}() is unseeded; use "
+                        "repro.util.rng.DeterministicRng",
+                    )
+                )
+            elif (
+                node.func.attr in _CLOCK_ATTRS
+                and receiver in _TEMPORAL_RECEIVERS
+            ):
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "wall-clock",
+                        f"{receiver}.{node.func.attr}() reads the wall "
+                        "clock; benchmark time must come from the dataset",
+                    )
+                )
+            elif receiver == "time" and node.func.attr in _TIME_FUNCS:
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "wall-clock",
+                        f"time.{node.func.attr}() reads the wall clock; "
+                        "use time.perf_counter() for latency measurement "
+                        "and dataset timestamps for semantics",
+                    )
+                )
+    return found
+
+
+def _is_unordered_source(node: ast.expr) -> bool:
+    """Syntactically a set or dict-view expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set", "frozenset"
+        ):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "values", "keys", "items"
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        return _is_unordered_source(node.left) or _is_unordered_source(
+            node.right
+        )
+    return False
+
+
+def _is_ordering_call(node: ast.AST) -> bool:
+    """A call that imposes a total order on its input."""
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Name) and node.func.id in (
+        "sorted", "top_k"
+    ):
+        return True
+    # TopK accumulators surface rows through .result().
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "result"
+
+
+def _unordered_comprehensions(node: ast.AST) -> Iterator[ast.AST]:
+    """Comprehensions over unordered sources, skipping ordered subtrees."""
+    if _is_ordering_call(node):
+        return
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        if node.generators and _is_unordered_source(node.generators[0].iter):
+            yield node
+    elif (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple")
+        and node.args
+        and _is_unordered_source(node.args[0])
+    ):
+        yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _unordered_comprehensions(child)
+
+
+def check_unordered_return(ctx: FileContext) -> list[Diagnostic]:
+    """Flag result lists materialized straight off an unordered source."""
+    if not ctx.in_queries:
+        return []
+    found: list[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        for offender in _unordered_comprehensions(node.value):
+            found.append(
+                ctx.diagnostic(
+                    offender, RULE, "unordered-return",
+                    "returned rows iterate an unordered set/dict view "
+                    "with no sorted()/top_k step; the row order would "
+                    "depend on hash seeding",
+                )
+            )
+    return found

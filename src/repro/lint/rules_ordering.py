@@ -1,0 +1,132 @@
+"""R4 — total-order sorts.
+
+The spec fixes every query's result order completely; ties broken by
+dict insertion order or heap arrival order reproduce on one machine and
+diverge on the next.  The convention in this repo is that every sort key
+in query code ends in a unique-identifier tie-breaker (an ``id`` or a
+spec-unique ``name`` field), so equal aggregate values still order the
+same everywhere.
+
+This is a heuristic, so it reads the *last* component of the key:
+
+* ``key=lambda r: (-r.count, r.person_id)`` — terminal ``person_id``,
+  accepted;
+* ``key=lambda r: (-r.count, r.month)`` — terminal ``month``, flagged;
+* ``key=lambda t: t[0]`` — opaque (the tuple's composition is invisible
+  at the sort site), flagged.
+
+Keys built with :func:`repro.engine.operators.sort_key` are unpacked the
+same way: the terminal is the value of the last ``(value, descending)``
+pair.  Sort sites whose order is genuinely total for another reason
+(e.g. the terminal component is the group-by key, unique per row)
+carry ``# lint: allow-partial-order <why the order is total>``.
+Slug: ``partial-order``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.base import FileContext
+from repro.lint.diagnostics import Diagnostic
+
+RULE = "R4"
+SLUG = "partial-order"
+
+#: Terminal key components accepted as unique tie-breakers: ``id``,
+#: ``person_id``, ``tag_ids`` … and spec-unique ``*name*`` fields.
+UNIQUE_RE = re.compile(r"(?:^|_)(?:ids?|name)(?:_|$)")
+
+
+def check_total_order_sorts(ctx: FileContext) -> list[Diagnostic]:
+    if not ctx.in_queries:
+        return []
+    found: list[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        site = _sort_site_name(node)
+        if site is None:
+            continue
+        key = _keyword(node, "key")
+        if key is None:
+            continue
+        problem = _key_problem(key)
+        if problem is not None:
+            found.append(
+                ctx.diagnostic(
+                    key, RULE, SLUG,
+                    f"{site} key {problem}; end the key in a unique-id "
+                    "tie-breaker, or add '# lint: allow-partial-order "
+                    "<why the order is total>'",
+                )
+            )
+    return found
+
+
+def _sort_site_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name) and call.func.id in ("sorted", "top_k"):
+        return f"{call.func.id}()"
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "sort":
+        return ".sort()"
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _key_problem(key: ast.expr) -> str | None:
+    """Why the key is not visibly total, or None if it is."""
+    if not isinstance(key, ast.Lambda):
+        return "is not a lambda, so its tie-breaking cannot be checked"
+    terminal = _terminal_component(key.body)
+    if terminal is None:
+        return "has an opaque terminal component"
+    name = _component_name(terminal)
+    if name is None:
+        return (
+            f"ends in an opaque expression "
+            f"({ast.unparse(terminal)}), not a named field"
+        )
+    if not UNIQUE_RE.search(name):
+        return f"ends in '{name}', which is not a unique identifier"
+    return None
+
+
+def _terminal_component(body: ast.expr) -> ast.expr | None:
+    """Last ordering component of a key expression."""
+    # sort_key((value, desc), (value, desc), ...): last pair's value.
+    if (
+        isinstance(body, ast.Call)
+        and isinstance(body.func, ast.Name)
+        and body.func.id == "sort_key"
+        and body.args
+    ):
+        last = body.args[-1]
+        if isinstance(last, ast.Tuple) and last.elts:
+            return _strip_negation(last.elts[0])
+        return None
+    if isinstance(body, ast.Tuple):
+        if not body.elts:
+            return None
+        return _strip_negation(body.elts[-1])
+    return _strip_negation(body)
+
+
+def _strip_negation(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return node
+
+
+def _component_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,83 @@
+"""Suppression comments: ``# lint: allow-<slug> <reason>``.
+
+Two scopes, mirroring how LDBC audits record waivers — every waiver
+names the rule it waives and why:
+
+* line scope — the comment sits on the violating line, or alone on the
+  line directly above it;
+* file scope — ``# lint: file-allow-<slug> <reason>`` anywhere in the
+  file (conventionally in the header) waives the slug for the whole
+  file, e.g. for the deliberately engine-free reference
+  implementations.
+
+A suppression without a reason is itself reported (``R0``/
+``bare-suppression``): an unexplained waiver is exactly the kind of
+drift the checker exists to prevent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic
+
+_COMMENT_RE = re.compile(
+    r"#\s*lint:\s*(?P<filewide>file-)?allow-(?P<slug>[a-z][a-z0-9-]*)"
+    r"(?:\s+(?P<reason>\S.*))?"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Parsed suppressions of one file, queried by (line, slug)."""
+
+    #: slug -> set of line numbers the suppression covers.
+    lines: dict[str, set[int]] = field(default_factory=dict)
+    #: slugs waived for the entire file.
+    filewide: set[str] = field(default_factory=set)
+    #: diagnostics produced by malformed suppressions (missing reason).
+    problems: list[Diagnostic] = field(default_factory=list)
+
+    def is_suppressed(self, slug: str, line: int) -> bool:
+        if slug in self.filewide:
+            return True
+        return line in self.lines.get(slug, set())
+
+
+def parse_suppressions(path: str, source: str) -> SuppressionIndex:
+    """Scan source lines for suppression comments.
+
+    Line-scope comments cover their own line and the next one, so both
+    trailing comments and standalone comments above the construct work.
+    (The scan is textual; a ``# lint:`` sequence inside a string literal
+    would match too — none exist in practice and the failure mode is a
+    too-wide waiver on one line, caught in review.)
+    """
+    index = SuppressionIndex()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _COMMENT_RE.search(text)
+        if match is None:
+            continue
+        slug = match.group("slug")
+        if not match.group("reason"):
+            index.problems.append(
+                Diagnostic(
+                    path=path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    rule="R0",
+                    slug="bare-suppression",
+                    message=(
+                        f"suppression 'allow-{slug}' has no reason; "
+                        "write '# lint: allow-"
+                        f"{slug} <why this is sound>'"
+                    ),
+                )
+            )
+            continue
+        if match.group("filewide"):
+            index.filewide.add(slug)
+        else:
+            index.lines.setdefault(slug, set()).update((lineno, lineno + 1))
+    return index

@@ -53,7 +53,7 @@ def bi2(
     end_date: Date,
     country1: str,
     country2: str,
-    simulation_end: Date,
+    end_of_simulation: Date,
     min_count: int = 1,
 ) -> list[Bi2Row]:
     """Run BI 2 over the window [start_date, end_date)."""
@@ -66,7 +66,9 @@ def bi2(
         for person_id in graph.persons_in_country(country):
             person = graph.persons[person_id]
             age_group = int(
-                (simulation_end - person.birthday) / _DAYS_PER_YEAR / AGE_GROUP_YEARS
+                (end_of_simulation - person.birthday)
+                / _DAYS_PER_YEAR
+                / AGE_GROUP_YEARS
             )
             for message in scan_messages(
                 graph, creator=person_id, window=(start, end)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-from repro.engine import scan_forum_posts, sort_key, top_k
+from repro.engine import scan_forum_posts, scan_forums, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.util.dates import DateTime
@@ -47,7 +47,7 @@ def bi4(graph: SocialGraph, tag_class: str, country: str) -> list[Bi4Row]:
     top = top_k(
         INFO.limit, key=lambda r: sort_key((r.post_count, True), (r.forum_id, False))
     )
-    for forum in graph.forums.values():
+    for forum in scan_forums(graph):
         moderator = graph.persons.get(forum.moderator_id)
         if moderator is None:
             continue

@@ -19,7 +19,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.engine import sort_key, top_k
+from repro.engine import scan_forums, sort_key, top_k
 
 INFO = BiQueryInfo(
     5,
@@ -46,11 +46,12 @@ def bi5(graph: SocialGraph, country: str) -> list[Bi5Row]:
     country_persons = set(graph.persons_in_country(country_id))
 
     forum_popularity: dict[int, int] = defaultdict(int)
-    for forum_id in graph.forums:
-        for membership in graph.members_of_forum(forum_id):
+    for forum in scan_forums(graph):
+        for membership in graph.members_of_forum(forum.id):
             if membership.person_id in country_persons:
-                forum_popularity[forum_id] += 1
+                forum_popularity[forum.id] += 1
     popular = top_k(
+        # lint: allow-partial-order item[0] is the forum id, unique per group
         POPULAR_FORUM_COUNT, key=lambda item: sort_key((item[1], True), (item[0], False))
     )
     popular.extend(forum_popularity.items())

@@ -19,7 +19,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.engine import scan_forum_posts, sort_key, top_k
+from repro.engine import scan_forum_posts, scan_forums, sort_key, top_k
 
 INFO = BiQueryInfo(
     9,
@@ -49,7 +49,7 @@ def bi9(
             (r.count1, True), (r.count2, True), (r.forum_id, False)
         ),
     )
-    for forum in graph.forums.values():
+    for forum in scan_forums(graph):
         if len(graph.members_of_forum(forum.id)) <= threshold:
             continue
         count1 = count2 = 0

@@ -21,7 +21,7 @@ from typing import NamedTuple, Sequence
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.engine import scan_messages
+from repro.engine import scan_messages, scan_persons
 from repro.queries.common import message_language
 from repro.util.dates import Date, date_to_datetime
 
@@ -48,7 +48,7 @@ def bi18(
     threshold = date_to_datetime(date)
     wanted = set(languages)
 
-    per_person = Counter({person_id: 0 for person_id in graph.persons})
+    per_person = Counter({person.id: 0 for person in scan_persons(graph)})
     for message in scan_messages(graph, window=(threshold + 1, None)):
         if not message.content:
             continue
@@ -63,5 +63,6 @@ def bi18(
         Bi18Row(message_count, person_count)
         for message_count, person_count in histogram.items()
     ]
+    # lint: allow-partial-order message_count is the histogram key, unique per row
     rows.sort(key=lambda r: (-r.person_count, -r.message_count))
     return rows

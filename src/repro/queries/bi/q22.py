@@ -27,7 +27,7 @@ from typing import NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
-from repro.engine import scan_messages, sort_key, top_k
+from repro.engine import scan_likes, scan_messages, sort_key, top_k
 
 INFO = BiQueryInfo(
     22,
@@ -68,7 +68,7 @@ def bi22(graph: SocialGraph, country1: str, country2: str) -> list[Bi22Row]:
         pair = pair_of(comment.creator_id, target)
         if pair is not None:
             replied[(comment.creator_id, target)] = True
-    for like in graph.likes_edges:
+    for like in scan_likes(graph):
         target = graph.message(like.message_id).creator_id
         pair = pair_of(like.person_id, target)
         if pair is not None:

@@ -42,20 +42,29 @@ class Ic1Row(NamedTuple):
     friend_companies: tuple[tuple[str, int, str], ...]
 
 
+class _Ic1Candidate(NamedTuple):
+    """Pre-projection match: exactly the spec's ordering columns."""
+
+    distance: int
+    last_name: str
+    friend_id: int
+
+
 def ic1(graph: SocialGraph, person_id: int, first_name: str) -> list[Ic1Row]:
     """Friends up to 3 knows hops with the given first name."""
     distances = knows_distances(graph, person_id, 3)
     top = top_k(
-        IC1_INFO.limit, key=lambda t: t[0]
-    )  # key = (distance, lastName, id)
+        IC1_INFO.limit,
+        key=lambda c: (c.distance, c.last_name, c.friend_id),
+    )
     for friend_id, distance in distances.items():
         person = graph.persons[friend_id]
         if person.first_name != first_name:
             continue
-        top.add(((distance, person.last_name, friend_id), friend_id))
+        top.add(_Ic1Candidate(distance, person.last_name, friend_id))
 
     rows = []
-    for (distance, _, friend_id), _ in top:
+    for distance, _, friend_id in top:
         person = graph.persons[friend_id]
         universities = tuple(
             sorted(
@@ -171,14 +180,14 @@ class Ic3Row(NamedTuple):
 def ic3(
     graph: SocialGraph,
     person_id: int,
-    country_x: str,
-    country_y: str,
+    country_x_name: str,
+    country_y_name: str,
     start_date: Date,
     duration_days: int,
 ) -> list[Ic3Row]:
     """Foreign friends (<= 2 hops) with messages from both countries."""
-    x_id = graph.country_id(country_x)
-    y_id = graph.country_id(country_y)
+    x_id = graph.country_id(country_x_name)
+    y_id = graph.country_id(country_y_name)
     start = date_to_datetime(start_date)
     end = start + duration_days * MILLIS_PER_DAY
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Any, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -37,7 +37,7 @@ def derive_seed(master_seed: int, *labels: object) -> int:
 class DeterministicRng:
     """A labelled random stream, plus helpers used throughout Datagen."""
 
-    def __init__(self, master_seed: int, *labels: object):
+    def __init__(self, master_seed: int, *labels: object) -> None:
         self.seed = derive_seed(master_seed, *labels)
         self._rng = random.Random(self.seed)
 
@@ -58,7 +58,7 @@ class DeterministicRng:
     def sample(self, seq: Sequence[T], k: int) -> list[T]:
         return self._rng.sample(seq, k)
 
-    def shuffle(self, seq: list) -> None:
+    def shuffle(self, seq: list[Any]) -> None:
         self._rng.shuffle(seq)
 
     def gauss(self, mu: float, sigma: float) -> float:

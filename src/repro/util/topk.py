@@ -18,7 +18,7 @@ class _Reversed:
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Any):
+    def __init__(self, value: Any) -> None:
         self.value = value
 
     def __lt__(self, other: "_Reversed") -> bool:
@@ -28,7 +28,7 @@ class _Reversed:
         return isinstance(other, _Reversed) and self.value == other.value
 
 
-def sort_key(*components: tuple[Any, bool]) -> tuple:
+def sort_key(*components: tuple[Any, bool]) -> tuple[Any, ...]:
     """Build a composite ascending sort key from (value, descending) pairs.
 
     Query definitions mix ascending and descending components (e.g. BI 12
@@ -57,7 +57,7 @@ class TopK(Generic[T]):
     threshold path makes one.
     """
 
-    def __init__(self, k: int, key: Callable[[T], Any]):
+    def __init__(self, k: int, key: Callable[[T], Any]) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k

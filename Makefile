@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-tables examples all
+.PHONY: install test lint bench bench-smoke bench-tables examples all
 
 install:
 	pip install -e .
@@ -19,6 +19,10 @@ lint:  ## benchmark-invariant checker + (if installed) strict typing
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-smoke:  ## quick executor sanity: parallel == serial, then q/s
+	pytest benchmarks/test_driver_throughput.py -k parallel \
+		-s --benchmark-disable
 
 bench-tables:  ## print every reproduced table/figure with assertions
 	pytest benchmarks/ -s --benchmark-disable

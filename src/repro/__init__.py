@@ -14,6 +14,7 @@ Public entry points:
 """
 
 from repro.core.api import BiWorkload, InteractiveWorkload, SocialNetworkBenchmark
+from repro.core.run import RunReport, RunRequest
 from repro.datagen.config import DatagenConfig
 from repro.datagen.generator import SocialNetworkData, generate
 from repro.graph.store import SocialGraph
@@ -24,6 +25,8 @@ __all__ = [
     "BiWorkload",
     "DatagenConfig",
     "InteractiveWorkload",
+    "RunReport",
+    "RunRequest",
     "SocialGraph",
     "SocialNetworkBenchmark",
     "SocialNetworkData",

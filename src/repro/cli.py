@@ -4,8 +4,11 @@ Commands mirror the benchmark workflow (spec Figure 2.3):
 
 * ``generate``   — run Datagen and export the dataset, update/delete
   streams and substitution-parameter files.
-* ``run-bi``     — run one BI read, or the full power test.
-* ``run-interactive`` — run the Interactive workload through the driver.
+* ``run``        — run a workload: ``--workload bi`` (power /
+  throughput / concurrent modes, or one query via ``--query``) or
+  ``--workload interactive`` (the driver).  ``--workers`` / ``--timeout``
+  configure the :mod:`repro.exec` pool.  The pre-envelope commands
+  ``run-bi`` and ``run-interactive`` remain as hidden aliases.
 * ``validate``   — create or check a validation dataset (spec 6.2).
 * ``report``     — print reference tables (choke points, scale factors).
 """
@@ -19,12 +22,8 @@ from pathlib import Path
 from repro.analysis.chokepoints import format_coverage_table
 from repro.analysis.report import full_disclosure_report
 from repro.core.api import SocialNetworkBenchmark
-from repro.datagen.scale import SCALE_FACTORS, approximate_scale_factor
-from repro.driver.bi_driver import (
-    build_microbatches,
-    power_test,
-    throughput_test,
-)
+from repro.core.run import RunRequest
+from repro.datagen.scale import SCALE_FACTORS
 from repro.driver.validation import (
     read_validation_set,
     write_validation_set,
@@ -76,41 +75,63 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run_bi(args: argparse.Namespace) -> int:
+def _configuration(args: argparse.Namespace, request: RunRequest) -> dict:
+    """The ``configuration.json`` document: the request envelope plus
+    the dataset parameters that reproduce the graph."""
+    return {
+        "persons": args.persons,
+        "datagen_seed": args.seed,
+        **request.configuration_dict(),
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     bench = _bench(args)
-    if args.query is not None:
-        rows = bench.bi.run(args.query)
-        for row in rows[: args.limit]:
-            print(tuple(row))
-        print(f"-- BI {args.query}: {len(rows)} rows")
+    if args.workload == "bi":
+        if args.query is not None:
+            rows = bench.bi.run(args.query)
+            for row in rows[: args.limit]:
+                print(tuple(row))
+            print(f"-- BI {args.query}: {len(rows)} rows")
+            return 0
+        request = RunRequest(
+            workload="bi",
+            mode=args.mode,
+            workers=args.workers,
+            timeout=args.timeout,
+        )
+        report = bench.run(request)
+        print(report.format_table())
+        if args.throughput and request.mode == "power":
+            outcome = bench.run(
+                RunRequest(
+                    workload="bi",
+                    mode="throughput",
+                    workers=args.workers,
+                    timeout=args.timeout,
+                )
+            )
+            print(outcome.format_table())
+        if args.results_dir:
+            report.write_results_dir(
+                args.results_dir, configuration=_configuration(args, request)
+            )
+            print(f"results directory: {args.results_dir}")
         return 0
-    sf = approximate_scale_factor(args.persons)
-    result = power_test(bench.graph, bench.params, sf)
-    print(result.format_table())
-    if args.throughput:
-        batches = build_microbatches(bench.network)
-        outcome = throughput_test(bench.graph, bench.params, batches)
-        print(outcome.format_table())
-    return 0
-
-
-def _cmd_run_interactive(args: argparse.Namespace) -> int:
-    bench = _bench(args)
-    report = bench.run_driver(
-        time_compression_ratio=args.tcr,
-        max_updates=args.updates,
-        include_deletes=args.deletes,
+    request = RunRequest(
+        workload="interactive",
+        workers=args.workers,
+        timeout=args.timeout,
+        options={
+            "time_compression_ratio": args.tcr,
+            "max_updates": args.updates,
+            "include_deletes": args.deletes,
+        },
     )
+    report = bench.run(request)
     if args.results_dir:
         report.write_results_dir(
-            args.results_dir,
-            configuration={
-                "persons": args.persons,
-                "seed": args.seed,
-                "time_compression_ratio": args.tcr,
-                "max_updates": args.updates,
-                "include_deletes": args.deletes,
-            },
+            args.results_dir, configuration=_configuration(args, request)
         )
         print(f"results directory: {args.results_dir}")
     if args.fdr:
@@ -164,12 +185,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """Everything the unified ``run`` command (and its hidden aliases)
+    accepts; options apply per workload as documented."""
+    _add_dataset_options(parser)
+    parser.add_argument("--mode", default=None,
+                        choices=["power", "throughput", "concurrent"],
+                        help="BI execution mode (default power)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (default: REPRO_EXEC_WORKERS"
+                             " or serial)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-query deadline in seconds")
+    parser.add_argument("--query", type=int, choices=range(1, 26),
+                        help="run one BI query instead of a full test")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="rows to print for --query")
+    parser.add_argument("--throughput", action="store_true",
+                        help="after a BI power test, also run the"
+                             " microbatch throughput test")
+    parser.add_argument("--updates", type=int, default=None,
+                        help="interactive: cap on update operations")
+    parser.add_argument("--tcr", type=float, default=0.0,
+                        help="interactive: time compression ratio"
+                             " (0 = flat out)")
+    parser.add_argument("--deletes", action="store_true",
+                        help="interactive: interleave the delete stream")
+    parser.add_argument("--fdr", action="store_true",
+                        help="interactive: print a full disclosure report")
+    parser.add_argument("--results-dir", default=None,
+                        help="write the \u00a76.2 results directory"
+                             " (config, results log, summary)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LDBC Social Network Benchmark (BI workload) reproduction",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
+    # The metavar hides the legacy run-bi/run-interactive aliases from
+    # usage/help while argparse keeps accepting them.
+    commands = parser.add_subparsers(
+        dest="command", required=True,
+        metavar="{generate,run,validate,report}",
+    )
 
     generate = commands.add_parser(
         "generate", help="run Datagen and export all artefacts"
@@ -187,32 +246,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the delete stream")
     generate.set_defaults(handler=_cmd_generate)
 
-    run_bi = commands.add_parser("run-bi", help="run BI reads")
-    _add_dataset_options(run_bi)
-    run_bi.add_argument("--query", type=int, choices=range(1, 26),
-                        help="one query number (default: full power test)")
-    run_bi.add_argument("--limit", type=int, default=10,
-                        help="rows to print for --query")
-    run_bi.add_argument("--throughput", action="store_true",
-                        help="also run the microbatch throughput test")
-    run_bi.set_defaults(handler=_cmd_run_bi)
-
-    run_interactive = commands.add_parser(
-        "run-interactive", help="run the Interactive workload driver"
+    run = commands.add_parser(
+        "run", help="run a workload (BI or Interactive)"
     )
-    _add_dataset_options(run_interactive)
-    run_interactive.add_argument("--updates", type=int, default=None,
-                                 help="cap on update operations")
-    run_interactive.add_argument("--tcr", type=float, default=0.0,
-                                 help="time compression ratio (0 = flat out)")
-    run_interactive.add_argument("--deletes", action="store_true",
-                                 help="interleave the delete stream")
-    run_interactive.add_argument("--fdr", action="store_true",
-                                 help="print a full disclosure report")
-    run_interactive.add_argument("--results-dir", default=None,
-                                 help="write the \u00a76.2 results directory"
-                                      " (config, results log, summary)")
-    run_interactive.set_defaults(handler=_cmd_run_interactive)
+    run.add_argument("--workload", default="bi",
+                     choices=["bi", "interactive"],
+                     help="which workload to run (default bi)")
+    _add_run_options(run)
+    run.set_defaults(handler=_cmd_run)
+
+    # Hidden aliases of `run` (the pre-envelope command names).
+    run_bi = commands.add_parser("run-bi")
+    _add_run_options(run_bi)
+    run_bi.set_defaults(handler=_cmd_run, workload="bi")
+
+    run_interactive = commands.add_parser("run-interactive")
+    _add_run_options(run_interactive)
+    run_interactive.set_defaults(handler=_cmd_run, workload="interactive")
 
     validate = commands.add_parser(
         "validate", help="create or check a validation dataset"

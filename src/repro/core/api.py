@@ -8,8 +8,12 @@ Typical use::
     bench = SocialNetworkBenchmark.generate(num_persons=1000, seed=42)
     rows = bench.bi.run(12)                  # BI 12 with curated params
     rows = bench.bi.run(13, "India")         # or explicit params
-    report = bench.run_driver()              # the Interactive workload
+    report = bench.run_driver(workers=4)     # the Interactive workload
     print(report.format_table())
+
+    # or through the unified envelope (what the CLI ``run`` command uses):
+    report = bench.run(RunRequest(workload="bi", mode="power", workers=4))
+    report.write_results_dir("results/")
 """
 
 from __future__ import annotations
@@ -18,12 +22,19 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.core.run import RunReport, RunRequest
 from repro.datagen.config import DatagenConfig
 from repro.datagen.generator import SocialNetworkData, generate
 from repro.datagen.scale import approximate_scale_factor, persons_for_scale_factor
 from repro.datagen.serializers import serialize_csv, serialize_turtle
 from repro.datagen.delete_streams import build_delete_streams
 from repro.datagen.update_streams import build_update_streams, write_update_streams
+from repro.driver.bi_driver import (
+    build_microbatches,
+    concurrent_read_test,
+    power_test,
+    throughput_test,
+)
 from repro.driver.mix import frequencies_for_scale_factor
 from repro.driver.runner import Driver, DriverReport
 from repro.driver.scheduler import Scheduler
@@ -43,8 +54,13 @@ class BiWorkload:
         self.params = params
 
     def run(self, number: int, *params: Any) -> list:
-        """Run BI ``number``; without explicit params, use the first
-        curated binding."""
+        """Run BI ``number`` once and return its rows.
+
+        Without explicit ``params`` this executes **only the first
+        curated binding** — one representative parameter set, not the
+        whole curated pool.  To cover every curated binding of a query
+        (or of all queries), use :meth:`run_all`.
+        """
         query, _ = ALL_BI[number]
         if not params:
             bindings = self.params.bi(number, count=1)
@@ -53,13 +69,34 @@ class BiWorkload:
             params = bindings[0]
         return query(self.graph, *params)
 
-    def run_all(self, bindings_per_query: int = 1) -> dict[int, list]:
-        """Run every BI query once per curated binding; returns results
-        keyed by query number (last binding's result)."""
-        results = {}
-        for number in sorted(ALL_BI):
-            for params in self.params.bi(number, count=bindings_per_query):
-                results[number] = ALL_BI[number][0](self.graph, *params)
+    def run_all(
+        self,
+        number: int | None = None,
+        bindings_per_query: int | None = None,
+    ) -> dict[int, list] | list[list]:
+        """Run curated bindings exhaustively.
+
+        With ``number`` given, run BI ``number`` once per curated
+        binding (all of them unless ``bindings_per_query`` caps the
+        pool) and return the list of per-binding result rows — the
+        exhaustive counterpart to :meth:`run`'s single-binding default.
+
+        With ``number`` omitted, run every BI query
+        (``bindings_per_query`` defaults to 1 binding each) and return
+        results keyed by query number (last binding's rows).
+        """
+        if number is not None:
+            query, _ = ALL_BI[number]
+            return [
+                query(self.graph, *params)
+                for params in self.params.bi(number, count=bindings_per_query)
+            ]
+        if bindings_per_query is None:
+            bindings_per_query = 1
+        results: dict[int, list] = {}
+        for num in sorted(ALL_BI):
+            for params in self.params.bi(num, count=bindings_per_query):
+                results[num] = ALL_BI[num][0](self.graph, *params)
         return results
 
 
@@ -145,6 +182,8 @@ class SocialNetworkBenchmark:
         seed: int = 1234,
         max_updates: int | None = None,
         include_deletes: bool = False,
+        workers: int | None = None,
+        timeout: float | None = None,
     ) -> DriverReport:
         """Run the Interactive workload: replay the update streams with
         frequency-interleaved complex reads and short-read sequences.
@@ -152,6 +191,10 @@ class SocialNetworkBenchmark:
         ``include_deletes`` interleaves the DEL 1-8 delete stream (the
         insert/delete mix of spec section 5.2 / the VLDB 2022 BI
         workload) at its own timestamps.
+
+        ``workers > 1`` parallelises consecutive complex reads on the
+        :mod:`repro.exec` pool (flat-out runs only); the results log
+        merges deterministically — identical content to a serial run.
         """
         updates = build_update_streams(self.network)
         if max_updates is not None:
@@ -169,7 +212,56 @@ class SocialNetworkBenchmark:
         }
         schedule = Scheduler(updates, frequencies, parameters, deletes).build()
         driver = Driver(self.graph, time_compression_ratio, seed=seed)
-        return driver.run(schedule)
+        return driver.run(schedule, workers=workers, timeout=timeout)
+
+    def run(self, request: RunRequest) -> RunReport:
+        """Execute one benchmark run described by a :class:`RunRequest`.
+
+        The single dispatch point behind the CLI ``run`` command: every
+        workload/mode combination accepts the same envelope and returns
+        a :class:`RunReport`, with ``request.workers`` / ``request.timeout``
+        threaded to the :mod:`repro.exec` pool identically everywhere.
+        """
+        opts = dict(request.options)
+        if request.workload == "interactive":
+            return self.run_driver(
+                time_compression_ratio=opts.get("time_compression_ratio", 0.0),
+                seed=request.seed,
+                max_updates=opts.get("max_updates"),
+                include_deletes=opts.get("include_deletes", False),
+                workers=request.workers,
+                timeout=request.timeout,
+            )
+        if request.mode == "power":
+            return power_test(
+                self.graph,
+                self.params,
+                self.scale_factor,
+                bindings_per_query=opts.get("bindings_per_query", 1),
+                workers=request.workers,
+                timeout=request.timeout,
+            )
+        if request.mode == "throughput":
+            batches = build_microbatches(
+                self.network,
+                include_deletes=opts.get("include_deletes", True),
+            )
+            return throughput_test(
+                self.graph,
+                self.params,
+                batches,
+                reads_per_batch=opts.get("reads_per_batch", 5),
+                workers=request.workers,
+                timeout=request.timeout,
+            )
+        return concurrent_read_test(
+            self.graph,
+            self.params,
+            streams=opts.get("streams", 4),
+            queries_per_stream=opts.get("queries_per_stream", 25),
+            workers=request.workers,
+            timeout=request.timeout,
+        )
 
     # -- validation ----------------------------------------------------------
 

@@ -2,9 +2,9 @@
 
 The BI workload is benchmarked in two modes:
 
-* **Power test** — every read query runs sequentially with curated
-  parameters on a frozen snapshot; the score aggregates per-query times
-  with a geometric mean (so no single query dominates):
+* **Power test** — every read query runs with curated parameters on a
+  frozen snapshot; the score aggregates per-query times with a geometric
+  mean (so no single query dominates):
 
       power @ SF = 3600 * SF / geometric_mean(runtime_seconds)
 
@@ -13,18 +13,35 @@ The BI workload is benchmarked in two modes:
   and deletes); after each batch the read mix runs against the updated
   snapshot.  The score is the total number of operations per elapsed
   second and the per-batch latency profile.
+
+All three tests execute through the :mod:`repro.exec` worker pool
+(``workers=1`` is the inline serial baseline), so they share one
+scheduling/deadline/retry layer and their parallel runs merge
+deterministically:
+
+* the power test and the concurrent read test run over an immutable
+  fork-shared snapshot with **process** workers;
+* the throughput test's read blocks use **thread** workers, because its
+  write microbatches mutate the shared graph between blocks.
+
+Every result class derives from :class:`repro.core.run.RunReport`, so
+``summary_dict()`` / ``format_table()`` / ``write_results_dir()`` are
+available on all of them.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.core.run import RunReport
 from repro.datagen.delete_streams import DeleteOperation, build_delete_streams
 from repro.datagen.generator import SocialNetworkData
 from repro.datagen.update_streams import UpdateOperation, build_update_streams
-from repro.engine import reset_counters
+from repro.engine import merge_counters
+from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
 from repro.graph.cache import CachedQueryExecutor
 from repro.graph.store import SocialGraph
 from repro.params.curation import ParameterGenerator
@@ -34,17 +51,31 @@ from repro.queries.interactive.updates import ALL_UPDATES
 from repro.util.dates import MILLIS_PER_DAY
 
 
+def _accumulate_exec_stats(total: dict, part: dict) -> dict:
+    """Sum one pool run's bookkeeping into a running ``exec`` record."""
+    if not total:
+        total.update(part)
+        return total
+    for name in ("tasks", "failures", "retries", "timeouts", "worker_crashes"):
+        total[name] = total.get(name, 0) + part.get(name, 0)
+    return total
+
+
 @dataclass
-class PowerTestResult:
-    """Per-query runtimes of one sequential pass over BI 1-25."""
+class PowerTestResult(RunReport):
+    """Per-query runtimes of one pass over BI 1-25."""
 
     #: query number -> runtime in seconds.
     runtimes: dict[int, float]
     scale_factor: float
     #: query number -> engine operator counters (non-zero only); every
     #: counter name maps to a spec choke-point id through
-    #: ``repro.analysis.chokepoints.OPERATOR_COUNTER_CPS``.
+    #: ``repro.analysis.chokepoints.OPERATOR_COUNTER_CPS``.  For
+    #: parallel runs these are the per-worker tallies merged per query —
+    #: identical to a serial run's.
     operator_stats: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: Worker-pool bookkeeping (workers, backend, retries, timeouts, …).
+    exec_stats: dict = field(default_factory=dict)
 
     @property
     def geometric_mean(self) -> float:
@@ -55,6 +86,20 @@ class PowerTestResult:
     def power_score(self) -> float:
         """power @ SF, the paper's headline metric."""
         return 3600.0 * self.scale_factor / self.geometric_mean
+
+    def summary_dict(self) -> dict:
+        return {
+            "workload": "bi",
+            "mode": "power",
+            "scale_factor": self.scale_factor,
+            "geometric_mean_seconds": self.geometric_mean,
+            "power_score": self.power_score,
+            "runtimes_seconds": {str(n): t for n, t in sorted(self.runtimes.items())},
+            "operator_stats": {
+                str(n): stats for n, stats in sorted(self.operator_stats.items())
+            },
+            "exec": self.exec_stats,
+        }
 
     def format_table(self) -> str:
         lines = [f"{'query':8s} {'runtime ms':>11s}  operators"]
@@ -76,29 +121,47 @@ def power_test(
     params: ParameterGenerator,
     scale_factor: float,
     bindings_per_query: int = 1,
+    workers: int | None = None,
+    timeout: float | None = None,
 ) -> PowerTestResult:
-    """Run every BI read sequentially and score the snapshot.
+    """Run every BI read and score the snapshot.
 
     Alongside each runtime, the engine's per-operator counters (rows
-    scanned, access path taken, heap activity) are snapshotted per
-    query, so the result maps runtime to operator work and on to the
-    spec's choke points.
+    scanned, access path taken, heap activity) are captured per query
+    and mapped to the spec's choke points.
+
+    ``workers > 1`` runs the queries on a process pool over the
+    fork-shared snapshot; per-binding runtimes come from each worker's
+    own clock and operator counters merge per query, so the merged
+    result has exactly the structure (and, runtimes aside, the content)
+    of a serial pass.  ``timeout`` bounds each query execution; a query
+    that exceeds it is retried once and then recorded with the deadline
+    as its runtime (see ``exec_stats``).
     """
+    numbers = sorted(ALL_QUERIES)
+    bindings = {n: params.bi(n, count=bindings_per_query) for n in numbers}
+    tasks = []
+    for number in numbers:
+        for binding in bindings[number]:
+            tasks.append(Task(len(tasks), "bi", (number, tuple(binding))))
+    pool = WorkerPool(
+        workers=workers, timeout=timeout, snapshot=StoreSnapshot(graph)
+    )
+    merged = pool.run(tasks)
+
     runtimes: dict[int, float] = {}
     operator_stats: dict[int, dict[str, int]] = {}
-    for number in sorted(ALL_QUERIES):
-        query, _ = ALL_QUERIES[number]
-        bindings = params.bi(number, count=bindings_per_query)
-        reset_counters()
-        start = time.perf_counter()
-        for binding in bindings:
-            query(graph, *binding)
-        runtimes[number] = (time.perf_counter() - start) / len(bindings)
-        operator_stats[number] = reset_counters().as_dict(skip_zero=True)
+    cursor = 0
+    for number in numbers:
+        share = merged.outcomes[cursor:cursor + len(bindings[number])]
+        cursor += len(bindings[number])
+        runtimes[number] = sum(o.duration for o in share) / len(share)
+        operator_stats[number] = merge_counters(o.counters for o in share)
     return PowerTestResult(
         runtimes=runtimes,
         scale_factor=scale_factor,
         operator_stats=operator_stats,
+        exec_stats=merged.stats_dict(),
     )
 
 
@@ -136,7 +199,7 @@ def build_microbatches(
 
 
 @dataclass
-class ThroughputTestResult:
+class ThroughputTestResult(RunReport):
     """Outcome of the microbatch throughput test."""
 
     batch_seconds: list[float]
@@ -146,10 +209,24 @@ class ThroughputTestResult:
     #: Result-cache counters (CP-6.1) when the test ran through a
     #: :class:`~repro.graph.cache.CachedQueryExecutor`; empty otherwise.
     cache_stats: dict[str, float] = field(default_factory=dict)
+    #: Worker-pool bookkeeping summed over all read blocks.
+    exec_stats: dict = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
         return self.operations / self.elapsed if self.elapsed else float("inf")
+
+    def summary_dict(self) -> dict:
+        return {
+            "workload": "bi",
+            "mode": "throughput",
+            "microbatches": len(self.batch_seconds),
+            "operations": self.operations,
+            "elapsed_seconds": self.elapsed,
+            "throughput_ops_per_second": self.throughput,
+            "cache_stats": self.cache_stats,
+            "exec": self.exec_stats,
+        }
 
     def format_table(self) -> str:
         mean_batch = (
@@ -181,12 +258,16 @@ class ThroughputTestResult:
 
 
 @dataclass
-class ConcurrentTestResult:
+class ConcurrentTestResult(RunReport):
     """Outcome of the multi-stream concurrent read test."""
 
     streams: int
     queries_per_stream: int
     elapsed: float
+    #: Engine operator counters merged across all worker processes.
+    operator_counters: dict[str, int] = field(default_factory=dict)
+    #: Worker-pool bookkeeping (backend, retries, timeouts, crashes).
+    exec_stats: dict = field(default_factory=dict)
 
     @property
     def total_queries(self) -> int:
@@ -196,37 +277,25 @@ class ConcurrentTestResult:
     def throughput(self) -> float:
         return self.total_queries / self.elapsed if self.elapsed else float("inf")
 
+    def summary_dict(self) -> dict:
+        return {
+            "workload": "bi",
+            "mode": "concurrent",
+            "streams": self.streams,
+            "queries_per_stream": self.queries_per_stream,
+            "total_queries": self.total_queries,
+            "elapsed_seconds": self.elapsed,
+            "throughput_queries_per_second": self.throughput,
+            "operator_counters": self.operator_counters,
+            "exec": self.exec_stats,
+        }
 
-def _run_read_stream(args: tuple) -> int:
-    """One concurrent query stream (executed in a forked worker).
-
-    Streams offset their rotation through BI 1-25 so concurrent workers
-    exercise different queries at any instant, like the official
-    throughput test's distinct query streams.
-    """
-    stream_index, queries_per_stream = args
-    graph = _WORKER_GRAPH
-    bindings = _WORKER_BINDINGS
-    numbers = sorted(bindings)
-    executed = 0
-    cursor = stream_index * 7  # de-phase the streams
-    for _ in range(queries_per_stream):
-        number = numbers[cursor % len(numbers)]
-        binding = bindings[number][cursor % len(bindings[number])]
-        ALL_QUERIES[number][0](graph, *binding)
-        executed += 1
-        cursor += 1
-    return executed
-
-
-_WORKER_GRAPH = None
-_WORKER_BINDINGS = None
-
-
-def _init_worker(graph, bindings):  # pragma: no cover - subprocess body
-    global _WORKER_GRAPH, _WORKER_BINDINGS
-    _WORKER_GRAPH = graph
-    _WORKER_BINDINGS = bindings
+    def format_table(self) -> str:
+        return (
+            f"{self.streams} streams x {self.queries_per_stream} queries ="
+            f" {self.total_queries} in {self.elapsed:.2f}s"
+            f" -> {self.throughput:.0f} q/s"
+        )
 
 
 def concurrent_read_test(
@@ -234,42 +303,42 @@ def concurrent_read_test(
     params: ParameterGenerator,
     streams: int = 4,
     queries_per_stream: int = 25,
+    workers: int | None = None,
+    timeout: float | None = None,
 ) -> ConcurrentTestResult:
     """The multi-stream read throughput test (CP-6, "Parallelism and
-    Concurrency"): ``streams`` concurrent clients each run a rotation of
-    BI reads against the same read-only snapshot.
+    Concurrency"): ``streams`` concurrent clients each run a de-phased
+    rotation of BI reads against the same read-only snapshot.
 
-    Uses process workers (fork start method where available) so the
-    streams execute genuinely in parallel; on platforms without fork the
-    snapshot is pickled to each worker once.
+    Runs on the :mod:`repro.exec` process pool over the fork-shared
+    snapshot (``workers`` defaults to one process per stream); each
+    stream is one task, so per-stream deadlines, retry-once and crash
+    recovery all apply.  Engine operator counters accumulate in each
+    worker process and merge into :attr:`ConcurrentTestResult.operator_counters`.
     """
-    import multiprocessing as mp
-
     if streams <= 0 or queries_per_stream <= 0:
         raise ValueError("streams and queries_per_stream must be positive")
     bindings = {n: params.bi(n, count=3) for n in sorted(ALL_QUERIES)}
-    if streams == 1:
-        start = time.perf_counter()
-        _init_worker(graph, bindings)
-        _run_read_stream((0, queries_per_stream))
-        return ConcurrentTestResult(1, queries_per_stream,
-                                    time.perf_counter() - start)
-    context = mp.get_context(
-        "fork" if "fork" in mp.get_all_start_methods() else None
+    snapshot = StoreSnapshot(graph, context={"bindings": bindings})
+    pool = WorkerPool(
+        workers=streams if workers is None else workers,
+        timeout=timeout,
+        snapshot=snapshot,
     )
-    start = time.perf_counter()
-    with context.Pool(
-        processes=streams,
-        initializer=_init_worker,
-        initargs=(graph, bindings),
-    ) as pool:
-        counts = pool.map(
-            _run_read_stream,
-            [(index, queries_per_stream) for index in range(streams)],
-        )
-    elapsed = time.perf_counter() - start
-    assert sum(counts) == streams * queries_per_stream
-    return ConcurrentTestResult(streams, queries_per_stream, elapsed)
+    merged = pool.run(
+        Task(index, "stream", (index, queries_per_stream))
+        for index in range(streams)
+    )
+    if not merged.failures:
+        executed = sum(outcome.value for outcome in merged.outcomes)
+        assert executed == streams * queries_per_stream
+    return ConcurrentTestResult(
+        streams=streams,
+        queries_per_stream=queries_per_stream,
+        elapsed=merged.elapsed,
+        operator_counters=merged.counters,
+        exec_stats=merged.stats_dict(),
+    )
 
 
 def throughput_test(
@@ -278,6 +347,8 @@ def throughput_test(
     batches: list[Microbatch],
     reads_per_batch: int = 5,
     executor: CachedQueryExecutor | None = None,
+    workers: int | None = None,
+    timeout: float | None = None,
 ) -> ThroughputTestResult:
     """Alternate write microbatches with blocks of BI reads.
 
@@ -285,19 +356,34 @@ def throughput_test(
     rotating curated bindings) run after each batch, emulating the
     refresh-then-analyse loop of the paper's throughput test.
 
+    Writes always apply serially in the calling thread (they mutate the
+    shared graph); the read block runs through the :mod:`repro.exec`
+    pool — inline for ``workers=1``, **thread** workers otherwise, since
+    process workers cannot see the freshly written state without
+    re-forking per batch.  Reads invalidated by deletes count as
+    operations with a ``-1`` row marker, exactly as in a serial run.
+
     With ``executor`` supplied (a :class:`CachedQueryExecutor` wrapping
     ``graph``), reads route through the inter-query result cache and
     writes invalidate it; the executor's counters land in
-    :attr:`ThroughputTestResult.cache_stats` (CP-6.1).
+    :attr:`ThroughputTestResult.cache_stats` (CP-6.1).  Cached reads are
+    serialized under a lock when parallel — the cache's bookkeeping is
+    not thread safe — which keeps hit/miss counts identical to serial.
     """
     if executor is not None and executor.graph is not graph:
         raise ValueError("executor must wrap the same graph")
+    workers_n = resolve_workers(workers)
+    snapshot = StoreSnapshot(
+        graph,
+        context={"executor": executor, "executor_lock": threading.Lock()},
+    )
     batch_seconds: list[float] = []
     read_seconds: list[float] = []
     operations = 0
     read_cursor = 0
     numbers = sorted(ALL_QUERIES)
     bindings = {n: params.bi(n, count=3) for n in numbers}
+    exec_stats: dict = {}
 
     started = time.perf_counter()
     for batch in batches:
@@ -314,25 +400,29 @@ def throughput_test(
         batch_seconds.append(time.perf_counter() - write_start)
         operations += batch.size
 
-        read_start = time.perf_counter()
+        tasks = []
         for _ in range(reads_per_batch):
             number = numbers[read_cursor % len(numbers)]
             binding = bindings[number][read_cursor % len(bindings[number])]
-            query = ALL_QUERIES[number][0]
-            try:
-                if executor is not None:
-                    executor.run(f"bi{number}", query, *binding)
-                else:
-                    query(graph, *binding)
-            except KeyError:
-                pass  # parameter invalidated by a delete
+            tasks.append(
+                Task(len(tasks), "bi_throughput", (number, tuple(binding)))
+            )
             read_cursor += 1
-            operations += 1
-        read_seconds.append(time.perf_counter() - read_start)
+        pool = WorkerPool(
+            workers=workers_n,
+            backend="thread" if workers_n > 1 else "serial",
+            timeout=timeout,
+            snapshot=snapshot,
+        )
+        block = pool.run(tasks)
+        read_seconds.append(block.elapsed)
+        operations += len(tasks)
+        _accumulate_exec_stats(exec_stats, block.stats_dict())
     return ThroughputTestResult(
         batch_seconds=batch_seconds,
         read_seconds=read_seconds,
         operations=operations,
         elapsed=time.perf_counter() - started,
         cache_stats=executor.stats() if executor is not None else {},
+        exec_stats=exec_stats,
     )

@@ -21,10 +21,12 @@ schedule) is evaluated over the log.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean
 
+from repro.core.run import RunReport
 from repro.driver.scheduler import ScheduledOperation
+from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
 from repro.graph.store import SocialGraph
 from repro.queries.interactive.complex import ALL_COMPLEX
 from repro.queries.interactive.deletes import ALL_DELETES
@@ -59,11 +61,13 @@ class ResultsLogEntry:
 
 
 @dataclass
-class DriverReport:
+class DriverReport(RunReport):
     """Aggregated outcome of a benchmark run."""
 
     log: list[ResultsLogEntry]
     wall_seconds: float
+    #: Worker-pool bookkeeping when the run executed reads in parallel.
+    exec_stats: dict = field(default_factory=dict)
 
     @property
     def total_operations(self) -> int:
@@ -113,6 +117,8 @@ class DriverReport:
         """The driver's results-summary document (spec §6.2 mentions a
         results summary next to the results log)."""
         return {
+            "workload": "interactive",
+            "mode": "driver",
             "total_operations": self.total_operations,
             "wall_seconds": self.wall_seconds,
             "throughput_ops_per_second": self.throughput,
@@ -120,6 +126,7 @@ class DriverReport:
             "valid_run": self.is_valid_run,
             "invalidated_reads": self.invalidated_reads,
             "per_operation": self.per_operation_stats(),
+            "exec": self.exec_stats,
         }
 
     def write_results_log(self, path) -> None:
@@ -140,21 +147,9 @@ class DriverReport:
                      entry.result_count]
                 )
 
-    def write_results_dir(self, directory, configuration: dict | None = None) -> None:
-        """Write the §6.2 results directory (the driver's ``-rd``):
-        ``configuration.json``, ``results_log.csv`` and
-        ``results_summary.json`` — everything the auditor retrieves and
-        discloses after a valid run."""
-        import json
-        from pathlib import Path
-
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        with open(directory / "configuration.json", "w") as handle:
-            json.dump(configuration or {}, handle, indent=2)
-        self.write_results_log(directory / "results_log.csv")
-        with open(directory / "results_summary.json", "w") as handle:
-            json.dump(self.summary_dict(), handle, indent=2)
+    # write_results_dir is inherited from RunReport: it writes
+    # configuration.json, results_summary.json and (through the
+    # write_results_log override above) results_log.csv.
 
     def format_table(self) -> str:
         lines = [
@@ -190,6 +185,8 @@ class Driver:
         self,
         schedule: list[ScheduledOperation],
         warmup_reads: int = 0,
+        workers: int | None = None,
+        timeout: float | None = None,
     ) -> DriverReport:
         """Execute the schedule.
 
@@ -197,7 +194,19 @@ class Driver:
         starts (spec §6.2's warmup phase): the first bindings of the
         schedule's read operations run unlogged, warming the process and
         any result caches, without mutating the graph.
+
+        ``workers > 1`` executes runs of consecutive complex reads on a
+        :mod:`repro.exec` worker pool (thread backend — the updates in
+        between mutate the shared graph).  The results log keeps
+        schedule order, short-read sequences still issue serially from
+        each read's results, and the driver RNG is drawn in schedule
+        order, so a parallel run's log is identical in content to a
+        serial run's.  Parallel issue applies only to flat-out replays
+        (``time_compression_ratio`` 0); paced runs schedule each
+        operation individually and stay serial.  ``timeout`` bounds each
+        parallel read (soft deadline; see :class:`repro.exec.WorkerPool`).
         """
+        workers_n = resolve_workers(workers)
         if warmup_reads:
             warmed = 0
             for op in schedule:
@@ -207,6 +216,8 @@ class Driver:
                 warmed += 1
                 if warmed >= warmup_reads:
                     break
+        if workers_n > 1 and self.tcr == 0 and schedule:
+            return self._run_parallel(schedule, workers_n, timeout)
         log: list[ResultsLogEntry] = []
         run_start = time.perf_counter()
         if schedule:
@@ -220,19 +231,7 @@ class Driver:
             if self.tcr > 0 and now < scheduled_wall:
                 time.sleep(scheduled_wall - now)
             if op.kind in ("update", "delete"):
-                prefix = "IU" if op.kind == "update" else "DEL"
-                name = f"{prefix} {op.number}"
-                registry = ALL_UPDATES if op.kind == "update" else ALL_DELETES
-                runner = registry[op.number][0]
-                actual = time.perf_counter()
-                try:
-                    runner(self.graph, op.params)
-                    rows = 1
-                except (KeyError, ValueError):
-                    # An earlier delete removed an entity this write
-                    # references (e.g. a like on a deleted post); the
-                    # official driver treats this as a skipped write.
-                    rows = -1
+                self._apply_write(op, scheduled_wall, log)
             else:
                 name = f"IC {op.number}"
                 runner = ALL_COMPLEX[op.number][0]
@@ -245,15 +244,109 @@ class Driver:
                     # start person was removed); logged as -1 rows.
                     result = []
                     rows = -1
-            finished = time.perf_counter()
-            log.append(
-                ResultsLogEntry(
-                    name, scheduled_wall, actual, finished - actual, rows
+                finished = time.perf_counter()
+                log.append(
+                    ResultsLogEntry(
+                        name, scheduled_wall, actual, finished - actual, rows
+                    )
                 )
-            )
-            if op.kind == "complex":
                 self._run_short_sequences(op.number, result, log)
         return DriverReport(log=log, wall_seconds=time.perf_counter() - run_start)
+
+    def _apply_write(
+        self,
+        op: ScheduledOperation,
+        scheduled_wall: float,
+        log: list[ResultsLogEntry],
+    ) -> None:
+        """Apply one IU/DEL operation and log it."""
+        prefix = "IU" if op.kind == "update" else "DEL"
+        name = f"{prefix} {op.number}"
+        registry = ALL_UPDATES if op.kind == "update" else ALL_DELETES
+        runner = registry[op.number][0]
+        actual = time.perf_counter()
+        try:
+            runner(self.graph, op.params)
+            rows = 1
+        except (KeyError, ValueError):
+            # An earlier delete removed an entity this write references
+            # (e.g. a like on a deleted post); the official driver
+            # treats this as a skipped write.
+            rows = -1
+        finished = time.perf_counter()
+        log.append(
+            ResultsLogEntry(
+                name, scheduled_wall, actual, finished - actual, rows
+            )
+        )
+
+    def _run_parallel(
+        self,
+        schedule: list[ScheduledOperation],
+        workers: int,
+        timeout: float | None,
+    ) -> DriverReport:
+        """Flat-out replay with parallel complex reads.
+
+        Writes apply serially in schedule order; maximal runs of
+        consecutive complex reads execute together on a thread pool over
+        the live graph (reads are pure).  Log entries and short-read
+        sequences are emitted in schedule order afterwards, which is
+        what keeps the merged log deterministic.
+        """
+        log: list[ResultsLogEntry] = []
+        exec_stats: dict = {"workers": workers, "backend": "thread",
+                            "tasks": 0, "failures": 0, "retries": 0,
+                            "timeouts": 0, "worker_crashes": 0}
+        snapshot = StoreSnapshot(self.graph)
+        run_start = time.perf_counter()
+        buffer: list[ScheduledOperation] = []
+
+        def flush() -> None:
+            if not buffer:
+                return
+            pool = WorkerPool(
+                workers=min(workers, len(buffer)),
+                backend="thread" if len(buffer) > 1 else "serial",
+                timeout=timeout,
+                snapshot=snapshot,
+            )
+            merged = pool.run(
+                Task(index, "ic", (op.number, tuple(op.params)))
+                for index, op in enumerate(buffer)
+            )
+            part = merged.stats_dict()
+            for key in ("tasks", "failures", "retries", "timeouts",
+                        "worker_crashes"):
+                exec_stats[key] += part[key]
+            for op, outcome in zip(buffer, merged.outcomes):
+                invalidated = not outcome.ok or outcome.value is None
+                result = [] if invalidated else outcome.value
+                rows = -1 if invalidated else len(result)
+                log.append(
+                    ResultsLogEntry(
+                        f"IC {op.number}",
+                        run_start,  # flat-out: everything is due at start
+                        outcome.started,
+                        outcome.duration,
+                        rows,
+                    )
+                )
+                self._run_short_sequences(op.number, result, log)
+            buffer.clear()
+
+        for op in schedule:
+            if op.kind == "complex":
+                buffer.append(op)
+                continue
+            flush()
+            self._apply_write(op, run_start, log)
+        flush()
+        return DriverReport(
+            log=log,
+            wall_seconds=time.perf_counter() - run_start,
+            exec_stats=exec_stats,
+        )
 
     # -- short reads --------------------------------------------------------
 

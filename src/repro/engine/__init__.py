@@ -21,6 +21,7 @@ from repro.engine.stats import (
     COUNTER_NAMES,
     OperatorCounters,
     counters,
+    merge_counters,
     reset_counters,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "expand",
     "group_agg",
     "group_count",
+    "merge_counters",
     "reset_counters",
     "scan_forum_posts",
     "scan_forums",

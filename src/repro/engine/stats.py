@@ -19,6 +19,7 @@ its own copy.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Iterable, Mapping
 
 
 @dataclass
@@ -72,3 +73,18 @@ def reset_counters() -> OperatorCounters:
     snapshot = OperatorCounters(**_COUNTERS.as_dict())
     _COUNTERS.clear()
     return snapshot
+
+
+def merge_counters(parts: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Sum per-worker/per-task counter snapshots into one record.
+
+    The parallel executor tallies operator work in each worker process
+    separately (the global record is per-process); merging is a plain
+    per-name sum, returned name-sorted so merged results are identical
+    however the work was scheduled.
+    """
+    totals: dict[str, int] = {}
+    for part in parts:
+        for name, value in part.items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}

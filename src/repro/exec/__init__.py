@@ -1,0 +1,49 @@
+"""repro.exec — process-parallel benchmark execution.
+
+The execution subsystem the BI throughput methodology calls for: a
+worker-pool scheduler (:class:`WorkerPool`) running registered task
+kinds (:mod:`repro.exec.tasks`) over an immutable fork-shared store
+snapshot (:mod:`repro.exec.snapshot`), with bounded dispatch, per-task
+deadlines, retry-once-then-record semantics, worker-crash recovery and
+deterministic result merging.  ``power_test`` / ``throughput_test`` /
+``concurrent_read_test`` and the Interactive driver all execute through
+it; ``REPRO_EXEC_WORKERS`` sets the default worker count everywhere.
+"""
+
+from repro.exec.pool import (
+    ENV_WORKERS,
+    PoolResult,
+    WorkerPool,
+    default_workers,
+    resolve_workers,
+)
+from repro.exec.snapshot import StoreSnapshot, current_snapshot, install_snapshot
+from repro.exec.tasks import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    Task,
+    TaskOutcome,
+    register_task_kind,
+    run_task,
+)
+
+__all__ = [
+    "ENV_WORKERS",
+    "PoolResult",
+    "STATUS_CRASHED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "StoreSnapshot",
+    "Task",
+    "TaskOutcome",
+    "WorkerPool",
+    "current_snapshot",
+    "default_workers",
+    "install_snapshot",
+    "register_task_kind",
+    "resolve_workers",
+    "run_task",
+]

@@ -1,0 +1,56 @@
+"""Fork-shared store snapshots for the parallel executor.
+
+The BI throughput methodology runs many concurrent query streams against
+one frozen snapshot.  Copying a loaded :class:`SocialGraph` into every
+worker would dominate the run at any realistic scale, so the process
+backend relies on ``fork`` semantics instead: the parent installs the
+snapshot as a module-level global *before* spawning workers, and each
+forked child inherits the loaded store through copy-on-write pages —
+zero serialization, zero copies for read-only workloads.
+
+On platforms without ``fork`` (or with the ``spawn`` start method) the
+snapshot is pickled once per worker by the pool; the thread and serial
+backends simply share the object in-process.
+
+A snapshot is a graph plus a ``context`` dict for whatever else task
+runners need (curated bindings, a result-cache executor, …).  Workers
+treat it as immutable: the determinism contract of
+:mod:`repro.exec.pool` only holds for tasks that do not mutate the
+snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.store import SocialGraph
+
+
+@dataclass
+class StoreSnapshot:
+    """An immutable view of a loaded store shared with every worker."""
+
+    graph: "SocialGraph | None" = None
+    #: Auxiliary read-only state for task runners (bindings, executor, …).
+    context: dict[str, Any] = field(default_factory=dict)
+
+
+#: The snapshot visible to task runners in this process.  In the parent
+#: it is installed around a pool run; in a forked worker it is inherited;
+#: in a spawned worker it is installed from the pickled payload.
+_CURRENT: StoreSnapshot | None = None
+
+
+def install_snapshot(snapshot: StoreSnapshot | None) -> StoreSnapshot | None:
+    """Install ``snapshot`` process-globally; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = snapshot
+    return previous
+
+
+def current_snapshot() -> StoreSnapshot:
+    """The snapshot task runners execute against (empty if none)."""
+    return _CURRENT if _CURRENT is not None else StoreSnapshot()

@@ -1,0 +1,166 @@
+"""Task envelope and the task-kind registry.
+
+A :class:`Task` is one unit of benchmark work: a submission ``index``
+(the deterministic merge key), a ``kind`` naming a registered runner,
+and a picklable ``payload``.  Kinds rather than raw callables keep tasks
+cheap to ship over a pipe and runnable in a freshly spawned interpreter;
+the generic ``call`` kind accepts any module-level callable where that
+flexibility is worth the pickling constraint.
+
+Runners receive ``(graph, context, *payload)`` where graph/context come
+from the installed :class:`~repro.exec.snapshot.StoreSnapshot`.  Runners
+that tolerate delete-invalidated parameters (``bi_throughput``, ``ic``)
+catch ``KeyError`` themselves and return a sentinel, mirroring how the
+serial driver treats those reads; any other exception escapes to the
+pool, which retries the task once and then records the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exec.snapshot import current_snapshot
+
+#: Terminal task states recorded by the pool.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASHED = "crashed"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work."""
+
+    #: Submission order — outcomes are merged back in this order, which
+    #: is what makes a parallel run's merged result identical to serial.
+    index: int
+    kind: str
+    payload: tuple = ()
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task (after any retry)."""
+
+    index: int
+    status: str = STATUS_OK
+    value: Any = None
+    #: Wall time of the recorded attempt (the timeout bound for
+    #: ``timeout`` outcomes).
+    duration: float = 0.0
+    #: perf_counter at the start of the recorded attempt; only
+    #: comparable across tasks for in-process backends (serial/thread).
+    started: float = 0.0
+    attempts: int = 1
+    worker: int = 0
+    error: str | None = None
+    #: Engine operator-counter deltas attributable to this task
+    #: (serial/process backends; empty for the thread backend, whose
+    #: counters are aggregated pool-wide instead).
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+# -- task runners ----------------------------------------------------------
+
+
+def _run_bi(graph: Any, context: dict, number: int, params: tuple) -> list:
+    """One BI read; returns its rows (parameter errors propagate)."""
+    from repro.queries.bi import ALL_QUERIES
+
+    return ALL_QUERIES[number][0](graph, *params)
+
+
+def _run_bi_throughput(
+    graph: Any, context: dict, number: int, params: tuple
+) -> int:
+    """One BI read of the throughput read block; returns the row count,
+    or ``-1`` when a delete invalidated the curated parameters.
+
+    Routes through the snapshot context's ``executor`` (a
+    :class:`~repro.graph.cache.CachedQueryExecutor`) when present, under
+    the context's ``executor_lock`` — the cache's bookkeeping is not
+    thread safe, and serializing cached reads keeps hit/miss counts
+    identical to a serial run.
+    """
+    from repro.queries.bi import ALL_QUERIES
+
+    query = ALL_QUERIES[number][0]
+    executor = context.get("executor")
+    try:
+        if executor is not None:
+            with context["executor_lock"]:
+                rows = executor.run(f"bi{number}", query, *params)
+        else:
+            rows = query(graph, *params)
+    except KeyError:
+        return -1
+    return len(rows)
+
+
+def _run_ic(graph: Any, context: dict, number: int, params: tuple) -> list | None:
+    """One Interactive complex read; ``None`` marks parameters a delete
+    invalidated (the serial driver logs those as ``result_count = -1``)."""
+    from repro.queries.interactive.complex import ALL_COMPLEX
+
+    try:
+        return ALL_COMPLEX[number][0](graph, *params)
+    except KeyError:
+        return None
+
+
+def _run_stream(
+    graph: Any, context: dict, stream_index: int, queries_per_stream: int
+) -> int:
+    """One concurrent query stream: a de-phased rotation through BI 1-25
+    with rotating curated bindings from ``context["bindings"]``, like the
+    official throughput test's distinct query streams."""
+    bindings = context["bindings"]
+    numbers = sorted(bindings)
+    executed = 0
+    cursor = stream_index * 7  # de-phase the streams
+    from repro.queries.bi import ALL_QUERIES
+
+    for _ in range(queries_per_stream):
+        number = numbers[cursor % len(numbers)]
+        binding = bindings[number][cursor % len(bindings[number])]
+        ALL_QUERIES[number][0](graph, *binding)
+        executed += 1
+        cursor += 1
+    return executed
+
+
+def _run_call(graph: Any, context: dict, fn: Callable, args: tuple = ()) -> Any:
+    """Generic escape hatch: run ``fn(*args)``.  ``fn`` must be a
+    module-level callable for the process backend (pipe pickling)."""
+    return fn(*args)
+
+
+#: kind -> runner(graph, context, *payload).
+TASK_KINDS: dict[str, Callable[..., Any]] = {
+    "bi": _run_bi,
+    "bi_throughput": _run_bi_throughput,
+    "ic": _run_ic,
+    "stream": _run_stream,
+    "call": _run_call,
+}
+
+
+def register_task_kind(name: str, runner: Callable[..., Any]) -> None:
+    """Register a custom task kind (must happen before workers fork)."""
+    TASK_KINDS[name] = runner
+
+
+def run_task(task: Task) -> Any:
+    """Execute one task against the installed snapshot."""
+    try:
+        runner = TASK_KINDS[task.kind]
+    except KeyError:
+        raise LookupError(f"unknown task kind {task.kind!r}") from None
+    snapshot = current_snapshot()
+    return runner(snapshot.graph, snapshot.context, *task.payload)

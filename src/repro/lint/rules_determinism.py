@@ -5,10 +5,14 @@ regardless of parallelism; the in-depth SNB benchmarking study traces
 most cross-system result mismatches to exactly the two leaks this rule
 closes:
 
-* wall-clock reads (``datetime.now()``, ``time.time()``) and stdlib
-  ``random`` — every random decision must flow through the labelled
-  streams of :mod:`repro.util.rng` (slugs ``wall-clock``,
-  ``raw-random``);
+* wall-clock reads (``datetime.now()``, ``time.time()``, and the
+  scheduler clocks ``time.monotonic()`` / ``time.monotonic_ns()``) and
+  stdlib ``random`` — every random decision must flow through the
+  labelled streams of :mod:`repro.util.rng` (slugs ``wall-clock``,
+  ``raw-random``).  Worker-pool code that legitimately needs a deadline
+  clock is not exempted wholesale: each read carries a reasoned
+  ``# lint: allow-wall-clock <why>`` suppression stating that the value
+  never reaches benchmark results;
 * result lists built directly from iterating an unordered collection
   (a ``set`` or dict view) with no intervening ``sorted()`` / ``top_k``
   — the rows would depend on hash seeding or insertion accidents
@@ -30,8 +34,13 @@ RULE = "R1"
 _CLOCK_ATTRS = frozenset({"now", "utcnow", "today"})
 #: Receivers those attributes are temporal on (module aliases included).
 _TEMPORAL_RECEIVERS = frozenset({"datetime", "date", "_dt"})
-#: Wall-clock functions of the ``time`` module.
-_TIME_FUNCS = frozenset({"time", "time_ns", "localtime"})
+#: Wall-clock functions of the ``time`` module.  ``monotonic`` /
+#: ``monotonic_ns`` are listed because scheduler deadlines read them;
+#: executor code must justify each read with a reasoned suppression
+#: (``time.perf_counter()`` stays allowed for latency measurement).
+_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "localtime", "monotonic", "monotonic_ns"}
+)
 
 
 def _receiver_name(node: ast.expr) -> str | None:

@@ -42,6 +42,55 @@ class TestGenerate:
         assert (tmp_path / "social_network" / "0_ldbc_socialnet.ttl").exists()
 
 
+class TestRun:
+    """The unified ``run`` command (and its hidden legacy aliases)."""
+
+    def test_bi_power_is_the_default(self, capsys):
+        code = main(["run", "--persons", "80", "--workers", "2"])
+        assert code == 0
+        assert "power@SF" in capsys.readouterr().out
+
+    def test_bi_concurrent_mode(self, capsys):
+        code = main([
+            "run", "--persons", "80", "--mode", "concurrent",
+            "--workers", "2",
+        ])
+        assert code == 0
+        assert "q/s" in capsys.readouterr().out
+
+    def test_interactive_workload(self, capsys):
+        code = main([
+            "run", "--workload", "interactive", "--persons", "80",
+            "--updates", "100", "--workers", "2",
+        ])
+        assert code == 0
+        assert "ops/s" in capsys.readouterr().out
+
+    def test_results_dir_records_envelope(self, tmp_path, capsys):
+        code = main([
+            "run", "--workload", "interactive", "--persons", "80",
+            "--updates", "60", "--workers", "2", "--timeout", "30",
+            "--results-dir", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        config = json.loads(
+            (tmp_path / "results" / "configuration.json").read_text()
+        )
+        assert config["workload"] == "interactive"
+        assert config["mode"] == "driver"
+        assert config["workers"] == 2
+        assert config["timeout"] == 30
+        assert config["persons"] == 80
+
+    def test_legacy_aliases_hidden_but_accepted(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = capsys.readouterr().out
+        assert "run-bi" not in help_text
+        assert "run-interactive" not in help_text
+        assert main(["run-bi", "--persons", "80", "--query", "2"]) == 0
+
+
 class TestRunBi:
     def test_single_query(self, capsys):
         code = main(["run-bi", "--persons", "80", "--query", "1", "--limit", "2"])

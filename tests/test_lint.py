@@ -71,6 +71,28 @@ class TestR1Determinism:
         src = "import time\n\nstart = time.perf_counter()\n"
         assert lint_source(PLAIN_PATH, src) == []
 
+    def test_monotonic_flagged(self):
+        src = "import time\n\ndeadline = time.monotonic() + 5\n"
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (3, "R1", "wall-clock")
+        ]
+
+    def test_monotonic_ns_flagged(self):
+        src = "import time\n\ndeadline = time.monotonic_ns()\n"
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (3, "R1", "wall-clock")
+        ]
+
+    def test_monotonic_with_reasoned_suppression(self):
+        # Worker-pool deadline bookkeeping is waived per read, with a
+        # reason, rather than exempting executor files wholesale.
+        src = (
+            "import time\n\n"
+            "now = time.monotonic()"
+            "  # lint: allow-wall-clock deadline check only\n"
+        )
+        assert lint_source(PLAIN_PATH, src) == []
+
     def test_import_random_flagged(self):
         src = "import random\n"
         assert slugs_at(lint_source(PLAIN_PATH, src)) == [

@@ -1,0 +1,224 @@
+"""Tests for the unified run envelope (``repro.core.run``).
+
+Two layers:
+
+* contract tests — every report class implements the shared
+  :data:`~repro.core.run.REPORT_SURFACE`
+  (``summary_dict``/``format_table``/``write_results_dir``) and
+  :class:`~repro.core.run.RunRequest` validates its envelope;
+* differential tests — every run surface produces identical merged
+  results with ``workers=1`` and ``workers=4`` (the executor's
+  deterministic-merge guarantee), compared on deterministic artifacts
+  (rows, logs, operator counters), never on wall-clock-derived scores.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import RunReport, RunRequest, SocialNetworkBenchmark
+from repro.core.run import REPORT_SURFACE, WORKLOAD_MODES, WORKLOADS
+from repro.driver.bi_driver import (
+    ConcurrentTestResult,
+    PowerTestResult,
+    ThroughputTestResult,
+    build_microbatches,
+    throughput_test,
+)
+from repro.driver.runner import DriverReport
+from repro.graph.store import SocialGraph
+
+#: Every report class a run surface can return.
+REPORT_CLASSES = (
+    PowerTestResult,
+    ThroughputTestResult,
+    ConcurrentTestResult,
+    DriverReport,
+)
+
+
+def _sample_report(cls) -> RunReport:
+    """A minimal live instance of each report class."""
+    if cls is PowerTestResult:
+        return PowerTestResult(runtimes={1: 0.5, 2: 0.25}, scale_factor=1.0)
+    if cls is ThroughputTestResult:
+        return ThroughputTestResult(
+            batch_seconds=[0.1], read_seconds=[0.2], operations=7, elapsed=0.3
+        )
+    if cls is ConcurrentTestResult:
+        return ConcurrentTestResult(
+            streams=2, queries_per_stream=3, elapsed=0.5
+        )
+    return DriverReport(log=[], wall_seconds=0.5)
+
+
+@pytest.fixture(scope="module")
+def bench(tiny_net):
+    return SocialNetworkBenchmark(tiny_net)
+
+
+class TestReportContract:
+    @pytest.mark.parametrize("cls", REPORT_CLASSES)
+    def test_implements_shared_surface(self, cls):
+        assert issubclass(cls, RunReport)
+        report = _sample_report(cls)
+        for method in REPORT_SURFACE:
+            assert callable(getattr(report, method))
+        summary = report.summary_dict()
+        assert summary["workload"] in WORKLOADS
+        assert summary["mode"] in WORKLOAD_MODES[summary["workload"]]
+        assert isinstance(report.format_table(), str)
+
+    @pytest.mark.parametrize("cls", REPORT_CLASSES)
+    def test_write_results_dir(self, cls, tmp_path):
+        report = _sample_report(cls)
+        report.write_results_dir(tmp_path, configuration={"workers": 4})
+        config = json.loads((tmp_path / "configuration.json").read_text())
+        assert config == {"workers": 4}
+        summary = json.loads((tmp_path / "results_summary.json").read_text())
+        assert summary == json.loads(json.dumps(report.summary_dict()))
+        # Only reports with a per-operation log write results_log.csv.
+        assert (tmp_path / "results_log.csv").exists() == (
+            cls is DriverReport
+        )
+
+    def test_base_report_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            RunReport().summary_dict()
+        with pytest.raises(NotImplementedError):
+            RunReport().format_table()
+
+
+class TestRunRequest:
+    def test_defaults_select_first_mode(self):
+        assert RunRequest().mode == "power"
+        assert RunRequest(workload="interactive").mode == "driver"
+
+    def test_invalid_workload_and_mode_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            RunRequest(workload="graphalytics")
+        with pytest.raises(ValueError, match="mode"):
+            RunRequest(workload="interactive", mode="power")
+
+    def test_configuration_dict_flattens_options(self):
+        request = RunRequest(
+            workload="bi", mode="concurrent", workers=4, timeout=2.5,
+            options={"streams": 8},
+        )
+        assert request.configuration_dict() == {
+            "workload": "bi",
+            "mode": "concurrent",
+            "workers": 4,
+            "timeout": 2.5,
+            "seed": 1234,
+            "streams": 8,
+        }
+
+
+class TestDispatch:
+    def test_every_mode_returns_a_run_report(self, tiny_net):
+        for workload in WORKLOADS:
+            for mode in WORKLOAD_MODES[workload]:
+                options = {}
+                if (workload, mode) == ("bi", "throughput"):
+                    options = {"reads_per_batch": 1}
+                elif (workload, mode) == ("bi", "concurrent"):
+                    options = {"streams": 2, "queries_per_stream": 2}
+                elif workload == "interactive":
+                    options = {"max_updates": 40}
+                report = SocialNetworkBenchmark(tiny_net).run(
+                    RunRequest(workload=workload, mode=mode, options=options)
+                )
+                assert isinstance(report, RunReport)
+                summary = report.summary_dict()
+                assert summary["workload"] == workload
+                assert summary["mode"] == mode
+                assert "exec" in summary
+
+
+class TestSerialParallelDifferential:
+    """Same seed, workers=1 vs workers=4: identical merged results."""
+
+    def test_power_test(self, bench):
+        serial = bench.run(RunRequest(workload="bi", mode="power", workers=1))
+        parallel = bench.run(
+            RunRequest(workload="bi", mode="power", workers=4)
+        )
+        assert serial.operator_stats == parallel.operator_stats
+        assert sorted(serial.runtimes) == sorted(parallel.runtimes)
+        assert serial.exec_stats["backend"] == "serial"
+        assert parallel.exec_stats["backend"] == "process"
+        assert parallel.exec_stats["failures"] == 0
+
+    def test_concurrent_read_test(self, bench):
+        request = {"streams": 3, "queries_per_stream": 4}
+        serial = bench.run(
+            RunRequest(
+                workload="bi", mode="concurrent", workers=1, options=request
+            )
+        )
+        parallel = bench.run(
+            RunRequest(
+                workload="bi", mode="concurrent", workers=4, options=request
+            )
+        )
+        assert serial.operator_counters == parallel.operator_counters
+        assert serial.total_queries == parallel.total_queries
+
+    def test_throughput_test(self, tiny_net):
+        def outcome(workers):
+            graph = SocialGraph.from_data(tiny_net, until=tiny_net.cutoff)
+            params = SocialNetworkBenchmark(tiny_net).params
+            return throughput_test(
+                graph,
+                params,
+                build_microbatches(tiny_net),
+                reads_per_batch=2,
+                workers=workers,
+            )
+
+        serial, parallel = outcome(1), outcome(4)
+        assert serial.operations == parallel.operations
+        assert len(serial.batch_seconds) == len(parallel.batch_seconds)
+        assert serial.exec_stats["failures"] == 0
+        assert parallel.exec_stats["failures"] == 0
+        assert parallel.exec_stats["backend"] == "thread"
+
+    def test_interactive_driver(self, tiny_net):
+        def log_content(workers):
+            report = SocialNetworkBenchmark(tiny_net).run_driver(
+                max_updates=120, workers=workers
+            )
+            return [(e.operation, e.result_count) for e in report.log]
+
+        serial, parallel = log_content(1), log_content(4)
+        assert serial == parallel
+
+    def test_driver_scores_match(self, tiny_net):
+        serial = SocialNetworkBenchmark(tiny_net).run_driver(
+            max_updates=120, workers=1
+        )
+        parallel = SocialNetworkBenchmark(tiny_net).run_driver(
+            max_updates=120, workers=4
+        )
+        assert serial.total_operations == parallel.total_operations
+        assert serial.invalidated_reads == parallel.invalidated_reads
+        assert parallel.exec_stats["failures"] == 0
+        assert parallel.exec_stats["tasks"] > 0
+
+
+class TestRunAll:
+    def test_run_all_for_one_query_covers_every_binding(self, bench):
+        per_binding = bench.bi.run_all(13)
+        bindings = bench.params.bi(13)
+        assert len(per_binding) == len(bindings)
+        assert per_binding[0] == bench.bi.run(13, *bindings[0])
+
+    def test_run_all_cap(self, bench):
+        assert len(bench.bi.run_all(13, bindings_per_query=2)) == 2
+
+    def test_run_all_without_number_keeps_per_query_dict(self, bench):
+        results = bench.bi.run_all()
+        assert set(results) == set(range(1, 26))

@@ -20,8 +20,10 @@ lint:  ## benchmark-invariant checker + (if installed) strict typing
 bench:
 	pytest benchmarks/ --benchmark-only
 
+# bench-smoke also records machine-readable BENCH_*.json under out/bench/.
 bench-smoke:  ## quick executor sanity: parallel == serial, then q/s
-	pytest benchmarks/test_driver_throughput.py -k parallel \
+	REPRO_BENCH_OUT=out/bench \
+		pytest benchmarks/test_driver_throughput.py -k parallel \
 		-s --benchmark-disable
 
 bench-tables:  ## print every reproduced table/figure with assertions

@@ -1,0 +1,35 @@
+"""Machine-readable benchmark records: ``BENCH_<name>.json``.
+
+Benchmark tests print their numbers for humans; this module gives the
+same numbers a stable machine-readable home so CI can archive them and
+cross-run comparisons do not depend on scraping pytest output.  Records
+are written only when ``REPRO_BENCH_OUT`` names a directory (the
+``make bench-smoke`` target sets it); otherwise :func:`record` is a
+no-op and the benchmarks behave exactly as before.
+
+Each record is one JSON document with sorted keys: the measurement
+fields the test chose (workers, ops/s, speedup, …) plus ``host_cpus``
+for context, since every throughput claim is hardware-relative.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def record(name: str, **fields: Any) -> Path | None:
+    """Write ``BENCH_<name>.json`` into ``$REPRO_BENCH_OUT``, if set."""
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if not out:
+        return None
+    directory = Path(out)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {"host_cpus": os.cpu_count(), **fields}
+    path = directory / f"BENCH_{name}.json"
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -7,6 +7,11 @@ from repro.analysis.chokepoints import (
     format_coverage_table,
     queries_covering,
 )
+from repro.analysis.profile import (
+    chokepoint_profile,
+    format_chokepoint_profile,
+    span_times_by_cp,
+)
 from repro.analysis.report import BenchmarkChecklist, full_disclosure_report
 from repro.analysis.stats import DatasetStatistics, compute_statistics
 
@@ -16,8 +21,11 @@ __all__ = [
     "compute_statistics",
     "CHOKE_POINTS",
     "ChokePoint",
+    "chokepoint_profile",
     "coverage_matrix",
+    "format_chokepoint_profile",
     "format_coverage_table",
     "full_disclosure_report",
     "queries_covering",
+    "span_times_by_cp",
 ]

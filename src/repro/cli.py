@@ -16,6 +16,7 @@ Commands mirror the benchmark workflow (spec Figure 2.3):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -85,7 +86,37 @@ def _configuration(args: argparse.Namespace, request: RunRequest) -> dict:
     }
 
 
+def _write_telemetry(args: argparse.Namespace, report) -> None:
+    """Persist the run's telemetry per the ``--trace`` / ``--metrics-out``
+    flags (no-ops when neither was given or no telemetry is attached)."""
+    document = report.telemetry
+    if document is None:
+        return
+    if args.trace:
+        from repro.obs import to_chrome_trace
+
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        with open(trace_dir / "telemetry.json", "w") as handle:
+            json.dump(document, handle, indent=2)
+        with open(trace_dir / "trace.json", "w") as handle:
+            json.dump(to_chrome_trace(document), handle)
+        print(f"telemetry: {trace_dir / 'telemetry.json'}")
+        print(f"trace (load in ui.perfetto.dev): {trace_dir / 'trace.json'}")
+    if args.metrics_out:
+        from repro.obs import to_prometheus
+
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(to_prometheus(document["metrics"]))
+        print(f"metrics: {metrics_path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
     bench = _bench(args)
     if args.workload == "bi":
         if args.query is not None:
@@ -102,6 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         report = bench.run(request)
         print(report.format_table())
+        telemetry_source = report
         if args.throughput and request.mode == "power":
             outcome = bench.run(
                 RunRequest(
@@ -112,11 +144,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
             )
             print(outcome.format_table())
+            # The tracer is run-global: the second run's document holds
+            # the spans and metrics of both runs.
+            telemetry_source = outcome
         if args.results_dir:
             report.write_results_dir(
                 args.results_dir, configuration=_configuration(args, request)
             )
             print(f"results directory: {args.results_dir}")
+        _write_telemetry(args, telemetry_source)
         return 0
     request = RunRequest(
         workload="interactive",
@@ -134,6 +170,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.results_dir, configuration=_configuration(args, request)
         )
         print(f"results directory: {args.results_dir}")
+    _write_telemetry(args, report)
     if args.fdr:
         print(
             full_disclosure_report(
@@ -216,6 +253,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--results-dir", default=None,
                         help="write the \u00a76.2 results directory"
                              " (config, results log, summary)")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="enable span tracing and write telemetry.json"
+                             " plus a Perfetto-loadable trace.json to DIR")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the run's metrics in Prometheus text"
+                             " exposition format to FILE")
 
 
 def build_parser() -> argparse.ArgumentParser:

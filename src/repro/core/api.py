@@ -40,6 +40,8 @@ from repro.driver.runner import Driver, DriverReport
 from repro.driver.scheduler import Scheduler
 from repro.driver.validation import create_validation_set, validate
 from repro.graph.store import SocialGraph
+from repro.obs.exporters import telemetry_document
+from repro.obs.spans import span
 from repro.params.curation import ParameterGenerator
 from repro.queries.bi import ALL_QUERIES as ALL_BI
 from repro.queries.interactive.complex import ALL_COMPLEX
@@ -221,7 +223,25 @@ class SocialNetworkBenchmark:
         workload/mode combination accepts the same envelope and returns
         a :class:`RunReport`, with ``request.workers`` / ``request.timeout``
         threaded to the :mod:`repro.exec` pool identically everywhere.
+
+        The whole run executes under one ``run`` span, and the report
+        leaves with the telemetry document attached
+        (:meth:`~repro.core.run.RunReport.telemetry`): the global span
+        tree plus the metrics-registry snapshot as of run end.
         """
+        with span(
+            f"{request.workload}:{request.mode}",
+            kind="run",
+            workload=request.workload,
+            mode=request.mode,
+        ):
+            report = self._dispatch(request)
+        report.attach_telemetry(
+            telemetry_document(configuration=request.configuration_dict())
+        )
+        return report
+
+    def _dispatch(self, request: RunRequest) -> RunReport:
         opts = dict(request.options)
         if request.workload == "interactive":
             return self.run_driver(

@@ -89,7 +89,16 @@ class RunReport:
     :meth:`write_results_dir` is inherited, and reports that keep a
     per-operation log additionally override :meth:`write_results_log`
     (the base implementation writes nothing).
+
+    Runs dispatched through :meth:`repro.core.api.SocialNetworkBenchmark.run`
+    additionally carry the run's telemetry document
+    (:func:`repro.obs.telemetry_document`), which
+    :meth:`write_results_dir` persists as ``telemetry.json``.
     """
+
+    #: Deliberately not a dataclass field: attached post-construction by
+    #: the run envelope, absent on hand-built reports.
+    _telemetry = None
 
     def summary_dict(self) -> dict[str, Any]:
         """The machine-readable results summary."""
@@ -99,6 +108,15 @@ class RunReport:
         """The human-readable results table."""
         raise NotImplementedError
 
+    @property
+    def telemetry(self) -> dict[str, Any] | None:
+        """The run's versioned telemetry document, if one was attached."""
+        return self._telemetry
+
+    def attach_telemetry(self, document: dict[str, Any]) -> None:
+        """Attach the run's telemetry document (spans + metrics)."""
+        self._telemetry = document
+
     def write_results_log(self, path: Path | str) -> None:
         """Hook: reports with a per-operation log write it here."""
 
@@ -106,8 +124,9 @@ class RunReport:
         self, directory: Path | str, configuration: dict | None = None
     ) -> None:
         """Write the §6.2 results directory: ``configuration.json``,
-        ``results_summary.json`` and (when the report logs operations)
-        ``results_log.csv`` — everything the auditor retrieves and
+        ``results_summary.json``, (when the report logs operations)
+        ``results_log.csv`` and (when telemetry is attached)
+        ``telemetry.json`` — everything the auditor retrieves and
         discloses after a valid run."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -116,3 +135,6 @@ class RunReport:
         self.write_results_log(directory / "results_log.csv")
         with open(directory / "results_summary.json", "w") as handle:
             json.dump(self.summary_dict(), handle, indent=2)
+        if self._telemetry is not None:
+            with open(directory / "telemetry.json", "w") as handle:
+                json.dump(self._telemetry, handle, indent=2)

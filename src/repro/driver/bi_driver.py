@@ -44,6 +44,8 @@ from repro.engine import merge_counters
 from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
 from repro.graph.cache import CachedQueryExecutor
 from repro.graph.store import SocialGraph
+from repro.obs.metrics import registry
+from repro.obs.spans import span
 from repro.params.curation import ParameterGenerator
 from repro.queries.bi import ALL_QUERIES
 from repro.queries.interactive.deletes import ALL_DELETES
@@ -115,6 +117,17 @@ class PowerTestResult(RunReport):
         )
         return "\n".join(lines)
 
+    def chokepoint_profile(self) -> list[dict]:
+        """The per-query choke-point profile: operator-counter work
+        grouped by spec CP, joined with runtimes — and, when telemetry
+        is attached (``--trace``), with per-operator span timings.  See
+        :func:`repro.analysis.profile.chokepoint_profile`."""
+        from repro.analysis.profile import chokepoint_profile
+
+        return chokepoint_profile(
+            self.operator_stats, self.runtimes, self.telemetry
+        )
+
 
 def power_test(
     graph: SocialGraph,
@@ -144,17 +157,24 @@ def power_test(
     for number in numbers:
         for binding in bindings[number]:
             tasks.append(Task(len(tasks), "bi", (number, tuple(binding))))
-    pool = WorkerPool(
-        workers=workers, timeout=timeout, snapshot=StoreSnapshot(graph)
-    )
-    merged = pool.run(tasks)
+    with span("power_test", kind="phase", queries=len(numbers),
+              bindings=len(tasks)):
+        pool = WorkerPool(
+            workers=workers, timeout=timeout, snapshot=StoreSnapshot(graph)
+        )
+        merged = pool.run(tasks)
 
+    metrics = registry()
     runtimes: dict[int, float] = {}
     operator_stats: dict[int, dict[str, int]] = {}
     cursor = 0
     for number in numbers:
         share = merged.outcomes[cursor:cursor + len(bindings[number])]
         cursor += len(bindings[number])
+        for outcome in share:
+            metrics.histogram(
+                "repro_query_seconds", query=f"bi{number}"
+            ).observe(outcome.duration)
         runtimes[number] = sum(o.duration for o in share) / len(share)
         operator_stats[number] = merge_counters(o.counters for o in share)
     return PowerTestResult(
@@ -325,10 +345,14 @@ def concurrent_read_test(
         timeout=timeout,
         snapshot=snapshot,
     )
-    merged = pool.run(
-        Task(index, "stream", (index, queries_per_stream))
-        for index in range(streams)
-    )
+    with span("concurrent_read_test", kind="phase", streams=streams,
+              queries_per_stream=queries_per_stream):
+        merged = pool.run(
+            Task(index, "stream", (index, queries_per_stream))
+            for index in range(streams)
+        )
+    for outcome in merged.outcomes:
+        registry().histogram("repro_stream_seconds").observe(outcome.duration)
     if not merged.failures:
         executed = sum(outcome.value for outcome in merged.outcomes)
         assert executed == streams * queries_per_stream
@@ -385,39 +409,62 @@ def throughput_test(
     bindings = {n: params.bi(n, count=3) for n in numbers}
     exec_stats: dict = {}
 
+    metrics = registry()
     started = time.perf_counter()
-    for batch in batches:
-        write_start = time.perf_counter()
-        if executor is not None and batch.size:
-            executor.invalidate()
-        for insert in batch.inserts:
-            try:
-                ALL_UPDATES[insert.operation_id][0](graph, insert.params)
-            except (KeyError, ValueError):
-                pass  # write invalidated by an earlier delete
-        for delete in batch.deletes:
-            ALL_DELETES[delete.operation_id][0](graph, delete.params)
-        batch_seconds.append(time.perf_counter() - write_start)
-        operations += batch.size
+    with span("throughput_test", kind="phase", microbatches=len(batches),
+              reads_per_batch=reads_per_batch):
+        for batch_index, batch in enumerate(batches):
+            with span(f"batch[{batch_index}]", kind="operation",
+                      writes=batch.size):
+                write_start = time.perf_counter()
+                if executor is not None and batch.size:
+                    executor.invalidate()
+                for insert in batch.inserts:
+                    try:
+                        ALL_UPDATES[insert.operation_id][0](
+                            graph, insert.params
+                        )
+                    except (KeyError, ValueError):
+                        pass  # write invalidated by an earlier delete
+                for delete in batch.deletes:
+                    ALL_DELETES[delete.operation_id][0](graph, delete.params)
+                batch_seconds.append(time.perf_counter() - write_start)
+                metrics.histogram("repro_batch_write_seconds").observe(
+                    batch_seconds[-1]
+                )
+                operations += batch.size
 
-        tasks = []
-        for _ in range(reads_per_batch):
-            number = numbers[read_cursor % len(numbers)]
-            binding = bindings[number][read_cursor % len(bindings[number])]
-            tasks.append(
-                Task(len(tasks), "bi_throughput", (number, tuple(binding)))
-            )
-            read_cursor += 1
-        pool = WorkerPool(
-            workers=workers_n,
-            backend="thread" if workers_n > 1 else "serial",
-            timeout=timeout,
-            snapshot=snapshot,
-        )
-        block = pool.run(tasks)
-        read_seconds.append(block.elapsed)
-        operations += len(tasks)
-        _accumulate_exec_stats(exec_stats, block.stats_dict())
+                tasks = []
+                for _ in range(reads_per_batch):
+                    number = numbers[read_cursor % len(numbers)]
+                    binding = bindings[number][
+                        read_cursor % len(bindings[number])
+                    ]
+                    tasks.append(
+                        Task(
+                            len(tasks),
+                            "bi_throughput",
+                            (number, tuple(binding)),
+                        )
+                    )
+                    read_cursor += 1
+                # capture_spans=False: the serial (workers=1) and thread
+                # (workers>1) read blocks must leave identically shaped
+                # traces, and threads can only synthesize.
+                pool = WorkerPool(
+                    workers=workers_n,
+                    backend="thread" if workers_n > 1 else "serial",
+                    timeout=timeout,
+                    snapshot=snapshot,
+                    capture_spans=False,
+                )
+                block = pool.run(tasks)
+                read_seconds.append(block.elapsed)
+                metrics.histogram("repro_read_block_seconds").observe(
+                    block.elapsed
+                )
+                operations += len(tasks)
+                _accumulate_exec_stats(exec_stats, block.stats_dict())
     return ThroughputTestResult(
         batch_seconds=batch_seconds,
         read_seconds=read_seconds,

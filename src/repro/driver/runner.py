@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from statistics import mean
 
 from repro.core.run import RunReport
 from repro.driver.scheduler import ScheduledOperation
 from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
 from repro.graph.store import SocialGraph
+from repro.obs.metrics import registry, summarize_seconds
+from repro.obs.spans import span
 from repro.queries.interactive.complex import ALL_COMPLEX
 from repro.queries.interactive.deletes import ALL_DELETES
 from repro.queries.interactive.short import ALL_SHORT
@@ -58,6 +59,17 @@ class ResultsLogEntry:
     @property
     def start_delay(self) -> float:
         return self.actual_start - self.scheduled_start
+
+
+def _record_log_metrics(log: list[ResultsLogEntry]) -> None:
+    """Feed the finished log into the metrics registry, in log order:
+    one ``repro_operation_seconds`` histogram per operation name (the
+    telemetry counterpart of :meth:`DriverReport.per_operation_stats`)."""
+    metrics = registry()
+    for entry in log:
+        metrics.histogram(
+            "repro_operation_seconds", operation=entry.operation
+        ).observe(entry.duration)
 
 
 @dataclass
@@ -98,20 +110,19 @@ class DriverReport(RunReport):
         return self.on_time_fraction() >= 0.95
 
     def per_operation_stats(self) -> dict[str, dict[str, float]]:
-        """operation -> {count, mean_ms, p95_ms, max_ms}."""
+        """operation -> {count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}.
+
+        Summaries come from :func:`repro.obs.metrics.summarize_seconds`
+        — the same fixed-bucket histogram every telemetry consumer sees
+        — so count/mean/max are exact and the quantiles carry the
+        documented bucket resolution."""
         buckets: dict[str, list[float]] = {}
         for entry in self.log:
             buckets.setdefault(entry.operation, []).append(entry.duration)
-        stats = {}
-        for operation, durations in sorted(buckets.items()):
-            ordered = sorted(durations)
-            stats[operation] = {
-                "count": len(ordered),
-                "mean_ms": 1000 * mean(ordered),
-                "p95_ms": 1000 * ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
-                "max_ms": 1000 * ordered[-1],
-            }
-        return stats
+        return {
+            operation: summarize_seconds(durations)
+            for operation, durations in sorted(buckets.items())
+        }
 
     def summary_dict(self) -> dict:
         """The driver's results-summary document (spec §6.2 mentions a
@@ -216,8 +227,17 @@ class Driver:
                 warmed += 1
                 if warmed >= warmup_reads:
                     break
-        if workers_n > 1 and self.tcr == 0 and schedule:
-            return self._run_parallel(schedule, workers_n, timeout)
+        with span("driver", kind="phase", operations=len(schedule),
+                  tcr=self.tcr):
+            if workers_n > 1 and self.tcr == 0 and schedule:
+                report = self._run_parallel(schedule, workers_n, timeout)
+            else:
+                report = self._run_paced(schedule)
+        _record_log_metrics(report.log)
+        return report
+
+    def _run_paced(self, schedule: list[ScheduledOperation]) -> DriverReport:
+        """Serial schedule replay (paced when ``tcr > 0``)."""
         log: list[ResultsLogEntry] = []
         run_start = time.perf_counter()
         if schedule:
@@ -236,14 +256,15 @@ class Driver:
                 name = f"IC {op.number}"
                 runner = ALL_COMPLEX[op.number][0]
                 actual = time.perf_counter()
-                try:
-                    result = runner(self.graph, *op.params)
-                    rows = len(result)
-                except KeyError:
-                    # A delete invalidated a curated parameter (e.g. the
-                    # start person was removed); logged as -1 rows.
-                    result = []
-                    rows = -1
+                with span(name, kind="operation", query=op.number):
+                    try:
+                        result = runner(self.graph, *op.params)
+                        rows = len(result)
+                    except KeyError:
+                        # A delete invalidated a curated parameter (e.g.
+                        # the start person was removed); logged as -1 rows.
+                        result = []
+                        rows = -1
                 finished = time.perf_counter()
                 log.append(
                     ResultsLogEntry(
@@ -262,17 +283,18 @@ class Driver:
         """Apply one IU/DEL operation and log it."""
         prefix = "IU" if op.kind == "update" else "DEL"
         name = f"{prefix} {op.number}"
-        registry = ALL_UPDATES if op.kind == "update" else ALL_DELETES
-        runner = registry[op.number][0]
+        operations = ALL_UPDATES if op.kind == "update" else ALL_DELETES
+        runner = operations[op.number][0]
         actual = time.perf_counter()
-        try:
-            runner(self.graph, op.params)
-            rows = 1
-        except (KeyError, ValueError):
-            # An earlier delete removed an entity this write references
-            # (e.g. a like on a deleted post); the official driver
-            # treats this as a skipped write.
-            rows = -1
+        with span(name, kind="operation", write=op.number):
+            try:
+                runner(self.graph, op.params)
+                rows = 1
+            except (KeyError, ValueError):
+                # An earlier delete removed an entity this write
+                # references (e.g. a like on a deleted post); the
+                # official driver treats this as a skipped write.
+                rows = -1
         finished = time.perf_counter()
         log.append(
             ResultsLogEntry(

@@ -21,6 +21,15 @@ activity per query.  Access-path selection honours the store's
 ``use_indexes`` / ``use_date_index`` / ``use_tag_index`` ablation flags:
 with an index disabled the same operator silently degrades to a
 filtered full scan, so ablation runs return identical rows.
+
+When tracing is enabled (:mod:`repro.obs`), every operator additionally
+opens a leaf ``operator`` span recording its access path and row count.
+Scan/expand spans cover the *generator's lifetime* (opened at the first
+row pulled, closed when the consumer exhausts or drops the iterator),
+so their duration includes consumer time between pulls — the right
+shape for seeing where a query's time goes, documented in
+``docs/OBSERVABILITY.md``.  With tracing disabled the per-operator cost
+is a single ``enabled`` check.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from repro.engine.stats import counters
+from repro.obs.spans import Span, tracer
 from repro.graph.store import SocialGraph
 from repro.schema.entities import Forum, Message, Person, Post
 from repro.schema.relations import Likes
@@ -71,6 +81,22 @@ def _in_bounds(
     return (start is None or ts >= start) and (end is None or ts < end)
 
 
+def _operator_span(name: str, **attrs: Any) -> Span | None:
+    """An ``operator`` leaf span, or ``None`` when tracing is disabled
+    (the disabled path is one attribute check — the engine's hot-loop
+    budget)."""
+    trace = tracer()
+    if not trace.enabled:
+        return None
+    return trace.open_span(name, kind="operator", **attrs)
+
+
+def _close_operator_span(span: Span | None, rows: int) -> None:
+    if span is not None:
+        span.attrs["rows"] = rows
+        span.close()
+
+
 def scan_messages(
     graph: SocialGraph,
     *,
@@ -100,8 +126,11 @@ def scan_messages(
             source = graph.messages_by(creator)
         if graph.use_indexes:
             stats.index_scans += 1
+            access = "creator-index"
         else:
             stats.full_scans += 1
+            access = "full"
+        span = _operator_span("scan_messages", access=access)
         produced = 0
         try:
             for message in source:
@@ -113,13 +142,17 @@ def scan_messages(
                 yield message
         finally:
             stats.rows_scanned += produced
+            _close_operator_span(span, produced)
         return
 
     if tag is not None:
         if graph.use_indexes and graph.use_tag_index:
             stats.index_scans += 1
+            access = "tag-index"
         else:
             stats.full_scans += 1
+            access = "full"
+        span = _operator_span("scan_messages", access=access)
         produced = 0
         try:
             for message in graph.messages_with_tag_in_window(tag, start, end):
@@ -131,12 +164,14 @@ def scan_messages(
                 yield message
         finally:
             stats.rows_scanned += produced
+            _close_operator_span(span, produced)
         return
 
     if (start is not None or end is not None) and (
         graph.use_indexes and graph.use_date_index
     ):
         stats.index_scans += 1
+        span = _operator_span("scan_messages", access="date-index")
         produced = 0
         try:
             for message in graph.messages_in_window(start, end, kind):
@@ -144,9 +179,11 @@ def scan_messages(
                 yield message
         finally:
             stats.rows_scanned += produced
+            _close_operator_span(span, produced)
         return
 
     stats.full_scans += 1
+    span = _operator_span("scan_messages", access="full")
     if kind == "post":
         source = graph.posts.values()
     elif kind == "comment":
@@ -162,6 +199,7 @@ def scan_messages(
             yield message
     finally:
         stats.rows_scanned += produced
+        _close_operator_span(span, produced)
 
 
 def scan_forum_posts(
@@ -175,11 +213,13 @@ def scan_forum_posts(
     stats = counters()
     if graph.use_indexes and graph.use_date_index:
         stats.index_scans += 1
+        access = "forum-date-index"
         source: Iterable[Post] = graph.posts_in_forum_window(
             forum_id, start, end
         )
     elif graph.use_indexes:
         stats.index_scans += 1
+        access = "forum-index"
         source = (
             p
             for p in graph.posts_in_forum(forum_id)
@@ -187,11 +227,13 @@ def scan_forum_posts(
         )
     else:
         stats.full_scans += 1
+        access = "full"
         source = (
             p
             for p in graph.posts_in_forum(forum_id)
             if _in_bounds(p.creation_date, start, end)
         )
+    span = _operator_span("scan_forum_posts", access=access)
     produced = 0
     try:
         for post in source:
@@ -199,12 +241,14 @@ def scan_forum_posts(
             yield post
     finally:
         stats.rows_scanned += produced
+        _close_operator_span(span, produced)
 
 
-def _counted_scan(source: Iterable[T]) -> Iterator[T]:
+def _counted_scan(name: str, source: Iterable[T]) -> Iterator[T]:
     """Full-table scan bookkeeping shared by the entity scan operators."""
     stats = counters()
     stats.full_scans += 1
+    span = _operator_span(name, access="full")
     produced = 0
     try:
         for item in source:
@@ -212,6 +256,7 @@ def _counted_scan(source: Iterable[T]) -> Iterator[T]:
             yield item
     finally:
         stats.rows_scanned += produced
+        _close_operator_span(span, produced)
 
 
 def scan_persons(graph: SocialGraph) -> Iterator[Person]:
@@ -222,17 +267,17 @@ def scan_persons(graph: SocialGraph) -> Iterator[Person]:
     per-query operator counters (and so R2 of ``repro.lint`` can hold
     the engine boundary).
     """
-    return _counted_scan(graph.persons.values())
+    return _counted_scan("scan_persons", graph.persons.values())
 
 
 def scan_forums(graph: SocialGraph) -> Iterator[Forum]:
     """Scan every Forum, tallying the full-scan into the counters."""
-    return _counted_scan(graph.forums.values())
+    return _counted_scan("scan_forums", graph.forums.values())
 
 
 def scan_likes(graph: SocialGraph) -> Iterator[Likes]:
     """Scan every likes edge, tallying the full-scan into the counters."""
-    return _counted_scan(graph.likes_edges)
+    return _counted_scan("scan_likes", graph.likes_edges)
 
 
 def expand(
@@ -245,6 +290,7 @@ def expand(
     edges followed (CP-2.3 index-based join work).
     """
     stats = counters()
+    span = _operator_span("expand")
     followed = 0
     try:
         for source in sources:
@@ -253,12 +299,15 @@ def expand(
                 yield source, item
     finally:
         stats.edges_expanded += followed
+        _close_operator_span(span, followed)
 
 
 def group_count(keys: Iterable[K]) -> Counter[K]:
     """Hash-aggregate COUNT(*) per key (CP-1.2 group-by)."""
+    span = _operator_span("group_count")
     groups = Counter(keys)
     counters().groups_created += len(groups)
+    _close_operator_span(span, len(groups))
     return groups
 
 
@@ -273,6 +322,7 @@ def group_agg(
     ``zero`` builds a fresh accumulator, ``fold(acc, item)`` updates it
     in place — the shape every multi-measure BI group-by uses.
     """
+    span = _operator_span("group_agg")
     groups: dict[K, Any] = {}
     for item in items:
         k = key(item)
@@ -281,6 +331,7 @@ def group_agg(
             acc = groups[k] = zero()
         fold(acc, item)
     counters().groups_created += len(groups)
+    _close_operator_span(span, len(groups))
     return groups
 
 

@@ -31,6 +31,18 @@ this reproduction:
   parallel run's merged :class:`PoolResult` is identical to a serial
   run's whenever the tasks themselves are deterministic (the spec's
   section 2.3.3 requirement, extended from datagen to execution).
+* **Telemetry** — with tracing enabled (:mod:`repro.obs`), the serial
+  and process backends capture each task's span tree
+  (:func:`~repro.obs.spans.task_capture`), ship it back inside the
+  :class:`~repro.exec.tasks.TaskOutcome`, and graft all trees under one
+  ``pool`` span in submission order — so a parallel trace has exactly
+  the serial trace's shape.  Process workers also ship their
+  metrics-registry deltas, merged in the same order.  The thread
+  backend cannot capture (the global tracer is not per-thread); it
+  grafts synthesized task spans instead, and worker-thread operator
+  spans are muted for the duration of the run.  ``capture_spans=False``
+  forces the synthesized-only shape on every backend, which is what the
+  throughput test uses to keep serial and thread structurally identical.
 
 Deadline bookkeeping uses ``time.monotonic()``; those reads carry
 reasoned ``allow-wall-clock`` waivers because rule R1 of ``repro.lint``
@@ -55,6 +67,17 @@ from typing import Any, Iterable, Iterator
 from repro.engine import reset_counters
 from repro.engine.stats import merge_counters
 from repro.exec.snapshot import StoreSnapshot, install_snapshot
+from repro.obs.metrics import registry, subtract_snapshot
+from repro.obs.spans import (
+    NullTracer,
+    Span,
+    disable_tracing,
+    graft_outcomes,
+    set_tracer,
+    synthesize_task_span,
+    task_capture,
+    tracer,
+)
 from repro.exec.tasks import (
     STATUS_CRASHED,
     STATUS_ERROR,
@@ -141,23 +164,51 @@ class _RunStats:
     crashes: int = 0
 
 
+def _attempt(task: Task) -> "_ExecuteResult":
+    try:
+        return _ExecuteResult(run_task(task), STATUS_OK, None)
+    except Exception as exc:  # retried once by the pool, then recorded
+        return _ExecuteResult(
+            None, STATUS_ERROR, f"{type(exc).__name__}: {exc}"
+        )
+
+
 def _execute(
-    task: Task, worker: int, attempts: int, capture_counters: bool = True
+    task: Task,
+    worker: int,
+    attempts: int,
+    capture_counters: bool = True,
+    capture_spans: bool = False,
+    capture_metrics: bool = False,
 ) -> TaskOutcome:
     """Run one attempt in the current process and classify it."""
     if capture_counters:
         reset_counters()
+    before = registry().snapshot() if capture_metrics else None
+    spans: list[Span] = []
     started = time.perf_counter()
-    try:
-        value = _ExecuteResult(run_task(task), STATUS_OK, None)
-    except Exception as exc:  # retried once by the pool, then recorded
-        value = _ExecuteResult(
-            None, STATUS_ERROR, f"{type(exc).__name__}: {exc}"
-        )
+    if capture_spans:
+        with task_capture(
+            f"{task.kind}[{task.index}]",
+            task_kind=task.kind,
+            index=task.index,
+            worker=worker,
+        ) as spans:
+            value = _attempt(task)
+    else:
+        value = _attempt(task)
     duration = time.perf_counter() - started
     counters = (
         reset_counters().as_dict(skip_zero=True) if capture_counters else {}
     )
+    metrics = (
+        subtract_snapshot(registry().snapshot(), before)
+        if before is not None
+        else {}
+    )
+    if spans:
+        spans[0].attrs["status"] = value.status
+        spans[0].attrs["attempts"] = attempts
     return TaskOutcome(
         index=task.index,
         status=value.status,
@@ -168,6 +219,9 @@ def _execute(
         worker=worker,
         error=value.error,
         counters=counters,
+        kind=task.kind,
+        spans=spans,
+        metrics=metrics,
     )
 
 
@@ -178,10 +232,19 @@ class _ExecuteResult:
     error: str | None
 
 
-def _worker_main(worker_id: int, conn: Any, payload: bytes | None) -> None:
+def _worker_main(
+    worker_id: int,
+    conn: Any,
+    payload: bytes | None,
+    capture_spans: bool = False,
+) -> None:
     """Process-backend worker body: recv (task, attempt), send outcome."""
     if payload is not None:  # spawn start method: no fork inheritance
         install_snapshot(pickle.loads(payload))
+    if not capture_spans:
+        # Fork children inherit the parent's live tracer; mute it so
+        # uncaptured operator spans do not pile up in the worker's copy.
+        disable_tracing()
     while True:
         try:
             message = conn.recv()
@@ -190,7 +253,13 @@ def _worker_main(worker_id: int, conn: Any, payload: bytes | None) -> None:
         if message is None:
             break
         task, attempt = message
-        outcome = _execute(task, worker_id, attempt + 1)
+        outcome = _execute(
+            task,
+            worker_id,
+            attempt + 1,
+            capture_spans=capture_spans,
+            capture_metrics=True,
+        )
         try:
             conn.send(outcome)
         except (BrokenPipeError, OSError):  # pragma: no cover
@@ -201,13 +270,19 @@ def _worker_main(worker_id: int, conn: Any, payload: bytes | None) -> None:
 class _ProcWorker:
     """One supervised worker process plus its command pipe."""
 
-    def __init__(self, ctx: Any, worker_id: int, payload: bytes | None):
+    def __init__(
+        self,
+        ctx: Any,
+        worker_id: int,
+        payload: bytes | None,
+        capture_spans: bool = False,
+    ):
         self.worker_id = worker_id
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, child_conn, payload),
+            args=(worker_id, child_conn, payload, capture_spans),
             daemon=True,
         )
         self.process.start()
@@ -255,6 +330,7 @@ class WorkerPool:
         timeout: float | None = None,
         queue_depth: int | None = None,
         snapshot: StoreSnapshot | None = None,
+        capture_spans: bool = True,
     ):
         self.workers = resolve_workers(workers)
         if backend is None:
@@ -271,6 +347,11 @@ class WorkerPool:
             raise ValueError("queue_depth must be >= 1")
         self.queue_depth = queue_depth or 2 * self.workers
         self.snapshot = snapshot if snapshot is not None else StoreSnapshot()
+        #: Capture real per-task span trees (serial/process backends)
+        #: when tracing is on.  ``False`` forces the synthesized-only
+        #: trace shape on every backend — the structure the thread
+        #: backend is limited to anyway.
+        self.capture_spans = capture_spans
 
     # -- public surface ----------------------------------------------------
 
@@ -285,6 +366,11 @@ class WorkerPool:
         else:
             outcomes, counters = self._run_process(tasks, stats)
         outcomes.sort(key=lambda outcome: outcome.index)
+        for outcome in outcomes:  # worker-registry deltas, merge order fixed
+            if outcome.metrics:
+                registry().merge_snapshot(outcome.metrics)
+        self._record_metrics(outcomes, stats)
+        self._graft_trace(outcomes)
         return PoolResult(
             outcomes=outcomes,
             elapsed=time.perf_counter() - started,
@@ -294,6 +380,62 @@ class WorkerPool:
             timeouts=stats.timeouts,
             crashes=stats.crashes,
             counters=counters,
+        )
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _record_metrics(
+        self, outcomes: list[TaskOutcome], stats: _RunStats
+    ) -> None:
+        """Parent-side pool metrics, emitted in submission order.  Every
+        series is touched unconditionally so the set of series present
+        does not depend on worker count or scheduling."""
+        metrics = registry()
+        metrics.gauge("repro_pool_workers").set(self.workers)
+        metrics.counter("repro_pool_retries_total").inc(stats.retries)
+        metrics.counter("repro_pool_timeouts_total").inc(stats.timeouts)
+        metrics.counter("repro_pool_crashes_total").inc(stats.crashes)
+        for outcome in outcomes:
+            kind = outcome.kind or "task"
+            metrics.counter(
+                "repro_tasks_total", kind=kind, status=outcome.status
+            ).inc()
+            metrics.histogram("repro_task_seconds", kind=kind).observe(
+                outcome.duration
+            )
+
+    def _graft_trace(self, outcomes: list[TaskOutcome]) -> None:
+        """Attach one ``pool`` span holding every task's tree, in
+        submission order; tasks without a captured tree (thread backend,
+        timeouts, crashes, ``capture_spans=False``) get a synthesized
+        span, so the trace shape stays deterministic."""
+        if not tracer().enabled:
+            return
+        task_spans: list[list[Span]] = []
+        for outcome in outcomes:
+            if outcome.spans:
+                task_spans.append(outcome.spans)
+            else:
+                kind = outcome.kind or "task"
+                task_spans.append(
+                    [
+                        synthesize_task_span(
+                            f"{kind}[{outcome.index}]",
+                            int(outcome.duration * 1_000_000),
+                            task_kind=kind,
+                            index=outcome.index,
+                            worker=outcome.worker,
+                            status=outcome.status,
+                        )
+                    ]
+                )
+        graft_outcomes(
+            "pool",
+            task_spans,
+            kind="operation",
+            backend=self.backend,
+            workers=self.workers,
+            tasks=len(outcomes),
         )
 
     # -- serial / thread backends -----------------------------------------
@@ -307,22 +449,35 @@ class WorkerPool:
             and outcome.status == STATUS_OK
             and outcome.duration > self.timeout
         ):
+            # Spans are dropped with the value: the hard-timeout backend
+            # kills the worker before any tree could ship, and the soft
+            # path must end in the same (synthesized-span) shape.
             return replace(
-                outcome, status=STATUS_TIMEOUT, value=None, counters={}
+                outcome, status=STATUS_TIMEOUT, value=None, counters={},
+                spans=[],
             )
         return outcome
 
     def _attempt_inline(
-        self, task: Task, worker: int, stats: _RunStats, capture: bool
+        self,
+        task: Task,
+        worker: int,
+        stats: _RunStats,
+        capture: bool,
+        spans: bool = False,
     ) -> TaskOutcome:
         """Retry-once-then-record for the in-process backends."""
-        outcome = self._soft_guard(_execute(task, worker, 1, capture))
+        outcome = self._soft_guard(
+            _execute(task, worker, 1, capture, capture_spans=spans)
+        )
         if outcome.ok:
             return outcome
         stats.retries += 1
         if outcome.status == STATUS_TIMEOUT:
             stats.timeouts += 1
-        retried = self._soft_guard(_execute(task, worker, 2, capture))
+        retried = self._soft_guard(
+            _execute(task, worker, 2, capture, capture_spans=spans)
+        )
         if retried.status == STATUS_TIMEOUT:
             stats.timeouts += 1
         return retried
@@ -331,12 +486,23 @@ class WorkerPool:
         self, tasks: Iterable[Task], stats: _RunStats
     ) -> tuple[list[TaskOutcome], dict[str, int]]:
         previous = install_snapshot(self.snapshot)
+        capture = self.capture_spans and tracer().enabled
+        # capture_spans=False with tracing on: mute the tracer so inline
+        # tasks cannot leak operator spans the other backends would not
+        # have (the trace shape must not depend on the backend).
+        muted = (
+            set_tracer(NullTracer())
+            if tracer().enabled and not capture
+            else None
+        )
         try:
             outcomes = [
-                self._attempt_inline(task, 0, stats, capture=True)
+                self._attempt_inline(task, 0, stats, capture=True, spans=capture)
                 for task in tasks
             ]
         finally:
+            if muted is not None:
+                set_tracer(muted)
             install_snapshot(previous)
         return outcomes, merge_counters(o.counters for o in outcomes)
 
@@ -344,6 +510,10 @@ class WorkerPool:
         self, tasks: Iterable[Task], stats: _RunStats
     ) -> tuple[list[TaskOutcome], dict[str, int]]:
         previous = install_snapshot(self.snapshot)
+        # The global tracer cannot be swapped per worker thread, so the
+        # thread backend never captures; mute it for the run's duration
+        # (the pool grafts synthesized task spans afterwards).
+        muted = set_tracer(NullTracer()) if tracer().enabled else None
         work: queue_mod.Queue = queue_mod.Queue(maxsize=self.queue_depth)
         outcomes: list[TaskOutcome] = []
         lock = threading.Lock()
@@ -382,6 +552,8 @@ class WorkerPool:
                 work.put(None)
             for thread in threads:
                 thread.join()
+            if muted is not None:
+                set_tracer(muted)
             install_snapshot(previous)
         return outcomes, reset_counters().as_dict(skip_zero=True)
 
@@ -403,14 +575,15 @@ class WorkerPool:
             payload = pickle.dumps(self.snapshot)
         # Fork inheritance: children see the snapshot installed here.
         previous = install_snapshot(self.snapshot)
+        capture = self.capture_spans and tracer().enabled
         workers = {}
         try:
             workers = {
-                worker_id: _ProcWorker(context, worker_id, payload)
+                worker_id: _ProcWorker(context, worker_id, payload, capture)
                 for worker_id in range(self.workers)
             }
             outcomes = self._supervise(
-                context, payload, workers, iter(tasks), stats
+                context, payload, workers, iter(tasks), stats, capture
             )
         finally:
             for worker in workers.values():
@@ -425,6 +598,7 @@ class WorkerPool:
         workers: dict[int, _ProcWorker],
         task_iter: Iterator[Task],
         stats: _RunStats,
+        capture: bool = False,
     ) -> list[TaskOutcome]:
         backlog: deque[tuple[Task, int]] = deque()
         outcomes: list[TaskOutcome] = []
@@ -457,12 +631,13 @@ class WorkerPool:
                         attempts=attempt + 1,
                         worker=worker.worker_id,
                         error=error,
+                        kind=task.kind,
                     )
                 )
 
         def respawn(worker: _ProcWorker) -> None:
             workers[worker.worker_id] = _ProcWorker(
-                context, worker.worker_id, payload
+                context, worker.worker_id, payload, capture
             )
 
         while True:

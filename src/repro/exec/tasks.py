@@ -60,6 +60,17 @@ class TaskOutcome:
     #: (serial/process backends; empty for the thread backend, whose
     #: counters are aggregated pool-wide instead).
     counters: dict[str, int] = field(default_factory=dict)
+    #: The task's kind, echoed back so parent-side telemetry can label
+    #: its metrics without re-deriving the submission list.
+    kind: str = ""
+    #: Span trees captured while the task ran (serial/process backends
+    #: with tracing on; always empty for the thread backend — the global
+    #: tracer is not safe to swap per worker thread).
+    spans: list = field(default_factory=list)
+    #: Metrics-registry delta accumulated by this task in a worker
+    #: process (``subtract_snapshot`` form); empty for in-process
+    #: backends, whose updates land in the parent registry directly.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -13,6 +13,13 @@ common.
 the whole cache: the workload interleaves writes frequently enough that
 fine-grained invalidation would cost more than it saves, and coarse
 invalidation is trivially correct.
+
+Cache activity is double-booked: the per-instance attributes feed the
+driver's results log as before, and every event also lands in the
+process-global :mod:`repro.obs.metrics` registry
+(``repro_cache_*_total``).  The registry is never reset around queries,
+so the CP-6.1 counts survive the executor's per-task counter resets —
+the accounting the per-query operator-counter record could not provide.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.graph.store import SocialGraph
+from repro.obs.metrics import registry
 
 
 def _freeze(value: Any) -> Any:
@@ -54,14 +62,17 @@ class CachedQueryExecutor:
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            registry().counter("repro_cache_hits_total").inc()
             self._cache.move_to_end(key)
             return cached
         self.misses += 1
+        registry().counter("repro_cache_misses_total").inc()
         result = query(self.graph, *params)
         self._cache[key] = result
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
             self.evictions += 1
+            registry().counter("repro_cache_evictions_total").inc()
         return result
 
     def write(self, operation: Callable, *args: Any) -> None:
@@ -72,6 +83,7 @@ class CachedQueryExecutor:
     def invalidate(self) -> None:
         if self._cache:
             self.invalidations += 1
+            registry().counter("repro_cache_invalidations_total").inc()
             self._cache.clear()
 
     @property

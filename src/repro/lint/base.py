@@ -38,6 +38,12 @@ class FileContext:
         return "queries" in self.module_parts[:-1]
 
     @property
+    def in_obs(self) -> bool:
+        """Inside :mod:`repro.obs` — the one module allowed to read the
+        clock wholesale (its timestamps never enter benchmark results)."""
+        return "obs" in self.module_parts[:-1]
+
+    @property
     def is_rng_module(self) -> bool:
         return self.module_parts[-2:] == ("util", "rng.py")
 

@@ -9,6 +9,7 @@ from repro.lint.rules_determinism import (
     check_unordered_return,
 )
 from repro.lint.rules_engine import check_engine_discipline
+from repro.lint.rules_obs import check_obs_discipline
 from repro.lint.rules_ordering import check_total_order_sorts
 
 #: All rules, in report order.  Each is a pure function of one
@@ -20,4 +21,5 @@ ALL_RULES: tuple[Rule, ...] = (
     check_engine_discipline,
     check_query_contracts,
     check_total_order_sorts,
+    check_obs_discipline,
 )

@@ -12,7 +12,11 @@ closes:
   ``raw-random``).  Worker-pool code that legitimately needs a deadline
   clock is not exempted wholesale: each read carries a reasoned
   ``# lint: allow-wall-clock <why>`` suppression stating that the value
-  never reaches benchmark results;
+  never reaches benchmark results.  The *file-wide* form of that waiver
+  is reserved for :mod:`repro.obs` (the tracer clock is the module's
+  whole purpose); anywhere else it is flagged as
+  ``filewide-clock-waiver`` so a blanket waiver cannot silently creep
+  into executor or driver code;
 * result lists built directly from iterating an unordered collection
   (a ``set`` or dict view) with no intervening ``sorted()`` / ``top_k``
   — the rows would depend on hash seeding or insertion accidents
@@ -56,6 +60,26 @@ def check_clock_and_random(ctx: FileContext) -> list[Diagnostic]:
     if ctx.is_rng_module:
         return []
     found: list[Diagnostic] = []
+    # A file-wide wall-clock waiver is one reasoned module-level
+    # exemption, and repro/obs/ is the one module entitled to it.  The
+    # diagnostic carries its own slug so the waiver under audit cannot
+    # suppress the report about itself.
+    if "wall-clock" in ctx.suppressions.filewide and not ctx.in_obs:
+        waiver_line = ctx.suppressions.filewide_lines.get("wall-clock", 1)
+        found.append(
+            Diagnostic(
+                path=ctx.path,
+                line=waiver_line,
+                col=1,
+                rule=RULE,
+                slug="filewide-clock-waiver",
+                message=(
+                    "file-wide allow-wall-clock waivers are reserved for "
+                    "repro/obs/; justify each clock read with a per-line "
+                    "'# lint: allow-wall-clock <why>' instead"
+                ),
+            )
+        )
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Import):
             for alias in node.names:

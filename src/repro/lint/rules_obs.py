@@ -1,0 +1,92 @@
+"""R5 — observability discipline.
+
+:mod:`repro.obs` exists so telemetry never contaminates benchmark
+semantics, which only holds if the instrumentation stays in the layers
+built for it.  Two leaks this rule closes:
+
+* query modules importing :mod:`repro.obs` (slug ``obs-in-queries``) —
+  queries are pure graph -> rows functions; their operator spans come
+  from the engine and their latency histograms from the driver, so an
+  in-query ``span()`` would double-count time and make the reference
+  implementations diverge from the spec's declarative text;
+* code outside ``repro/obs/`` calling ``now_us()`` — the tracer's
+  internal clock — directly (slug ``obs-raw-clock``).  Every other
+  layer gets time *into* the telemetry by opening spans, which
+  timestamp themselves; a raw ``now_us()`` read is a wall-clock read
+  wearing an observability badge, exactly what R1 forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext
+from repro.lint.diagnostics import Diagnostic
+
+RULE = "R5"
+
+_OBS_PACKAGE = "repro.obs"
+
+
+def _is_obs_module(name: str | None) -> bool:
+    return name is not None and (
+        name == _OBS_PACKAGE or name.startswith(_OBS_PACKAGE + ".")
+    )
+
+
+def check_obs_discipline(ctx: FileContext) -> list[Diagnostic]:
+    """Keep instrumentation out of queries and the raw clock in obs."""
+    if ctx.in_obs:
+        return []
+    found: list[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            if ctx.in_queries and any(
+                _is_obs_module(alias.name) for alias in node.names
+            ):
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "obs-in-queries",
+                        "query modules must not import repro.obs; operator "
+                        "spans come from the engine and query latency from "
+                        "the driver",
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if ctx.in_queries and _is_obs_module(node.module):
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "obs-in-queries",
+                        "query modules must not import repro.obs; operator "
+                        "spans come from the engine and query latency from "
+                        "the driver",
+                    )
+                )
+            elif _is_obs_module(node.module) and any(
+                alias.name == "now_us" for alias in node.names
+            ):
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "obs-raw-clock",
+                        "now_us() is the tracer's internal clock; open a "
+                        "span (repro.obs span()/open_span()) instead of "
+                        "reading it directly",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "now_us":
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "obs-raw-clock",
+                        "now_us() is the tracer's internal clock; open a "
+                        "span (repro.obs span()/open_span()) instead of "
+                        "reading it directly",
+                    )
+                )
+    return found

@@ -36,6 +36,10 @@ class SuppressionIndex:
     lines: dict[str, set[int]] = field(default_factory=dict)
     #: slugs waived for the entire file.
     filewide: set[str] = field(default_factory=set)
+    #: slug -> line of the (first) file-wide waiver, so rules that audit
+    #: waiver *placement* (e.g. R1 reserves file-wide ``wall-clock``
+    #: waivers for ``repro/obs/``) can point at the comment itself.
+    filewide_lines: dict[str, int] = field(default_factory=dict)
     #: diagnostics produced by malformed suppressions (missing reason).
     problems: list[Diagnostic] = field(default_factory=list)
 
@@ -78,6 +82,7 @@ def parse_suppressions(path: str, source: str) -> SuppressionIndex:
             continue
         if match.group("filewide"):
             index.filewide.add(slug)
+            index.filewide_lines.setdefault(slug, lineno)
         else:
             index.lines.setdefault(slug, set()).update((lineno, lineno + 1))
     return index

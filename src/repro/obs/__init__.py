@@ -1,0 +1,80 @@
+"""``repro.obs`` — run telemetry: span tracing, metrics, exporters.
+
+The observability layer the VLDB 2022 analysis methodology presumes:
+hierarchical spans (``run → phase → operation → task → operator``)
+threaded through the driver, the executor pool and the engine; a
+process-global metrics registry of counters/gauges/fixed-bucket latency
+histograms; and exporters producing a versioned ``telemetry.json``, a
+Perfetto-loadable Chrome trace and a Prometheus text exposition.
+
+Tracing is off by default (:class:`~repro.obs.spans.NullTracer`;
+near-zero overhead on every instrumented path) and enabled per run by
+the CLI ``--trace`` flag.  The metrics registry is always on.
+
+See ``docs/OBSERVABILITY.md`` for the span model, the metric naming
+scheme and how to read the exports.
+"""
+
+from repro.obs.exporters import (
+    TELEMETRY_VERSION,
+    structure_of,
+    telemetry_document,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+    subtract_snapshot,
+    summarize_seconds,
+)
+from repro.obs.spans import (
+    SPAN_KINDS,
+    NullTracer,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    graft_outcomes,
+    set_tracer,
+    span,
+    synthesize_task_span,
+    task_capture,
+    tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_SECONDS",
+    "SPAN_KINDS",
+    "TELEMETRY_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "graft_outcomes",
+    "registry",
+    "reset_registry",
+    "set_tracer",
+    "span",
+    "structure_of",
+    "subtract_snapshot",
+    "summarize_seconds",
+    "synthesize_task_span",
+    "task_capture",
+    "telemetry_document",
+    "to_chrome_trace",
+    "to_prometheus",
+    "tracer",
+    "tracing_enabled",
+]

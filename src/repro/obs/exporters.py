@@ -1,0 +1,194 @@
+"""Telemetry exporters: ``telemetry.json``, Chrome trace, Prometheus.
+
+Three machine-readable views of one run's telemetry:
+
+* :func:`telemetry_document` — the versioned ``telemetry.json``
+  combining the span tree and the metrics snapshot.  Its *structure*
+  (span names/kinds/nesting, metric series names, bucket bounds) is
+  deterministic across worker counts; only timing values differ —
+  :func:`structure_of` computes exactly that comparable form, and the
+  differential tests assert ``structure_of(w1) == structure_of(w4)``.
+* :func:`to_chrome_trace` — Chrome trace-event JSON (``traceEvents``
+  with complete ``"X"`` events), loadable in Perfetto / ``chrome://tracing``.
+* :func:`to_prometheus` — the Prometheus text exposition format, with
+  ``_bucket{le=...}`` series per histogram so p50/p95/p99 are derivable
+  by any Prometheus-compatible consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.spans import Tracer, tracer
+
+#: Version stamp of the telemetry.json layout; bump on shape changes.
+TELEMETRY_VERSION = 1
+
+
+def telemetry_document(
+    trace: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    configuration: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The versioned run-telemetry document (defaults to the globals)."""
+    trace = trace if trace is not None else tracer()
+    metrics = metrics if metrics is not None else registry()
+    return {
+        "telemetry_version": TELEMETRY_VERSION,
+        "configuration": dict(configuration or {}),
+        "spans": [span.to_dict() for span in trace.roots],
+        "metrics": metrics.snapshot(),
+    }
+
+
+def _span_structure(span: Mapping[str, Any]) -> list[Any]:
+    return [
+        span["name"],
+        span["kind"],
+        [_span_structure(child) for child in span["children"]],
+    ]
+
+
+def structure_of(document: Mapping[str, Any]) -> dict[str, Any]:
+    """The scheduling-invariant skeleton of a telemetry document.
+
+    Keeps span names/kinds/tree shape, metric series names and
+    histogram bucket bounds; drops every timing- or placement-dependent
+    value (timestamps, durations, counts, worker attributes).  Two runs
+    of the same workload must agree on this form whatever their worker
+    count — the executor's deterministic-merge guarantee, extended from
+    results to telemetry.
+    """
+    metrics = document.get("metrics", {})
+    return {
+        "telemetry_version": document.get("telemetry_version"),
+        "spans": [_span_structure(span) for span in document.get("spans", ())],
+        "counters": sorted(metrics.get("counters", {})),
+        "gauges": sorted(metrics.get("gauges", {})),
+        "histograms": {
+            key: list(data["buckets"])
+            for key, data in sorted(metrics.get("histograms", {}).items())
+        },
+    }
+
+
+# -- Chrome trace-event JSON ------------------------------------------------
+
+#: Span kind -> Chrome trace category (Perfetto's grouping/filter key).
+_CATEGORIES = {
+    "run": "run",
+    "phase": "phase",
+    "operation": "operation",
+    "task": "task",
+    "operator": "operator",
+}
+
+
+def _flatten_events(span: Mapping[str, Any], pid: int,
+                    events: list[dict[str, Any]]) -> None:
+    tid = int(span["attrs"].get("worker", 0)) + 1
+    events.append(
+        {
+            "name": span["name"],
+            "cat": _CATEGORIES.get(span["kind"], span["kind"]),
+            "ph": "X",
+            "ts": span["start_us"],
+            "dur": span["duration_us"],
+            "pid": pid,
+            "tid": tid,
+            "args": dict(span["attrs"]),
+        }
+    )
+    for child in span["children"]:
+        _flatten_events(child, pid, events)
+
+
+def to_chrome_trace(document: Mapping[str, Any]) -> dict[str, Any]:
+    """Chrome trace-event JSON for one telemetry document.
+
+    Every span becomes a complete (``"X"``) duration event.  All spans
+    share one process; a span's ``worker`` attribute (pool tasks) picks
+    its thread lane, so parallel work fans out visually while the
+    sequential rebasing done at graft time keeps the timeline readable.
+    Load the file in https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro benchmark"},
+        }
+    ]
+    for span in document.get("spans", ()):
+        _flatten_events(span, 1, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _split_series(key: str) -> tuple[str, str]:
+    """``name{labels}`` -> (name, "{labels}" or "")."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace:]
+
+
+def _merge_labels(label_part: str, extra: str) -> str:
+    """Insert one extra ``k="v"`` pair into a serialized label set."""
+    if not label_part:
+        return "{" + extra + "}"
+    return label_part[:-1] + "," + extra + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a metrics snapshot in the text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, _ = _split_series(key)
+        type_line(name, "counter")
+        lines.append(f"{key} {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, _ = _split_series(key)
+        type_line(name, "gauge")
+        lines.append(f"{key} {_format_value(value)}")
+    for key, data in snapshot.get("histograms", {}).items():
+        name, labels = _split_series(key)
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            series = _merge_labels(labels, f'le="{bound}"')
+            lines.append(f"{name}_bucket{series} {cumulative}")
+        cumulative += data["counts"][len(data["buckets"])]
+        series = _merge_labels(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{series} {cumulative}")
+        lines.append(f"{name}_sum{labels} {_format_value(data['sum'])}")
+        lines.append(f"{name}_count{labels} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "structure_of",
+    "telemetry_document",
+    "to_chrome_trace",
+    "to_prometheus",
+]

@@ -141,6 +141,24 @@ class TestR1Determinism:
         src = "def rows(groups):\n    return list(groups.values())\n"
         assert lint_source(PLAIN_PATH, src) == []
 
+    def test_filewide_clock_waiver_flagged_outside_obs(self):
+        # The blanket waiver both gets reported (its own slug, so it
+        # cannot waive itself) and still suppresses the read it covers.
+        src = (
+            "# lint: file-allow-wall-clock this whole file tells time\n"
+            "import time\n\nnow = time.monotonic()\n"
+        )
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (1, "R1", "filewide-clock-waiver")
+        ]
+
+    def test_filewide_clock_waiver_allowed_in_obs(self):
+        src = (
+            "# lint: file-allow-wall-clock tracer timestamps only\n"
+            "import time\n\nnow = time.monotonic_ns()\n"
+        )
+        assert lint_source("src/repro/obs/spans.py", src) == []
+
 
 # ---------------------------------------------------------------------------
 # R2 — engine discipline
@@ -326,6 +344,49 @@ class TestR4TotalOrderSorts:
     def test_outside_queries_not_checked(self):
         src = "def q(rows):\n    rows.sort(key=lambda r: r.month)\n"
         assert lint_source(PLAIN_PATH, src) == []
+
+
+# ---------------------------------------------------------------------------
+# R5 — observability discipline
+# ---------------------------------------------------------------------------
+
+
+class TestR5ObsDiscipline:
+    def test_obs_import_in_query_flagged(self):
+        src = "from repro.obs.spans import span\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R5", "obs-in-queries")
+        ]
+
+    def test_obs_module_import_in_query_flagged(self):
+        src = "import repro.obs.metrics\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R5", "obs-in-queries")
+        ]
+
+    def test_obs_import_outside_queries_is_fine(self):
+        # The engine and driver are exactly where instrumentation lives.
+        src = "from repro.obs.spans import span\n"
+        assert lint_source(PLAIN_PATH, src) == []
+
+    def test_now_us_call_outside_obs_flagged(self):
+        src = (
+            "from repro.obs.spans import span\n\n"
+            "stamp = spans.now_us()\n"
+        )
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (3, "R5", "obs-raw-clock")
+        ]
+
+    def test_now_us_import_outside_obs_flagged(self):
+        src = "from repro.obs.spans import now_us\n"
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (1, "R5", "obs-raw-clock")
+        ]
+
+    def test_now_us_inside_obs_is_fine(self):
+        src = "def now_us():\n    return 0\n\nstamp = now_us()\n"
+        assert lint_source("src/repro/obs/metrics.py", src) == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-smoke bench-tables examples all
+.PHONY: install test lint bench bench-smoke bench-compare bench-tables examples all
 
 install:
 	pip install -e .
@@ -23,8 +23,12 @@ bench:
 # bench-smoke also records machine-readable BENCH_*.json under out/bench/.
 bench-smoke:  ## quick executor sanity: parallel == serial, then q/s
 	REPRO_BENCH_OUT=out/bench \
-		pytest benchmarks/test_driver_throughput.py -k parallel \
-		-s --benchmark-disable
+		pytest benchmarks/test_driver_throughput.py \
+		benchmarks/test_frozen_snapshot.py \
+		-k "parallel or frozen" -s --benchmark-disable
+
+bench-compare:  ## diff freshest BENCH_*.json vs the previous archived run
+	python benchmarks/bench_compare.py
 
 bench-tables:  ## print every reproduced table/figure with assertions
 	pytest benchmarks/ -s --benchmark-disable

@@ -1,0 +1,135 @@
+"""Compare the newest ``BENCH_*.json`` records against the previous run.
+
+``make bench-smoke`` (and the frozen-snapshot benchmarks) write one
+``BENCH_<name>.json`` per experiment into ``$REPRO_BENCH_OUT``.  This
+script diffs those freshest records against the most recent archived
+copy under a history directory, fails on time regressions beyond a
+threshold, and then archives the fresh records as the new baseline:
+
+* every numeric field whose name contains ``median`` (recorded medians,
+  e.g. ``live_median_ms``/``frozen_median_ms``/``median_ms``) is
+  compared lower-is-better;
+* a field that grew by more than ``--threshold`` (default 20%) counts
+  as a regression and the script exits non-zero;
+* with fewer than two records for an experiment — no archived previous
+  run, or no fresh records at all — there is nothing to diff and the
+  script reports that and exits zero.
+
+Usage::
+
+    python benchmarks/bench_compare.py [--bench-dir out/bench]
+        [--history-dir out/bench_history] [--threshold 0.20]
+        [--no-archive]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import sys
+from pathlib import Path
+
+_HISTORY = re.compile(r"^(BENCH_.+\.json)\.(\d+)$")
+
+
+def median_fields(record: dict) -> dict[str, float]:
+    """The comparable fields of one record: numeric, name contains 'median'."""
+    return {
+        key: float(value)
+        for key, value in record.items()
+        if "median" in key and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+def latest_archived(history_dir: Path, name: str) -> tuple[int, Path | None]:
+    """(highest sequence number, path of that copy) for one record name."""
+    best_seq, best_path = 0, None
+    if history_dir.is_dir():
+        for entry in history_dir.iterdir():
+            match = _HISTORY.match(entry.name)
+            if match and match.group(1) == name:
+                seq = int(match.group(2))
+                if seq > best_seq:
+                    best_seq, best_path = seq, entry
+    return best_seq, best_path
+
+
+def compare(current: dict, previous: dict, threshold: float) -> list[str]:
+    """Regression messages for fields that grew beyond the threshold."""
+    problems = []
+    baseline = median_fields(previous)
+    for key, value in sorted(median_fields(current).items()):
+        prev = baseline.get(key)
+        if prev is None or prev <= 0:
+            continue
+        ratio = value / prev
+        marker = "REGRESSION" if ratio > 1 + threshold else "ok"
+        print(f"    {key}: {prev:g} -> {value:g} ({ratio:.2f}x) {marker}")
+        if ratio > 1 + threshold:
+            problems.append(
+                f"{key}: {prev:g} -> {value:g}"
+                f" (+{100 * (ratio - 1):.0f}%, limit +{100 * threshold:.0f}%)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-dir", type=Path, default=Path("out/bench"))
+    parser.add_argument(
+        "--history-dir", type=Path, default=Path("out/bench_history")
+    )
+    parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument(
+        "--no-archive", action="store_true",
+        help="diff only; do not archive the fresh records as the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = sorted(args.bench_dir.glob("BENCH_*.json"))
+    if not fresh:
+        print(f"bench-compare: no BENCH_*.json under {args.bench_dir};"
+              " nothing to do")
+        return 0
+
+    regressions: list[str] = []
+    compared = 0
+    for path in fresh:
+        current = json.loads(path.read_text())
+        seq, previous_path = latest_archived(args.history_dir, path.name)
+        if previous_path is None:
+            print(f"  {path.name}: first record, nothing to compare against")
+        else:
+            print(f"  {path.name}: vs {previous_path.name}")
+            previous = json.loads(previous_path.read_text())
+            regressions += [
+                f"{path.name}: {problem}"
+                for problem in compare(current, previous, args.threshold)
+            ]
+            compared += 1
+        if not args.no_archive:
+            args.history_dir.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(
+                path, args.history_dir / f"{path.name}.{seq + 1}"
+            )
+
+    if regressions:
+        print(f"bench-compare: {len(regressions)} regression(s)"
+              f" beyond +{100 * args.threshold:.0f}%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    if compared == 0:
+        print("bench-compare: fewer than two records per experiment;"
+              " baseline archived, skipping comparison")
+    else:
+        print(f"bench-compare: {compared} record(s) within"
+              f" +{100 * args.threshold:.0f}% of the previous run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@ much operator *time* its spans attribute to it.
 Span attribution works on the telemetry document: every engine operator
 span carries its operator name and (for scans) the access path taken,
 which picks the CP the same way the counters do — index-path scans are
-CP-3.3 scattered index access, full scans CP-3.2, ``expand`` CP-2.3,
-grouping CP-1.2.  Timings are therefore approximate in the same way the
+CP-3.3 scattered index access (including the frozen snapshot's
+``frozen-date-column`` / ``frozen-knows-csr`` paths, which are sorted
+column bisections rather than hash lookups but are index access all the
+same), full scans CP-3.2, ``expand`` CP-2.3, grouping CP-1.2.  Timings are therefore approximate in the same way the
 spans are (a scan span covers the generator's lifetime, including
 consumer time between pulls) but they localize a query's cost to choke
 points in a way the counters alone cannot.

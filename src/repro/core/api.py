@@ -186,6 +186,7 @@ class SocialNetworkBenchmark:
         include_deletes: bool = False,
         workers: int | None = None,
         timeout: float | None = None,
+        freeze_reads: bool = False,
     ) -> DriverReport:
         """Run the Interactive workload: replay the update streams with
         frequency-interleaved complex reads and short-read sequences.
@@ -197,6 +198,8 @@ class SocialNetworkBenchmark:
         ``workers > 1`` parallelises consecutive complex reads on the
         :mod:`repro.exec` pool (flat-out runs only); the results log
         merges deterministically — identical content to a serial run.
+        ``freeze_reads`` additionally serves those parallel read flushes
+        from a refrozen columnar snapshot (see :meth:`Driver.run`).
         """
         updates = build_update_streams(self.network)
         if max_updates is not None:
@@ -214,7 +217,9 @@ class SocialNetworkBenchmark:
         }
         schedule = Scheduler(updates, frequencies, parameters, deletes).build()
         driver = Driver(self.graph, time_compression_ratio, seed=seed)
-        return driver.run(schedule, workers=workers, timeout=timeout)
+        return driver.run(
+            schedule, workers=workers, timeout=timeout, freeze_reads=freeze_reads
+        )
 
     def run(self, request: RunRequest) -> RunReport:
         """Execute one benchmark run described by a :class:`RunRequest`.
@@ -243,6 +248,9 @@ class SocialNetworkBenchmark:
 
     def _dispatch(self, request: RunRequest) -> RunReport:
         opts = dict(request.options)
+        # ``freeze`` option: BI modes resolve ``None`` against the
+        # REPRO_FROZEN env knob (default on); the Interactive driver
+        # keeps its opt-in default (reads interleave with writes).
         if request.workload == "interactive":
             return self.run_driver(
                 time_compression_ratio=opts.get("time_compression_ratio", 0.0),
@@ -251,6 +259,7 @@ class SocialNetworkBenchmark:
                 include_deletes=opts.get("include_deletes", False),
                 workers=request.workers,
                 timeout=request.timeout,
+                freeze_reads=opts.get("freeze", False),
             )
         if request.mode == "power":
             return power_test(
@@ -260,6 +269,7 @@ class SocialNetworkBenchmark:
                 bindings_per_query=opts.get("bindings_per_query", 1),
                 workers=request.workers,
                 timeout=request.timeout,
+                freeze_graph=opts.get("freeze"),
             )
         if request.mode == "throughput":
             batches = build_microbatches(
@@ -273,6 +283,7 @@ class SocialNetworkBenchmark:
                 reads_per_batch=opts.get("reads_per_batch", 5),
                 workers=request.workers,
                 timeout=request.timeout,
+                freeze_graph=opts.get("freeze"),
             )
         return concurrent_read_test(
             self.graph,
@@ -281,6 +292,7 @@ class SocialNetworkBenchmark:
             queries_per_stream=opts.get("queries_per_stream", 25),
             workers=request.workers,
             timeout=request.timeout,
+            freeze_graph=opts.get("freeze"),
         )
 
     # -- validation ----------------------------------------------------------

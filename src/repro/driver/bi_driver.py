@@ -43,6 +43,7 @@ from repro.datagen.update_streams import UpdateOperation, build_update_streams
 from repro.engine import merge_counters
 from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
 from repro.graph.cache import CachedQueryExecutor
+from repro.graph.frozen import FreezeManager, freeze, resolve_freeze
 from repro.graph.store import SocialGraph
 from repro.obs.metrics import registry
 from repro.obs.spans import span
@@ -136,6 +137,7 @@ def power_test(
     bindings_per_query: int = 1,
     workers: int | None = None,
     timeout: float | None = None,
+    freeze_graph: bool | None = None,
 ) -> PowerTestResult:
     """Run every BI read and score the snapshot.
 
@@ -150,7 +152,16 @@ def power_test(
     of a serial pass.  ``timeout`` bounds each query execution; a query
     that exceeds it is retried once and then recorded with the deadline
     as its runtime (see ``exec_stats``).
+
+    ``freeze_graph`` (default: :func:`repro.graph.frozen.resolve_freeze`,
+    i.e. on unless ``REPRO_FROZEN`` disables it) runs the reads against
+    a :class:`~repro.graph.frozen.FrozenGraph` snapshot: the power test
+    is a pure read phase, so the store is frozen once up front and the
+    columnar arrays fork copy-on-write into the worker processes.
+    Results are identical either way (the frozen differential suite
+    enforces it); only the access paths change.
     """
+    read_graph = freeze(graph) if resolve_freeze(freeze_graph) else graph
     numbers = sorted(ALL_QUERIES)
     bindings = {n: params.bi(n, count=bindings_per_query) for n in numbers}
     tasks = []
@@ -160,7 +171,8 @@ def power_test(
     with span("power_test", kind="phase", queries=len(numbers),
               bindings=len(tasks)):
         pool = WorkerPool(
-            workers=workers, timeout=timeout, snapshot=StoreSnapshot(graph)
+            workers=workers, timeout=timeout,
+            snapshot=StoreSnapshot(read_graph),
         )
         merged = pool.run(tasks)
 
@@ -325,6 +337,7 @@ def concurrent_read_test(
     queries_per_stream: int = 25,
     workers: int | None = None,
     timeout: float | None = None,
+    freeze_graph: bool | None = None,
 ) -> ConcurrentTestResult:
     """The multi-stream read throughput test (CP-6, "Parallelism and
     Concurrency"): ``streams`` concurrent clients each run a de-phased
@@ -335,11 +348,16 @@ def concurrent_read_test(
     stream is one task, so per-stream deadlines, retry-once and crash
     recovery all apply.  Engine operator counters accumulate in each
     worker process and merge into :attr:`ConcurrentTestResult.operator_counters`.
+
+    ``freeze_graph`` defaults on (like :func:`power_test`): a pure read
+    phase over an immutable snapshot is exactly what the frozen layout
+    is for, and forked workers share its arrays copy-on-write.
     """
     if streams <= 0 or queries_per_stream <= 0:
         raise ValueError("streams and queries_per_stream must be positive")
+    read_graph = freeze(graph) if resolve_freeze(freeze_graph) else graph
     bindings = {n: params.bi(n, count=3) for n in sorted(ALL_QUERIES)}
-    snapshot = StoreSnapshot(graph, context={"bindings": bindings})
+    snapshot = StoreSnapshot(read_graph, context={"bindings": bindings})
     pool = WorkerPool(
         workers=streams if workers is None else workers,
         timeout=timeout,
@@ -373,6 +391,7 @@ def throughput_test(
     executor: CachedQueryExecutor | None = None,
     workers: int | None = None,
     timeout: float | None = None,
+    freeze_graph: bool | None = None,
 ) -> ThroughputTestResult:
     """Alternate write microbatches with blocks of BI reads.
 
@@ -387,20 +406,28 @@ def throughput_test(
     re-forking per batch.  Reads invalidated by deletes count as
     operations with a ``-1`` row marker, exactly as in a serial run.
 
+    ``freeze_graph`` (default on, like :func:`power_test`): the live
+    store stays the write path, and each read block runs against a
+    :class:`~repro.graph.frozen.FrozenGraph` that a
+    :class:`~repro.graph.frozen.FreezeManager` refreezes after any
+    write batch moved ``write_version`` — the freeze/invalidate
+    lifecycle of the refresh-then-analyse loop.  Freeze time is part of
+    the measured run, exactly like an index refresh would be.
+
     With ``executor`` supplied (a :class:`CachedQueryExecutor` wrapping
     ``graph``), reads route through the inter-query result cache and
     writes invalidate it; the executor's counters land in
     :attr:`ThroughputTestResult.cache_stats` (CP-6.1).  Cached reads are
     serialized under a lock when parallel — the cache's bookkeeping is
     not thread safe — which keeps hit/miss counts identical to serial.
+    Cached reads execute on the executor's own (live) graph and count
+    as ``live_fallback`` in the ``repro_frozen_path_total`` metric.
     """
     if executor is not None and executor.graph is not graph:
         raise ValueError("executor must wrap the same graph")
     workers_n = resolve_workers(workers)
-    snapshot = StoreSnapshot(
-        graph,
-        context={"executor": executor, "executor_lock": threading.Lock()},
-    )
+    manager = FreezeManager(graph) if resolve_freeze(freeze_graph) else None
+    context = {"executor": executor, "executor_lock": threading.Lock()}
     batch_seconds: list[float] = []
     read_seconds: list[float] = []
     operations = 0
@@ -448,6 +475,7 @@ def throughput_test(
                         )
                     )
                     read_cursor += 1
+                read_graph = graph if manager is None else manager.frozen()
                 # capture_spans=False: the serial (workers=1) and thread
                 # (workers>1) read blocks must leave identically shaped
                 # traces, and threads can only synthesize.
@@ -455,7 +483,7 @@ def throughput_test(
                     workers=workers_n,
                     backend="thread" if workers_n > 1 else "serial",
                     timeout=timeout,
-                    snapshot=snapshot,
+                    snapshot=StoreSnapshot(read_graph, context=context),
                     capture_spans=False,
                 )
                 block = pool.run(tasks)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.core.run import RunReport
 from repro.driver.scheduler import ScheduledOperation
 from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
+from repro.graph.frozen import FreezeManager
 from repro.graph.store import SocialGraph
 from repro.obs.metrics import registry, summarize_seconds
 from repro.obs.spans import span
@@ -198,6 +199,7 @@ class Driver:
         warmup_reads: int = 0,
         workers: int | None = None,
         timeout: float | None = None,
+        freeze_reads: bool = False,
     ) -> DriverReport:
         """Execute the schedule.
 
@@ -216,6 +218,15 @@ class Driver:
         (``time_compression_ratio`` 0); paced runs schedule each
         operation individually and stay serial.  ``timeout`` bounds each
         parallel read (soft deadline; see :class:`repro.exec.WorkerPool`).
+
+        ``freeze_reads`` (opt-in, parallel runs only) serves each flush
+        of buffered complex reads from a
+        :class:`~repro.graph.frozen.FrozenGraph` snapshot that is
+        refrozen whenever the writes in between moved the store's
+        ``write_version``.  The Interactive workload interleaves writes
+        at operation granularity, so freezing pays off only when the
+        schedule has long read runs — hence opt-in, unlike the BI
+        tests.  Results are identical either way.
         """
         workers_n = resolve_workers(workers)
         if warmup_reads:
@@ -230,7 +241,9 @@ class Driver:
         with span("driver", kind="phase", operations=len(schedule),
                   tcr=self.tcr):
             if workers_n > 1 and self.tcr == 0 and schedule:
-                report = self._run_parallel(schedule, workers_n, timeout)
+                report = self._run_parallel(
+                    schedule, workers_n, timeout, freeze_reads
+                )
             else:
                 report = self._run_paced(schedule)
         _record_log_metrics(report.log)
@@ -307,6 +320,7 @@ class Driver:
         schedule: list[ScheduledOperation],
         workers: int,
         timeout: float | None,
+        freeze_reads: bool = False,
     ) -> DriverReport:
         """Flat-out replay with parallel complex reads.
 
@@ -320,18 +334,19 @@ class Driver:
         exec_stats: dict = {"workers": workers, "backend": "thread",
                             "tasks": 0, "failures": 0, "retries": 0,
                             "timeouts": 0, "worker_crashes": 0}
-        snapshot = StoreSnapshot(self.graph)
+        manager = FreezeManager(self.graph) if freeze_reads else None
         run_start = time.perf_counter()
         buffer: list[ScheduledOperation] = []
 
         def flush() -> None:
             if not buffer:
                 return
+            read_graph = self.graph if manager is None else manager.frozen()
             pool = WorkerPool(
                 workers=min(workers, len(buffer)),
                 backend="thread" if len(buffer) > 1 else "serial",
                 timeout=timeout,
-                snapshot=snapshot,
+                snapshot=StoreSnapshot(read_graph),
             )
             merged = pool.run(
                 Task(index, "ic", (op.number, tuple(op.params)))

@@ -34,11 +34,15 @@ is a single ``enabled`` check.
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, TypeVar
+from itertools import compress, repeat
+from typing import Any, Callable, Iterable, Iterator, TypeVar, cast
 
 from repro.engine.stats import counters
 from repro.obs.spans import Span, tracer
+from repro.graph.frozen import FrozenGraph
 from repro.graph.store import SocialGraph
 from repro.schema.entities import Forum, Message, Person, Post
 from repro.schema.relations import Likes
@@ -104,18 +108,26 @@ def scan_messages(
     tag: int | None = None,
     creator: int | None = None,
     kind: str | None = None,
+    language: "Iterable[str] | None" = None,
 ) -> Iterator[Message]:
     """Scan Messages, pushing the given predicates into the best index.
 
     ``window`` is a closed-open ``[start, end)`` creationDate interval
     (either bound ``None``); ``tag`` a Tag id the Message must carry;
     ``creator`` the creating Person's id; ``kind`` restricts to
-    ``"post"`` or ``"comment"``.  Access-path order: creator adjacency,
-    tag postings (date-bisected), month buckets, full scan.  All
-    remaining predicates are applied as filters, so every path returns
-    the same rows.
+    ``"post"`` or ``"comment"``; ``language`` keeps only Messages whose
+    BI-18 language (a Comment's is its root Post's) is in the given
+    set.  Access-path order: creator adjacency, tag postings
+    (date-bisected), month buckets, full scan.  All remaining
+    predicates are applied as filters, so every path returns the same
+    rows; ``rows_scanned`` counts the rows produced after filtering on
+    every path.  On a frozen snapshot the language predicate runs over
+    the dictionary-encoded root-language code column (integer-set
+    membership in C via ``map`` + ``compress``) instead of per-row
+    root-post chasing.
     """
     start, end = _bounds(window)
+    languages = None if language is None else frozenset(language)
     stats = counters()
     if creator is not None:
         if kind == "post":
@@ -137,6 +149,11 @@ def scan_messages(
                 if not _in_bounds(message.creation_date, start, end):
                     continue
                 if tag is not None and tag not in message.tag_ids:
+                    continue
+                if (
+                    languages is not None
+                    and graph.language_of_message(message) not in languages
+                ):
                     continue
                 produced += 1
                 yield message
@@ -160,8 +177,56 @@ def scan_messages(
                     continue
                 if kind == "comment" and not message.is_comment:
                     continue
+                if (
+                    languages is not None
+                    and graph.language_of_message(message) not in languages
+                ):
+                    continue
                 produced += 1
                 yield message
+        finally:
+            stats.rows_scanned += produced
+            _close_operator_span(span, produced)
+        return
+
+    if (start is not None or end is not None) and isinstance(
+        graph, FrozenGraph
+    ):
+        # Frozen fast path: bisect the int64 date columns and yield the
+        # ``(creationDate, id)``-sorted object lists by contiguous slice
+        # — no month-bucket walk, no boundary re-checks.  Rows are
+        # accounted per slice (frozen scans are consumed whole by every
+        # query); the counter names and values match the live date-index
+        # path exactly.
+        stats.index_scans += 1
+        span = _operator_span("scan_messages", access="frozen-date-column")
+        produced = 0
+        try:
+            if languages is None:
+                for objs, dates in graph.date_slabs(kind):
+                    lo = 0 if start is None else bisect_left(dates, start)
+                    hi = len(dates) if end is None else bisect_left(dates, end)
+                    if lo < hi:
+                        produced += hi - lo
+                        yield from objs[lo:hi]
+            else:
+                # Language pushdown over the dictionary-encoded root-
+                # language code column: integer-set membership via
+                # ``map`` + ``compress``, all C-level per slab slice.
+                wanted = graph.language_codes(languages)
+                for objs, dates, codes in graph.language_slabs(kind):
+                    lo = 0 if start is None else bisect_left(dates, start)
+                    hi = len(dates) if end is None else bisect_left(dates, end)
+                    if lo >= hi or not wanted:
+                        continue
+                    selected = list(
+                        compress(
+                            objs[lo:hi],
+                            map(wanted.__contains__, codes[lo:hi]),
+                        )
+                    )
+                    produced += len(selected)
+                    yield from selected
         finally:
             stats.rows_scanned += produced
             _close_operator_span(span, produced)
@@ -175,6 +240,11 @@ def scan_messages(
         produced = 0
         try:
             for message in graph.messages_in_window(start, end, kind):
+                if (
+                    languages is not None
+                    and graph.language_of_message(message) not in languages
+                ):
+                    continue
                 produced += 1
                 yield message
         finally:
@@ -194,6 +264,11 @@ def scan_messages(
     try:
         for message in source:
             if not _in_bounds(message.creation_date, start, end):
+                continue
+            if (
+                languages is not None
+                and graph.language_of_message(message) not in languages
+            ):
                 continue
             produced += 1
             yield message
@@ -288,7 +363,28 @@ def expand(
     ``neighbors`` is any store adjacency accessor (``friends_of``,
     ``replies_of``, ``members_of_forum``, …).  Tallies the number of
     edges followed (CP-2.3 index-based join work).
+
+    When ``neighbors`` is a frozen snapshot's ``friends_of``, the pairs
+    come from contiguous knows-CSR offset slices instead of per-object
+    adjacency-dict iteration — pair construction happens in C
+    (``zip`` + ``repeat`` over an ``array('q')`` slice), with the same
+    pair order and the same ``edges_expanded`` tally.
     """
+    bound = getattr(neighbors, "__self__", None)
+    if (
+        isinstance(bound, FrozenGraph)
+        and getattr(neighbors, "__name__", "") == "friends_of"
+    ):
+        return cast(
+            "Iterator[tuple[S, T]]",
+            _expand_frozen_knows(bound, cast("Iterable[int]", sources)),
+        )
+    return _expand_generic(sources, neighbors)
+
+
+def _expand_generic(
+    sources: Iterable[S], neighbors: Callable[[S], Iterable[T]]
+) -> Iterator[tuple[S, T]]:
     stats = counters()
     span = _operator_span("expand")
     followed = 0
@@ -302,9 +398,42 @@ def expand(
         _close_operator_span(span, followed)
 
 
+def _expand_frozen_knows(
+    graph: FrozenGraph, sources: Iterable[int]
+) -> Iterator[tuple[int, int]]:
+    """The knows-CSR expand fast path (one offset slice per source)."""
+    stats = counters()
+    span = _operator_span("expand", access="frozen-knows-csr")
+    offsets = graph._knows_offsets
+    targets = graph._knows_targets
+    ordinal_of = graph._person_ord
+    followed = 0
+    try:
+        for source in sources:
+            ordinal = ordinal_of.get(source)
+            if ordinal is None:
+                continue
+            lo = offsets[ordinal]
+            hi = offsets[ordinal + 1]
+            if lo == hi:
+                continue
+            followed += hi - lo
+            yield from zip(repeat(source, hi - lo), targets[lo:hi])
+    finally:
+        stats.edges_expanded += followed
+        _close_operator_span(span, followed)
+
+
 def group_count(keys: Iterable[K]) -> Counter[K]:
-    """Hash-aggregate COUNT(*) per key (CP-1.2 group-by)."""
+    """Hash-aggregate COUNT(*) per key (CP-1.2 group-by).
+
+    An ``array`` key column (frozen ordinal ranges) is materialized via
+    ``tolist()`` first, which keeps the whole count on
+    ``Counter``'s C fast path for sequences.
+    """
     span = _operator_span("group_count")
+    if isinstance(keys, array):
+        keys = cast("Iterable[K]", keys.tolist())
     groups = Counter(keys)
     counters().groups_created += len(groups)
     _close_operator_span(span, len(groups))

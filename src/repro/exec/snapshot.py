@@ -12,6 +12,15 @@ On platforms without ``fork`` (or with the ``spawn`` start method) the
 snapshot is pickled once per worker by the pool; the thread and serial
 backends simply share the object in-process.
 
+Frozen snapshots (:class:`~repro.graph.frozen.FrozenGraph`) compose
+especially well with the fork path: their CSR offset/target arrays and
+interned column dictionaries are contiguous ``array('q')`` buffers that
+fork as copy-on-write pages and are never written afterwards, so every
+worker reads the *same physical bytes* instead of a per-worker unpickled
+object graph.  The drivers therefore hand the pool a
+``StoreSnapshot(freeze(graph))`` for read phases and keep the live store
+as the write path in the parent.
+
 A snapshot is a graph plus a ``context`` dict for whatever else task
 runners need (curated bindings, a result-cache executor, …).  Workers
 treat it as immutable: the determinism contract of

@@ -80,10 +80,25 @@ class TaskOutcome:
 # -- task runners ----------------------------------------------------------
 
 
+def _tally_read_path(graph: Any) -> None:
+    """Count which storage layout actually served a read task.
+
+    ``repro_frozen_path_total{path=frozen_hit}`` when the task's graph is
+    a frozen snapshot, ``path=live_fallback`` otherwise — the driver-side
+    ratio of the two is the cheapest way to confirm a run really took the
+    frozen path (e.g. after an update batch forced a refreeze window).
+    """
+    from repro.obs.metrics import registry
+
+    path = "frozen_hit" if getattr(graph, "is_frozen", False) else "live_fallback"
+    registry().counter("repro_frozen_path_total", path=path).inc()
+
+
 def _run_bi(graph: Any, context: dict, number: int, params: tuple) -> list:
     """One BI read; returns its rows (parameter errors propagate)."""
     from repro.queries.bi import ALL_QUERIES
 
+    _tally_read_path(graph)
     return ALL_QUERIES[number][0](graph, *params)
 
 
@@ -103,6 +118,9 @@ def _run_bi_throughput(
 
     query = ALL_QUERIES[number][0]
     executor = context.get("executor")
+    # Cached reads run against the executor's own (live) graph, so they
+    # count as live_fallback even when the pool snapshot is frozen.
+    _tally_read_path(executor.graph if executor is not None else graph)
     try:
         if executor is not None:
             with context["executor_lock"]:
@@ -119,6 +137,7 @@ def _run_ic(graph: Any, context: dict, number: int, params: tuple) -> list | Non
     invalidated (the serial driver logs those as ``result_count = -1``)."""
     from repro.queries.interactive.complex import ALL_COMPLEX
 
+    _tally_read_path(graph)
     try:
         return ALL_COMPLEX[number][0](graph, *params)
     except KeyError:
@@ -133,6 +152,7 @@ def _run_stream(
     official throughput test's distinct query streams."""
     bindings = context["bindings"]
     numbers = sorted(bindings)
+    _tally_read_path(graph)
     executed = 0
     cursor = stream_index * 7  # de-phase the streams
     from repro.queries.bi import ALL_QUERIES

@@ -1,0 +1,582 @@
+"""Read-optimized frozen snapshots of a :class:`SocialGraph`.
+
+Graph systems audited under LDBC SNB win the BI workload's choke points
+(CP-1 aggregation, CP-2 join/expand, CP-3 data locality) with
+compressed-sparse-row adjacency and columnar storage.  This module
+brings that layout to the reproduction without leaving pure Python:
+
+* :class:`FrozenGraph` — an immutable snapshot built once from a live
+  store.  It *shares* the live store's entity tables and adjacency
+  indexes by reference (freezing copies nothing heavy) and adds
+  columnar read structures on top:
+
+  - dense id -> ordinal remapping for persons, forums and messages
+    (posts occupy ordinals ``[0, P)``, comments ``[P, P+C)``);
+  - ``array('q')``-backed CSR adjacency for the knows, likes,
+    membership, reply and forum-post edge sets;
+  - int64 epoch-millisecond date columns parallel to the
+    ``(creationDate, id)``-sorted message lists, so window predicates
+    bisect a flat array instead of probing month buckets;
+  - a precomputed root-post column (``replyOf*`` transitive closure),
+    making :meth:`FrozenGraph.root_post_of` O(1) and
+    :meth:`FrozenGraph.thread_messages` a contiguous slice;
+  - dictionary-encoded, ``sys.intern``-ed string columns
+    (:class:`StringColumn`) for the low-cardinality text attributes.
+
+* :func:`freeze` — build a snapshot and publish per-column-family
+  footprint gauges (``repro_frozen_bytes``) to the metrics registry;
+* :class:`FreezeManager` — the freeze/invalidate lifecycle the driver
+  uses around write batches: the live store remains the write path, and
+  a snapshot is rebuilt lazily whenever ``SocialGraph.write_version``
+  has moved;
+* :func:`resolve_freeze` — the ``freeze`` knob default (the
+  ``REPRO_FROZEN`` environment variable, on unless set falsy).
+
+Because the snapshot shares the live store's tables, its validity
+contract is strict: **any write to the source store invalidates every
+snapshot built from it**.  All mutators raise on the snapshot itself,
+and :class:`FreezeManager` enforces the rebuild on version change; code
+holding a stale snapshot past a write is outside the contract (exactly
+like holding an iterator over a dict across a mutation).
+
+Query code must not import this module (lint R2, slug ``frozen-import``)
+— queries receive whichever graph the driver passes and stay
+representation-agnostic; the engine picks the columnar fast paths off
+``graph.is_frozen``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator
+
+from repro.graph.store import SocialGraph
+from repro.obs.metrics import registry
+from repro.schema.entities import Comment, Message, Post
+from repro.util.dates import DateTime
+
+__all__ = [
+    "FrozenGraph",
+    "FreezeManager",
+    "StringColumn",
+    "freeze",
+    "resolve_freeze",
+]
+
+
+def _array_bytes(values: array) -> int:
+    return len(values) * values.itemsize
+
+
+class StringColumn:
+    """A dictionary-encoded string column: ``array('i')`` codes over an
+    interned dictionary.  Low-cardinality attributes (language, browser,
+    gender) compress to 4 bytes per row, and ``sys.intern`` makes every
+    repeated value one shared object, so downstream equality checks are
+    pointer comparisons."""
+
+    __slots__ = ("codes", "dictionary")
+
+    def __init__(self, values: Iterable[str]):
+        code_of: dict[str, int] = {}
+        dictionary: list[str] = []
+        codes = array("i")
+        for value in values:
+            code = code_of.get(value)
+            if code is None:
+                code = code_of[value] = len(dictionary)
+                dictionary.append(sys.intern(value))
+            codes.append(code)
+        self.codes = codes
+        self.dictionary = dictionary
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, index: int) -> str:
+        return self.dictionary[self.codes[index]]
+
+    def nbytes(self) -> int:
+        return _array_bytes(self.codes)
+
+
+class FrozenGraph(SocialGraph):
+    """An immutable, column-augmented view of a loaded store.
+
+    Entity tables and adjacency indexes are the *same objects* as the
+    source store's (see the module docstring for the validity
+    contract); everything below is built at freeze time.  The hot-path
+    accessors the engine and the queries hit per row —
+    ``messages_with_tag_in_window``, ``posts_in_forum_window``,
+    ``root_post_of``, ``thread_messages``, ``persons_in_country`` — are
+    overridden to serve from the columns; everything else inherits the
+    live implementations over the shared indexes.
+    """
+
+    is_frozen = True
+
+    # -- columns (annotated for the engine's strict-typed fast paths) ----
+    _person_ids: array
+    _person_ord: dict[int, int]
+    _person_country: array
+    _knows_offsets: array
+    _knows_targets: array
+    _knows_dates: array
+    _post_objs: list[Post]
+    _post_dates: array
+    _comment_objs: list[Comment]
+    _comment_dates: array
+    _msg_objs: list[Message]
+    _msg_ord: dict[int, int]
+    _root_ord: array
+    _reply_offsets: array
+    _reply_targets: array
+    _thread_offsets: array
+    _thread_members: array
+    _likes_offsets: array
+    _likes_person: array
+    _likes_dates: array
+    _forum_ids: array
+    _forum_ord: dict[int, int]
+    _member_offsets: array
+    _member_person: array
+    _member_dates: array
+    _forum_post_offsets: array
+    _forum_post_targets: array
+    _forum_post_objs: dict[int, list[Post]]
+    _forum_post_date_cols: dict[int, array]
+    _tag_objs: dict[int, list[Message]]
+    _tag_dates: dict[int, array]
+    _comment_root_lang: array
+    _lang_code_of: dict[str, int]
+    _country_persons: dict[int, list[int]]
+    _post_language: StringColumn
+    _post_browser: StringColumn
+    _comment_browser: StringColumn
+    _person_gender: StringColumn
+    _person_browser: StringColumn
+
+    def __init__(self, source: SocialGraph):
+        if isinstance(source, FrozenGraph):
+            raise TypeError("cannot freeze a FrozenGraph; freeze the live store")
+        # Adopt the live tables and indexes by reference — freezing must
+        # not copy the object graph (that is what it exists to avoid).
+        self.__dict__.update(source.__dict__)
+        # A snapshot always has its columns; the ablation flags describe
+        # the live store's secondary indexes, which the shared index
+        # structures maintain regardless of the flags.
+        self.use_indexes = True
+        self.use_date_index = True
+        self.use_tag_index = True
+        #: The source's write_version at freeze time; FreezeManager
+        #: rebuilds when the live store has moved past it.
+        self.frozen_at_version = source.write_version
+        self._build_columns()
+
+    # ------------------------------------------------------------------
+    # Column construction
+    # ------------------------------------------------------------------
+
+    def _build_columns(self) -> None:
+        self._build_person_columns()
+        self._build_message_columns()
+        self._build_reply_columns()
+        self._build_likes_columns()
+        self._build_forum_columns()
+        self._build_tag_columns()
+
+    def _build_person_columns(self) -> None:
+        person_ids = array("q", sorted(self.persons))
+        person_ord = {pid: i for i, pid in enumerate(person_ids)}
+        offsets = array("q", [0])
+        targets = array("q")
+        dates = array("q")
+        country = array("q")
+        persons = self.persons
+        places = self.places
+        for pid in person_ids:
+            row = self._friends.get(pid)
+            if row:
+                targets.extend(row.keys())
+                dates.extend(row.values())
+            offsets.append(len(targets))
+            country.append(places[persons[pid].city_id].part_of)
+        self._person_ids = person_ids
+        self._person_ord = person_ord
+        self._knows_offsets = offsets
+        self._knows_targets = targets
+        self._knows_dates = dates
+        self._person_country = country
+        ordered = [persons[pid] for pid in person_ids]
+        self._person_gender = StringColumn(p.gender for p in ordered)
+        self._person_browser = StringColumn(p.browser_used for p in ordered)
+        country_persons: dict[int, list[int]] = {}
+        for country_id in {c for c in country}:
+            country_persons[country_id] = list(
+                SocialGraph.persons_in_country(self, country_id)
+            )
+        self._country_persons = country_persons
+
+    def _build_message_columns(self) -> None:
+        by_date = lambda m: (m.creation_date, m.id)  # noqa: E731
+        post_objs = sorted(self.posts.values(), key=by_date)
+        comment_objs = sorted(self.comments.values(), key=by_date)
+        self._post_objs = post_objs
+        self._comment_objs = comment_objs
+        self._post_dates = array("q", (p.creation_date for p in post_objs))
+        self._comment_dates = array(
+            "q", (c.creation_date for c in comment_objs)
+        )
+        msg_objs: list[Message] = [*post_objs, *comment_objs]
+        self._msg_objs = msg_objs
+        self._msg_ord = {m.id: i for i, m in enumerate(msg_objs)}
+        self._post_language = StringColumn(p.language for p in post_objs)
+        self._post_browser = StringColumn(p.browser_used for p in post_objs)
+        self._comment_browser = StringColumn(
+            c.browser_used for c in comment_objs
+        )
+
+    def _build_reply_columns(self) -> None:
+        msg_ord = self._msg_ord
+        msg_objs = self._msg_objs
+        posts = len(self._post_objs)
+        # Direct reply CSR over combined message ordinals.
+        offsets = array("q", [0])
+        targets = array("q")
+        for message in msg_objs:
+            for reply in self._replies_of.get(message.id, ()):
+                targets.append(msg_ord[reply.id])
+            offsets.append(len(targets))
+        self._reply_offsets = offsets
+        self._reply_targets = targets
+        # Root-post column: replyOf* resolved bottom-up with memoization.
+        root_of_id: dict[int, int] = {}
+        comments = self.comments
+        root_ord = array("q", range(posts))
+        for ordinal in range(posts, len(msg_objs)):
+            chain: list[int] = []
+            current = msg_objs[ordinal].id
+            while current in comments:
+                known = root_of_id.get(current)
+                if known is not None:
+                    current = known
+                    break
+                chain.append(current)
+                reply = comments[current]
+                current = (
+                    reply.reply_of_post
+                    if reply.reply_of_post >= 0
+                    else reply.reply_of_comment
+                )
+            for mid in chain:
+                root_of_id[mid] = current
+            root_ord.append(msg_ord[current])
+        self._root_ord = root_ord
+        # Root-language code column for the comment slab: a comment's
+        # BI-18 language is its root Post's, so its code indexes the
+        # post language dictionary (the post slab reuses the post
+        # language codes directly).
+        post_codes = self._post_language.codes
+        self._comment_root_lang = array(
+            "i",
+            (
+                post_codes[root_ord[ordinal]]
+                for ordinal in range(posts, len(msg_objs))
+            ),
+        )
+        self._lang_code_of = {
+            value: code
+            for code, value in enumerate(self._post_language.dictionary)
+        }
+        # Thread closure CSR: post ordinal -> [post, *comment ordinals].
+        members: list[list[int]] = [[p] for p in range(posts)]
+        for ordinal in range(posts, len(msg_objs)):
+            members[root_ord[ordinal]].append(ordinal)
+        thread_offsets = array("q", [0])
+        thread_members = array("q")
+        for row in members:
+            thread_members.extend(row)
+            thread_offsets.append(len(thread_members))
+        self._thread_offsets = thread_offsets
+        self._thread_members = thread_members
+
+    def _build_likes_columns(self) -> None:
+        offsets = array("q", [0])
+        person = array("q")
+        dates = array("q")
+        likes_of = self._likes_of_message
+        for message in self._msg_objs:
+            for like in likes_of.get(message.id, ()):
+                person.append(like.person_id)
+                dates.append(like.creation_date)
+            offsets.append(len(person))
+        self._likes_offsets = offsets
+        self._likes_person = person
+        self._likes_dates = dates
+
+    def _build_forum_columns(self) -> None:
+        forum_ids = array("q", sorted(self.forums))
+        self._forum_ids = forum_ids
+        self._forum_ord = {fid: i for i, fid in enumerate(forum_ids)}
+        member_offsets = array("q", [0])
+        member_person = array("q")
+        member_dates = array("q")
+        post_offsets = array("q", [0])
+        post_targets = array("q")
+        forum_post_objs: dict[int, list[Post]] = {}
+        forum_post_dates: dict[int, array] = {}
+        msg_ord = self._msg_ord
+        posts = self.posts
+        for fid in forum_ids:
+            for membership in self._members_of_forum.get(fid, ()):
+                member_person.append(membership.person_id)
+                member_dates.append(membership.join_date)
+            member_offsets.append(len(member_person))
+            dated = self._forum_posts_by_date.get(fid, ())
+            if dated:
+                forum_post_objs[fid] = [posts[mid] for _, mid in dated]
+                forum_post_dates[fid] = array("q", (d for d, _ in dated))
+                post_targets.extend(msg_ord[mid] for _, mid in dated)
+            post_offsets.append(len(post_targets))
+        self._member_offsets = member_offsets
+        self._member_person = member_person
+        self._member_dates = member_dates
+        self._forum_post_offsets = post_offsets
+        self._forum_post_targets = post_targets
+        self._forum_post_objs = forum_post_objs
+        self._forum_post_date_cols = forum_post_dates
+
+    def _build_tag_columns(self) -> None:
+        tag_objs: dict[int, list[Message]] = {}
+        tag_dates: dict[int, array] = {}
+        message = self.message
+        for tag_id, postings in self._messages_with_tag.items():
+            if not postings:
+                continue
+            tag_objs[tag_id] = [message(mid) for _, mid in postings]
+            tag_dates[tag_id] = array("q", (d for d, _ in postings))
+        self._tag_objs = tag_objs
+        self._tag_dates = tag_dates
+
+    # ------------------------------------------------------------------
+    # Columnar accessor overrides (identical rows, slice-backed)
+    # ------------------------------------------------------------------
+
+    def date_slabs(
+        self, kind: str | None
+    ) -> "tuple[tuple[list[Message], array], ...]":
+        """The ``(creationDate, id)``-sorted message lists with their
+        parallel date columns, restricted to ``kind`` — the engine's
+        frozen window-scan slabs."""
+        if kind == "post":
+            return ((self._post_objs, self._post_dates),)
+        if kind == "comment":
+            return ((self._comment_objs, self._comment_dates),)
+        return (
+            (self._post_objs, self._post_dates),
+            (self._comment_objs, self._comment_dates),
+        )
+
+    def language_slabs(
+        self, kind: str | None
+    ) -> "tuple[tuple[list[Message], array, array], ...]":
+        """:meth:`date_slabs` plus the parallel root-language code
+        column per slab — the engine's language-pushdown fast path.
+        Codes index the post language dictionary (a Comment's language
+        is its root Post's, per BI 18)."""
+        post_slab = (
+            self._post_objs, self._post_dates, self._post_language.codes
+        )
+        comment_slab = (
+            self._comment_objs, self._comment_dates, self._comment_root_lang
+        )
+        if kind == "post":
+            return (post_slab,)
+        if kind == "comment":
+            return (comment_slab,)
+        return (post_slab, comment_slab)
+
+    def language_codes(self, languages: Iterable[str]) -> set[int]:
+        """The language-dictionary codes of ``languages`` (values the
+        dictionary never saw drop out — no message can match them)."""
+        code_of = self._lang_code_of
+        return {code_of[v] for v in languages if v in code_of}
+
+    def messages_with_tag_in_window(
+        self,
+        tag_id: int,
+        start: DateTime | None = None,
+        end: DateTime | None = None,
+    ) -> Iterator[Message]:
+        objs = self._tag_objs.get(tag_id)
+        if objs is None:
+            return
+        dates = self._tag_dates[tag_id]
+        lo = 0 if start is None else bisect_left(dates, start)
+        hi = len(dates) if end is None else bisect_left(dates, end)
+        yield from objs[lo:hi]
+
+    def posts_in_forum_window(
+        self,
+        forum_id: int,
+        start: DateTime | None = None,
+        end: DateTime | None = None,
+    ) -> Iterator[Post]:
+        objs = self._forum_post_objs.get(forum_id)
+        if objs is None:
+            return
+        dates = self._forum_post_date_cols[forum_id]
+        lo = 0 if start is None else bisect_left(dates, start)
+        hi = len(dates) if end is None else bisect_left(dates, end)
+        yield from objs[lo:hi]
+
+    def root_post_of(self, message: Message) -> Post:
+        # Root ordinals are < len(_post_objs) by construction, so the
+        # combined-list lookup always lands on a Post.
+        return self._msg_objs[  # type: ignore[return-value]
+            self._root_ord[self._msg_ord[message.id]]
+        ]
+
+    def language_of_message(self, message: Message) -> str:
+        # The root ordinal indexes the post language column directly
+        # (a Post is its own root), skipping the root object entirely.
+        return self._post_language[self._root_ord[self._msg_ord[message.id]]]
+
+    def thread_messages(self, post: Post) -> Iterator[Message]:
+        ordinal = self._msg_ord[post.id]
+        lo = self._thread_offsets[ordinal]
+        hi = self._thread_offsets[ordinal + 1]
+        objs = self._msg_objs
+        for member in self._thread_members[lo:hi]:
+            yield objs[member]
+
+    def persons_in_country(self, country_id: int) -> Iterator[int]:
+        yield from self._country_persons.get(country_id, ())
+
+    def country_of_person(self, person_id: int) -> int:
+        return self._person_country[self._person_ord[person_id]]
+
+    # ------------------------------------------------------------------
+    # Footprint
+    # ------------------------------------------------------------------
+
+    def footprint(self) -> dict[str, int]:
+        """Bytes per column family (array buffers and code columns; the
+        shared live tables are deliberately excluded — they exist with
+        or without the snapshot)."""
+        return {
+            "person_columns": _array_bytes(self._person_ids)
+            + _array_bytes(self._person_country),
+            "knows_csr": _array_bytes(self._knows_offsets)
+            + _array_bytes(self._knows_targets)
+            + _array_bytes(self._knows_dates),
+            "likes_csr": _array_bytes(self._likes_offsets)
+            + _array_bytes(self._likes_person)
+            + _array_bytes(self._likes_dates),
+            "membership_csr": _array_bytes(self._member_offsets)
+            + _array_bytes(self._member_person)
+            + _array_bytes(self._member_dates),
+            "reply_csr": _array_bytes(self._reply_offsets)
+            + _array_bytes(self._reply_targets)
+            + _array_bytes(self._root_ord)
+            + _array_bytes(self._thread_offsets)
+            + _array_bytes(self._thread_members),
+            "forum_post_csr": _array_bytes(self._forum_post_offsets)
+            + _array_bytes(self._forum_post_targets)
+            + _array_bytes(self._forum_ids),
+            "date_columns": _array_bytes(self._post_dates)
+            + _array_bytes(self._comment_dates)
+            + sum(_array_bytes(a) for a in self._tag_dates.values())
+            + sum(
+                _array_bytes(a)
+                for a in self._forum_post_date_cols.values()
+            ),
+            "string_columns": self._post_language.nbytes()
+            + self._post_browser.nbytes()
+            + self._comment_browser.nbytes()
+            + self._person_gender.nbytes()
+            + self._person_browser.nbytes()
+            + _array_bytes(self._comment_root_lang),
+        }
+
+
+def _immutable(name: str):
+    def method(self: FrozenGraph, *args: object, **kwargs: object) -> None:
+        raise TypeError(
+            f"FrozenGraph is immutable: {name}() is not allowed; apply "
+            "writes to the live SocialGraph and refreeze"
+        )
+
+    method.__name__ = name
+    return method
+
+
+#: Every SocialGraph mutator, overridden to raise on the snapshot.
+_MUTATORS = (
+    "add_place", "add_organisation", "add_tag_class", "add_tag",
+    "add_person", "add_study_at", "add_work_at", "add_knows",
+    "add_forum", "add_membership", "add_post", "add_comment", "add_like",
+    "delete_like", "delete_knows", "delete_membership", "delete_comment",
+    "delete_post", "delete_forum", "delete_person",
+)
+for _name in _MUTATORS:
+    setattr(FrozenGraph, _name, _immutable(_name))
+del _name
+
+
+def freeze(graph: SocialGraph) -> FrozenGraph:
+    """Build a :class:`FrozenGraph` snapshot of ``graph`` and publish
+    its per-column-family footprint to the metrics registry
+    (``repro_frozen_bytes{family=...}`` gauges and the
+    ``repro_frozen_freezes_total`` counter)."""
+    if isinstance(graph, FrozenGraph):
+        return graph
+    snapshot = FrozenGraph(graph)
+    metrics = registry()
+    for family, nbytes in snapshot.footprint().items():
+        metrics.gauge("repro_frozen_bytes", family=family).set(float(nbytes))
+    metrics.counter("repro_frozen_freezes_total").inc()
+    return snapshot
+
+
+class FreezeManager:
+    """The freeze/invalidate lifecycle around write batches.
+
+    ``frozen()`` returns a snapshot that is current with respect to the
+    live store's ``write_version``, rebuilding lazily after any write;
+    ``invalidate()`` drops the cached snapshot unconditionally (the
+    rebuild happens on the next ``frozen()`` call)."""
+
+    def __init__(self, graph: SocialGraph):
+        if isinstance(graph, FrozenGraph):
+            raise TypeError("FreezeManager wraps the live store")
+        self.graph = graph
+        self._snapshot: FrozenGraph | None = None
+        self.freezes = 0
+
+    def frozen(self) -> FrozenGraph:
+        snapshot = self._snapshot
+        if (
+            snapshot is None
+            or snapshot.frozen_at_version != self.graph.write_version
+        ):
+            snapshot = self._snapshot = freeze(self.graph)
+            self.freezes += 1
+        return snapshot
+
+    def invalidate(self) -> None:
+        self._snapshot = None
+
+
+def resolve_freeze(freeze_opt: bool | None) -> bool:
+    """Resolve a driver ``freeze`` knob: an explicit value wins, else
+    the ``REPRO_FROZEN`` environment variable (default on)."""
+    if freeze_opt is not None:
+        return freeze_opt
+    value = os.environ.get("REPRO_FROZEN")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off", "")

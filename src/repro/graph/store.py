@@ -76,6 +76,10 @@ class SocialGraph:
         }
     )
 
+    #: ``True`` only on :class:`repro.graph.frozen.FrozenGraph` — lets
+    #: the engine pick columnar fast paths with one attribute check.
+    is_frozen: bool = False
+
     def __init__(
         self,
         use_indexes: bool = True,
@@ -87,6 +91,11 @@ class SocialGraph:
         #: ``use_indexes=False`` master-disables both regardless.
         self.use_date_index = use_date_index
         self.use_tag_index = use_tag_index
+        #: Monotonic write counter: every mutator bumps it (cascading
+        #: deletes bump it once per cascaded step — only change-vs-equal
+        #: matters).  ``repro.graph.frozen.FreezeManager`` compares it to
+        #: decide whether a frozen snapshot is stale.
+        self.write_version = 0
 
         # Entity tables.
         self.places: dict[int, Place] = {}
@@ -143,6 +152,11 @@ class SocialGraph:
         self._tagclass_children: dict[int, list[int]] = defaultdict(list)
         self._tags_of_class: dict[int, list[int]] = defaultdict(list)
         self._forums_with_tag: dict[int, list[int]] = defaultdict(list)
+        #: (person1, person2) -> position in ``knows_edges``; lets
+        #: ``delete_knows`` swap-remove in O(degree) instead of
+        #: rebuilding the whole edge list (``knows_edges`` order is not
+        #: part of the public contract — accessors return adjacency).
+        self._knows_pos: dict[tuple[int, int], int] = {}
 
         # Name lookups (query parameters are names for places/tags/classes).
         self._place_by_name: dict[tuple[str, PlaceType], int] = {}
@@ -238,21 +252,25 @@ class SocialGraph:
     # ------------------------------------------------------------------
 
     def add_place(self, place: Place) -> None:
+        self.write_version += 1
         self.places[place.id] = place
         self._place_by_name[(place.name, place.type)] = place.id
         if place.type is PlaceType.CITY and place.part_of >= 0:
             self._cities_of_country[place.part_of].append(place.id)
 
     def add_organisation(self, organisation: Organisation) -> None:
+        self.write_version += 1
         self.organisations[organisation.id] = organisation
 
     def add_tag_class(self, tag_class: TagClass) -> None:
+        self.write_version += 1
         self.tag_classes[tag_class.id] = tag_class
         self._tagclass_by_name[tag_class.name] = tag_class.id
         if tag_class.subclass_of >= 0:
             self._tagclass_children[tag_class.subclass_of].append(tag_class.id)
 
     def add_tag(self, tag: Tag) -> None:
+        self.write_version += 1
         self.tags[tag.id] = tag
         self._tag_by_name[tag.name] = tag.id
         self._tags_of_class[tag.type_id].append(tag.id)
@@ -264,20 +282,25 @@ class SocialGraph:
     def add_person(self, person: Person) -> None:
         if person.id in self.persons:
             raise ValueError(f"duplicate person id {person.id}")
+        self.write_version += 1
         self.persons[person.id] = person
         self._persons_in_city[person.city_id].append(person.id)
         for tag_id in person.interests:
             self._persons_interested[tag_id].append(person.id)
 
     def add_study_at(self, record: StudyAt) -> None:
+        self.write_version += 1
         self.study_at.append(record)
         self._study_at_of[record.person_id].append(record)
 
     def add_work_at(self, record: WorkAt) -> None:
+        self.write_version += 1
         self.work_at.append(record)
         self._work_at_of[record.person_id].append(record)
 
     def add_knows(self, edge: Knows) -> None:
+        self.write_version += 1
+        self._knows_pos[(edge.person1, edge.person2)] = len(self.knows_edges)
         self.knows_edges.append(edge)
         self._friends[edge.person1][edge.person2] = edge.creation_date
         self._friends[edge.person2][edge.person1] = edge.creation_date
@@ -285,12 +308,14 @@ class SocialGraph:
     def add_forum(self, forum: Forum) -> None:
         if forum.id in self.forums:
             raise ValueError(f"duplicate forum id {forum.id}")
+        self.write_version += 1
         self.forums[forum.id] = forum
         self._moderated_forums[forum.moderator_id].append(forum)
         for tag_id in forum.tag_ids:
             self._forums_with_tag[tag_id].append(forum.id)
 
     def add_membership(self, membership: HasMember) -> None:
+        self.write_version += 1
         self.memberships.append(membership)
         self._forums_of_member[membership.person_id].append(membership)
         self._members_of_forum[membership.forum_id].append(membership)
@@ -327,6 +352,7 @@ class SocialGraph:
     def add_post(self, post: Post) -> None:
         if post.id in self.posts or post.id in self.comments:
             raise ValueError(f"duplicate message id {post.id}")
+        self.write_version += 1
         self.posts[post.id] = post
         self._posts_by_creator[post.creator_id].append(post)
         self._posts_in_forum[post.forum_id].append(post)
@@ -337,6 +363,7 @@ class SocialGraph:
     def add_comment(self, comment: Comment) -> None:
         if comment.id in self.posts or comment.id in self.comments:
             raise ValueError(f"duplicate message id {comment.id}")
+        self.write_version += 1
         self.comments[comment.id] = comment
         self._comments_by_creator[comment.creator_id].append(comment)
         parent = (
@@ -348,6 +375,7 @@ class SocialGraph:
         self._index_message(comment)
 
     def add_like(self, like: Likes) -> None:
+        self.write_version += 1
         self.likes_edges.append(like)
         self._likes_of_message[like.message_id].append(like)
         self._likes_by_person[like.person_id].append(like)
@@ -366,6 +394,7 @@ class SocialGraph:
 
     def delete_like(self, person_id: int, message_id: int) -> None:
         """Remove one likes edge (no-op if absent)."""
+        self.write_version += 1
         existing = [
             l
             for l in self._likes_of_message.get(message_id, [])
@@ -377,18 +406,28 @@ class SocialGraph:
             self._likes_by_person[person_id].remove(like)
 
     def delete_knows(self, person1: int, person2: int) -> None:
-        """Remove a friendship edge (no-op if absent)."""
+        """Remove a friendship edge (no-op if absent).
+
+        O(degree-of-caller) overall: the ``_friends`` pops are dict
+        deletes and the edge leaves ``knows_edges`` by swap-remove via
+        the ``_knows_pos`` position map — no O(E) list rebuild.
+        """
+        self.write_version += 1
         a, b = min(person1, person2), max(person1, person2)
         self._friends.get(a, {}).pop(b, None)
         self._friends.get(b, {}).pop(a, None)
-        self.knows_edges = [
-            e
-            for e in self.knows_edges
-            if not (e.person1 == a and e.person2 == b)
-        ]
+        position = self._knows_pos.pop((a, b), None)
+        if position is None:
+            return
+        edges = self.knows_edges
+        moved = edges.pop()
+        if position < len(edges):
+            edges[position] = moved
+            self._knows_pos[(moved.person1, moved.person2)] = position
 
     def delete_membership(self, forum_id: int, person_id: int) -> None:
         """Remove a hasMember edge (no-op if absent)."""
+        self.write_version += 1
         existing = [
             m
             for m in self._members_of_forum.get(forum_id, [])
@@ -411,6 +450,7 @@ class SocialGraph:
         comment = self.comments.get(comment_id)
         if comment is None:
             return
+        self.write_version += 1
         for reply in list(self._replies_of.get(comment_id, [])):
             self.delete_comment(reply.id)
         self._replies_of.pop(comment_id, None)
@@ -432,6 +472,7 @@ class SocialGraph:
         post = self.posts.get(post_id)
         if post is None:
             return
+        self.write_version += 1
         for reply in list(self._replies_of.get(post_id, [])):
             self.delete_comment(reply.id)
         self._replies_of.pop(post_id, None)
@@ -450,6 +491,7 @@ class SocialGraph:
         forum = self.forums.get(forum_id)
         if forum is None:
             return
+        self.write_version += 1
         for post in list(self._posts_in_forum.get(forum_id, [])):
             self.delete_post(post.id)
         self._posts_in_forum.pop(forum_id, None)
@@ -475,6 +517,7 @@ class SocialGraph:
         person = self.persons.get(person_id)
         if person is None:
             return
+        self.write_version += 1
         for friend in list(self._friends.get(person_id, {})):
             self.delete_knows(person_id, friend)
         self._friends.pop(person_id, None)
@@ -577,6 +620,13 @@ class SocialGraph:
         while isinstance(current, Comment):
             current = self.parent_of(current)
         return current
+
+    def language_of_message(self, message: Message) -> str:
+        """The language of a Message per BI 18: a Post's own language; a
+        Comment's is the language of the Post initiating its thread."""
+        if not message.is_comment:
+            return message.language  # type: ignore[union-attr]
+        return self.root_post_of(message).language
 
     def thread_messages(self, post: Post) -> Iterator[Message]:
         """The Post and every Comment transitively replying to it."""

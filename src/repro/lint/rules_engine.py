@@ -14,7 +14,14 @@ machine-checked for modules under ``repro/queries/``:
   ``.posts``, ``.likes_edges``, … — or calls to the ``messages()``
   full-scan accessor (slug ``raw-store``).  Point access stays
   sanctioned: subscripts (``graph.persons[pid]``), ``.get()``,
-  ``in`` membership tests and ``len()``.
+  ``in`` membership tests and ``len()``;
+* no import of :mod:`repro.graph.frozen` (slug ``frozen-import``) —
+  the frozen columnar layout is an engine-level optimisation, and a
+  query that touches CSR arrays or ordinal maps directly would produce
+  layout-dependent results the frozen-vs-live differential cannot
+  protect.  Queries see the snapshot only through the same
+  ``SocialGraph`` accessor surface and engine operators as the live
+  store.
 
 The collection list lives in :mod:`repro.lint.spec` and is
 cross-checked against ``SocialGraph.RAW_TABLES`` by the meta-tests.
@@ -49,6 +56,18 @@ def check_engine_discipline(ctx: FileContext) -> list[Diagnostic]:
         return []
     found: list[Diagnostic] = []
     for node in ast.walk(ctx.tree):
+        frozen_import = _frozen_import(node)
+        if frozen_import is not None:
+            found.append(
+                ctx.diagnostic(
+                    node, RULE, "frozen-import",
+                    f"query code imports '{frozen_import}'; the frozen "
+                    "columnar layout is engine-internal — write against "
+                    "SocialGraph accessors and repro.engine operators, "
+                    "which take the frozen fast path automatically",
+                )
+            )
+            continue
         attr = _store_attribute(node)
         if attr is None:
             continue
@@ -77,6 +96,28 @@ def check_engine_discipline(ctx: FileContext) -> list[Diagnostic]:
             )
         )
     return found
+
+
+def _frozen_import(node: ast.AST) -> str | None:
+    """The offending module path if ``node`` imports repro.graph.frozen."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "repro.graph.frozen" or alias.name.startswith(
+                "repro.graph.frozen."
+            ):
+                return alias.name
+    if isinstance(node, ast.ImportFrom) and node.module is not None:
+        module = node.module
+        if module == "repro.graph.frozen" or module.startswith(
+            "repro.graph.frozen."
+        ):
+            return module
+        # ``from repro.graph import frozen`` smuggles the same module.
+        if module == "repro.graph":
+            for alias in node.names:
+                if alias.name == "frozen":
+                    return "repro.graph.frozen"
+    return None
 
 
 def _is_sanctioned_use(ctx: FileContext, attr: ast.Attribute) -> bool:

@@ -22,7 +22,6 @@ from typing import NamedTuple, Sequence
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.engine import scan_messages, scan_persons
-from repro.queries.common import message_language
 from repro.util.dates import Date, date_to_datetime
 
 INFO = BiQueryInfo(
@@ -46,15 +45,17 @@ def bi18(
 ) -> list[Bi18Row]:
     """Run BI 18 for a date, length threshold and language list."""
     threshold = date_to_datetime(date)
-    wanted = set(languages)
 
     per_person = Counter({person.id: 0 for person in scan_persons(graph)})
-    for message in scan_messages(graph, window=(threshold + 1, None)):
+    # Language is pushed into the scan: the engine resolves a Comment's
+    # root-Post language through the store (or, frozen, the dictionary-
+    # encoded root-language code column).
+    for message in scan_messages(
+        graph, window=(threshold + 1, None), language=languages
+    ):
         if not message.content:
             continue
         if message.length >= length_threshold:
-            continue
-        if message_language(graph, message) not in wanted:
             continue
         per_person[message.creator_id] += 1
 

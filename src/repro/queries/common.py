@@ -114,10 +114,11 @@ def in_window(ts: DateTime, start: DateTime, end: DateTime) -> bool:
 
 def message_language(graph: SocialGraph, message: Message) -> str:
     """The language of a Message per BI 18: a Post's own language; a
-    Comment's is the language of the Post initiating its thread."""
-    if isinstance(message, Post):
-        return message.language
-    return graph.root_post_of(message).language
+    Comment's is the language of the Post initiating its thread.
+
+    Delegates to the store so a frozen snapshot can answer from its
+    root-ordinal + language columns without materializing the root."""
+    return graph.language_of_message(message)
 
 
 def direct_reply_pairs(comment: Comment, graph: SocialGraph) -> tuple[int, int, bool]:

@@ -202,6 +202,32 @@ class TestR2EngineDiscipline:
         src = "def load(graph):\n    return list(graph.forums.values())\n"
         assert lint_source(PLAIN_PATH, src) == []
 
+    def test_frozen_import_flagged(self):
+        src = "from repro.graph.frozen import FrozenGraph\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R2", "frozen-import")
+        ]
+
+    def test_frozen_module_import_flagged(self):
+        src = "import repro.graph.frozen\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R2", "frozen-import")
+        ]
+
+    def test_frozen_via_package_import_flagged(self):
+        src = "from repro.graph import frozen\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R2", "frozen-import")
+        ]
+
+    def test_other_graph_imports_allowed(self):
+        src = "from repro.graph.store import SocialGraph\n"
+        assert lint_source(QUERY_PATH, src) == []
+
+    def test_frozen_import_outside_queries_allowed(self):
+        src = "from repro.graph.frozen import freeze\n"
+        assert lint_source(PLAIN_PATH, src) == []
+
 
 # ---------------------------------------------------------------------------
 # R3 — query contracts

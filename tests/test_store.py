@@ -156,6 +156,86 @@ class TestAdjacency:
         assert b.graph.work_at_of(ids["bob"])[0].work_from == 2010
 
 
+class TestDeleteKnows:
+    """delete_knows must be O(degree): swap-remove through the
+    ``_knows_pos`` position map, never an O(E) list rebuild."""
+
+    def _fresh_ring(self, persons: int = 120):
+        """A builder graph whose knows edges form a ring plus a hub."""
+        b = GraphBuilder()
+        ids = [b.person() for _ in range(persons)]
+        for i in range(persons):
+            b.knows(ids[i], ids[(i + 1) % persons], ts(1, 10, 2010))
+        hub = ids[0]
+        for other in ids[2:-1]:
+            b.knows(hub, other, ts(2, 10, 2010))
+        return b.graph, ids
+
+    def test_delete_removes_edge_both_directions(self, simple):
+        b, ids = simple
+        b.graph.delete_knows(ids["alice"], ids["bob"])
+        assert ids["bob"] not in b.graph.friends_of(ids["alice"])
+        assert ids["alice"] not in b.graph.friends_of(ids["bob"])
+        assert all(
+            {e.person1, e.person2} != {ids["alice"], ids["bob"]}
+            for e in b.graph.knows_edges
+        )
+
+    def test_delete_missing_edge_is_noop(self, simple):
+        b, ids = simple
+        before = list(b.graph.knows_edges)
+        b.graph.delete_knows(ids["alice"], ids["carol"])
+        assert b.graph.knows_edges == before
+
+    def test_large_delete_stream_mutates_in_place(self):
+        """A long delete stream never replaces the edge list object —
+        the swap-remove works in place (the O(E)-rebuild regression
+        would allocate a fresh list per delete)."""
+        graph, _ = self._fresh_ring()
+        edge_list = graph.knows_edges
+        doomed = [(e.person1, e.person2) for e in graph.knows_edges]
+        for a, b in doomed:
+            graph.delete_knows(a, b)
+            assert graph.knows_edges is edge_list
+        assert graph.knows_edges == []
+        assert graph._knows_pos == {}
+        assert all(not friends for friends in graph._friends.values())
+
+    def test_position_map_stays_consistent_under_interleaving(self):
+        """Shuffled deletes interleaved with re-inserts keep the
+        position map exact: every surviving edge is found at its mapped
+        slot and the edge list matches a plain set model."""
+        from repro.schema.relations import Knows
+        from repro.util.rng import DeterministicRng
+
+        graph, ids = self._fresh_ring(80)
+        rng = DeterministicRng(7, "delete-knows")
+        model = {(e.person1, e.person2) for e in graph.knows_edges}
+        pairs = sorted(model)
+        rng.shuffle(pairs)
+        for round_no, (a, b) in enumerate(pairs):
+            graph.delete_knows(a, b)
+            model.discard((a, b))
+            if round_no % 3 == 0:  # re-insert a previously deleted edge
+                graph.add_knows(Knows(a, b, ts(3, 1, 2011)))
+                model.add((a, b))
+            assert len(graph.knows_edges) == len(model)
+        assert {(e.person1, e.person2) for e in graph.knows_edges} == model
+        for index, edge in enumerate(graph.knows_edges):
+            assert graph._knows_pos[(edge.person1, edge.person2)] == index
+
+    def test_degree_scoped_work(self):
+        """Deleting one low-degree edge must not touch the hub's large
+        adjacency: only the two endpoint rows change."""
+        graph, ids = self._fresh_ring()
+        hub_before = dict(graph._friends[ids[0]])
+        a, b = ids[40], ids[41]
+        graph.delete_knows(a, b)
+        assert graph._friends[ids[0]] == hub_before
+        assert b not in graph._friends[a]
+        assert a not in graph._friends[b]
+
+
 class TestTagClassHierarchy:
     def test_descendants(self, simple):
         b, _ = simple

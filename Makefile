@@ -25,7 +25,8 @@ bench-smoke:  ## quick executor sanity: parallel == serial, then q/s
 	REPRO_BENCH_OUT=out/bench \
 		pytest benchmarks/test_driver_throughput.py \
 		benchmarks/test_frozen_snapshot.py \
-		-k "parallel or frozen" -s --benchmark-disable
+		benchmarks/test_delta_overlay.py \
+		-k "parallel or frozen or overlay" -s --benchmark-disable
 
 bench-compare:  ## diff freshest BENCH_*.json vs the previous archived run
 	python benchmarks/bench_compare.py

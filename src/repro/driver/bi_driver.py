@@ -392,6 +392,7 @@ def throughput_test(
     workers: int | None = None,
     timeout: float | None = None,
     freeze_graph: bool | None = None,
+    delta_compact_fraction: float | None = None,
 ) -> ThroughputTestResult:
     """Alternate write microbatches with blocks of BI reads.
 
@@ -407,12 +408,17 @@ def throughput_test(
     operations with a ``-1`` row marker, exactly as in a serial run.
 
     ``freeze_graph`` (default on, like :func:`power_test`): the live
-    store stays the write path, and each read block runs against a
-    :class:`~repro.graph.frozen.FrozenGraph` that a
-    :class:`~repro.graph.frozen.FreezeManager` refreezes after any
-    write batch moved ``write_version`` — the freeze/invalidate
-    lifecycle of the refresh-then-analyse loop.  Freeze time is part of
-    the measured run, exactly like an index refresh would be.
+    store stays the write path, and each read block runs against the
+    :class:`~repro.graph.frozen.FreezeManager`'s merge-on-read view —
+    one initial freeze, then a delta-overlaid snapshot that absorbs
+    each microbatch's writes, with a threshold-triggered compaction
+    refreeze once the overlay outgrows ``delta_compact_fraction`` of
+    the base snapshot (:mod:`repro.graph.delta`; default through
+    ``REPRO_DELTA_COMPACT_FRACTION``).  No per-microbatch refreezes:
+    overlay maintenance and any compactions are part of the measured
+    run, exactly like an incremental index refresh would be.  Pass
+    ``delta_compact_fraction=0.0`` to restore the old
+    refreeze-every-batch behaviour (the benchmark baseline).
 
     With ``executor`` supplied (a :class:`CachedQueryExecutor` wrapping
     ``graph``), reads route through the inter-query result cache and
@@ -426,7 +432,11 @@ def throughput_test(
     if executor is not None and executor.graph is not graph:
         raise ValueError("executor must wrap the same graph")
     workers_n = resolve_workers(workers)
-    manager = FreezeManager(graph) if resolve_freeze(freeze_graph) else None
+    manager = (
+        FreezeManager(graph, compact_fraction=delta_compact_fraction)
+        if resolve_freeze(freeze_graph)
+        else None
+    )
     context = {"executor": executor, "executor_lock": threading.Lock()}
     batch_seconds: list[float] = []
     read_seconds: list[float] = []
@@ -438,61 +448,65 @@ def throughput_test(
 
     metrics = registry()
     started = time.perf_counter()
-    with span("throughput_test", kind="phase", microbatches=len(batches),
-              reads_per_batch=reads_per_batch):
-        for batch_index, batch in enumerate(batches):
-            with span(f"batch[{batch_index}]", kind="operation",
-                      writes=batch.size):
-                write_start = time.perf_counter()
-                if executor is not None and batch.size:
-                    executor.invalidate()
-                for insert in batch.inserts:
-                    try:
-                        ALL_UPDATES[insert.operation_id][0](
-                            graph, insert.params
-                        )
-                    except (KeyError, ValueError):
-                        pass  # write invalidated by an earlier delete
-                for delete in batch.deletes:
-                    ALL_DELETES[delete.operation_id][0](graph, delete.params)
-                batch_seconds.append(time.perf_counter() - write_start)
-                metrics.histogram("repro_batch_write_seconds").observe(
-                    batch_seconds[-1]
-                )
-                operations += batch.size
-
-                tasks = []
-                for _ in range(reads_per_batch):
-                    number = numbers[read_cursor % len(numbers)]
-                    binding = bindings[number][
-                        read_cursor % len(bindings[number])
-                    ]
-                    tasks.append(
-                        Task(
-                            len(tasks),
-                            "bi_throughput",
-                            (number, tuple(binding)),
-                        )
+    try:
+        with span("throughput_test", kind="phase", microbatches=len(batches),
+                  reads_per_batch=reads_per_batch):
+            for batch_index, batch in enumerate(batches):
+                with span(f"batch[{batch_index}]", kind="operation",
+                          writes=batch.size):
+                    write_start = time.perf_counter()
+                    if executor is not None and batch.size:
+                        executor.invalidate()
+                    for insert in batch.inserts:
+                        try:
+                            ALL_UPDATES[insert.operation_id][0](
+                                graph, insert.params
+                            )
+                        except (KeyError, ValueError):
+                            pass  # write invalidated by an earlier delete
+                    for delete in batch.deletes:
+                        ALL_DELETES[delete.operation_id][0](graph, delete.params)
+                    batch_seconds.append(time.perf_counter() - write_start)
+                    metrics.histogram("repro_batch_write_seconds").observe(
+                        batch_seconds[-1]
                     )
-                    read_cursor += 1
-                read_graph = graph if manager is None else manager.frozen()
-                # capture_spans=False: the serial (workers=1) and thread
-                # (workers>1) read blocks must leave identically shaped
-                # traces, and threads can only synthesize.
-                pool = WorkerPool(
-                    workers=workers_n,
-                    backend="thread" if workers_n > 1 else "serial",
-                    timeout=timeout,
-                    snapshot=StoreSnapshot(read_graph, context=context),
-                    capture_spans=False,
-                )
-                block = pool.run(tasks)
-                read_seconds.append(block.elapsed)
-                metrics.histogram("repro_read_block_seconds").observe(
-                    block.elapsed
-                )
-                operations += len(tasks)
-                _accumulate_exec_stats(exec_stats, block.stats_dict())
+                    operations += batch.size
+
+                    tasks = []
+                    for _ in range(reads_per_batch):
+                        number = numbers[read_cursor % len(numbers)]
+                        binding = bindings[number][
+                            read_cursor % len(bindings[number])
+                        ]
+                        tasks.append(
+                            Task(
+                                len(tasks),
+                                "bi_throughput",
+                                (number, tuple(binding)),
+                            )
+                        )
+                        read_cursor += 1
+                    read_graph = graph if manager is None else manager.frozen()
+                    # capture_spans=False: the serial (workers=1) and thread
+                    # (workers>1) read blocks must leave identically shaped
+                    # traces, and threads can only synthesize.
+                    pool = WorkerPool(
+                        workers=workers_n,
+                        backend="thread" if workers_n > 1 else "serial",
+                        timeout=timeout,
+                        snapshot=StoreSnapshot(read_graph, context=context),
+                        capture_spans=False,
+                    )
+                    block = pool.run(tasks)
+                    read_seconds.append(block.elapsed)
+                    metrics.histogram("repro_read_block_seconds").observe(
+                        block.elapsed
+                    )
+                    operations += len(tasks)
+                    _accumulate_exec_stats(exec_stats, block.stats_dict())
+    finally:
+        if manager is not None:
+            manager.detach()
     return ThroughputTestResult(
         batch_seconds=batch_seconds,
         read_seconds=read_seconds,

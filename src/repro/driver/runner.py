@@ -220,13 +220,16 @@ class Driver:
         parallel read (soft deadline; see :class:`repro.exec.WorkerPool`).
 
         ``freeze_reads`` (opt-in, parallel runs only) serves each flush
-        of buffered complex reads from a
-        :class:`~repro.graph.frozen.FrozenGraph` snapshot that is
-        refrozen whenever the writes in between moved the store's
-        ``write_version``.  The Interactive workload interleaves writes
-        at operation granularity, so freezing pays off only when the
-        schedule has long read runs — hence opt-in, unlike the BI
-        tests.  Results are identical either way.
+        of buffered complex reads from the
+        :class:`~repro.graph.frozen.FreezeManager`'s merge-on-read
+        view: one initial :class:`~repro.graph.frozen.FrozenGraph`
+        freeze, then a delta-overlaid snapshot that absorbs the writes
+        in between (compacting — refreezing — only when the overlay
+        outgrows its threshold; see :mod:`repro.graph.delta`).  The
+        Interactive workload interleaves writes at operation
+        granularity, so freezing pays off only when the schedule has
+        long read runs — hence opt-in, unlike the BI tests.  Results
+        are identical either way.
         """
         workers_n = resolve_workers(workers)
         if warmup_reads:
@@ -372,13 +375,17 @@ class Driver:
                 self._run_short_sequences(op.number, result, log)
             buffer.clear()
 
-        for op in schedule:
-            if op.kind == "complex":
-                buffer.append(op)
-                continue
+        try:
+            for op in schedule:
+                if op.kind == "complex":
+                    buffer.append(op)
+                    continue
+                flush()
+                self._apply_write(op, run_start, log)
             flush()
-            self._apply_write(op, run_start, log)
-        flush()
+        finally:
+            if manager is not None:
+                manager.detach()
         return DriverReport(
             log=log,
             wall_seconds=time.perf_counter() - run_start,

@@ -21,6 +21,15 @@ object graph.  The drivers therefore hand the pool a
 ``StoreSnapshot(freeze(graph))`` for read phases and keep the live store
 as the write path in the parent.
 
+Delta-overlaid snapshots (:class:`~repro.graph.delta.OverlaidGraph`)
+ride the same mechanism: the wrapper is the base snapshot's columns by
+reference plus the overlay's insert/tombstone maps, so installing one
+as the pool snapshot forks *both* to every process worker — the workers
+see the merged view, still zero-copy.  The usual immutability contract
+applies: the parent must not apply further writes while a pool run is
+in flight (between runs is fine — that is the throughput test's
+write-batch/read-block cadence).
+
 A snapshot is a graph plus a ``context`` dict for whatever else task
 runners need (curated bindings, a result-cache executor, …).  Workers
 treat it as immutable: the determinism contract of

@@ -83,14 +83,23 @@ class TaskOutcome:
 def _tally_read_path(graph: Any) -> None:
     """Count which storage layout actually served a read task.
 
-    ``repro_frozen_path_total{path=frozen_hit}`` when the task's graph is
-    a frozen snapshot, ``path=live_fallback`` otherwise — the driver-side
-    ratio of the two is the cheapest way to confirm a run really took the
-    frozen path (e.g. after an update batch forced a refreeze window).
+    ``repro_frozen_path_total{path=...}``: ``overlay_merge`` when the
+    task's graph is a delta-overlaid snapshot with outstanding writes,
+    ``frozen_hit`` for a clean frozen snapshot, ``live_fallback``
+    otherwise.  The driver-side split across the three is the cheapest
+    way to confirm what a mixed read/write run actually did — e.g. that
+    update microbatches kept reads on the overlay instead of forcing
+    refreezes or falling back to the live store.
     """
     from repro.obs.metrics import registry
 
-    path = "frozen_hit" if getattr(graph, "is_frozen", False) else "live_fallback"
+    overlay = getattr(graph, "delta_overlay", None)
+    if overlay is not None and not overlay.is_empty():
+        path = "overlay_merge"
+    elif getattr(graph, "is_frozen", False):
+        path = "frozen_hit"
+    else:
+        path = "live_fallback"
     registry().counter("repro_frozen_path_total", path=path).inc()
 
 

@@ -50,6 +50,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["SocialGraph"]
 
 
+def _like_key(like: Likes) -> tuple[int, int]:
+    return (like.person_id, like.message_id)
+
+
+def _member_key(membership: HasMember) -> tuple[int, int]:
+    return (membership.forum_id, membership.person_id)
+
+
+def _study_key(record: StudyAt) -> int:
+    return record.person_id
+
+
+def _work_key(record: WorkAt) -> int:
+    return record.person_id
+
+
+def _swap_remove(table, pos_map, key, key_of, item) -> None:
+    """Remove one ``key``-keyed row from ``table`` in O(1) via its
+    position map (the same pattern as ``delete_knows``'s ``_knows_pos``).
+
+    ``pos_map`` maps a key to the list of positions its rows occupy —
+    a list, not a scalar, because likes/memberships admit value-distinct
+    duplicates under one key.  The popped slot is filled by the table's
+    last row, whose own position entry is repointed.  Table order is not
+    part of the public contract (accessors return adjacency); callers
+    that remove by key always remove *every* row of that key, so which
+    duplicate leaves first is immaterial.  A missing map entry falls
+    back to ``list.remove`` (correct, just linear).
+    """
+    positions = pos_map.get(key)
+    if not positions:
+        table.remove(item)
+        return
+    position = positions.pop()
+    if not positions:
+        del pos_map[key]
+    moved = table.pop()
+    last = len(table)
+    if position == last:
+        return
+    table[position] = moved
+    moved_positions = pos_map[key_of(moved)]
+    moved_positions[moved_positions.index(last)] = position
+
+
 class SocialGraph:
     """The loaded social network plus its adjacency indexes.
 
@@ -157,11 +202,48 @@ class SocialGraph:
         #: rebuilding the whole edge list (``knows_edges`` order is not
         #: part of the public contract — accessors return adjacency).
         self._knows_pos: dict[tuple[int, int], int] = {}
+        #: Position maps for the remaining relation lists, so every
+        #: delete path swap-removes instead of linear-scanning: key ->
+        #: positions (a list — likes and memberships admit duplicate
+        #: keys with distinct values; study/work key on the person).
+        self._likes_pos: dict[tuple[int, int], list[int]] = {}
+        self._member_pos: dict[tuple[int, int], list[int]] = {}
+        self._study_pos: dict[int, list[int]] = {}
+        self._work_pos: dict[int, list[int]] = {}
+        #: Delta write-hooks (``repro.graph.delta``): each registered
+        #: callable receives one ``(family, op, key, entity)`` event per
+        #: logical row a mutator touches.  Empty (zero-cost) unless a
+        #: FreezeManager is attached.
+        self._delta_hooks: list = []
 
         # Name lookups (query parameters are names for places/tags/classes).
         self._place_by_name: dict[tuple[str, PlaceType], int] = {}
         self._tag_by_name: dict[str, int] = {}
         self._tagclass_by_name: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Delta write-hooks
+    # ------------------------------------------------------------------
+
+    def register_delta_hook(self, hook) -> None:
+        """Attach a write-hook called as ``hook(family, op, key,
+        entity)`` for every dynamic-family row a mutator touches (the
+        :class:`repro.graph.delta.DeltaOverlay` record feed).  Static
+        entities (places, organisations, tag classes, tags) and the
+        study/work records emit no events: no frozen column depends on
+        them — their accessors read the shared live tables."""
+        self._delta_hooks.append(hook)
+
+    def unregister_delta_hook(self, hook) -> None:
+        """Detach a previously registered write-hook (no-op if absent)."""
+        try:
+            self._delta_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _record_delta(self, family: str, op: str, key, entity=None) -> None:
+        for hook in self._delta_hooks:
+            hook(family, op, key, entity)
 
     # ------------------------------------------------------------------
     # Loading
@@ -287,14 +369,22 @@ class SocialGraph:
         self._persons_in_city[person.city_id].append(person.id)
         for tag_id in person.interests:
             self._persons_interested[tag_id].append(person.id)
+        if self._delta_hooks:
+            self._record_delta("persons", "insert", person.id, person)
 
     def add_study_at(self, record: StudyAt) -> None:
         self.write_version += 1
+        self._study_pos.setdefault(record.person_id, []).append(
+            len(self.study_at)
+        )
         self.study_at.append(record)
         self._study_at_of[record.person_id].append(record)
 
     def add_work_at(self, record: WorkAt) -> None:
         self.write_version += 1
+        self._work_pos.setdefault(record.person_id, []).append(
+            len(self.work_at)
+        )
         self.work_at.append(record)
         self._work_at_of[record.person_id].append(record)
 
@@ -304,6 +394,13 @@ class SocialGraph:
         self.knows_edges.append(edge)
         self._friends[edge.person1][edge.person2] = edge.creation_date
         self._friends[edge.person2][edge.person1] = edge.creation_date
+        if self._delta_hooks:
+            self._record_delta(
+                "knows", "insert",
+                (min(edge.person1, edge.person2),
+                 max(edge.person1, edge.person2)),
+                edge,
+            )
 
     def add_forum(self, forum: Forum) -> None:
         if forum.id in self.forums:
@@ -313,12 +410,22 @@ class SocialGraph:
         self._moderated_forums[forum.moderator_id].append(forum)
         for tag_id in forum.tag_ids:
             self._forums_with_tag[tag_id].append(forum.id)
+        if self._delta_hooks:
+            self._record_delta("forums", "insert", forum.id, forum)
 
     def add_membership(self, membership: HasMember) -> None:
         self.write_version += 1
+        self._member_pos.setdefault(
+            (membership.forum_id, membership.person_id), []
+        ).append(len(self.memberships))
         self.memberships.append(membership)
         self._forums_of_member[membership.person_id].append(membership)
         self._members_of_forum[membership.forum_id].append(membership)
+        if self._delta_hooks:
+            self._record_delta(
+                "memberships", "insert",
+                (membership.forum_id, membership.person_id), membership,
+            )
 
     def _index_message(self, message: Message) -> None:
         """Maintain the secondary indexes for a new Post or Comment."""
@@ -359,6 +466,8 @@ class SocialGraph:
         insort(self._forum_posts_by_date[post.forum_id],
                (post.creation_date, post.id))
         self._index_message(post)
+        if self._delta_hooks:
+            self._record_delta("posts", "insert", post.id, post)
 
     def add_comment(self, comment: Comment) -> None:
         if comment.id in self.posts or comment.id in self.comments:
@@ -373,12 +482,21 @@ class SocialGraph:
         )
         self._replies_of[parent].append(comment)
         self._index_message(comment)
+        if self._delta_hooks:
+            self._record_delta("comments", "insert", comment.id, comment)
 
     def add_like(self, like: Likes) -> None:
         self.write_version += 1
+        self._likes_pos.setdefault(
+            (like.person_id, like.message_id), []
+        ).append(len(self.likes_edges))
         self.likes_edges.append(like)
         self._likes_of_message[like.message_id].append(like)
         self._likes_by_person[like.person_id].append(like)
+        if self._delta_hooks:
+            self._record_delta(
+                "likes", "insert", (like.person_id, like.message_id), like
+            )
 
     # ------------------------------------------------------------------
     # Dynamic deletes (the DEL operations route through these).
@@ -393,7 +511,11 @@ class SocialGraph:
     # ------------------------------------------------------------------
 
     def delete_like(self, person_id: int, message_id: int) -> None:
-        """Remove one likes edge (no-op if absent)."""
+        """Remove one likes edge (no-op if absent).
+
+        O(likes-of-message): the edge leaves ``likes_edges`` by
+        swap-remove through ``_likes_pos`` — no O(E) list scan.
+        """
         self.write_version += 1
         existing = [
             l
@@ -401,9 +523,16 @@ class SocialGraph:
             if l.person_id == person_id
         ]
         for like in existing:
-            self.likes_edges.remove(like)
+            _swap_remove(
+                self.likes_edges, self._likes_pos,
+                (person_id, message_id), _like_key, like,
+            )
             self._likes_of_message[message_id].remove(like)
             self._likes_by_person[person_id].remove(like)
+            if self._delta_hooks:
+                self._record_delta(
+                    "likes", "delete", (person_id, message_id), like
+                )
 
     def delete_knows(self, person1: int, person2: int) -> None:
         """Remove a friendship edge (no-op if absent).
@@ -424,9 +553,15 @@ class SocialGraph:
         if position < len(edges):
             edges[position] = moved
             self._knows_pos[(moved.person1, moved.person2)] = position
+        if self._delta_hooks:
+            self._record_delta("knows", "delete", (a, b))
 
     def delete_membership(self, forum_id: int, person_id: int) -> None:
-        """Remove a hasMember edge (no-op if absent)."""
+        """Remove a hasMember edge (no-op if absent).
+
+        O(members-of-forum): the edge leaves ``memberships`` by
+        swap-remove through ``_member_pos`` — no O(E) list scan.
+        """
         self.write_version += 1
         existing = [
             m
@@ -434,27 +569,42 @@ class SocialGraph:
             if m.person_id == person_id
         ]
         for membership in existing:
-            self.memberships.remove(membership)
+            _swap_remove(
+                self.memberships, self._member_pos,
+                (forum_id, person_id), _member_key, membership,
+            )
             self._members_of_forum[forum_id].remove(membership)
             self._forums_of_member[person_id].remove(membership)
+            if self._delta_hooks:
+                self._record_delta(
+                    "memberships", "delete", (forum_id, person_id), membership
+                )
 
     def _delete_message_likes(self, message_id: int) -> None:
         for like in self._likes_of_message.pop(message_id, []):
-            self.likes_edges.remove(like)
+            _swap_remove(
+                self.likes_edges, self._likes_pos,
+                (like.person_id, like.message_id), _like_key, like,
+            )
             bucket = self._likes_by_person.get(like.person_id)
             if bucket and like in bucket:
                 bucket.remove(like)
+            if self._delta_hooks:
+                self._record_delta(
+                    "likes", "delete",
+                    (like.person_id, like.message_id), like,
+                )
 
     def delete_comment(self, comment_id: int) -> None:
-        """Delete a Comment, its likes, and its reply subtree."""
+        """Delete a Comment, its likes, and its reply subtree.
+
+        The subtree cascade runs over an explicit stack: reply chains
+        grow with thread depth and routinely exceed the interpreter's
+        recursion limit at scale, so recursion is not an option here.
+        """
         comment = self.comments.get(comment_id)
         if comment is None:
             return
-        self.write_version += 1
-        for reply in list(self._replies_of.get(comment_id, [])):
-            self.delete_comment(reply.id)
-        self._replies_of.pop(comment_id, None)
-        self._delete_message_likes(comment_id)
         parent = (
             comment.reply_of_post
             if comment.reply_of_post >= 0
@@ -463,9 +613,17 @@ class SocialGraph:
         parent_replies = self._replies_of.get(parent)
         if parent_replies and comment in parent_replies:
             parent_replies.remove(comment)
-        self._comments_by_creator[comment.creator_id].remove(comment)
-        self._unindex_message(comment)
-        del self.comments[comment_id]
+        stack: list[Comment] = [comment]
+        while stack:
+            node = stack.pop()
+            self.write_version += 1
+            stack.extend(self._replies_of.pop(node.id, ()))
+            self._delete_message_likes(node.id)
+            self._comments_by_creator[node.creator_id].remove(node)
+            self._unindex_message(node)
+            del self.comments[node.id]
+            if self._delta_hooks:
+                self._record_delta("comments", "delete", node.id, node)
 
     def delete_post(self, post_id: int) -> None:
         """Delete a Post, its likes, and its whole thread."""
@@ -485,6 +643,8 @@ class SocialGraph:
             del dated[index]
         self._unindex_message(post)
         del self.posts[post_id]
+        if self._delta_hooks:
+            self._record_delta("posts", "delete", post_id, post)
 
     def delete_forum(self, forum_id: int) -> None:
         """Delete a Forum with its posts (cascading) and memberships."""
@@ -497,14 +657,24 @@ class SocialGraph:
         self._posts_in_forum.pop(forum_id, None)
         self._forum_posts_by_date.pop(forum_id, None)
         for membership in self._members_of_forum.pop(forum_id, []):
-            self.memberships.remove(membership)
+            _swap_remove(
+                self.memberships, self._member_pos,
+                (forum_id, membership.person_id), _member_key, membership,
+            )
             self._forums_of_member[membership.person_id].remove(membership)
+            if self._delta_hooks:
+                self._record_delta(
+                    "memberships", "delete",
+                    (forum_id, membership.person_id), membership,
+                )
         moderated = self._moderated_forums.get(forum.moderator_id)
         if moderated and forum in moderated:
             moderated.remove(forum)
         for tag_id in forum.tag_ids:
             self._forums_with_tag[tag_id].remove(forum_id)
         del self.forums[forum_id]
+        if self._delta_hooks:
+            self._record_delta("forums", "delete", forum_id, forum)
 
     def delete_person(self, person_id: int) -> None:
         """Delete a Person and everything anchored on them.
@@ -539,14 +709,23 @@ class SocialGraph:
             self.delete_post(post.id)
         self._posts_by_creator.pop(person_id, None)
         self._comments_by_creator.pop(person_id, None)
-        self.study_at = [s for s in self.study_at if s.person_id != person_id]
-        self._study_at_of.pop(person_id, None)
-        self.work_at = [w for w in self.work_at if w.person_id != person_id]
-        self._work_at_of.pop(person_id, None)
+        # Study/work records leave their lists in place by swap-remove
+        # (never a rebound rebuilt list: frozen snapshots share these
+        # tables by reference, and a rebind would silently fork them).
+        for record in self._study_at_of.pop(person_id, []):
+            _swap_remove(
+                self.study_at, self._study_pos, person_id, _study_key, record
+            )
+        for record in self._work_at_of.pop(person_id, []):
+            _swap_remove(
+                self.work_at, self._work_pos, person_id, _work_key, record
+            )
         self._persons_in_city[person.city_id].remove(person_id)
         for tag_id in person.interests:
             self._persons_interested[tag_id].remove(person_id)
         del self.persons[person_id]
+        if self._delta_hooks:
+            self._record_delta("persons", "delete", person_id, person)
 
     # ------------------------------------------------------------------
     # Lookups — entity access

@@ -15,13 +15,14 @@ machine-checked for modules under ``repro/queries/``:
   full-scan accessor (slug ``raw-store``).  Point access stays
   sanctioned: subscripts (``graph.persons[pid]``), ``.get()``,
   ``in`` membership tests and ``len()``;
-* no import of :mod:`repro.graph.frozen` (slug ``frozen-import``) —
-  the frozen columnar layout is an engine-level optimisation, and a
-  query that touches CSR arrays or ordinal maps directly would produce
-  layout-dependent results the frozen-vs-live differential cannot
-  protect.  Queries see the snapshot only through the same
-  ``SocialGraph`` accessor surface and engine operators as the live
-  store.
+* no import of :mod:`repro.graph.frozen` or :mod:`repro.graph.delta`
+  (slug ``frozen-import``) — the frozen columnar layout and its delta
+  overlay are engine-level optimisations, and a query that touches CSR
+  arrays, ordinal maps, or overlay insert/tombstone state directly
+  would produce layout-dependent results the frozen-vs-live
+  differential cannot protect.  Queries see the snapshot only through
+  the same ``SocialGraph`` accessor surface and engine operators as
+  the live store.
 
 The collection list lives in :mod:`repro.lint.spec` and is
 cross-checked against ``SocialGraph.RAW_TABLES`` by the meta-tests.
@@ -62,9 +63,10 @@ def check_engine_discipline(ctx: FileContext) -> list[Diagnostic]:
                 ctx.diagnostic(
                     node, RULE, "frozen-import",
                     f"query code imports '{frozen_import}'; the frozen "
-                    "columnar layout is engine-internal — write against "
-                    "SocialGraph accessors and repro.engine operators, "
-                    "which take the frozen fast path automatically",
+                    "columnar layout and its delta overlay are "
+                    "engine-internal — write against SocialGraph "
+                    "accessors and repro.engine operators, which take "
+                    "the frozen/overlay fast path automatically",
                 )
             )
             continue
@@ -98,25 +100,29 @@ def check_engine_discipline(ctx: FileContext) -> list[Diagnostic]:
     return found
 
 
+#: Engine-internal storage-layout modules queries must not import.
+_LAYOUT_MODULES = ("repro.graph.frozen", "repro.graph.delta")
+
+
 def _frozen_import(node: ast.AST) -> str | None:
-    """The offending module path if ``node`` imports repro.graph.frozen."""
+    """The offending module path if ``node`` imports a layout module
+    (:mod:`repro.graph.frozen` or :mod:`repro.graph.delta`)."""
     if isinstance(node, ast.Import):
         for alias in node.names:
-            if alias.name == "repro.graph.frozen" or alias.name.startswith(
-                "repro.graph.frozen."
-            ):
-                return alias.name
+            for banned in _LAYOUT_MODULES:
+                if alias.name == banned or alias.name.startswith(banned + "."):
+                    return alias.name
     if isinstance(node, ast.ImportFrom) and node.module is not None:
         module = node.module
-        if module == "repro.graph.frozen" or module.startswith(
-            "repro.graph.frozen."
-        ):
-            return module
+        for banned in _LAYOUT_MODULES:
+            if module == banned or module.startswith(banned + "."):
+                return module
         # ``from repro.graph import frozen`` smuggles the same module.
         if module == "repro.graph":
             for alias in node.names:
-                if alias.name == "frozen":
-                    return "repro.graph.frozen"
+                for banned in _LAYOUT_MODULES:
+                    if alias.name == banned.rsplit(".", 1)[1]:
+                        return banned
     return None
 
 

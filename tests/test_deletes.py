@@ -107,6 +107,32 @@ class TestDeleteMessages:
         del6(b.graph, DeleteMessageParams(99999))
         del7(b.graph, DeleteMessageParams(99999))
 
+    def test_cascade_survives_pathological_reply_depth(self):
+        """``delete_comment`` walks the reply tree with an explicit
+        stack: a reply chain far deeper than the interpreter's
+        recursion limit (default 1000) must cascade without a
+        ``RecursionError``."""
+        import sys
+
+        depth = sys.getrecursionlimit() + 2000
+        b = GraphBuilder()
+        # Rotate creators so no single per-creator index row grows to
+        # ``depth`` entries (its list.remove is linear in row length).
+        creators = [b.person() for _ in range(32)]
+        forum = b.forum(creators[0])
+        post = b.post(creators[0], forum)
+        parent = b.comment(creators[1], post)
+        top = parent
+        for i in range(depth):
+            parent = b.comment(creators[i % 32], parent)
+        assert len(b.graph.comments) == depth + 1
+        del7(b.graph, DeleteMessageParams(top))
+        assert b.graph.comments == {}
+        assert b.graph.replies_of(post) == []
+        assert all(
+            b.graph.comments_by(pid) == [] for pid in creators
+        )
+
 
 class TestDeleteForum:
     def test_del4_cascades(self, world):

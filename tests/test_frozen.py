@@ -219,21 +219,30 @@ class TestFreezeLifecycle:
         live.delete_knows(edge.person1, edge.person2)
         second = manager.frozen()
         assert second is not first
-        assert manager.freezes == 2
-        assert second.frozen_at_version == live.write_version
+        # Merge-on-read: a small write yields an overlaid view of the
+        # same base snapshot, not a refreeze.
+        assert manager.freezes == 1
+        assert second.base_snapshot is first
+        assert manager.frozen() is second
 
     def test_invalidate_forces_rebuild(self, live):
         manager = FreezeManager(live)
         first = manager.frozen()
         manager.invalidate()
         assert manager.frozen() is not first
+        assert manager.freezes == 2
 
-    def test_refrozen_snapshot_sees_the_write(self, live):
-        manager = FreezeManager(live)
+    def test_compaction_refreezes_and_sees_the_write(self, live):
+        # fraction 0.0: any outstanding overlay row triggers compaction,
+        # i.e. the pre-delta refreeze-on-write behaviour.
+        manager = FreezeManager(live, compact_fraction=0.0)
         before = manager.frozen()
         edge = live.knows_edges[0]
         live.delete_knows(edge.person1, edge.person2)
         after = manager.frozen()
+        assert manager.freezes == 2
+        assert manager.compactions == 1
+        assert after.frozen_at_version == live.write_version
         ord1 = after._person_ord[edge.person1]
         lo, hi = after._knows_offsets[ord1], after._knows_offsets[ord1 + 1]
         assert edge.person2 not in after._knows_targets[lo:hi]

@@ -220,12 +220,34 @@ class TestR2EngineDiscipline:
             (1, "R2", "frozen-import")
         ]
 
+    def test_delta_import_flagged(self):
+        src = "from repro.graph.delta import DeltaOverlay\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R2", "frozen-import")
+        ]
+
+    def test_delta_module_import_flagged(self):
+        src = "import repro.graph.delta\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R2", "frozen-import")
+        ]
+
+    def test_delta_via_package_import_flagged(self):
+        src = "from repro.graph import delta\n"
+        assert slugs_at(lint_source(QUERY_PATH, src)) == [
+            (1, "R2", "frozen-import")
+        ]
+
     def test_other_graph_imports_allowed(self):
         src = "from repro.graph.store import SocialGraph\n"
         assert lint_source(QUERY_PATH, src) == []
 
     def test_frozen_import_outside_queries_allowed(self):
         src = "from repro.graph.frozen import freeze\n"
+        assert lint_source(PLAIN_PATH, src) == []
+
+    def test_delta_import_outside_queries_allowed(self):
+        src = "from repro.graph.delta import DeltaOverlay\n"
         assert lint_source(PLAIN_PATH, src) == []
 
 

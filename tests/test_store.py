@@ -236,6 +236,114 @@ class TestDeleteKnows:
         assert a not in graph._friends[b]
 
 
+class TestRelationDeletesInPlace:
+    """Like/membership/study/work removals must be O(degree):
+    swap-remove through the per-entity position maps, never an O(E)
+    ``list.remove`` scan or a full-list rebuild (the `delete_knows`
+    pattern, extended to the remaining relation tables)."""
+
+    def _fan_world(self, persons: int = 60):
+        """Every person likes every post of a shared forum and joins it;
+        persons also carry one study and one work record each."""
+        b = GraphBuilder()
+        ids = [b.person() for _ in range(persons)]
+        forum = b.forum(ids[0])
+        posts = [b.post(ids[i % persons], forum) for i in range(8)]
+        for pid in ids:
+            b.member(forum, pid)
+            b.study(pid, pid % 2, 2004 + pid % 6)
+            b.work(pid, 2 + pid % 2, 2008 + pid % 4)
+            for mid in posts:
+                b.like(pid, mid)
+        return b, ids, forum, posts
+
+    def test_large_like_delete_stream_mutates_in_place(self):
+        """A long like-delete stream never replaces the edge list object
+        and drains the position map with it — the O(E) ``list.remove``
+        regression would scan the whole table per delete."""
+        b, ids, forum, posts = self._fan_world()
+        graph = b.graph
+        like_list = graph.likes_edges
+        doomed = [(lk.person_id, lk.message_id) for lk in graph.likes_edges]
+        for person_id, message_id in doomed:
+            graph.delete_like(person_id, message_id)
+            assert graph.likes_edges is like_list
+        assert graph.likes_edges == []
+        assert graph._likes_pos == {}
+
+    def test_like_position_map_consistent_under_interleaving(self):
+        from repro.util.rng import DeterministicRng
+
+        b, ids, forum, posts = self._fan_world(20)
+        graph = b.graph
+        rng = DeterministicRng(11, "delete-likes")
+        model = {(lk.person_id, lk.message_id) for lk in graph.likes_edges}
+        pairs = sorted(model)
+        rng.shuffle(pairs)
+        for round_no, (person_id, message_id) in enumerate(pairs):
+            graph.delete_like(person_id, message_id)
+            model.discard((person_id, message_id))
+            if round_no % 3 == 0:  # re-insert a previously deleted like
+                b.like(person_id, message_id)
+                model.add((person_id, message_id))
+            assert len(graph.likes_edges) == len(model)
+        assert {
+            (lk.person_id, lk.message_id) for lk in graph.likes_edges
+        } == model
+        for index, like in enumerate(graph.likes_edges):
+            assert index in graph._likes_pos[
+                (like.person_id, like.message_id)
+            ]
+
+    def test_membership_delete_stream_mutates_in_place(self):
+        b, ids, forum, posts = self._fan_world()
+        graph = b.graph
+        member_list = graph.memberships
+        for pid in ids:
+            graph.delete_membership(forum, pid)
+            assert graph.memberships is member_list
+        assert graph.memberships == []
+        assert graph._member_pos == {}
+
+    def test_delete_person_removes_study_work_in_place(self):
+        """``delete_person`` must swap-remove the victim's study/work
+        rows — not rebuild the tables — so frozen snapshots sharing the
+        lists by reference keep aliasing the live store."""
+        b, ids, forum, posts = self._fan_world()
+        graph = b.graph
+        study_list, work_list = graph.study_at, graph.work_at
+        survivors = set(ids[1:])
+        graph.delete_person(ids[0])
+        assert graph.study_at is study_list
+        assert graph.work_at is work_list
+        assert {r.person_id for r in graph.study_at} == survivors
+        assert {r.person_id for r in graph.work_at} == survivors
+        assert ids[0] not in graph._study_pos
+        assert ids[0] not in graph._work_pos
+        for index, record in enumerate(graph.study_at):
+            assert index in graph._study_pos[record.person_id]
+        for index, record in enumerate(graph.work_at):
+            assert index in graph._work_pos[record.person_id]
+
+    def test_person_cascade_drains_every_position_map(self):
+        """Deleting every person through the DEL-1 cascade leaves all
+        relation tables and their position maps empty and in place."""
+        b, ids, forum, posts = self._fan_world(30)
+        graph = b.graph
+        tables = (
+            graph.likes_edges, graph.memberships,
+            graph.study_at, graph.work_at,
+        )
+        for pid in ids:
+            graph.delete_person(pid)
+        assert all(table == [] for table in tables)
+        assert graph.likes_edges is tables[0]
+        assert graph._likes_pos == {}
+        assert graph._member_pos == {}
+        assert graph._study_pos == {}
+        assert graph._work_pos == {}
+
+
 class TestTagClassHierarchy:
     def test_descendants(self, simple):
         b, _ = simple

@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-smoke bench-compare bench-tables examples all
+.PHONY: install test lint lint-flow bench bench-smoke bench-compare bench-tables examples all
 
 install:
 	pip install -e .
@@ -16,6 +16,10 @@ lint:  ## benchmark-invariant checker + (if installed) strict typing
 	else \
 		echo "mypy not installed; skipping type check (CI runs it)"; \
 	fi
+
+lint-flow:  ## dataflow rules (R6/R7) + dead-waiver audit
+	PYTHONPATH=src python -m repro.lint src --select R6,R7
+	PYTHONPATH=src python -m repro.lint src --audit-suppressions
 
 bench:
 	pytest benchmarks/ --benchmark-only

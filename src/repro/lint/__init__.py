@@ -1,4 +1,4 @@
-"""``repro.lint`` — AST-based benchmark-invariant checker.
+"""``repro.lint`` — AST/dataflow benchmark-invariant checker.
 
 The LDBC auditing rules (spec section 7) demand properties that unit
 tests cannot economically pin down for every future query: runs must be
@@ -21,19 +21,34 @@ Rules (see ``docs/LINTING.md`` for rationale and examples):
   agree with the spec transcriptions.
 * **R4 total-order sorts** — every sort key ends in a unique-id
   tie-breaker (heuristic, suppressible).
+* **R5 observability discipline** — span/metric usage stays inside the
+  sanctioned :mod:`repro.obs` surfaces.
+* **R6 snapshot-aliasing discipline** — live store tables and frozen
+  column families are mutated in place, never rebound, and frozen
+  views never mutate adopted base state (flow-sensitive, built on the
+  CFG/alias layer in :mod:`repro.lint.flow`).
+* **R7 fork/worker safety** — task runners write no shared module
+  state outside the metrics delta protocol, and pool submissions carry
+  snapshots, never live stores.
 
 Run with ``python -m repro.lint src`` (exit 0 clean / 1 violations /
-2 usage error) or through ``tests/test_lint.py``.
+2 usage error), audit the waiver inventory with
+``python -m repro.lint src --audit-suppressions``, or go through
+``tests/test_lint.py``.
 """
 
-from repro.lint.checker import lint_paths, lint_source
+from repro.lint.checker import audit_paths, audit_source, lint_paths, lint_source
 from repro.lint.diagnostics import Diagnostic, format_diagnostic
-from repro.lint.rules import ALL_RULES
+from repro.lint.rules import ALL_RULES, RULES_BY_FAMILY, rules_for
 
 __all__ = [
     "ALL_RULES",
+    "RULES_BY_FAMILY",
     "Diagnostic",
+    "audit_paths",
+    "audit_source",
     "format_diagnostic",
     "lint_paths",
     "lint_source",
+    "rules_for",
 ]

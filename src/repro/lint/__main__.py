@@ -1,7 +1,12 @@
-"""CLI: ``python -m repro.lint <path>... [--format {text,github}]``.
+"""CLI: ``python -m repro.lint <path>... [options]``.
 
-Exit codes: 0 clean, 1 violations found, 2 usage error (bad flag,
-nonexistent path).
+Options: ``--format {text,github}`` (github = workflow annotations),
+``--select R6,R7`` (run only the named rule families), and
+``--audit-suppressions`` (report waivers that no longer suppress any
+diagnostic instead of linting).
+
+Exit codes: 0 clean, 1 violations (or dead waivers) found, 2 usage
+error (bad flag, unknown family, nonexistent path).
 """
 
 from __future__ import annotations
@@ -10,17 +15,19 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.lint.checker import lint_paths
+from repro.lint.checker import audit_paths, lint_paths
 from repro.lint.diagnostics import format_diagnostic
+from repro.lint.rules import ALL_RULES, RULES_BY_FAMILY, rules_for
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "AST-based benchmark-invariant checker: determinism (R1), "
+            "AST/dataflow benchmark-invariant checker: determinism (R1), "
             "engine discipline (R2), query contracts (R3), "
-            "total-order sorts (R4)."
+            "total-order sorts (R4), observability discipline (R5), "
+            "snapshot-aliasing discipline (R6), fork/worker safety (R7)."
         ),
     )
     parser.add_argument(
@@ -34,22 +41,47 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="text",
         help="diagnostic format (github = workflow annotations)",
     )
+    parser.add_argument(
+        "--select",
+        metavar="FAMILIES",
+        default=None,
+        help=(
+            "comma-separated rule families to run "
+            f"(of: {', '.join(sorted(RULES_BY_FAMILY))}); default all"
+        ),
+    )
+    parser.add_argument(
+        "--audit-suppressions",
+        action="store_true",
+        help=(
+            "audit the waiver inventory: report '# lint: allow-*' "
+            "comments that no longer suppress any diagnostic"
+        ),
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exit_:
         # argparse exits 2 on usage errors and 0 on --help; keep both.
         return int(exit_.code or 0)
+    rules = ALL_RULES
+    if args.select is not None:
+        families = [part.strip() for part in args.select.split(",") if part.strip()]
+        try:
+            rules = rules_for(families)
+        except KeyError as error:
+            print(f"error: unknown rule family {error}", file=sys.stderr)
+            return 2
+    runner = audit_paths if args.audit_suppressions else lint_paths
     try:
-        diagnostics = lint_paths(args.paths)
+        diagnostics = runner(args.paths, rules)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     for diag in diagnostics:
         print(format_diagnostic(diag, args.format))
     if diagnostics:
-        print(
-            f"{len(diagnostics)} violation(s) found", file=sys.stderr
-        )
+        noun = "dead waiver(s)" if args.audit_suppressions else "violation(s)"
+        print(f"{len(diagnostics)} {noun} found", file=sys.stderr)
         return 1
     return 0
 

@@ -9,6 +9,9 @@ from repro.lint.base import Rule, make_context
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.rules import ALL_RULES
 
+def _SORT_KEY(diag: Diagnostic) -> tuple[str, int, int, str, str]:
+    return (diag.path, diag.line, diag.col, diag.rule, diag.slug)
+
 
 def lint_source(
     path: str, source: str, rules: Sequence[Rule] = ALL_RULES
@@ -22,14 +25,29 @@ def lint_source(
         for diag in rule(context):
             if not context.suppressions.is_suppressed(diag.slug, diag.line):
                 found.append(diag)
-    found.sort(key=lambda d: (d.path, d.line, d.col, d.rule, d.slug))
+    found.sort(key=_SORT_KEY)
     return found
 
 
-def lint_paths(
-    paths: Iterable[str], rules: Sequence[Rule] = ALL_RULES
+def audit_source(
+    path: str, source: str, rules: Sequence[Rule] = ALL_RULES
 ) -> list[Diagnostic]:
-    """Lint files and directory trees (``*.py``, sorted traversal).
+    """Audit one module's waiver inventory: rerun the rules *without*
+    suppression filtering and report every waiver whose slug/scope
+    matches none of the raw diagnostics (``R0``/``dead-suppression``)."""
+    context = make_context(path, source)
+    if isinstance(context, Diagnostic):
+        return [context]
+    raw: list[Diagnostic] = []
+    for rule in rules:
+        raw.extend(rule(context))
+    dead = context.suppressions.dead_waivers(raw)
+    dead.sort(key=_SORT_KEY)
+    return dead
+
+
+def _expand_paths(paths: Iterable[str]) -> list[Path]:
+    """Files and directory trees (``*.py``, sorted traversal).
 
     Raises :class:`FileNotFoundError` for a path that does not exist —
     the CLI maps that to exit code 2 (usage error), because a silently
@@ -44,9 +62,28 @@ def lint_paths(
             files.append(path)
         else:
             raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Sequence[Rule] = ALL_RULES
+) -> list[Diagnostic]:
+    """Lint files and directory trees (see :func:`_expand_paths`)."""
     found: list[Diagnostic] = []
-    for file in files:
+    for file in _expand_paths(paths):
         found.extend(
             lint_source(str(file), file.read_text(encoding="utf-8"), rules)
+        )
+    return found
+
+
+def audit_paths(
+    paths: Iterable[str], rules: Sequence[Rule] = ALL_RULES
+) -> list[Diagnostic]:
+    """Audit waiver inventories across files and directory trees."""
+    found: list[Diagnostic] = []
+    for file in _expand_paths(paths):
+        found.extend(
+            audit_source(str(file), file.read_text(encoding="utf-8"), rules)
         )
     return found

@@ -1,0 +1,467 @@
+"""Dataflow layer for the flow-sensitive rules (R6/R7).
+
+Three pieces, each deliberately small and intra-procedural:
+
+* :func:`build_cfg` — a per-function control-flow graph over ``ast``
+  covering branches, loops (with ``else`` and ``break``/``continue``),
+  ``try``/``except``/``finally``, ``with`` and ``match``.  Compound
+  statements live in the block where their *header* executes; their
+  bodies get blocks of their own, so every statement of the function
+  body sits in exactly one block.
+* :class:`AliasAnalysis` — forward may-analysis to a fixpoint over that
+  CFG.  The abstract domain is a set of opaque string tokens per name
+  (``attr:likes_edges``, ``fresh``, ``live-store``, …) produced by a
+  rule-supplied expression classifier; the analysis only moves the
+  tokens through assignments, loops and joins.  Because the merge is a
+  union over a finite token set, the fixpoint always terminates.
+* call-graph helpers — :func:`constructor_only_methods` finds the
+  methods of a class reachable *only* from ``__init__`` (freeze-time
+  column builders), and :func:`transitive_local_callees` expands a set
+  of module-level roots (task runners) through module-local calls so a
+  violation moved into a helper is still attributed to the runner.
+
+Known, documented blind spots: nested functions are opaque statements
+(analyse them separately if needed), ``:=`` targets inside expression
+headers are not bound, and comprehension targets are deliberately *not*
+definitions — Python 3 scopes them to the comprehension.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: A function-ish definition node the CFG builder accepts.
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Abstract value of one name: a set of opaque classifier tokens.
+Values = frozenset[str]
+#: name (or ``self.<attr>`` spelled ``attr:<name>``) -> abstract value.
+Env = dict[str, Values]
+#: Rule-supplied expression classifier: (expression, env) -> tokens.
+Classifier = Callable[[ast.expr, "Env"], Values]
+
+#: The classifier token for "no idea" — joins absorb it.
+UNKNOWN_TOKEN = "unknown"
+UNKNOWN: Values = frozenset({UNKNOWN_TOKEN})
+EMPTY: Values = frozenset()
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line statements plus successor edges."""
+
+    block_id: int
+    statements: list[ast.AST] = field(default_factory=list)
+    successors: list["Block"] = field(default_factory=list)
+
+    def link(self, other: "Block") -> None:
+        if other is not self and other not in self.successors:
+            self.successors.append(other)
+
+
+@dataclass
+class ControlFlowGraph:
+    """CFG of one function body; ``entry``/``exit`` are empty blocks."""
+
+    blocks: list[Block] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def statements(self) -> Iterator[ast.AST]:
+        """Every statement of the function body, each exactly once."""
+        for block in self.blocks:
+            yield from block.statements
+
+    def reachable(self, start: Block | None = None) -> set[int]:
+        """Block ids reachable from ``start`` (default: entry)."""
+        stack = [start if start is not None else self.entry]
+        seen: set[int] = set()
+        while stack:
+            block = stack.pop()
+            if block.block_id in seen:
+                continue
+            seen.add(block.block_id)
+            stack.extend(block.successors)
+        return seen
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+        # (continue target, break target) per enclosing loop.
+        self._loops: list[tuple[Block, Block]] = []
+
+    def build(self, body: list[ast.stmt]) -> ControlFlowGraph:
+        end = self._sequence(body, self.cfg.entry)
+        end.link(self.cfg.exit)
+        return self.cfg
+
+    def _sequence(self, body: list[ast.stmt], current: Block) -> Block:
+        for stmt in body:
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: Block) -> Block:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # The items bind in ``current``; the body is straight-line.
+            current.statements.append(stmt)
+            return self._sequence(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            current.statements.append(stmt)
+            if self._loops:
+                target = self._loops[-1]
+                current.link(target[1] if isinstance(stmt, ast.Break) else target[0])
+            # Statements after a jump are unreachable: fresh island block.
+            return self.cfg.new_block()
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.statements.append(stmt)
+            current.link(self.cfg.exit)
+            return self.cfg.new_block()
+        # Simple statement (incl. nested def/class, treated as opaque).
+        current.statements.append(stmt)
+        return current
+
+    def _if(self, stmt: ast.If, current: Block) -> Block:
+        current.statements.append(stmt)
+        after = self.cfg.new_block()
+        then_start = self.cfg.new_block()
+        current.link(then_start)
+        self._sequence(stmt.body, then_start).link(after)
+        if stmt.orelse:
+            else_start = self.cfg.new_block()
+            current.link(else_start)
+            self._sequence(stmt.orelse, else_start).link(after)
+        else:
+            current.link(after)
+        return after
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: Block
+    ) -> Block:
+        head = self.cfg.new_block()
+        current.link(head)
+        # ``for`` targets rebind at the head on every iteration.
+        head.statements.append(stmt)
+        after = self.cfg.new_block()
+        body_start = self.cfg.new_block()
+        head.link(body_start)
+        self._loops.append((head, after))
+        body_end = self._sequence(stmt.body, body_start)
+        self._loops.pop()
+        body_end.link(head)
+        if stmt.orelse:
+            else_start = self.cfg.new_block()
+            head.link(else_start)
+            self._sequence(stmt.orelse, else_start).link(after)
+        else:
+            head.link(after)
+        return after
+
+    def _split_sequence(self, body: list[ast.stmt], current: Block) -> Block:
+        """Like :meth:`_sequence`, but each statement opens a fresh
+        block, so every *intermediate* environment of a try body sits at
+        some block boundary and the exceptional may-edges carry it."""
+        for stmt in body:
+            opened = self.cfg.new_block()
+            current.link(opened)
+            current = self._statement(stmt, opened)
+        return current
+
+    def _try(self, stmt: ast.Try, current: Block) -> Block:
+        body_start = self.cfg.new_block()
+        current.link(body_start)
+        mark = len(self.cfg.blocks)
+        body_end = self._split_sequence(stmt.body, body_start)
+        # Any block executed inside the try body may raise into any
+        # handler (and into ``finally``) — a conservative may-edge set.
+        body_blocks = [body_start] + self.cfg.blocks[mark:]
+        if stmt.orelse:
+            body_end = self._sequence(stmt.orelse, body_end)
+        join = self.cfg.new_block()
+        body_end.link(join)
+        for handler in stmt.handlers:
+            handler_start = self.cfg.new_block()
+            for block in body_blocks:
+                block.link(handler_start)
+            # The ``except ... as name`` binding happens here.
+            handler_start.statements.append(handler)
+            self._sequence(handler.body, handler_start).link(join)
+        if stmt.finalbody:
+            if not stmt.handlers:
+                # Unhandled exceptions still run ``finally``: defs from
+                # mid-body must reach it.
+                for block in body_blocks:
+                    block.link(join)
+            final_end = self._sequence(stmt.finalbody, join)
+            final_end.link(self.cfg.exit)
+            return final_end
+        return join
+
+    def _match(self, stmt: ast.Match, current: Block) -> Block:
+        current.statements.append(stmt)
+        after = self.cfg.new_block()
+        current.link(after)  # no case may match
+        for case in stmt.cases:
+            case_start = self.cfg.new_block()
+            current.link(case_start)
+            self._sequence(case.body, case_start).link(after)
+        return after
+
+
+def build_cfg(func: FunctionNode) -> ControlFlowGraph:
+    """The control-flow graph of one function's body."""
+    return _Builder().build(func.body)
+
+
+def _merge(into: Env, other: Env) -> bool:
+    """Key-wise union of ``other`` into ``into``; True if it grew."""
+    changed = False
+    for name, values in other.items():
+        previous = into.get(name, EMPTY)
+        merged = previous | values
+        if merged != previous:
+            into[name] = merged
+            changed = True
+    return changed
+
+
+class AliasAnalysis:
+    """Reaching-definitions/alias fixpoint over one function's CFG.
+
+    ``env_before[stmt]`` is the abstract environment on entry to each
+    statement (union over all program paths reaching it).  Rules read it
+    to ask "what may this name alias *here*?" — flow-sensitively, so a
+    rebind on one branch taints the join but a straight write-back of
+    the same object does not.
+    """
+
+    def __init__(
+        self,
+        func: FunctionNode,
+        classify: Classifier,
+        initial: Env | None = None,
+    ) -> None:
+        self.func = func
+        self.classify = classify
+        self.cfg = build_cfg(func)
+        self.env_before: dict[ast.AST, Env] = {}
+        self._run(initial or {})
+
+    # -- fixpoint ------------------------------------------------------
+
+    def _run(self, initial: Env) -> None:
+        in_envs: dict[int, Env] = {self.cfg.entry.block_id: dict(initial)}
+        visited: set[int] = set()
+        work: list[Block] = [self.cfg.entry]
+        while work:
+            block = work.pop()
+            visited.add(block.block_id)
+            env = dict(in_envs.get(block.block_id, {}))
+            for stmt in block.statements:
+                before = self.env_before.setdefault(stmt, {})
+                _merge(before, env)
+                env = self._transfer(stmt, env)
+            for successor in block.successors:
+                succ_env = in_envs.setdefault(successor.block_id, {})
+                if _merge(succ_env, env) or successor.block_id not in visited:
+                    work.append(successor)
+
+    # -- transfer ------------------------------------------------------
+
+    def _transfer(self, stmt: ast.AST, env: Env) -> Env:
+        env = dict(env)
+        if isinstance(stmt, ast.Assign):
+            self._bind_targets(stmt.targets, stmt.value, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind_targets([stmt.target], stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            # In-place on the object already bound: aliases unchanged
+            # for attributes/subscripts; a plain name may rebind (int
+            # ``+=``), so it degrades to unknown.
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = UNKNOWN
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_unknown(stmt.target, env)
+        elif isinstance(stmt, (ast.While, ast.If, ast.Match)):
+            pass  # header only; bodies transfer in their own blocks
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind_unknown(item.optional_vars, env)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                env[(alias.asname or alias.name).split(".")[0]] = UNKNOWN
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        return env
+
+    def _bind_targets(
+        self, targets: list[ast.expr], value: ast.expr, env: Env
+    ) -> None:
+        values: Values | None = None
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._bind_unpack(target, value, env)
+                continue
+            if values is None:
+                values = self.classify(value, env)
+            self._bind_one(target, values, env)
+
+    def _bind_unpack(
+        self, target: ast.Tuple | ast.List, value: ast.expr, env: Env
+    ) -> None:
+        elements = target.elts
+        if (
+            isinstance(value, (ast.Tuple, ast.List))
+            and len(value.elts) == len(elements)
+            and not any(isinstance(e, ast.Starred) for e in elements)
+            and not any(isinstance(e, ast.Starred) for e in value.elts)
+        ):
+            for element, element_value in zip(elements, value.elts):
+                self._bind_one(element, self.classify(element_value, env), env)
+            return
+        for element in elements:
+            self._bind_unknown(element, env)
+
+    def _bind_one(self, target: ast.expr, values: Values, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = values
+        elif isinstance(target, ast.Attribute):
+            env[f"attr:{target.attr}"] = values
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_unknown(element, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_unknown(target.value, env)
+        # Subscript targets mutate, they do not rebind: no env change.
+
+    def _bind_unknown(self, target: ast.expr, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = UNKNOWN
+        elif isinstance(target, ast.Attribute):
+            env[f"attr:{target.attr}"] = UNKNOWN
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_unknown(element, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_unknown(target.value, env)
+
+
+# -- call-graph helpers ----------------------------------------------------
+
+
+def function_defs(node: ast.AST) -> Iterator[FunctionNode]:
+    """Every (async) function definition anywhere under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+
+
+def class_methods(cls: ast.ClassDef) -> dict[str, FunctionNode]:
+    """Directly declared methods of a class body (no nesting)."""
+    methods: dict[str, FunctionNode] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[stmt.name] = stmt
+    return methods
+
+
+def _self_calls(func: FunctionNode) -> set[str]:
+    """Names of ``self.<m>(...)`` methods invoked inside ``func``."""
+    called: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            called.add(node.func.attr)
+    return called
+
+
+def constructor_only_methods(cls: ast.ClassDef) -> set[str]:
+    """Methods reachable only through ``__init__`` (freeze-time builders).
+
+    A method is constructor-only iff every ``self.``-call site naming it
+    sits in ``__init__`` or in another constructor-only method, and it
+    has at least one such site.  ``FrozenGraph._build_columns`` →
+    ``_build_person_columns`` chains resolve in a couple of fixpoint
+    rounds; a method also called from a public mutator drops out.
+    """
+    methods = class_methods(cls)
+    callers: dict[str, set[str]] = {name: set() for name in methods}
+    for name, func in methods.items():
+        for callee in _self_calls(func):
+            if callee in callers:
+                callers[callee].add(name)
+    constructor_only = {
+        name
+        for name in methods
+        if name != "__init__" and callers[name] and callers[name] <= {"__init__"}
+    }
+    changed = True
+    while changed:
+        changed = False
+        allowed = constructor_only | {"__init__"}
+        for name in methods:
+            if name == "__init__" or name in constructor_only:
+                continue
+            if callers[name] and callers[name] <= allowed:
+                constructor_only.add(name)
+                changed = True
+    return constructor_only
+
+
+def module_functions(tree: ast.Module) -> dict[str, FunctionNode]:
+    """Top-level function definitions of a module, by name."""
+    functions: dict[str, FunctionNode] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[stmt.name] = stmt
+    return functions
+
+
+def transitive_local_callees(
+    functions: dict[str, FunctionNode], roots: set[str]
+) -> set[str]:
+    """``roots`` plus every module-local function they (transitively)
+    call by bare name — how R7 attributes helper bodies to runners."""
+    reached = set(roots) & set(functions)
+    work = list(reached)
+    while work:
+        name = work.pop()
+        for node in ast.walk(functions[name]):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in functions
+                and node.func.id not in reached
+            ):
+                reached.add(node.func.id)
+                work.append(node.func.id)
+    return reached

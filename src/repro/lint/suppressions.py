@@ -3,8 +3,11 @@
 Two scopes, mirroring how LDBC audits record waivers — every waiver
 names the rule it waives and why:
 
-* line scope — the comment sits on the violating line, or alone on the
-  line directly above it;
+* line scope — the comment sits on the violating line, alone on the
+  line directly above it, or on *any physical line of the violating
+  logical statement* — a multi-line sort key continued inside parens
+  can be waived right where the key is written; the waiver covers the
+  whole statement span, wherever within it the diagnostic anchors;
 * file scope — ``# lint: file-allow-<slug> <reason>`` anywhere in the
   file (conventionally in the header) waives the slug for the whole
   file, e.g. for the deliberately engine-free reference
@@ -12,12 +15,17 @@ names the rule it waives and why:
 
 A suppression without a reason is itself reported (``R0``/
 ``bare-suppression``): an unexplained waiver is exactly the kind of
-drift the checker exists to prevent.
+drift the checker exists to prevent.  Each reasoned waiver is also kept
+as a :class:`Waiver` record so ``--audit-suppressions`` can report
+waivers that no longer suppress anything (``R0``/``dead-suppression``)
+— the inventory must not rot.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 from repro.lint.diagnostics import Diagnostic
@@ -28,10 +36,24 @@ _COMMENT_RE = re.compile(
 )
 
 
+@dataclass(frozen=True)
+class Waiver:
+    """One reasoned suppression comment, for the dead-waiver audit."""
+
+    slug: str
+    #: Physical line of the comment itself.
+    line: int
+    filewide: bool
+    #: Line numbers this waiver suppresses (empty for file scope).
+    covered: frozenset[int] = frozenset()
+
+
 @dataclass
 class SuppressionIndex:
     """Parsed suppressions of one file, queried by (line, slug)."""
 
+    #: The file the suppressions came from (for audit diagnostics).
+    path: str = ""
     #: slug -> set of line numbers the suppression covers.
     lines: dict[str, set[int]] = field(default_factory=dict)
     #: slugs waived for the entire file.
@@ -42,24 +64,106 @@ class SuppressionIndex:
     filewide_lines: dict[str, int] = field(default_factory=dict)
     #: diagnostics produced by malformed suppressions (missing reason).
     problems: list[Diagnostic] = field(default_factory=list)
+    #: every reasoned waiver, in file order, for ``--audit-suppressions``.
+    waivers: list[Waiver] = field(default_factory=list)
 
     def is_suppressed(self, slug: str, line: int) -> bool:
         if slug in self.filewide:
             return True
         return line in self.lines.get(slug, set())
 
+    def dead_waivers(
+        self, raw_diagnostics: list[Diagnostic]
+    ) -> list[Diagnostic]:
+        """Waivers that suppress none of ``raw_diagnostics``.
+
+        ``raw_diagnostics`` must be *pre-suppression* rule output for
+        this file; a waiver is live exactly when some raw diagnostic
+        matches its slug inside its scope.
+        """
+        dead: list[Diagnostic] = []
+        for waiver in self.waivers:
+            used = any(
+                diag.slug == waiver.slug
+                and (waiver.filewide or diag.line in waiver.covered)
+                for diag in raw_diagnostics
+            )
+            if used:
+                continue
+            form = "file-allow" if waiver.filewide else "allow"
+            dead.append(
+                Diagnostic(
+                    path=self.path,
+                    line=waiver.line,
+                    col=1,
+                    rule="R0",
+                    slug="dead-suppression",
+                    message=(
+                        f"waiver '{form}-{waiver.slug}' no longer "
+                        "suppresses any diagnostic; delete it (or fix the "
+                        "slug) so the waiver inventory stays auditable"
+                    ),
+                )
+            )
+        return dead
+
+
+def _scan_tokens(
+    source: str,
+) -> tuple[dict[int, tuple[int, int]], list[tuple[int, int, str]]]:
+    """One tokenize pass: logical-line spans and comment tokens.
+
+    The first result maps each physical line to the ``(first, last)``
+    physical-line span of its logical statement: a logical line opens at
+    the first non-trivia token and closes at NEWLINE; NL, COMMENT,
+    INDENT and DEDENT never end one, so continuation lines — both
+    backslash and implicit paren/bracket continuations — map back to the
+    statement they belong to.  The second result is ``(line, col, text)`` per COMMENT
+    token, so suppression parsing sees only real comments and a
+    ``# lint:`` sequence inside a string literal or docstring cannot
+    register as a waiver.  Both are empty when tokenize cannot scan the
+    source (the AST parse will have reported the syntax error already).
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    comments: list[tuple[int, int, str]] = []
+    current: int | None = None
+    trivia = {
+        tokenize.NL,
+        tokenize.COMMENT,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    }
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+            if token.type == tokenize.NEWLINE:
+                if current is not None:
+                    span = (current, token.start[0])
+                    for line in range(current, token.start[0] + 1):
+                        spans.setdefault(line, span)
+                current = None
+            elif token.type in trivia:
+                continue
+            elif current is None:
+                current = token.start[0]
+    except (tokenize.TokenError, IndentationError):
+        return {}, []
+    return spans, comments
+
 
 def parse_suppressions(path: str, source: str) -> SuppressionIndex:
-    """Scan source lines for suppression comments.
+    """Scan comment tokens for suppression comments.
 
-    Line-scope comments cover their own line and the next one, so both
-    trailing comments and standalone comments above the construct work.
-    (The scan is textual; a ``# lint:`` sequence inside a string literal
-    would match too — none exist in practice and the failure mode is a
-    too-wide waiver on one line, caught in review.)
+    Line-scope comments cover their own line, the next one, and every
+    physical line of the logical statement they sit on (see the module
+    docstring).  The scan is token-based: only genuine ``#`` comments
+    count, so lint's own documentation strings cannot register waivers.
     """
-    index = SuppressionIndex()
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    index = SuppressionIndex(path=path)
+    logical_spans, comments = _scan_tokens(source)
+    for lineno, col, text in comments:
         match = _COMMENT_RE.search(text)
         if match is None:
             continue
@@ -69,7 +173,7 @@ def parse_suppressions(path: str, source: str) -> SuppressionIndex:
                 Diagnostic(
                     path=path,
                     line=lineno,
-                    col=match.start() + 1,
+                    col=col + match.start() + 1,
                     rule="R0",
                     slug="bare-suppression",
                     message=(
@@ -83,6 +187,14 @@ def parse_suppressions(path: str, source: str) -> SuppressionIndex:
         if match.group("filewide"):
             index.filewide.add(slug)
             index.filewide_lines.setdefault(slug, lineno)
+            index.waivers.append(Waiver(slug, lineno, filewide=True))
         else:
-            index.lines.setdefault(slug, set()).update((lineno, lineno + 1))
+            covered = {lineno, lineno + 1}
+            span = logical_spans.get(lineno)
+            if span is not None:
+                covered.update(range(span[0], span[1] + 1))
+            index.lines.setdefault(slug, set()).update(covered)
+            index.waivers.append(
+                Waiver(slug, lineno, filewide=False, covered=frozenset(covered))
+            )
     return index

@@ -1,0 +1,447 @@
+"""Unit tests for the dataflow layer (``repro.lint.flow``).
+
+Two layers:
+
+* CFG construction — structural assertions (reachability, loop/else and
+  try/finally edges) on hand-built functions;
+* the alias fixpoint — per-statement environments observed through a
+  toy classifier, covering the edge cases the R6/R7 rules lean on:
+  try/finally def propagation, while/else, nested with, comprehension
+  scoping, helper call graphs and tuple unpacking.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.flow import (
+    AliasAnalysis,
+    UNKNOWN,
+    build_cfg,
+    class_methods,
+    constructor_only_methods,
+    module_functions,
+    transitive_local_callees,
+)
+
+
+def func_of(source: str) -> ast.FunctionDef:
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in fixture")
+
+
+def classify(expr: ast.expr, env: dict) -> frozenset:
+    """Toy classifier: attribute reads tag, names look up, list
+    displays and list() calls are 'fresh', everything else unknown."""
+    if isinstance(expr, ast.Attribute):
+        return frozenset({f"attr:{expr.attr}"})
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id, UNKNOWN)
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return frozenset({"fresh"})
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id == "list":
+            return frozenset({"fresh"})
+        return UNKNOWN
+    return UNKNOWN
+
+
+def env_at(analysis: AliasAnalysis, needle: str) -> dict:
+    """Environment before the most specific statement containing
+    ``needle`` (a compound header's unparse contains its whole body, so
+    pick the shortest match)."""
+    matches = [
+        (len(ast.unparse(stmt)), env)
+        for stmt, env in analysis.env_before.items()
+        if needle in ast.unparse(stmt)
+    ]
+    if not matches:
+        raise AssertionError(f"no statement matching {needle!r}")
+    return min(matches, key=lambda pair: pair[0])[1]
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+class TestCfgConstruction:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(func_of("def f():\n    a = 1\n    b = 2\n"))
+        assert len(cfg.entry.statements) == 2
+        assert cfg.exit.block_id in cfg.reachable()
+
+    def test_if_else_joins(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(c):\n"
+                "    if c:\n"
+                "        a = 1\n"
+                "    else:\n"
+                "        a = 2\n"
+                "    return a\n"
+            )
+        )
+        # entry sees two branch successors; both rejoin before return.
+        assert len(cfg.entry.successors) == 2
+        assert cfg.exit.block_id in cfg.reachable()
+
+    def test_while_else_edges(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(c):\n"
+                "    while c():\n"
+                "        x = 1\n"
+                "    else:\n"
+                "        y = 2\n"
+                "    return 0\n"
+            )
+        )
+        # The loop head has two successors: body and else; the else path
+        # must be the only normal route to the return.
+        heads = [
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.While) for s in b.statements)
+        ]
+        assert len(heads) == 1
+        assert len(heads[0].successors) == 2
+
+    def test_break_skips_loop_else(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(items):\n"
+                "    for item in items:\n"
+                "        break\n"
+                "    else:\n"
+                "        missed = 1\n"
+                "    return 0\n"
+            )
+        )
+        break_blocks = [
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Break) for s in b.statements)
+        ]
+        assert len(break_blocks) == 1
+        # break jumps directly to the after-loop block, which reaches
+        # exit without passing through the else body.
+        (break_block,) = break_blocks
+        assert break_block.successors
+        assert cfg.exit.block_id in cfg.reachable(break_block.successors[0])
+
+    def test_return_ends_path(self):
+        cfg = build_cfg(
+            func_of("def f():\n    return 1\n    unreachable = 2\n")
+        )
+        # The statement after return sits in a block unreachable from
+        # entry.
+        reachable = cfg.reachable()
+        orphan = [
+            b for b in cfg.blocks
+            if b.statements and b.block_id not in reachable
+        ]
+        assert orphan, "post-return code should be unreachable"
+
+    def test_try_body_edges_into_handler(self):
+        cfg = build_cfg(
+            func_of(
+                "def f():\n"
+                "    try:\n"
+                "        a = 1\n"
+                "        b = 2\n"
+                "    except ValueError:\n"
+                "        c = 3\n"
+                "    return 0\n"
+            )
+        )
+        handler_blocks = [
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.ExceptHandler) for s in b.statements)
+        ]
+        assert len(handler_blocks) == 1
+        # the body block links into the handler (may-raise edge).
+        body_blocks = [
+            b for b in cfg.blocks if handler_blocks[0] in b.successors
+        ]
+        assert body_blocks
+
+    def test_nested_with_stays_straight_line(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(a, b):\n"
+                "    with a() as x:\n"
+                "        with b() as y:\n"
+                "            z = 1\n"
+                "    return z\n"
+            )
+        )
+        # no branching: everything lives on one path through entry.
+        assert len(cfg.entry.successors) == 1 or cfg.entry.statements
+
+
+# ---------------------------------------------------------------------------
+# Alias fixpoint over the CFG
+# ---------------------------------------------------------------------------
+
+
+class TestAliasAnalysis:
+    def test_simple_alias_propagates(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self):\n"
+                "    rows = self.likes_edges\n"
+                "    use(rows)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(rows)")["rows"] == {"attr:likes_edges"}
+
+    def test_rebind_replaces_alias(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self):\n"
+                "    rows = self.likes_edges\n"
+                "    rows = []\n"
+                "    use(rows)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(rows)")["rows"] == {"fresh"}
+
+    def test_branch_join_unions_values(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, c):\n"
+                "    rows = self.likes_edges\n"
+                "    if c:\n"
+                "        rows = []\n"
+                "    use(rows)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(rows)")["rows"] == {
+            "attr:likes_edges",
+            "fresh",
+        }
+
+    def test_try_finally_sees_try_defs(self):
+        # A def inside try must reach finally (exceptional edge).
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self):\n"
+                "    rows = self.likes_edges\n"
+                "    try:\n"
+                "        rows = []\n"
+                "    finally:\n"
+                "        use(rows)\n"
+            ),
+            classify,
+        )
+        assert "fresh" in env_at(analysis, "use(rows)")["rows"]
+        # ...and the pre-try binding may also still hold (exception
+        # before the rebind executed).
+        assert "attr:likes_edges" in env_at(analysis, "use(rows)")["rows"]
+
+    def test_while_else_sees_loop_defs(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, c):\n"
+                "    rows = self.likes_edges\n"
+                "    while c():\n"
+                "        rows = []\n"
+                "    else:\n"
+                "        use(rows)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(rows)")["rows"] == {
+            "attr:likes_edges",
+            "fresh",
+        }
+
+    def test_loop_carries_values_around_back_edge(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, items):\n"
+                "    rows = self.likes_edges\n"
+                "    for item in items:\n"
+                "        use(rows)\n"
+                "        rows = []\n"
+            ),
+            classify,
+        )
+        # second iteration sees the rebind from the first.
+        assert env_at(analysis, "use(rows)")["rows"] == {
+            "attr:likes_edges",
+            "fresh",
+        }
+
+    def test_nested_with_binds_targets(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, a, b):\n"
+                "    with a() as x:\n"
+                "        with b() as y:\n"
+                "            use(x, y)\n"
+            ),
+            classify,
+        )
+        env = env_at(analysis, "use(x, y)")
+        assert env["x"] == UNKNOWN
+        assert env["y"] == UNKNOWN
+
+    def test_comprehension_target_does_not_leak(self):
+        # Py3 scopes comprehension targets to the comprehension: the
+        # outer ``rows`` must keep its alias.
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, groups):\n"
+                "    rows = self.likes_edges\n"
+                "    counts = [rows for rows in groups]\n"
+                "    use(rows)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(rows)")["rows"] == {"attr:likes_edges"}
+
+    def test_tuple_unpack_binds_pairwise(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self):\n"
+                "    a, b = self.posts, []\n"
+                "    use(a, b)\n"
+            ),
+            classify,
+        )
+        env = env_at(analysis, "use(a, b)")
+        assert env["a"] == {"attr:posts"}
+        assert env["b"] == {"fresh"}
+
+    def test_tuple_unpack_from_opaque_value_is_unknown(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, pair):\n"
+                "    a, b = pair\n"
+                "    use(a, b)\n"
+            ),
+            classify,
+        )
+        env = env_at(analysis, "use(a, b)")
+        assert env["a"] == UNKNOWN
+        assert env["b"] == UNKNOWN
+
+    def test_augassign_keeps_attribute_alias(self):
+        # ``rows += [x]`` on a name degrades to unknown (ints rebind),
+        # but attribute augassign never clears the attr alias.
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self, x):\n"
+                "    rows = self.likes_edges\n"
+                "    rows += [x]\n"
+                "    use(rows)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(rows)")["rows"] == UNKNOWN
+
+    def test_except_handler_binds_name(self):
+        analysis = AliasAnalysis(
+            func_of(
+                "def f(self):\n"
+                "    try:\n"
+                "        rows = self.likes_edges\n"
+                "    except ValueError as error:\n"
+                "        use(error)\n"
+            ),
+            classify,
+        )
+        assert env_at(analysis, "use(error)")["error"] == UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Call-graph helpers
+# ---------------------------------------------------------------------------
+
+
+CLASS_SRC = """
+class FrozenGraph:
+    def __init__(self, source):
+        self._build_columns(source)
+
+    def _build_columns(self, source):
+        self._build_person_columns(source)
+        self._build_message_columns(source)
+
+    def _build_person_columns(self, source):
+        pass
+
+    def _build_message_columns(self, source):
+        pass
+
+    def evict(self, key):
+        self._drop(key)
+
+    def _drop(self, key):
+        pass
+
+    def _shared_helper(self):
+        pass
+
+    def refresh(self):
+        self._build_person_columns(None)
+"""
+
+
+class TestCallGraphHelpers:
+    def test_constructor_only_transitive_chain(self):
+        tree = ast.parse(CLASS_SRC)
+        cls = next(
+            n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        )
+        ctor_only = constructor_only_methods(cls)
+        # _build_columns is only called from __init__; its direct callee
+        # _build_message_columns follows transitively.  But
+        # _build_person_columns is ALSO called from the public refresh()
+        # — it must not be exempt.
+        assert "_build_columns" in ctor_only
+        assert "_build_message_columns" in ctor_only
+        assert "_build_person_columns" not in ctor_only
+        # helpers of public mutators are never constructor-only.
+        assert "_drop" not in ctor_only
+        assert "evict" not in ctor_only
+
+    def test_uncalled_method_is_not_constructor_only(self):
+        tree = ast.parse(CLASS_SRC)
+        cls = next(
+            n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        )
+        assert "_shared_helper" not in constructor_only_methods(cls)
+
+    def test_class_methods_lists_direct_defs_only(self):
+        tree = ast.parse(CLASS_SRC)
+        cls = next(
+            n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        )
+        assert set(class_methods(cls)) == {
+            "__init__", "_build_columns", "_build_person_columns",
+            "_build_message_columns", "evict", "_drop",
+            "_shared_helper", "refresh",
+        }
+
+    def test_transitive_local_callees(self):
+        tree = ast.parse(
+            "def runner(x):\n"
+            "    return helper(x)\n\n"
+            "def helper(x):\n"
+            "    return deep(x)\n\n"
+            "def deep(x):\n"
+            "    return x\n\n"
+            "def unrelated(x):\n"
+            "    return x\n"
+        )
+        functions = module_functions(tree)
+        reached = transitive_local_callees(functions, {"runner"})
+        assert reached == {"runner", "helper", "deep"}

@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-flow bench bench-smoke bench-compare bench-tables examples all
+.PHONY: install test lint lint-flow bench bench-smoke bench-parallel bench-compare bench-tables examples all
 
 install:
 	pip install -e .
@@ -31,6 +31,10 @@ bench-smoke:  ## quick executor sanity: parallel == serial, then q/s
 		benchmarks/test_frozen_snapshot.py \
 		benchmarks/test_delta_overlay.py \
 		-k "parallel or frozen or overlay" -s --benchmark-disable
+
+bench-parallel:  ## morsel-parallel scan smoke: rows identical, records speedup
+	REPRO_BENCH_OUT=out/bench \
+		pytest benchmarks/test_morsel_scan.py -s --benchmark-disable
 
 bench-compare:  ## diff freshest BENCH_*.json vs the previous archived run
 	python benchmarks/bench_compare.py

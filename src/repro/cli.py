@@ -25,6 +25,7 @@ from repro.analysis.report import full_disclosure_report
 from repro.core.api import SocialNetworkBenchmark
 from repro.core.run import RunRequest
 from repro.datagen.scale import SCALE_FACTORS
+from repro.exec import PROVIDERS, SnapshotConfig
 from repro.driver.validation import (
     read_validation_set,
     write_validation_set,
@@ -130,6 +131,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             mode=args.mode,
             workers=args.workers,
             timeout=args.timeout,
+            snapshot=_snapshot_config(args),
         )
         report = bench.run(request)
         print(report.format_table())
@@ -141,6 +143,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     mode="throughput",
                     workers=args.workers,
                     timeout=args.timeout,
+                    snapshot=_snapshot_config(args),
                 )
             )
             print(outcome.format_table())
@@ -158,6 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workload="interactive",
         workers=args.workers,
         timeout=args.timeout,
+        snapshot=_snapshot_config(args),
         options={
             "time_compression_ratio": args.tcr,
             "max_updates": args.updates,
@@ -222,6 +226,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _snapshot_config(args: argparse.Namespace) -> SnapshotConfig | None:
+    """The run's :class:`SnapshotConfig`, or ``None`` when no snapshot
+    flag was given (knobs then resolve from the environment)."""
+    if args.snapshot_provider is None and args.morsel_size is None:
+        return None
+    return SnapshotConfig(
+        provider=args.snapshot_provider, morsel_size=args.morsel_size
+    )
+
+
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     """Everything the unified ``run`` command (and its hidden aliases)
     accepts; options apply per workload as documented."""
@@ -234,6 +248,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              " or serial)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-query deadline in seconds")
+    parser.add_argument("--snapshot-provider", default=None,
+                        choices=list(PROVIDERS),
+                        help="how process workers obtain the read"
+                             " snapshot (default: REPRO_SNAPSHOT_PROVIDER"
+                             " or inline)")
+    parser.add_argument("--morsel-size", type=int, default=None,
+                        help="split heavy BI scans into morsels of this"
+                             " many rows across the pool (default:"
+                             " REPRO_MORSEL_SIZE or off)")
     parser.add_argument("--query", type=int, choices=range(1, 26),
                         help="run one BI query instead of a full test")
     parser.add_argument("--limit", type=int, default=10,

@@ -37,6 +37,7 @@ from repro.driver.bi_driver import (
 )
 from repro.driver.mix import frequencies_for_scale_factor
 from repro.driver.runner import Driver, DriverReport
+from repro.exec import SnapshotConfig
 from repro.driver.scheduler import Scheduler
 from repro.driver.validation import create_validation_set, validate
 from repro.graph.store import SocialGraph
@@ -187,6 +188,7 @@ class SocialNetworkBenchmark:
         workers: int | None = None,
         timeout: float | None = None,
         freeze_reads: bool = False,
+        snapshot: SnapshotConfig | None = None,
     ) -> DriverReport:
         """Run the Interactive workload: replay the update streams with
         frequency-interleaved complex reads and short-read sequences.
@@ -218,7 +220,8 @@ class SocialNetworkBenchmark:
         schedule = Scheduler(updates, frequencies, parameters, deletes).build()
         driver = Driver(self.graph, time_compression_ratio, seed=seed)
         return driver.run(
-            schedule, workers=workers, timeout=timeout, freeze_reads=freeze_reads
+            schedule, workers=workers, timeout=timeout,
+            freeze_reads=freeze_reads, snapshot=snapshot
         )
 
     def run(self, request: RunRequest) -> RunReport:
@@ -248,9 +251,12 @@ class SocialNetworkBenchmark:
 
     def _dispatch(self, request: RunRequest) -> RunReport:
         opts = dict(request.options)
-        # ``freeze`` option: BI modes resolve ``None`` against the
-        # REPRO_FROZEN env knob (default on); the Interactive driver
-        # keeps its opt-in default (reads interleave with writes).
+        # One SnapshotConfig per run: ``request.snapshot`` wins; the
+        # legacy ``freeze`` option fills its freeze knob; everything
+        # still unset resolves against the environment inside each
+        # test.  The Interactive driver keeps its opt-in freeze default
+        # (reads interleave with writes).
+        config = request.snapshot or SnapshotConfig(freeze=opts.get("freeze"))
         if request.workload == "interactive":
             return self.run_driver(
                 time_compression_ratio=opts.get("time_compression_ratio", 0.0),
@@ -260,6 +266,7 @@ class SocialNetworkBenchmark:
                 workers=request.workers,
                 timeout=request.timeout,
                 freeze_reads=opts.get("freeze", False),
+                snapshot=config,
             )
         if request.mode == "power":
             return power_test(
@@ -269,7 +276,7 @@ class SocialNetworkBenchmark:
                 bindings_per_query=opts.get("bindings_per_query", 1),
                 workers=request.workers,
                 timeout=request.timeout,
-                freeze_graph=opts.get("freeze"),
+                snapshot=config,
             )
         if request.mode == "throughput":
             batches = build_microbatches(
@@ -283,7 +290,7 @@ class SocialNetworkBenchmark:
                 reads_per_batch=opts.get("reads_per_batch", 5),
                 workers=request.workers,
                 timeout=request.timeout,
-                freeze_graph=opts.get("freeze"),
+                snapshot=config,
             )
         return concurrent_read_test(
             self.graph,
@@ -292,7 +299,7 @@ class SocialNetworkBenchmark:
             queries_per_stream=opts.get("queries_per_stream", 25),
             workers=request.workers,
             timeout=request.timeout,
-            freeze_graph=opts.get("freeze"),
+            snapshot=config,
         )
 
     # -- validation ----------------------------------------------------------

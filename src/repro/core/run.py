@@ -24,7 +24,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.exec.snapshot import SnapshotConfig
 
 #: The methods every report class must implement (contract-tested).
 REPORT_SURFACE = ("summary_dict", "format_table", "write_results_dir")
@@ -54,6 +57,9 @@ class RunRequest:
     #: Per-query deadline in seconds (``None`` = no deadline).
     timeout: float | None = None
     seed: int = 1234
+    #: How workers obtain graph state (provider, freeze, compaction,
+    #: morsel size); ``None`` = all knobs from environment/defaults.
+    snapshot: "SnapshotConfig | None" = None
     options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -72,7 +78,7 @@ class RunRequest:
 
     def configuration_dict(self) -> dict[str, Any]:
         """The request as a §6.2 ``configuration.json`` document."""
-        return {
+        document = {
             "workload": self.workload,
             "mode": self.mode,
             "workers": self.workers,
@@ -80,6 +86,9 @@ class RunRequest:
             "seed": self.seed,
             **self.options,
         }
+        if self.snapshot is not None:
+            document["snapshot"] = self.snapshot.configuration_dict()
+        return document
 
 
 class RunReport:

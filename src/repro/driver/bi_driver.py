@@ -34,24 +34,48 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.run import RunReport
 from repro.datagen.delete_streams import DeleteOperation, build_delete_streams
 from repro.datagen.generator import SocialNetworkData
 from repro.datagen.update_streams import UpdateOperation, build_update_streams
-from repro.engine import merge_counters
-from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
+from repro.engine import merge_counters, morsel_ranges, reset_counters
+from repro.exec import (
+    InlineSnapshot,
+    SnapshotConfig,
+    Task,
+    WorkerPool,
+    provide_snapshot,
+    resolve_workers,
+)
 from repro.graph.cache import CachedQueryExecutor
-from repro.graph.frozen import FreezeManager, freeze, resolve_freeze
+from repro.graph.frozen import FreezeManager, freeze
 from repro.graph.store import SocialGraph
 from repro.obs.metrics import registry
 from repro.obs.spans import span
 from repro.params.curation import ParameterGenerator
 from repro.queries.bi import ALL_QUERIES
+from repro.queries.bi.morsels import MORSEL_PLANS
 from repro.queries.interactive.deletes import ALL_DELETES
 from repro.queries.interactive.updates import ALL_UPDATES
 from repro.util.dates import MILLIS_PER_DAY
+
+
+def _snapshot_config(
+    snapshot: SnapshotConfig | None,
+    freeze_graph: bool | None,
+    delta_compact_fraction: float | None = None,
+) -> SnapshotConfig:
+    """One resolved :class:`SnapshotConfig` from the new ``snapshot``
+    argument and the deprecated per-knob aliases (which only fill knobs
+    the config leaves unset)."""
+    config = snapshot or SnapshotConfig()
+    if freeze_graph is not None and config.freeze is None:
+        config = replace(config, freeze=freeze_graph)
+    if delta_compact_fraction is not None and config.compact_fraction is None:
+        config = replace(config, compact_fraction=delta_compact_fraction)
+    return config.resolved()
 
 
 def _accumulate_exec_stats(total: dict, part: dict) -> dict:
@@ -138,6 +162,7 @@ def power_test(
     workers: int | None = None,
     timeout: float | None = None,
     freeze_graph: bool | None = None,
+    snapshot: SnapshotConfig | None = None,
 ) -> PowerTestResult:
     """Run every BI read and score the snapshot.
 
@@ -153,48 +178,134 @@ def power_test(
     that exceeds it is retried once and then recorded with the deadline
     as its runtime (see ``exec_stats``).
 
-    ``freeze_graph`` (default: :func:`repro.graph.frozen.resolve_freeze`,
-    i.e. on unless ``REPRO_FROZEN`` disables it) runs the reads against
-    a :class:`~repro.graph.frozen.FrozenGraph` snapshot: the power test
-    is a pure read phase, so the store is frozen once up front and the
-    columnar arrays fork copy-on-write into the worker processes.
-    Results are identical either way (the frozen differential suite
-    enforces it); only the access paths change.
+    ``snapshot`` is the typed way to configure the read phase (the
+    ``SnapshotConfig`` threaded from :class:`repro.core.run.RunRequest`):
+    ``freeze`` whether the store is frozen up front (default on — the
+    power test is a pure read phase, and results are identical either
+    way, the frozen differential suite enforces it); ``provider`` how
+    process workers obtain the snapshot (``inline`` fork/pickle, or the
+    zero-copy ``mmap_file``/``shared_memory`` mapped columns); and
+    ``morsel_size`` opts heavy scans into morsel-driven parallelism:
+    with process workers, each binding of a query with a registered
+    :data:`~repro.queries.bi.morsels.MORSEL_PLANS` entry is split into
+    fixed-size slab morsels dispatched across the pool and merged
+    deterministically in the parent — its runtime is the slowest morsel
+    plus the merge, its operator counters the morsels' merged tallies
+    (identical to the serial scan's).  ``freeze_graph`` is the
+    deprecated boolean alias for ``snapshot.freeze``.
     """
-    read_graph = freeze(graph) if resolve_freeze(freeze_graph) else graph
+    config = _snapshot_config(snapshot, freeze_graph)
+    read_graph = freeze(graph) if config.freeze else graph
+    workers_n = resolve_workers(workers)
+    morselized = config.morsel_size is not None and workers_n > 1
     numbers = sorted(ALL_QUERIES)
     bindings = {n: params.bi(n, count=bindings_per_query) for n in numbers}
-    tasks = []
+    tasks: list[Task] = []
+    #: (number, binding, first task index, task count, plan | None)
+    entries: list[tuple] = []
     for number in numbers:
+        plan = MORSEL_PLANS.get(number) if morselized else None
         for binding in bindings[number]:
-            tasks.append(Task(len(tasks), "bi", (number, tuple(binding))))
-    with span("power_test", kind="phase", queries=len(numbers),
-              bindings=len(tasks)):
-        pool = WorkerPool(
-            workers=workers, timeout=timeout,
-            snapshot=StoreSnapshot(read_graph),
-        )
-        merged = pool.run(tasks)
+            binding = tuple(binding)
+            if plan is not None:
+                assert config.morsel_size is not None
+                ranges = morsel_ranges(
+                    read_graph,
+                    window=plan.window(binding),
+                    kind=plan.kind,
+                    morsel_size=config.morsel_size,
+                )
+                if len(ranges) > 1:
+                    start = len(tasks)
+                    for index, (kind, lo, hi) in enumerate(ranges):
+                        tasks.append(Task(
+                            len(tasks),
+                            "bi_morsel",
+                            (number, kind, lo, hi, index == 0, binding),
+                        ))
+                    entries.append((number, binding, start, len(ranges), plan))
+                    continue
+            tasks.append(Task(len(tasks), "bi", (number, binding)))
+            entries.append((number, binding, len(tasks) - 1, 1, None))
+    handle = provide_snapshot(read_graph, config=config)
+    try:
+        with span("power_test", kind="phase", queries=len(numbers),
+                  bindings=len(entries)):
+            pool = WorkerPool(
+                workers=workers, timeout=timeout, snapshot=handle,
+            )
+            merged = pool.run(tasks)
+    finally:
+        handle.close()
 
     metrics = registry()
-    runtimes: dict[int, float] = {}
-    operator_stats: dict[int, dict[str, int]] = {}
-    cursor = 0
-    for number in numbers:
-        share = merged.outcomes[cursor:cursor + len(bindings[number])]
-        cursor += len(bindings[number])
-        for outcome in share:
-            metrics.histogram(
-                "repro_query_seconds", query=f"bi{number}"
-            ).observe(outcome.duration)
-        runtimes[number] = sum(o.duration for o in share) / len(share)
-        operator_stats[number] = merge_counters(o.counters for o in share)
+    durations: dict[int, list[float]] = {n: [] for n in numbers}
+    counter_shares: dict[int, list[dict]] = {n: [] for n in numbers}
+    for number, binding, start, count, plan in entries:
+        share = merged.outcomes[start:start + count]
+        if plan is None:
+            duration = share[0].duration
+        else:
+            # The binding's wall-clock under perfect overlap: its
+            # slowest morsel plus the parent-side merge.  The merge's
+            # own operator work (final hash aggregation, any person
+            # scan) tallies in the parent, so capture it like the pool
+            # captures each task's — the binding's merged counters then
+            # equal the serial query's exactly.
+            partials = [o.value for o in share if o.value is not None]
+            merge_start = time.perf_counter()
+            reset_counters()
+            plan.merge(read_graph, partials, binding)
+            merge_tally = reset_counters().as_dict(skip_zero=True)
+            duration = (
+                max(o.duration for o in share)
+                + time.perf_counter() - merge_start
+            )
+            counter_shares[number].append(merge_tally)
+        metrics.histogram(
+            "repro_query_seconds", query=f"bi{number}"
+        ).observe(duration)
+        durations[number].append(duration)
+        counter_shares[number].extend(o.counters for o in share)
+    runtimes = {
+        n: sum(values) / len(values) for n, values in durations.items()
+    }
+    operator_stats = {
+        n: merge_counters(shares) for n, shares in counter_shares.items()
+    }
     return PowerTestResult(
         runtimes=runtimes,
         scale_factor=scale_factor,
         operator_stats=operator_stats,
         exec_stats=merged.stats_dict(),
     )
+
+
+def run_morselized(
+    graph: SocialGraph,
+    number: int,
+    binding: tuple,
+    pool: WorkerPool,
+    morsel_size: int = 65536,
+) -> list:
+    """Run one BI query morsel-parallel on ``pool`` and return its rows
+    (row-identical to the serial query; the pool's snapshot must hold
+    ``graph``).  Used by the parallel-scan benchmark and tests; the
+    power test inlines the same decomposition for its batched runs."""
+    plan = MORSEL_PLANS[number]
+    binding = tuple(binding)
+    ranges = morsel_ranges(
+        graph,
+        window=plan.window(binding),
+        kind=plan.kind,
+        morsel_size=morsel_size,
+    )
+    merged = pool.run(
+        Task(index, "bi_morsel", (number, kind, lo, hi, index == 0, binding))
+        for index, (kind, lo, hi) in enumerate(ranges)
+    )
+    partials = [o.value for o in merged.outcomes if o.value is not None]
+    return plan.merge(graph, partials, binding)
 
 
 @dataclass
@@ -338,6 +449,7 @@ def concurrent_read_test(
     workers: int | None = None,
     timeout: float | None = None,
     freeze_graph: bool | None = None,
+    snapshot: SnapshotConfig | None = None,
 ) -> ConcurrentTestResult:
     """The multi-stream read throughput test (CP-6, "Parallelism and
     Concurrency"): ``streams`` concurrent clients each run a de-phased
@@ -349,26 +461,35 @@ def concurrent_read_test(
     recovery all apply.  Engine operator counters accumulate in each
     worker process and merge into :attr:`ConcurrentTestResult.operator_counters`.
 
-    ``freeze_graph`` defaults on (like :func:`power_test`): a pure read
-    phase over an immutable snapshot is exactly what the frozen layout
-    is for, and forked workers share its arrays copy-on-write.
+    ``snapshot`` configures the read phase like :func:`power_test`'s:
+    ``freeze`` defaults on (a pure read phase over an immutable snapshot
+    is exactly what the frozen layout is for), and the mapped providers
+    serve every stream's columns from one shared buffer instead of
+    fork-inherited pages.  ``freeze_graph`` is the deprecated alias for
+    ``snapshot.freeze``.
     """
     if streams <= 0 or queries_per_stream <= 0:
         raise ValueError("streams and queries_per_stream must be positive")
-    read_graph = freeze(graph) if resolve_freeze(freeze_graph) else graph
+    config = _snapshot_config(snapshot, freeze_graph)
+    read_graph = freeze(graph) if config.freeze else graph
     bindings = {n: params.bi(n, count=3) for n in sorted(ALL_QUERIES)}
-    snapshot = StoreSnapshot(read_graph, context={"bindings": bindings})
-    pool = WorkerPool(
-        workers=streams if workers is None else workers,
-        timeout=timeout,
-        snapshot=snapshot,
+    handle = provide_snapshot(
+        read_graph, context={"bindings": bindings}, config=config
     )
-    with span("concurrent_read_test", kind="phase", streams=streams,
-              queries_per_stream=queries_per_stream):
-        merged = pool.run(
-            Task(index, "stream", (index, queries_per_stream))
-            for index in range(streams)
+    try:
+        pool = WorkerPool(
+            workers=streams if workers is None else workers,
+            timeout=timeout,
+            snapshot=handle,
         )
+        with span("concurrent_read_test", kind="phase", streams=streams,
+                  queries_per_stream=queries_per_stream):
+            merged = pool.run(
+                Task(index, "stream", (index, queries_per_stream))
+                for index in range(streams)
+            )
+    finally:
+        handle.close()
     for outcome in merged.outcomes:
         registry().histogram("repro_stream_seconds").observe(outcome.duration)
     if not merged.failures:
@@ -393,6 +514,7 @@ def throughput_test(
     timeout: float | None = None,
     freeze_graph: bool | None = None,
     delta_compact_fraction: float | None = None,
+    snapshot: SnapshotConfig | None = None,
 ) -> ThroughputTestResult:
     """Alternate write microbatches with blocks of BI reads.
 
@@ -431,10 +553,11 @@ def throughput_test(
     """
     if executor is not None and executor.graph is not graph:
         raise ValueError("executor must wrap the same graph")
+    config = _snapshot_config(snapshot, freeze_graph, delta_compact_fraction)
     workers_n = resolve_workers(workers)
     manager = (
-        FreezeManager(graph, compact_fraction=delta_compact_fraction)
-        if resolve_freeze(freeze_graph)
+        FreezeManager(graph, compact_fraction=config.compact_fraction)
+        if config.freeze
         else None
     )
     context = {"executor": executor, "executor_lock": threading.Lock()}
@@ -490,11 +613,15 @@ def throughput_test(
                     # capture_spans=False: the serial (workers=1) and thread
                     # (workers>1) read blocks must leave identically shaped
                     # traces, and threads can only synthesize.
+                    # Always inline: the context's ``executor_lock`` is
+                    # unpicklable and thread workers share the parent's
+                    # address space anyway, so mapped providers would
+                    # buy nothing here.
                     pool = WorkerPool(
                         workers=workers_n,
                         backend="thread" if workers_n > 1 else "serial",
                         timeout=timeout,
-                        snapshot=StoreSnapshot(read_graph, context=context),
+                        snapshot=InlineSnapshot(read_graph, context=context),
                         capture_spans=False,
                     )
                     block = pool.run(tasks)

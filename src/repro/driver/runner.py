@@ -25,7 +25,13 @@ from dataclasses import dataclass, field
 
 from repro.core.run import RunReport
 from repro.driver.scheduler import ScheduledOperation
-from repro.exec import StoreSnapshot, Task, WorkerPool, resolve_workers
+from repro.exec import (
+    InlineSnapshot,
+    SnapshotConfig,
+    Task,
+    WorkerPool,
+    resolve_workers,
+)
 from repro.graph.frozen import FreezeManager
 from repro.graph.store import SocialGraph
 from repro.obs.metrics import registry, summarize_seconds
@@ -200,6 +206,7 @@ class Driver:
         workers: int | None = None,
         timeout: float | None = None,
         freeze_reads: bool = False,
+        snapshot: SnapshotConfig | None = None,
     ) -> DriverReport:
         """Execute the schedule.
 
@@ -230,6 +237,11 @@ class Driver:
         granularity, so freezing pays off only when the schedule has
         long read runs — hence opt-in, unlike the BI tests.  Results
         are identical either way.
+
+        ``snapshot`` (a :class:`repro.exec.SnapshotConfig`) supplies the
+        delta-compaction fraction for ``freeze_reads``; reads always go
+        through :class:`~repro.exec.InlineSnapshot` here — the pool is
+        thread-backed, so a mapped provider would buy nothing.
         """
         workers_n = resolve_workers(workers)
         if warmup_reads:
@@ -245,7 +257,7 @@ class Driver:
                   tcr=self.tcr):
             if workers_n > 1 and self.tcr == 0 and schedule:
                 report = self._run_parallel(
-                    schedule, workers_n, timeout, freeze_reads
+                    schedule, workers_n, timeout, freeze_reads, snapshot
                 )
             else:
                 report = self._run_paced(schedule)
@@ -324,6 +336,7 @@ class Driver:
         workers: int,
         timeout: float | None,
         freeze_reads: bool = False,
+        snapshot: SnapshotConfig | None = None,
     ) -> DriverReport:
         """Flat-out replay with parallel complex reads.
 
@@ -337,7 +350,14 @@ class Driver:
         exec_stats: dict = {"workers": workers, "backend": "thread",
                             "tasks": 0, "failures": 0, "retries": 0,
                             "timeouts": 0, "worker_crashes": 0}
-        manager = FreezeManager(self.graph) if freeze_reads else None
+        config = (snapshot or SnapshotConfig()).resolved()
+        manager = (
+            FreezeManager(
+                self.graph, compact_fraction=config.compact_fraction
+            )
+            if freeze_reads
+            else None
+        )
         run_start = time.perf_counter()
         buffer: list[ScheduledOperation] = []
 
@@ -349,7 +369,7 @@ class Driver:
                 workers=min(workers, len(buffer)),
                 backend="thread" if len(buffer) > 1 else "serial",
                 timeout=timeout,
-                snapshot=StoreSnapshot(read_graph),
+                snapshot=InlineSnapshot(read_graph),
             )
             merged = pool.run(
                 Task(index, "ic", (op.number, tuple(op.params)))

@@ -9,6 +9,8 @@ from repro.engine.operators import (
     expand,
     group_agg,
     group_count,
+    morsel_ranges,
+    scan_message_morsel,
     scan_forum_posts,
     scan_forums,
     scan_likes,
@@ -33,7 +35,9 @@ __all__ = [
     "group_agg",
     "group_count",
     "merge_counters",
+    "morsel_ranges",
     "reset_counters",
+    "scan_message_morsel",
     "scan_forum_posts",
     "scan_forums",
     "scan_likes",

@@ -54,6 +54,8 @@ from repro.util.dates import DateTime
 from repro.util.topk import TopK, sort_key
 
 __all__ = [
+    "morsel_ranges",
+    "scan_message_morsel",
     "scan_messages",
     "scan_forum_posts",
     "scan_persons",
@@ -309,6 +311,114 @@ def scan_messages(
         _close_operator_span(span, produced)
 
 
+#: A morsel: one contiguous ``[lo, hi)`` row range of a frozen scan
+#: slab (``"post"``/``"comment"``), or the whole-scan fallback
+#: ``("*", 0, -1)`` when the graph has no clean frozen columns.
+Morsel = tuple[str, int, int]
+
+
+def morsel_ranges(
+    graph: SocialGraph,
+    *,
+    window: tuple[DateTime | None, DateTime | None] | None = None,
+    kind: str | None = None,
+    morsel_size: int = 65536,
+) -> list[Morsel]:
+    """Split a :func:`scan_messages` date-window scan into fixed-size
+    morsels a pool can dispatch independently.
+
+    On a clean frozen snapshot each slab's window is bisected once and
+    chunked into ``[lo, hi)`` ranges of at most ``morsel_size`` rows —
+    the morsel-driven parallelism decomposition.  On a live store or a
+    dirty overlaid view the scan is not range-addressable, so one
+    whole-scan fallback morsel ``("*", 0, -1)`` is returned and
+    :func:`scan_message_morsel` degrades to :func:`scan_messages`.
+    Ranges are emitted post slab before comment slab, ascending — the
+    exact order the serial frozen scan yields rows — so a merge in
+    submission order is deterministic.
+    """
+    if morsel_size < 1:
+        raise ValueError("morsel_size must be >= 1")
+    start, end = _bounds(window)
+    if not isinstance(graph, FrozenGraph) or graph.delta_overlay is not None:
+        return [("*", 0, -1)]
+    ranges: list[Morsel] = []
+    kinds = ("post", "comment") if kind is None else (kind,)
+    for slab_kind in kinds:
+        ((_objs, dates),) = graph.date_slabs(slab_kind)
+        lo = 0 if start is None else bisect_left(dates, start)
+        hi = len(dates) if end is None else bisect_left(dates, end)
+        for base in range(lo, hi, morsel_size):
+            ranges.append((slab_kind, base, min(base + morsel_size, hi)))
+    if not ranges:
+        # Empty window: one degenerate morsel keeps the task-per-query
+        # accounting uniform (it scans zero rows).
+        ranges.append((kinds[0], 0, 0))
+    return ranges
+
+
+def scan_message_morsel(
+    graph: SocialGraph,
+    slab_kind: str,
+    lo: int,
+    hi: int,
+    *,
+    window: tuple[DateTime | None, DateTime | None] | None = None,
+    language: "Iterable[str] | None" = None,
+    lead: bool = True,
+) -> Iterator[Message]:
+    """One morsel of a frozen date-window scan: rows ``[lo, hi)`` of
+    ``slab_kind``'s ``(creationDate, id)``-sorted slab, with the same
+    language pushdown as :func:`scan_messages`.
+
+    ``(slab_kind, lo, hi)`` must come from :func:`morsel_ranges` over
+    an equivalent snapshot and the same ``window`` — the range *is* the
+    window predicate, so no per-row date checks are repeated here.  The
+    ``("*", 0, -1)`` fallback morsel delegates to :func:`scan_messages`
+    wholesale.  ``lead`` marks the first morsel of a decomposed scan:
+    only the lead tallies the scan's ``index_scans`` counter, so the
+    summed counters of a morselized run stay independent of how many
+    morsels the range was cut into; every morsel counts its own
+    ``rows_scanned``.
+    """
+    if slab_kind == "*":
+        yield from scan_messages(graph, window=window, language=language)
+        return
+    if not isinstance(graph, FrozenGraph):
+        raise TypeError("slab morsels require a frozen snapshot")
+    languages = None if language is None else frozenset(language)
+    stats = counters()
+    if lead:
+        stats.index_scans += 1
+    span = _operator_span(
+        "scan_messages",
+        access="frozen-morsel",
+        morsel=f"{slab_kind}[{lo}:{hi}]",
+    )
+    produced = 0
+    try:
+        if languages is None:
+            ((objs, _dates),) = graph.date_slabs(slab_kind)
+            if lo < hi:
+                produced += hi - lo
+                yield from objs[lo:hi]
+        else:
+            wanted = graph.language_codes(languages)
+            ((objs, _dates, codes),) = graph.language_slabs(slab_kind)
+            if lo < hi and wanted:
+                selected = list(
+                    compress(
+                        objs[lo:hi],
+                        map(wanted.__contains__, codes[lo:hi]),
+                    )
+                )
+                produced += len(selected)
+                yield from selected
+    finally:
+        stats.rows_scanned += produced
+        _close_operator_span(span, produced)
+
+
 def _message_sort_key(message: Message) -> tuple[DateTime, int]:
     return (message.creation_date, message.id)
 
@@ -511,7 +621,7 @@ def group_count(keys: Iterable[K]) -> Counter[K]:
     ``Counter``'s C fast path for sequences.
     """
     span = _operator_span("group_count")
-    if isinstance(keys, array):
+    if isinstance(keys, (array, memoryview)):
         keys = cast("Iterable[K]", keys.tolist())
     groups = Counter(keys)
     counters().groups_created += len(groups)

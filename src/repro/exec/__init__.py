@@ -2,8 +2,9 @@
 
 The execution subsystem the BI throughput methodology calls for: a
 worker-pool scheduler (:class:`WorkerPool`) running registered task
-kinds (:mod:`repro.exec.tasks`) over an immutable fork-shared store
-snapshot (:mod:`repro.exec.snapshot`), with bounded dispatch, per-task
+kinds (:mod:`repro.exec.tasks`) over an immutable shared snapshot
+handle (:mod:`repro.exec.snapshot` — inline/fork-inherited or a mapped
+snapshot file / shared-memory segment), with bounded dispatch, per-task
 deadlines, retry-once-then-record semantics, worker-crash recovery and
 deterministic result merging.  ``power_test`` / ``throughput_test`` /
 ``concurrent_read_test`` and the Interactive driver all execute through
@@ -11,13 +12,28 @@ it; ``REPRO_EXEC_WORKERS`` sets the default worker count everywhere.
 """
 
 from repro.exec.pool import (
+    ENV_START_METHOD,
     ENV_WORKERS,
     PoolResult,
     WorkerPool,
     default_workers,
     resolve_workers,
 )
-from repro.exec.snapshot import StoreSnapshot, current_snapshot, install_snapshot
+from repro.exec.snapshot import (
+    PROVIDERS,
+    InlineSnapshot,
+    MmapFileSnapshot,
+    SharedMemorySnapshot,
+    ShippedSnapshot,
+    SnapshotConfig,
+    SnapshotHandle,
+    StoreSnapshot,
+    activate,
+    active,
+    current_snapshot,
+    install_snapshot,
+    provide_snapshot,
+)
 from repro.exec.tasks import (
     STATUS_CRASHED,
     STATUS_ERROR,
@@ -30,19 +46,30 @@ from repro.exec.tasks import (
 )
 
 __all__ = [
+    "PROVIDERS",
+    "ENV_START_METHOD",
     "ENV_WORKERS",
+    "InlineSnapshot",
+    "MmapFileSnapshot",
     "PoolResult",
     "STATUS_CRASHED",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "SharedMemorySnapshot",
+    "ShippedSnapshot",
+    "SnapshotConfig",
+    "SnapshotHandle",
     "StoreSnapshot",
     "Task",
     "TaskOutcome",
     "WorkerPool",
+    "activate",
+    "active",
     "current_snapshot",
     "default_workers",
     "install_snapshot",
+    "provide_snapshot",
     "register_task_kind",
     "resolve_workers",
     "run_task",

@@ -6,12 +6,14 @@ implementation detail of one SUT.  :class:`WorkerPool` is that layer for
 this reproduction:
 
 * **Backends** — ``process`` (default for ``workers > 1``): one
-  single-threaded OS process per worker over a fork-shared
-  :class:`~repro.exec.snapshot.StoreSnapshot`, giving genuine
-  parallelism and hard timeouts; ``thread``: in-process workers sharing
-  a (possibly mutable) graph, used where writes interleave with reads;
-  ``serial`` (forced for ``workers == 1``): inline execution through the
-  exact same task runners, which is what makes it a valid baseline.
+  single-threaded OS process per worker over a shared
+  :class:`~repro.exec.snapshot.SnapshotHandle` (fork-inherited for the
+  inline provider, attach-by-path/name for the mapped ones), giving
+  genuine parallelism and hard timeouts; ``thread``: in-process workers
+  sharing a (possibly mutable) graph, used where writes interleave with
+  reads; ``serial`` (forced for ``workers == 1``): inline execution
+  through the exact same task runners, which is what makes it a valid
+  baseline.
 * **Bounded dispatch** — at most ``queue_depth`` tasks are pulled ahead
   of the workers, so a generator of tasks is consumed lazily and a slow
   pool never materializes an unbounded backlog.
@@ -66,7 +68,7 @@ from typing import Any, Iterable, Iterator
 
 from repro.engine import reset_counters
 from repro.engine.stats import merge_counters
-from repro.exec.snapshot import StoreSnapshot, install_snapshot
+from repro.exec.snapshot import InlineSnapshot, SnapshotHandle, activate
 from repro.obs.metrics import registry, subtract_snapshot
 from repro.obs.spans import (
     NullTracer,
@@ -92,6 +94,13 @@ from repro.exec.tasks import (
 #: the tier-1 suite with ``REPRO_EXEC_WORKERS=2`` to exercise the
 #: parallel paths everywhere).
 ENV_WORKERS = "REPRO_EXEC_WORKERS"
+
+#: Environment override for the process backend's start method
+#: (``fork``/``spawn``/``forkserver``).  The default prefers ``fork``
+#: where available; the override exists so the spawn ship/materialize
+#: path — the one real multi-host deployments and macOS use — can be
+#: exercised on Linux in CI.
+ENV_START_METHOD = "REPRO_EXEC_START_METHOD"
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -240,7 +249,10 @@ def _worker_main(
 ) -> None:
     """Process-backend worker body: recv (task, attempt), send outcome."""
     if payload is not None:  # spawn start method: no fork inheritance
-        install_snapshot(pickle.loads(payload))
+        # The payload is a pickled ShippedSnapshot: inline providers
+        # carry the object graph itself; mapped providers carry buffer
+        # coordinates and reattach the columns zero-copy here.
+        activate(pickle.loads(payload).materialize())
     if not capture_spans:
         # Fork children inherit the parent's live tracer; mute it so
         # uncaptured operator spans do not pile up in the worker's copy.
@@ -329,7 +341,7 @@ class WorkerPool:
         backend: str | None = None,
         timeout: float | None = None,
         queue_depth: int | None = None,
-        snapshot: StoreSnapshot | None = None,
+        snapshot: SnapshotHandle | None = None,
         capture_spans: bool = True,
     ):
         self.workers = resolve_workers(workers)
@@ -346,7 +358,7 @@ class WorkerPool:
         if queue_depth is not None and queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self.queue_depth = queue_depth or 2 * self.workers
-        self.snapshot = snapshot if snapshot is not None else StoreSnapshot()
+        self.snapshot = snapshot if snapshot is not None else InlineSnapshot()
         #: Capture real per-task span trees (serial/process backends)
         #: when tracing is on.  ``False`` forces the synthesized-only
         #: trace shape on every backend — the structure the thread
@@ -485,7 +497,7 @@ class WorkerPool:
     def _run_serial(
         self, tasks: Iterable[Task], stats: _RunStats
     ) -> tuple[list[TaskOutcome], dict[str, int]]:
-        previous = install_snapshot(self.snapshot)
+        previous = activate(self.snapshot)
         capture = self.capture_spans and tracer().enabled
         # capture_spans=False with tracing on: mute the tracer so inline
         # tasks cannot leak operator spans the other backends would not
@@ -503,13 +515,13 @@ class WorkerPool:
         finally:
             if muted is not None:
                 set_tracer(muted)
-            install_snapshot(previous)
+            activate(previous)
         return outcomes, merge_counters(o.counters for o in outcomes)
 
     def _run_thread(
         self, tasks: Iterable[Task], stats: _RunStats
     ) -> tuple[list[TaskOutcome], dict[str, int]]:
-        previous = install_snapshot(self.snapshot)
+        previous = activate(self.snapshot)
         # The global tracer cannot be swapped per worker thread, so the
         # thread backend never captures; mute it for the run's duration
         # (the pool grafts synthesized task spans afterwards).
@@ -554,7 +566,7 @@ class WorkerPool:
                 thread.join()
             if muted is not None:
                 set_tracer(muted)
-            install_snapshot(previous)
+            activate(previous)
         return outcomes, reset_counters().as_dict(skip_zero=True)
 
     # -- process backend ---------------------------------------------------
@@ -567,14 +579,21 @@ class WorkerPool:
     def _run_process(
         self, tasks: Iterable[Task], stats: _RunStats
     ) -> tuple[list[TaskOutcome], dict[str, int]]:
-        context = mp.get_context(
-            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        )
+        available = mp.get_all_start_methods()
+        method = os.environ.get(ENV_START_METHOD, "").strip()
+        if method and method not in available:
+            raise ValueError(
+                f"{ENV_START_METHOD}={method!r} is not available here "
+                f"(choices: {', '.join(available)})"
+            )
+        if not method:
+            method = "fork" if "fork" in available else "spawn"
+        context = mp.get_context(method)
         payload = None
         if context.get_start_method() != "fork":
-            payload = pickle.dumps(self.snapshot)
-        # Fork inheritance: children see the snapshot installed here.
-        previous = install_snapshot(self.snapshot)
+            payload = pickle.dumps(self.snapshot.ship())
+        # Fork inheritance: children see the handle activated here.
+        previous = activate(self.snapshot)
         capture = self.capture_spans and tracer().enabled
         workers = {}
         try:
@@ -588,7 +607,7 @@ class WorkerPool:
         finally:
             for worker in workers.values():
                 worker.stop()
-            install_snapshot(previous)
+            activate(previous)
         return outcomes, merge_counters(o.counters for o in outcomes)
 
     def _supervise(

@@ -1,74 +1,583 @@
-"""Fork-shared store snapshots for the parallel executor.
+"""The Snapshot API: how workers obtain graph state.
 
-The BI throughput methodology runs many concurrent query streams against
-one frozen snapshot.  Copying a loaded :class:`SocialGraph` into every
-worker would dominate the run at any realistic scale, so the process
-backend relies on ``fork`` semantics instead: the parent installs the
-snapshot as a module-level global *before* spawning workers, and each
-forked child inherits the loaded store through copy-on-write pages —
-zero serialization, zero copies for read-only workloads.
+Every execution backend — serial, thread, forked or spawned process —
+receives graph state through one typed surface:
 
-On platforms without ``fork`` (or with the ``spawn`` start method) the
-snapshot is pickled once per worker by the pool; the thread and serial
-backends simply share the object in-process.
+* :class:`SnapshotConfig` — the declarative knobs (provider, freeze,
+  compaction fraction, morsel size), threaded through ``RunRequest``
+  and both drivers.  Environment variables (``REPRO_SNAPSHOT_PROVIDER``,
+  ``REPRO_FROZEN``, ``REPRO_DELTA_COMPACT_FRACTION``,
+  ``REPRO_MORSEL_SIZE``) are documented fallbacks parsed in exactly one
+  place: :meth:`SnapshotConfig.resolved`.
+* :class:`SnapshotHandle` — the protocol every provider implements: a
+  ``graph``, a ``context`` dict for task runners, ``ship()`` to cross a
+  process boundary, ``bytes_mapped()`` and ``close()``.
+* Providers — :class:`InlineSnapshot` (the object graph itself;
+  forked children inherit it copy-on-write, spawned children unpickle
+  it), :class:`MmapFileSnapshot` (columns serialized once into a
+  versioned snapshot file that every process maps read-only), and
+  :class:`SharedMemorySnapshot` (the same bytes in a
+  ``multiprocessing.shared_memory`` segment).  :func:`provide_snapshot`
+  picks one from a config.
 
-Frozen snapshots (:class:`~repro.graph.frozen.FrozenGraph`) compose
-especially well with the fork path: their CSR offset/target arrays and
-interned column dictionaries are contiguous ``array('q')`` buffers that
-fork as copy-on-write pages and are never written afterwards, so every
-worker reads the *same physical bytes* instead of a per-worker unpickled
-object graph.  The drivers therefore hand the pool a
-``StoreSnapshot(freeze(graph))`` for read phases and keep the live store
-as the write path in the parent.
+The mapped providers split a frozen graph along the line drawn by
+:mod:`repro.graph.snapfile`: column families become zero-copy
+``memoryview`` casts over the shared buffer, while entity objects and
+adopted live tables travel as one pickle captured *at ship time* — so
+an :class:`~repro.graph.delta.OverlaidGraph` ships its current overlay
+and current live tables beside the mapped base columns instead of
+silently degrading workers to the live fallback path.
 
-Delta-overlaid snapshots (:class:`~repro.graph.delta.OverlaidGraph`)
-ride the same mechanism: the wrapper is the base snapshot's columns by
-reference plus the overlay's insert/tombstone maps, so installing one
-as the pool snapshot forks *both* to every process worker — the workers
-see the merged view, still zero-copy.  The usual immutability contract
-applies: the parent must not apply further writes while a pool run is
-in flight (between runs is fine — that is the throughput test's
-write-batch/read-block cadence).
+``ship()`` returns a small picklable :class:`ShippedSnapshot` token;
+``materialize()`` on the worker side reattaches the buffer (path or
+segment name), rebuilds the frozen view around the mapped columns, and
+re-wraps the overlay.  :func:`activate` / :func:`active` install the
+process-local handle task runners read.
 
-A snapshot is a graph plus a ``context`` dict for whatever else task
-runners need (curated bindings, a result-cache executor, …).  Workers
-treat it as immutable: the determinism contract of
-:mod:`repro.exec.pool` only holds for tasks that do not mutate the
-snapshot.
+The old surface — ``StoreSnapshot``, ``install_snapshot``,
+``current_snapshot`` — remains as deprecation shims for one release;
+``StoreSnapshot`` *is* an ``InlineSnapshot`` and the install/current
+pair alias activate/active, so object identity is preserved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+import os
+import pickle
+import tempfile
+import warnings
+import weakref
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+from repro.obs.metrics import registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.store import SocialGraph
 
+__all__ = [
+    "ENV_COMPACT_FRACTION",
+    "ENV_FROZEN",
+    "ENV_MORSEL_SIZE",
+    "ENV_PROVIDER",
+    "PROVIDERS",
+    "AttachedSnapshot",
+    "InlineSnapshot",
+    "MmapFileSnapshot",
+    "SharedMemorySnapshot",
+    "ShippedSnapshot",
+    "SnapshotConfig",
+    "SnapshotHandle",
+    "StoreSnapshot",
+    "activate",
+    "active",
+    "current_snapshot",
+    "install_snapshot",
+    "provide_snapshot",
+]
+
+ENV_PROVIDER = "REPRO_SNAPSHOT_PROVIDER"
+ENV_FROZEN = "REPRO_FROZEN"
+ENV_COMPACT_FRACTION = "REPRO_DELTA_COMPACT_FRACTION"
+ENV_MORSEL_SIZE = "REPRO_MORSEL_SIZE"
+
+#: Recognized snapshot providers, in documentation order.
+PROVIDERS = ("inline", "mmap_file", "shared_memory")
+
+_FALSY = ("0", "false", "no", "off", "")
+
+
+@dataclass(frozen=True)
+class SnapshotConfig:
+    """Declarative snapshot knobs; ``None`` fields fall back to the
+    environment, then to the defaults, via :meth:`resolved` — the only
+    place the snapshot environment variables are parsed.
+
+    ``provider`` picks how process workers obtain graph state;
+    ``freeze`` whether drivers freeze the live store for read phases;
+    ``compact_fraction`` the delta-overlay compaction threshold;
+    ``morsel_size`` enables morsel-driven intra-query parallelism for
+    queries with a registered morsel plan (``None`` disables);
+    ``directory`` where ``mmap_file`` snapshots are written (system
+    temp dir when unset).
+    """
+
+    provider: str | None = None
+    freeze: bool | None = None
+    compact_fraction: float | None = None
+    morsel_size: int | None = None
+    directory: str | None = None
+
+    def resolved(self) -> "SnapshotConfig":
+        """This config with every ``None`` knob replaced by its
+        environment fallback or default (``directory`` stays as
+        given)."""
+        provider = self.provider
+        if provider is None:
+            provider = os.environ.get(ENV_PROVIDER, "").strip() or "inline"
+        if provider not in PROVIDERS:
+            raise ValueError(
+                f"unknown snapshot provider {provider!r}; "
+                f"expected one of {', '.join(PROVIDERS)}"
+            )
+        freeze = self.freeze
+        if freeze is None:
+            raw = os.environ.get(ENV_FROZEN)
+            freeze = True if raw is None else (
+                raw.strip().lower() not in _FALSY
+            )
+        fraction = self.compact_fraction
+        if fraction is None:
+            raw = os.environ.get(ENV_COMPACT_FRACTION)
+            fraction = 0.25 if raw is None or not raw.strip() else float(raw)
+        if fraction < 0.0:
+            raise ValueError("compact fraction must be >= 0")
+        morsel_size = self.morsel_size
+        if morsel_size is None:
+            raw = os.environ.get(ENV_MORSEL_SIZE)
+            if raw is not None and raw.strip():
+                morsel_size = int(raw)
+        if morsel_size is not None and morsel_size <= 0:
+            raise ValueError("morsel size must be positive")
+        return replace(
+            self,
+            provider=provider,
+            freeze=freeze,
+            compact_fraction=fraction,
+            morsel_size=morsel_size,
+        )
+
+    def configuration_dict(self) -> dict[str, Any]:
+        """The resolved knobs as report-friendly primitives."""
+        resolved = self.resolved()
+        return {
+            "provider": resolved.provider,
+            "freeze": resolved.freeze,
+            "compact_fraction": resolved.compact_fraction,
+            "morsel_size": resolved.morsel_size,
+        }
+
+
+@runtime_checkable
+class SnapshotHandle(Protocol):
+    """What every snapshot provider exposes: the graph and context task
+    runners read, plus the ship/attach lifecycle the pool drives."""
+
+    provider: str
+    graph: Any
+    context: dict[str, Any]
+
+    def ship(self) -> "ShippedSnapshot":
+        """A picklable token a worker can materialize into an
+        equivalent handle."""
+        ...
+
+    def bytes_mapped(self) -> int:
+        """Bytes served from a shared buffer (0 for inline)."""
+        ...
+
+    def close(self) -> None:
+        """Release buffers/files owned by this handle (idempotent)."""
+        ...
+
 
 @dataclass
-class StoreSnapshot:
-    """An immutable view of a loaded store shared with every worker."""
+class ShippedSnapshot:
+    """The picklable form of a snapshot handle crossing a process
+    boundary: provider-specific payload (the whole object graph for
+    inline; buffer coordinates plus the object-state pickle for the
+    mapped providers)."""
 
-    graph: "SocialGraph | None" = None
-    #: Auxiliary read-only state for task runners (bindings, executor, …).
-    context: dict[str, Any] = field(default_factory=dict)
+    provider: str
+    payload: Any
+
+    def materialize(self) -> "SnapshotHandle":
+        if self.provider == "inline":
+            graph, context = self.payload
+            return InlineSnapshot(graph, context)
+        return _materialize_mapped(self.provider, self.payload)
 
 
-#: The snapshot visible to task runners in this process.  In the parent
-#: it is installed around a pool run; in a forked worker it is inherited;
-#: in a spawned worker it is installed from the pickled payload.
-_CURRENT: StoreSnapshot | None = None
+class InlineSnapshot:
+    """The in-process provider: the graph object itself.  Forked
+    workers inherit it through copy-on-write pages; spawned workers
+    unpickle the whole object graph (the pre-snapfile behaviour, and
+    still the right answer for thread/serial backends and live
+    graphs)."""
+
+    provider = "inline"
+
+    def __init__(
+        self,
+        graph: "SocialGraph | None" = None,
+        context: dict[str, Any] | None = None,
+    ):
+        self.graph = graph
+        self.context: dict[str, Any] = {} if context is None else context
+
+    def ship(self) -> ShippedSnapshot:
+        return ShippedSnapshot("inline", (self.graph, self.context))
+
+    def bytes_mapped(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self.graph!r})"
 
 
-def install_snapshot(snapshot: StoreSnapshot | None) -> StoreSnapshot | None:
-    """Install ``snapshot`` process-globally; returns the previous one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = snapshot
+class StoreSnapshot(InlineSnapshot):
+    """Deprecated alias of :class:`InlineSnapshot`, kept for one
+    release.  New code builds handles through
+    :func:`provide_snapshot`/:class:`SnapshotConfig`."""
+
+    def __init__(
+        self,
+        graph: "SocialGraph | None" = None,
+        context: dict[str, Any] | None = None,
+    ):
+        warnings.warn(
+            "StoreSnapshot is deprecated; use "
+            "repro.exec.snapshot.InlineSnapshot or provide_snapshot()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(graph, context)
+
+
+def _split_overlay(graph: Any) -> tuple[Any, Any]:
+    """A frozen view split into (base snapshot, overlay-or-None) —
+    overlaid views map their base's columns and carry the overlay
+    beside the buffer."""
+    overlay = getattr(graph, "delta_overlay", None)
+    if overlay is not None:
+        return graph.base_snapshot, overlay
+    return graph, None
+
+
+def _publish_attach(provider: str, nbytes: int) -> None:
+    metrics = registry()
+    metrics.gauge("repro_snapshot_bytes_mapped", provider=provider).set(
+        float(nbytes)
+    )
+    metrics.counter("repro_snapshot_attaches_total", provider=provider).inc()
+
+
+def _shipped_payload(
+    base: Any, overlay: Any, context: dict[str, Any]
+) -> dict[str, Any]:
+    """The boundary-crossing remainder of a mapped handle, captured at
+    ship time: the object-state pickle reads the *current* live tables
+    (they are shared by reference with the base snapshot), so a dirty
+    manager's post-freeze writes reach workers exactly as they would
+    through fork."""
+    from repro.graph import snapfile
+
+    return {
+        "state": pickle.dumps(snapfile.object_state(base)),
+        "overlay": overlay,
+        "context": context,
+        "origin_pid": os.getpid(),
+    }
+
+
+def _attach_graph(
+    columns: dict[str, Any], state_pickle: bytes, overlay: Any
+) -> Any:
+    from repro.graph.frozen import FrozenGraph
+
+    graph = FrozenGraph._attached(pickle.loads(state_pickle), columns)
+    if overlay is not None:
+        from repro.graph.delta import OverlaidGraph
+
+        return OverlaidGraph(graph, overlay)
+    return graph
+
+
+class AttachedSnapshot:
+    """The worker-side handle a :class:`ShippedSnapshot` materializes
+    into: a frozen view over mapped columns plus the shipped context.
+    It owns the mapping/segment for the worker's lifetime and cannot be
+    re-shipped."""
+
+    def __init__(
+        self,
+        provider: str,
+        graph: Any,
+        context: dict[str, Any],
+        nbytes: int,
+        resource: Any,
+    ):
+        self.provider = provider
+        self.graph = graph
+        self.context = context
+        self._nbytes = nbytes
+        self._resource = resource
+
+    def ship(self) -> ShippedSnapshot:
+        raise RuntimeError(
+            "an attached snapshot is worker-side state; ship the "
+            "parent's provider handle instead"
+        )
+
+    def bytes_mapped(self) -> int:
+        return self._nbytes
+
+    def close(self) -> None:
+        self.graph = None
+        resource, self._resource = self._resource, None
+        if resource is None:
+            return
+        try:
+            resource.close()
+        except BufferError:
+            # Exported column views still pin the mapping, so the
+            # pages stay alive through them either way.  Park the
+            # wrapper where the GC cannot reach its destructor:
+            # SharedMemory.__del__ retries close() and raises the
+            # same BufferError unraisably mid-run.
+            _pinned_resources.append(resource)
+
+
+#: Resources whose close() hit live view exports — held until process
+#: exit so their destructors never fire while views are outstanding.
+_pinned_resources: list[Any] = []
+
+
+def _materialize_mapped(provider: str, payload: dict[str, Any]) -> Any:
+    from repro.graph import snapfile
+
+    if provider == "mmap_file":
+        mapped = snapfile.open_snapshot(payload["path"])
+        columns, nbytes = dict(mapped.columns), mapped.bytes_mapped
+        resource: Any = mapped
+    elif provider == "shared_memory":
+        from multiprocessing import resource_tracker, shared_memory
+
+        segment = shared_memory.SharedMemory(
+            name=payload["shm_name"], create=False
+        )
+        # Attaching registers the segment with *this* process's
+        # resource tracker too (bpo-38119); in a worker, unregister or
+        # its exit would unlink the parent's segment from under
+        # everyone.  In-process materialization must keep the parent's
+        # own (single) registration.
+        if payload.get("origin_pid") != os.getpid():
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+        attached = snapfile.attach(segment.buf)
+        columns, nbytes = attached.columns, attached.bytes_mapped
+        resource = segment
+    else:  # pragma: no cover - ShippedSnapshot guards the provider
+        raise ValueError(f"unknown shipped provider {provider!r}")
+    graph = _attach_graph(columns, payload["state"], payload["overlay"])
+    _publish_attach(provider, nbytes)
+    return AttachedSnapshot(
+        provider, graph, payload["context"], nbytes, resource
+    )
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _parent_attached(base: Any, columns: dict[str, Any]) -> Any:
+    """The parent-side attached view: object state by reference (no
+    pickle round-trip in-process), columns from the shared buffer."""
+    from repro.graph import snapfile
+    from repro.graph.frozen import FrozenGraph
+
+    return FrozenGraph._attached(snapfile.object_state(base), dict(columns))
+
+
+def _overlay_view(base: Any, overlay: Any) -> Any:
+    if overlay is None:
+        return base
+    from repro.graph.delta import OverlaidGraph
+
+    return OverlaidGraph(base, overlay)
+
+
+class MmapFileSnapshot:
+    """Columns serialized once into a versioned snapshot file
+    (:mod:`repro.graph.snapfile`) that the parent and every worker map
+    read-only.  The parent's own ``graph`` is already the attached
+    view, so forked children inherit file-backed pages and serial runs
+    exercise the exact layout workers see."""
+
+    provider = "mmap_file"
+
+    def __init__(
+        self,
+        graph: Any,
+        context: dict[str, Any] | None = None,
+        *,
+        directory: str | None = None,
+    ):
+        from repro.graph import snapfile
+
+        base, overlay = _split_overlay(graph)
+        descriptor, path = tempfile.mkstemp(
+            prefix="repro-snapshot-", suffix=".rsnb", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as stream:
+                snapfile.write_snapshot(base, stream)
+            self._mapped = snapfile.open_snapshot(path)
+        except Exception:
+            _unlink_quietly(path)
+            raise
+        self.path = path
+        self._finalizer = weakref.finalize(self, _unlink_quietly, path)
+        self._base = base
+        self._source = graph
+        self.context: dict[str, Any] = {} if context is None else context
+        self.graph = _overlay_view(
+            _parent_attached(base, self._mapped.columns), overlay
+        )
+        _publish_attach(self.provider, self._mapped.bytes_mapped)
+
+    def ship(self) -> ShippedSnapshot:
+        _, overlay = _split_overlay(self._source)
+        payload = _shipped_payload(self._base, overlay, self.context)
+        payload["path"] = self.path
+        return ShippedSnapshot(self.provider, payload)
+
+    def bytes_mapped(self) -> int:
+        return self._mapped.bytes_mapped
+
+    def close(self) -> None:
+        self.graph = None
+        self._mapped.close()
+        self._finalizer()
+
+
+def _release_segment(segment: Any) -> None:
+    try:
+        segment.close()
+    except BufferError:  # views still exported — see AttachedSnapshot
+        _pinned_resources.append(segment)
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover
+        pass
+
+
+class SharedMemorySnapshot:
+    """The same bytes as :class:`MmapFileSnapshot` in an anonymous
+    ``multiprocessing.shared_memory`` segment — no filesystem path, one
+    copy into the segment at construction, attach-by-name from
+    workers."""
+
+    provider = "shared_memory"
+
+    def __init__(
+        self, graph: Any, context: dict[str, Any] | None = None
+    ):
+        from multiprocessing import shared_memory
+
+        from repro.graph import snapfile
+
+        base, overlay = _split_overlay(graph)
+        data = snapfile.snapshot_bytes(base)
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=max(len(data), 1)
+        )
+        self._segment.buf[: len(data)] = data
+        self._attached = snapfile.attach(self._segment.buf)
+        self._finalizer = weakref.finalize(
+            self, _release_segment, self._segment
+        )
+        self._base = base
+        self._source = graph
+        self.context: dict[str, Any] = {} if context is None else context
+        self.graph = _overlay_view(
+            _parent_attached(base, self._attached.columns), overlay
+        )
+        _publish_attach(self.provider, self._attached.bytes_mapped)
+
+    def ship(self) -> ShippedSnapshot:
+        _, overlay = _split_overlay(self._source)
+        payload = _shipped_payload(self._base, overlay, self.context)
+        payload["shm_name"] = self._segment.name
+        return ShippedSnapshot(self.provider, payload)
+
+    def bytes_mapped(self) -> int:
+        return self._attached.bytes_mapped
+
+    def close(self) -> None:
+        self.graph = None
+        self._attached.columns.clear()
+        self._finalizer()
+
+
+def provide_snapshot(
+    graph: "SocialGraph | None" = None,
+    context: dict[str, Any] | None = None,
+    config: SnapshotConfig | None = None,
+) -> SnapshotHandle:
+    """Build the configured provider's handle around ``graph``.
+
+    Mapped providers require a frozen view (clean or overlaid); a live
+    graph — or no graph — falls back to :class:`InlineSnapshot` and
+    bumps ``repro_snapshot_fallback_total`` so the degradation is
+    visible instead of silent.
+    """
+    resolved = (config or SnapshotConfig()).resolved()
+    if resolved.provider == "inline" or graph is None:
+        return InlineSnapshot(graph, context)
+    if not getattr(graph, "is_frozen", False):
+        registry().counter(
+            "repro_snapshot_fallback_total", reason="live-graph"
+        ).inc()
+        return InlineSnapshot(graph, context)
+    if resolved.provider == "mmap_file":
+        return MmapFileSnapshot(graph, context, directory=resolved.directory)
+    return SharedMemorySnapshot(graph, context)
+
+
+#: The handle visible to task runners in this process.  In the parent
+#: it is activated around a pool run; in a forked worker it is
+#: inherited; in a spawned worker it is materialized from the shipped
+#: payload.
+_ACTIVE: SnapshotHandle | None = None
+
+
+def activate(handle: SnapshotHandle | None) -> SnapshotHandle | None:
+    """Install ``handle`` process-globally; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = handle
     return previous
 
 
-def current_snapshot() -> StoreSnapshot:
-    """The snapshot task runners execute against (empty if none)."""
-    return _CURRENT if _CURRENT is not None else StoreSnapshot()
+def active() -> SnapshotHandle:
+    """The handle task runners execute against (empty inline if none)."""
+    return _ACTIVE if _ACTIVE is not None else InlineSnapshot()
+
+
+def install_snapshot(snapshot: SnapshotHandle | None) -> SnapshotHandle | None:
+    """Deprecated alias of :func:`activate`, kept for one release."""
+    warnings.warn(
+        "install_snapshot is deprecated; use repro.exec.snapshot.activate",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return activate(snapshot)
+
+
+def current_snapshot() -> SnapshotHandle:
+    """Deprecated alias of :func:`active`, kept for one release."""
+    warnings.warn(
+        "current_snapshot is deprecated; use repro.exec.snapshot.active",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return active()

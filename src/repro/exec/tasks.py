@@ -8,7 +8,7 @@ the generic ``call`` kind accepts any module-level callable where that
 flexibility is worth the pickling constraint.
 
 Runners receive ``(graph, context, *payload)`` where graph/context come
-from the installed :class:`~repro.exec.snapshot.StoreSnapshot`.  Runners
+from the active :class:`~repro.exec.snapshot.SnapshotHandle`.  Runners
 that tolerate delete-invalidated parameters (``bi_throughput``, ``ic``)
 catch ``KeyError`` themselves and return a sentinel, mirroring how the
 serial driver treats those reads; any other exception escapes to the
@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.exec.snapshot import current_snapshot
+from repro.exec.snapshot import active
 
 #: Terminal task states recorded by the pool.
 STATUS_OK = "ok"
@@ -181,9 +181,37 @@ def _run_call(graph: Any, context: dict, fn: Callable, args: tuple = ()) -> Any:
     return fn(*args)
 
 
+def _run_bi_morsel(
+    graph: Any,
+    context: dict,
+    number: int,
+    slab_kind: str,
+    lo: int,
+    hi: int,
+    lead: bool,
+    params: tuple,
+) -> Any:
+    """One morsel of a decomposed BI read: the query's partial
+    aggregate over rows ``[lo, hi)`` of one frozen scan slab.  The
+    driver merges the partials in submission order
+    (:mod:`repro.queries.bi.morsels`); ``lead`` marks the first morsel
+    of each scan so per-scan counters are tallied exactly once."""
+    from repro.queries.bi.morsels import MORSEL_PLANS
+
+    from repro.obs.metrics import registry
+
+    registry().counter(
+        "repro_morsel_tasks_total", query=f"bi{number}"
+    ).inc()
+    _tally_read_path(graph)
+    plan = MORSEL_PLANS[number]
+    return plan.partial(graph, slab_kind, lo, hi, lead, params)
+
+
 #: kind -> runner(graph, context, *payload).
 TASK_KINDS: dict[str, Callable[..., Any]] = {
     "bi": _run_bi,
+    "bi_morsel": _run_bi_morsel,
     "bi_throughput": _run_bi_throughput,
     "ic": _run_ic,
     "stream": _run_stream,
@@ -197,10 +225,10 @@ def register_task_kind(name: str, runner: Callable[..., Any]) -> None:
 
 
 def run_task(task: Task) -> Any:
-    """Execute one task against the installed snapshot."""
+    """Execute one task against the active snapshot handle."""
     try:
         runner = TASK_KINDS[task.kind]
     except KeyError:
         raise LookupError(f"unknown task kind {task.kind!r}") from None
-    snapshot = current_snapshot()
+    snapshot = active()
     return runner(snapshot.graph, snapshot.context, *task.payload)

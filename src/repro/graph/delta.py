@@ -49,7 +49,6 @@ and queries stay representation-agnostic.
 
 from __future__ import annotations
 
-import os
 from bisect import bisect_left
 from typing import Callable, Iterator
 
@@ -331,9 +330,8 @@ def resolve_compact_fraction(fraction: float | None) -> float:
     count; ``0.0`` therefore compacts on any write — the old
     refreeze-per-microbatch behaviour, kept as the benchmark baseline.
     """
-    if fraction is None:
-        raw = os.environ.get("REPRO_DELTA_COMPACT_FRACTION")
-        fraction = 0.25 if raw is None or not raw.strip() else float(raw)
-    if fraction < 0.0:
-        raise ValueError("compact fraction must be >= 0")
-    return fraction
+    from repro.exec.snapshot import SnapshotConfig
+
+    resolved = SnapshotConfig(compact_fraction=fraction).resolved()
+    assert resolved.compact_fraction is not None
+    return resolved.compact_fraction

@@ -56,7 +56,6 @@ representation-agnostic; the engine picks the columnar fast paths off
 
 from __future__ import annotations
 
-import os
 import sys
 from array import array
 from bisect import bisect_left
@@ -79,7 +78,10 @@ __all__ = [
 ]
 
 
-def _array_bytes(values: array) -> int:
+def _array_bytes(values: "array | memoryview") -> int:
+    # Columns are ``array`` objects on a freshly frozen graph and
+    # ``memoryview`` casts on one attached from a mapped snapshot
+    # (:mod:`repro.graph.snapfile`); both carry len and itemsize.
     return len(values) * values.itemsize
 
 
@@ -193,6 +195,23 @@ class FrozenGraph(SocialGraph):
         #: rebuilds when the live store has moved past it.
         self.frozen_at_version = source.write_version
         self._build_columns()
+
+    @classmethod
+    def _attached(
+        cls,
+        state: "dict[str, object]",
+        columns: "dict[str, object]",
+    ) -> "FrozenGraph":
+        """Rebuild a snapshot from a ship payload: ``state`` is the
+        picklable remainder (:func:`repro.graph.snapfile.object_state`)
+        and ``columns`` the zero-copy families attached from a mapped
+        buffer.  No column construction happens — the instance adopts
+        both dicts by reference, exactly as ``__init__`` adopts the
+        live store's."""
+        graph = cls.__new__(cls)
+        graph.__dict__.update(state)
+        graph.__dict__.update(columns)
+        return graph
 
     # ------------------------------------------------------------------
     # Column construction
@@ -673,11 +692,15 @@ class FreezeManager:
 
 
 def resolve_freeze(freeze_opt: bool | None) -> bool:
-    """Resolve a driver ``freeze`` knob: an explicit value wins, else
-    the ``REPRO_FROZEN`` environment variable (default on)."""
-    if freeze_opt is not None:
-        return freeze_opt
-    value = os.environ.get("REPRO_FROZEN")
-    if value is None:
-        return True
-    return value.strip().lower() not in ("0", "false", "no", "off", "")
+    """Deprecated alias: resolve a driver ``freeze`` knob (an explicit
+    value wins, else ``REPRO_FROZEN``, default on).
+
+    Environment parsing now lives in exactly one place —
+    :meth:`repro.exec.snapshot.SnapshotConfig.resolved` — and drivers
+    take a ``SnapshotConfig`` directly; this wrapper is kept for one
+    release."""
+    from repro.exec.snapshot import SnapshotConfig
+
+    resolved = SnapshotConfig(freeze=freeze_opt).resolved().freeze
+    assert resolved is not None
+    return resolved

@@ -1,0 +1,407 @@
+"""Versioned on-disk binary snapshot of a :class:`FrozenGraph`'s columns.
+
+The frozen columnar layout (:mod:`repro.graph.frozen`) is a set of flat
+``array('q')``/``array('i')`` slabs plus dictionary-encoded string
+columns — exactly the shapes that serialize to raw bytes and attach
+back as zero-copy ``memoryview`` casts over an ``mmap`` or a
+``multiprocessing.shared_memory`` buffer.  This module defines that
+byte layout (format v1) and the write/attach halves:
+
+* :func:`write_snapshot` / :func:`snapshot_bytes` — serialize every
+  column family of a frozen graph into one self-describing blob;
+* :func:`attach` — validate the header and hand back per-attribute
+  zero-copy columns over any readable buffer;
+* :func:`open_snapshot` — ``mmap`` a snapshot file read-only and
+  attach it (:class:`MappedSnapshot` owns the mapping).
+
+File layout (all header integers little-endian except the byte-order
+probe, which is written native on purpose)::
+
+    offset  size  field
+    0       4     magic  b"RSNB"
+    4       2     format version (currently 1)
+    6       2     flags (reserved, 0)
+    8       8     byte-order probe: native int64 0x0102030405060708
+    16      8     TOC offset
+    24      8     TOC length
+    32      ...   8-byte-aligned column sections (raw array bytes)
+    toc     ...   JSON table of contents
+
+The TOC records every section's ``(name, typecode, itemsize, offset,
+nbytes, count)`` plus the five string-column dictionaries and snapshot
+metadata (``frozen_at_version``).  Column bytes are written in the
+machine's native byte order — a snapshot is an IPC artifact between
+processes of one host, not an interchange format — and the probe makes
+a cross-endian open fail loudly instead of returning garbage rows.
+
+Only *columns* live in the file.  Entity objects (``_post_objs``,
+``_msg_objs``, the adopted live tables and ordinal maps) cannot be
+mapped; they travel beside the file as one pickle built by
+:func:`object_state`, whose memoization preserves the object sharing
+between ``_msg_objs`` and the entity tables.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Iterator
+
+from repro.graph.frozen import FrozenGraph, StringColumn
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "MAPPED_ATTRS",
+    "SnapshotFormatError",
+    "AttachedColumns",
+    "MappedSnapshot",
+    "attach",
+    "object_state",
+    "open_snapshot",
+    "snapshot_bytes",
+    "write_snapshot",
+]
+
+MAGIC = b"RSNB"
+VERSION = 1
+
+#: Native int64 written at offset 8; reads as 0x0807060504030201 when
+#: the snapshot was produced on an opposite-endian host.
+_PROBE = 0x0102030405060708
+#: What the probe reads as when the file was written on a host of the
+#: opposite byte order.
+_PROBE_SWAPPED = 0x0807060504030201
+
+_HEADER = struct.Struct("<4sHH")  # magic, version, flags
+_PROBE_STRUCT = struct.Struct("=q")  # native on purpose — see module doc
+_TOC_POINTER = struct.Struct("<QQ")  # toc offset, toc length
+HEADER_SIZE = 32
+
+#: Flat array-valued column attributes of :class:`FrozenGraph`, in file
+#: order.  Everything here is ``array('q')`` except the root-language
+#: code column, which shares the ``array('i')`` width of the string
+#: dictionaries' code columns.
+FLAT_COLUMNS: tuple[str, ...] = (
+    "_person_ids", "_person_country",
+    "_knows_offsets", "_knows_targets", "_knows_dates",
+    "_post_dates", "_comment_dates",
+    "_root_ord", "_reply_offsets", "_reply_targets",
+    "_thread_offsets", "_thread_members",
+    "_likes_offsets", "_likes_person", "_likes_dates",
+    "_forum_ids",
+    "_member_offsets", "_member_person", "_member_dates",
+    "_forum_post_offsets", "_forum_post_targets",
+    "_comment_root_lang",
+)
+
+#: Dictionary-encoded string columns: codes are mapped, dictionaries
+#: ride in the TOC (small, interned on attach).
+STRING_COLUMNS: tuple[str, ...] = (
+    "_post_language", "_post_browser", "_comment_browser",
+    "_person_gender", "_person_browser",
+)
+
+#: ``dict[int, array('q')]`` column families, serialized as three
+#: parallel sections: sorted keys, CSR offsets, concatenated values.
+KEYED_COLUMNS: tuple[str, ...] = ("_tag_dates", "_forum_post_date_cols")
+
+#: Every ``FrozenGraph`` attribute the snapshot file carries — the
+#: complement of what :func:`object_state` pickles.
+MAPPED_ATTRS: frozenset[str] = frozenset(
+    FLAT_COLUMNS + STRING_COLUMNS + KEYED_COLUMNS
+)
+
+#: Instance attributes that must never cross a ship boundary: the
+#: overlay travels explicitly beside the file, and ``base_snapshot``
+#: would drag a second copy of the column arrays into the pickle.
+_EXCLUDED_STATE: frozenset[str] = frozenset(
+    {"delta_overlay", "base_snapshot"}
+)
+
+
+class SnapshotFormatError(ValueError):
+    """A snapshot buffer failed header or layout validation."""
+
+
+def object_state(graph: FrozenGraph) -> dict[str, Any]:
+    """The picklable remainder of a frozen graph: its ``__dict__``
+    minus the mapped column families, with the live store's write-hook
+    list replaced by a fresh empty one (hooks reference the parent's
+    overlay recorder and must not fire — or travel — in a worker)."""
+    state = {
+        key: value
+        for key, value in graph.__dict__.items()
+        if key not in MAPPED_ATTRS and key not in _EXCLUDED_STATE
+    }
+    state["_delta_hooks"] = []
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _keyed_sections(
+    name: str, mapping: dict[int, array]
+) -> Iterator[tuple[str, array]]:
+    keys = sorted(mapping)
+    offsets = array("q", [0])
+    values = array("q")
+    for key in keys:
+        values.extend(mapping[key])
+        offsets.append(len(values))
+    yield f"{name}.keys", array("q", keys)
+    yield f"{name}.offsets", offsets
+    yield f"{name}.values", values
+
+
+def _sections(graph: FrozenGraph) -> Iterator[tuple[str, array]]:
+    for attr in FLAT_COLUMNS:
+        yield attr, getattr(graph, attr)
+    for attr in STRING_COLUMNS:
+        yield f"{attr}.codes", getattr(graph, attr).codes
+    for attr in KEYED_COLUMNS:
+        yield from _keyed_sections(attr, getattr(graph, attr))
+
+
+def write_snapshot(graph: FrozenGraph, stream: BinaryIO) -> int:
+    """Serialize ``graph``'s column families into ``stream`` (format
+    v1); returns the number of column-section bytes written (the size a
+    reader will map, excluding header and TOC)."""
+    if graph.delta_overlay is not None:
+        raise ValueError(
+            "cannot serialize an overlaid view; write its base_snapshot "
+            "and carry the overlay beside the file"
+        )
+    sections: list[dict[str, Any]] = []
+    offset = HEADER_SIZE
+    stream.write(b"\0" * HEADER_SIZE)  # back-patched below
+    for name, column in _sections(graph):
+        pad = (-offset) % 8
+        if pad:
+            stream.write(b"\0" * pad)
+            offset += pad
+        data = column.tobytes()
+        stream.write(data)
+        sections.append(
+            {
+                "name": name,
+                "typecode": column.typecode,
+                "itemsize": column.itemsize,
+                "offset": offset,
+                "nbytes": len(data),
+                "count": len(column),
+            }
+        )
+        offset += len(data)
+    toc = json.dumps(
+        {
+            "sections": sections,
+            "dictionaries": {
+                attr: list(getattr(graph, attr).dictionary)
+                for attr in STRING_COLUMNS
+            },
+            "meta": {"frozen_at_version": graph.frozen_at_version},
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    stream.write(toc)
+    stream.seek(0)
+    stream.write(_HEADER.pack(MAGIC, VERSION, 0))
+    stream.write(_PROBE_STRUCT.pack(_PROBE))
+    stream.write(_TOC_POINTER.pack(offset, len(toc)))
+    stream.seek(offset + len(toc))
+    return sum(section["nbytes"] for section in sections)
+
+
+def snapshot_bytes(graph: FrozenGraph) -> bytes:
+    """The snapshot serialized into one in-memory blob (the
+    shared-memory provider copies this into its segment)."""
+    import io
+
+    buffer = io.BytesIO()
+    write_snapshot(graph, buffer)
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Attaching
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AttachedColumns:
+    """Zero-copy column families decoded from a snapshot buffer:
+    ``columns`` maps every attribute in :data:`MAPPED_ATTRS` to its
+    memoryview-backed value, ready for ``FrozenGraph._attached``."""
+
+    columns: dict[str, Any]
+    bytes_mapped: int
+    frozen_at_version: int
+
+
+def _validate_header(view: memoryview) -> tuple[int, int]:
+    if len(view) < HEADER_SIZE:
+        raise SnapshotFormatError(
+            f"snapshot truncated: {len(view)} bytes is smaller than the "
+            f"{HEADER_SIZE}-byte header"
+        )
+    magic, version, _flags = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise SnapshotFormatError(
+            f"not a snapshot file: bad magic {bytes(magic)!r} "
+            f"(expected {MAGIC!r})"
+        )
+    if version != VERSION:
+        raise SnapshotFormatError(
+            f"unsupported snapshot format version {version} "
+            f"(this reader understands version {VERSION})"
+        )
+    (probe,) = _PROBE_STRUCT.unpack_from(view, 8)
+    if probe != _PROBE:
+        if probe == _PROBE_SWAPPED:
+            raise SnapshotFormatError(
+                "snapshot byte order does not match this host "
+                "(cross-endian snapshots are not supported)"
+            )
+        raise SnapshotFormatError(
+            f"corrupt snapshot: byte-order probe reads 0x{probe:x}"
+        )
+    toc_offset, toc_length = _TOC_POINTER.unpack_from(view, 16)
+    if toc_offset + toc_length > len(view):
+        raise SnapshotFormatError(
+            f"snapshot truncated: TOC [{toc_offset}, "
+            f"{toc_offset + toc_length}) extends past the "
+            f"{len(view)}-byte buffer"
+        )
+    return toc_offset, toc_length
+
+
+def _section_views(
+    view: memoryview, toc: dict[str, Any], toc_offset: int
+) -> dict[str, memoryview]:
+    views: dict[str, memoryview] = {}
+    for section in toc["sections"]:
+        offset, nbytes = section["offset"], section["nbytes"]
+        typecode = section["typecode"]
+        itemsize = array(typecode).itemsize
+        if itemsize != section["itemsize"]:
+            raise SnapshotFormatError(
+                f"section {section['name']!r}: itemsize "
+                f"{section['itemsize']} does not match this host's "
+                f"'{typecode}' width {itemsize}"
+            )
+        if offset < HEADER_SIZE or offset + nbytes > toc_offset:
+            raise SnapshotFormatError(
+                f"corrupt snapshot: section {section['name']!r} "
+                f"[{offset}, {offset + nbytes}) falls outside the data "
+                f"region [{HEADER_SIZE}, {toc_offset})"
+            )
+        if nbytes % itemsize:
+            raise SnapshotFormatError(
+                f"corrupt snapshot: section {section['name']!r} length "
+                f"{nbytes} is not a multiple of itemsize {itemsize}"
+            )
+        views[section["name"]] = view[offset : offset + nbytes].cast(typecode)
+    return views
+
+
+def attach(buffer: Any) -> AttachedColumns:
+    """Decode a snapshot buffer (bytes, ``mmap``, or shared-memory
+    ``.buf``) into zero-copy column families.
+
+    Raises :class:`SnapshotFormatError` on bad magic, an unsupported
+    version, an endianness mismatch, or a truncated/corrupt layout.
+    """
+    view = memoryview(buffer)
+    toc_offset, toc_length = _validate_header(view)
+    try:
+        toc = json.loads(bytes(view[toc_offset : toc_offset + toc_length]))
+    except ValueError as error:
+        raise SnapshotFormatError(
+            f"corrupt snapshot: TOC is not valid JSON ({error})"
+        ) from error
+    sections = _section_views(view, toc, toc_offset)
+    columns: dict[str, Any] = {}
+    try:
+        for attr in FLAT_COLUMNS:
+            columns[attr] = sections[attr]
+        dictionaries = toc["dictionaries"]
+        for attr in STRING_COLUMNS:
+            column = StringColumn.__new__(StringColumn)
+            column.codes = sections[f"{attr}.codes"]
+            column.dictionary = [
+                sys.intern(value) for value in dictionaries[attr]
+            ]
+            columns[attr] = column
+        for attr in KEYED_COLUMNS:
+            keys = sections[f"{attr}.keys"]
+            offsets = sections[f"{attr}.offsets"]
+            values = sections[f"{attr}.values"]
+            columns[attr] = {
+                keys[index]: values[offsets[index] : offsets[index + 1]]
+                for index in range(len(keys))
+            }
+    except KeyError as error:
+        raise SnapshotFormatError(
+            f"corrupt snapshot: missing section {error}"
+        ) from error
+    return AttachedColumns(
+        columns=columns,
+        bytes_mapped=sum(s["nbytes"] for s in toc["sections"]),
+        frozen_at_version=int(toc["meta"]["frozen_at_version"]),
+    )
+
+
+class MappedSnapshot:
+    """A snapshot file mapped read-only: owns the ``mmap`` and exposes
+    the attached columns.  ``close()`` is best-effort — exported
+    memoryviews (an attached graph still holding columns) keep the
+    mapping alive until they are dropped, which is exactly the safety
+    the buffer protocol guarantees."""
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, "rb") as handle:
+            if handle.seek(0, 2) == 0:
+                raise SnapshotFormatError(f"snapshot file {path!r} is empty")
+            self._mmap = mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        try:
+            self.attached = attach(self._mmap)
+        except Exception:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # attach() failed after exporting some views; the
+                # in-flight exception's traceback still references
+                # them, so the mapping closes when it is collected.
+                pass
+            raise
+
+    @property
+    def columns(self) -> dict[str, Any]:
+        return self.attached.columns
+
+    @property
+    def bytes_mapped(self) -> int:
+        return self.attached.bytes_mapped
+
+    def close(self) -> None:
+        self.attached.columns.clear()
+        try:
+            self._mmap.close()
+        except BufferError:  # views still exported; GC will finish it
+            pass
+
+
+def open_snapshot(path: str) -> MappedSnapshot:
+    """``mmap`` a snapshot file read-only and attach its columns."""
+    return MappedSnapshot(path)

@@ -15,14 +15,17 @@ only corrupt results under real parallelism:
   helper they transitively call, so moving the write into a helper does
   not hide it.
 * ``live-store-capture`` — a pool submission capturing a live
-  ``SocialGraph`` or ``FreezeManager`` (``StoreSnapshot(SocialGraph(…))``,
-  ``WorkerPool(snapshot=…)`` over a live handle, a live store in a
-  ``Task`` payload).  Live stores carry position maps, write hooks and
-  delta overlays that must not cross the process boundary; workers get
-  ``StoreSnapshot(freeze(graph))`` or ``manager.frozen()``.  The check
-  is flow-sensitive and flags only values that are *provably* live on
-  every path, so ``freeze(graph) if freeze_enabled else graph`` stays
-  legal.
+  ``SocialGraph`` or ``FreezeManager`` (a snapshot-provider constructor
+  — ``provide_snapshot``/``InlineSnapshot``/``MmapFileSnapshot``/
+  ``SharedMemorySnapshot``, or the deprecated ``StoreSnapshot`` — over
+  a live handle, ``WorkerPool(snapshot=…)``, a live store in a ``Task``
+  payload).  Live stores carry position maps, write hooks and delta
+  overlays that must not cross the process boundary; workers get
+  ``provide_snapshot(freeze(graph))`` or ``manager.frozen()``
+  (attach-by-path through a mapped provider is exactly as legal as the
+  inline fork share).  The check is flow-sensitive and flags only
+  values that are *provably* live on every path, so
+  ``freeze(graph) if freeze_enabled else graph`` stays legal.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from repro.lint.flow import (
 from repro.lint.spec import (
     LIVE_STORE_CONSTRUCTORS,
     SNAPSHOT_CONSTRUCTORS,
+    SNAPSHOT_PROVIDER_CONSTRUCTORS,
     TASK_RUNNER_REGISTRY,
 )
 
@@ -297,7 +301,7 @@ def _submission_arguments(call: ast.Call) -> Iterator[ast.expr]:
     name = func.id if isinstance(func, ast.Name) else (
         func.attr if isinstance(func, ast.Attribute) else ""
     )
-    if name == "StoreSnapshot":
+    if name in SNAPSHOT_PROVIDER_CONSTRUCTORS:
         if call.args:
             yield call.args[0]
         for keyword in call.keywords:
@@ -334,6 +338,6 @@ def _check_live_store_capture(context: FileContext) -> Iterator[Diagnostic]:
                                 "pool submission captures a live store "
                                 "(SocialGraph/FreezeManager); workers must "
                                 "receive frozen state — pass "
-                                "StoreSnapshot(freeze(graph)) or "
+                                "provide_snapshot(freeze(graph)) or "
                                 "manager.frozen() instead",
                             )

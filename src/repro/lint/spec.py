@@ -159,6 +159,20 @@ LIVE_STORE_CONSTRUCTORS: frozenset[str] = frozenset(
 #: snapshots built for exactly that purpose).
 SNAPSHOT_CONSTRUCTORS: frozenset[str] = frozenset({"freeze", "frozen"})
 
+#: Snapshot-provider constructors of the Snapshot API
+#: (``repro.exec.snapshot``) — the graph they wrap crosses the pool
+#: boundary (by fork, pickle, or attach-by-path), so R7 checks their
+#: graph argument exactly like the deprecated ``StoreSnapshot``'s.
+SNAPSHOT_PROVIDER_CONSTRUCTORS: frozenset[str] = frozenset(
+    {
+        "StoreSnapshot",
+        "InlineSnapshot",
+        "MmapFileSnapshot",
+        "SharedMemorySnapshot",
+        "provide_snapshot",
+    }
+)
+
 #: The task-runner registry name in ``repro.exec.tasks`` — R7 treats the
 #: callables registered there (and their module-local helpers) as worker
 #: bodies.

@@ -1,0 +1,185 @@
+"""Morsel decompositions of the heavy whole-scan BI reads.
+
+A :class:`MorselPlan` splits one BI query's :func:`scan_messages` range
+into independent slab morsels (via :func:`repro.engine.morsel_ranges`),
+computes a small picklable *partial aggregate* per morsel — dispatched
+across the :mod:`repro.exec` pool as ``"bi_morsel"`` tasks — and merges
+the partials back into rows identical to the serial query.  The merge
+is deterministic: partials are combined in morsel submission order and
+the final sort is the query's own total order, so a morselized run is
+row-identical to the serial one regardless of worker scheduling.
+
+Only queries whose aggregate is decomposable row-by-row get a plan:
+BI 1 (3-level group-by with count/sum, percentages computed at merge)
+and BI 18 (per-creator counts, histogrammed at merge).  On a live store
+or a dirty overlaid snapshot :func:`repro.engine.morsel_ranges` returns
+the single whole-scan fallback morsel, so the same plan degrades to
+the serial scan inside one task.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine import group_agg, scan_message_morsel, scan_persons
+from repro.graph.store import SocialGraph
+from repro.queries.bi.q01 import Bi1Row, length_category
+from repro.queries.bi.q18 import Bi18Row
+from repro.util.dates import DateTime, date_to_datetime, year_of
+
+__all__ = ["MORSEL_PLANS", "MorselPlan"]
+
+
+@dataclass(frozen=True)
+class MorselPlan:
+    """How to decompose one BI query's message scan.
+
+    ``window(binding)`` gives the scan's date window (fed to
+    :func:`repro.engine.morsel_ranges`); ``kind`` restricts the slabs
+    scanned (``None`` = posts and comments, as :func:`scan_messages`).
+    ``partial(graph, slab_kind, lo, hi, lead, binding)`` runs worker-
+    side over one morsel and must return a picklable value;
+    ``merge(graph, partials, binding)`` runs driver-side over the
+    partials in submission order and returns the query's rows.
+    """
+
+    number: int
+    kind: str | None
+    window: Callable[[tuple], tuple[DateTime | None, DateTime | None]]
+    partial: Callable[..., Any]
+    merge: Callable[..., list]
+
+
+# --- BI 1: posting summary --------------------------------------------
+
+def _bi1_window(binding: tuple) -> tuple[DateTime | None, DateTime | None]:
+    (date,) = binding
+    return (None, date_to_datetime(date))
+
+
+def _bi1_partial(
+    graph: SocialGraph,
+    slab_kind: str,
+    lo: int,
+    hi: int,
+    lead: bool,
+    binding: tuple,
+) -> dict:
+    """BI 1's 3-level group-by over one morsel: ``{key: [count, sum]}``.
+
+    Pre-aggregated with a plain dict, *not* :func:`group_agg` — the
+    hash aggregation happens once, in :func:`_bi1_merge`, so the
+    morselized run's ``groups_created`` tally equals the serial one
+    instead of re-counting every group per morsel.
+    """
+    window = _bi1_window(binding)
+    groups: dict[tuple[int, bool, int], list[int]] = {}
+    for message in scan_message_morsel(
+        graph, slab_kind, lo, hi, window=window, lead=lead
+    ):
+        key = (
+            year_of(message.creation_date),
+            message.is_comment,
+            length_category(message.length),
+        )
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [1, message.length]
+        else:
+            bucket[0] += 1
+            bucket[1] += message.length
+    return groups
+
+
+def _bi1_merge(
+    graph: SocialGraph, partials: Sequence[dict], binding: tuple
+) -> list[Bi1Row]:
+    def fold(bucket: list[int], item: tuple) -> None:
+        _key, (count, total_length) = item
+        bucket[0] += count
+        bucket[1] += total_length
+
+    combined = group_agg(
+        (item for part in partials for item in part.items()),
+        key=lambda item: item[0],
+        zero=lambda: [0, 0],
+        fold=fold,
+    )
+    total = sum(count for count, _ in combined.values())
+    rows = [
+        Bi1Row(
+            year=year,
+            is_comment=is_comment,
+            length_category=category,
+            message_count=count,
+            average_message_length=total_length / count,
+            sum_message_length=total_length,
+            percentage_of_messages=100.0 * count / total,
+        )
+        for (year, is_comment, category), (count, total_length)
+        in combined.items()
+    ]
+    # lint: allow-partial-order (year, is_comment, length_category) is the group-by key
+    rows.sort(key=lambda r: (-r.year, r.is_comment, r.length_category))
+    return rows
+
+
+# --- BI 18: message-count histogram -----------------------------------
+
+def _bi18_window(binding: tuple) -> tuple[DateTime | None, DateTime | None]:
+    date, _length_threshold, _languages = binding
+    return (date_to_datetime(date) + 1, None)
+
+
+def _bi18_partial(
+    graph: SocialGraph,
+    slab_kind: str,
+    lo: int,
+    hi: int,
+    lead: bool,
+    binding: tuple,
+) -> Counter:
+    """Qualifying-message counts per creator over one morsel."""
+    _date, length_threshold, languages = binding
+    counts: Counter = Counter()
+    for message in scan_message_morsel(
+        graph,
+        slab_kind,
+        lo,
+        hi,
+        window=_bi18_window(binding),
+        language=languages,
+        lead=lead,
+    ):
+        if not message.content:
+            continue
+        if message.length >= length_threshold:
+            continue
+        counts[message.creator_id] += 1
+    return counts
+
+
+def _bi18_merge(
+    graph: SocialGraph, partials: Sequence[Counter], binding: tuple
+) -> list[Bi18Row]:
+    per_person = Counter({person.id: 0 for person in scan_persons(graph)})
+    for part in partials:
+        per_person.update(part)
+    histogram = Counter(per_person.values())
+    rows = [
+        Bi18Row(message_count, person_count)
+        for message_count, person_count in histogram.items()
+    ]
+    # lint: allow-partial-order message_count is the histogram key, unique per row
+    rows.sort(key=lambda r: (-r.person_count, -r.message_count))
+    return rows
+
+
+#: BI query number -> its morsel decomposition.  Queries not listed
+#: here have no decomposable scan and always run serially.
+MORSEL_PLANS: dict[int, MorselPlan] = {
+    1: MorselPlan(1, None, _bi1_window, _bi1_partial, _bi1_merge),
+    18: MorselPlan(18, None, _bi18_window, _bi18_partial, _bi18_merge),
+}

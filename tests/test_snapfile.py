@@ -1,0 +1,173 @@
+"""The on-disk snapshot format (:mod:`repro.graph.snapfile`).
+
+Pins down the v1 contract: byte-identical round-trips for every column
+family, strict header validation (magic, version, endianness, layout
+bounds), and clean errors on truncated buffers — a worker must never
+operate on a silently-corrupt mapping.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.engine import scan_messages
+from repro.graph.frozen import FrozenGraph, freeze
+from repro.graph.snapfile import (
+    FLAT_COLUMNS,
+    HEADER_SIZE,
+    KEYED_COLUMNS,
+    MAGIC,
+    STRING_COLUMNS,
+    SnapshotFormatError,
+    attach,
+    object_state,
+    open_snapshot,
+    snapshot_bytes,
+    write_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def frozen(tiny_graph) -> FrozenGraph:
+    return freeze(tiny_graph)
+
+
+@pytest.fixture(scope="module")
+def blob(frozen) -> bytes:
+    return snapshot_bytes(frozen)
+
+
+class TestRoundTrip:
+    def test_flat_columns_byte_identical(self, frozen, blob):
+        columns = attach(blob).columns
+        for name in FLAT_COLUMNS:
+            original = getattr(frozen, name)
+            attached = columns[name]
+            assert attached.itemsize == original.itemsize, name
+            assert bytes(attached) == original.tobytes(), name
+
+    def test_string_columns_round_trip(self, frozen, blob):
+        columns = attach(blob).columns
+        for name in STRING_COLUMNS:
+            original = getattr(frozen, name)
+            attached = columns[name]
+            assert attached.dictionary == original.dictionary, name
+            assert bytes(attached.codes) == original.codes.tobytes(), name
+
+    def test_keyed_columns_round_trip(self, frozen, blob):
+        columns = attach(blob).columns
+        for name in KEYED_COLUMNS:
+            original = getattr(frozen, name)
+            attached = columns[name]
+            assert sorted(attached) == sorted(original), name
+            for key, values in original.items():
+                assert bytes(attached[key]) == values.tobytes(), (name, key)
+
+    def test_write_returns_section_bytes(self, frozen):
+        stream = io.BytesIO()
+        section_bytes = write_snapshot(frozen, stream)
+        assert 0 < section_bytes < len(stream.getvalue())
+
+    def test_serialization_is_deterministic(self, frozen, blob):
+        assert snapshot_bytes(frozen) == blob
+
+    def test_attached_graph_rows_identical(self, frozen, blob):
+        attached = FrozenGraph._attached(
+            object_state(frozen), attach(blob).columns
+        )
+        expected = [m.id for m in scan_messages(frozen)]
+        assert [m.id for m in scan_messages(attached)] == expected
+
+
+class TestHeaderValidation:
+    def test_bad_magic_rejected(self, blob):
+        with pytest.raises(SnapshotFormatError, match="magic"):
+            attach(b"XXXX" + blob[4:])
+
+    def test_future_version_rejected(self, blob):
+        mutated = bytearray(blob)
+        struct.pack_into("<H", mutated, 4, 99)
+        with pytest.raises(SnapshotFormatError, match="version"):
+            attach(bytes(mutated))
+
+    def test_foreign_endianness_rejected(self, blob):
+        mutated = bytearray(blob)
+        mutated[8:16] = mutated[8:16][::-1]
+        with pytest.raises(SnapshotFormatError, match="byte order"):
+            attach(bytes(mutated))
+
+    def test_truncated_header_rejected(self, blob):
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            attach(blob[:HEADER_SIZE - 1])
+
+    def test_truncated_sections_rejected(self, blob):
+        # Keep the header but cut the body: the TOC pointer now runs
+        # past the end of the buffer.
+        with pytest.raises(SnapshotFormatError):
+            attach(blob[:HEADER_SIZE + 8])
+
+    def test_magic_constant_leads_the_file(self, blob):
+        assert blob[:4] == MAGIC
+
+
+class TestMappedFile:
+    def test_open_snapshot_round_trips(self, frozen, blob, tmp_path):
+        path = tmp_path / "graph.rsnb"
+        path.write_bytes(blob)
+        mapped = open_snapshot(path)
+        try:
+            for name in FLAT_COLUMNS:
+                assert (
+                    bytes(mapped.columns[name])
+                    == getattr(frozen, name).tobytes()
+                )
+        finally:
+            mapped.close()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.rsnb"
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotFormatError):
+            open_snapshot(path)
+
+    def test_truncated_file_rejected(self, blob, tmp_path):
+        path = tmp_path / "cut.rsnb"
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotFormatError):
+            open_snapshot(path)
+
+    def test_close_is_idempotent(self, blob, tmp_path):
+        path = tmp_path / "graph.rsnb"
+        path.write_bytes(blob)
+        mapped = open_snapshot(path)
+        mapped.close()
+        mapped.close()
+
+
+class TestLiveViewsRejected:
+    def test_overlaid_view_rejected(self, tiny_net):
+        from repro.datagen.update_streams import build_update_streams
+        from repro.graph.frozen import FreezeManager
+        from repro.graph.store import SocialGraph
+        from repro.queries.interactive.updates import ALL_UPDATES
+
+        live = SocialGraph.from_data(tiny_net, until=tiny_net.cutoff)
+        manager = FreezeManager(live)
+        try:
+            base = manager.frozen()
+            for op in build_update_streams(tiny_net)[:5]:
+                try:
+                    ALL_UPDATES[op.operation_id][0](live, op.params)
+                except (KeyError, ValueError):
+                    pass
+            overlaid = manager.frozen()
+            assert overlaid.delta_overlay is not None
+            with pytest.raises(ValueError):
+                snapshot_bytes(overlaid)
+            # The clean base stays serializable either way.
+            assert snapshot_bytes(base)
+        finally:
+            manager.detach()

@@ -1,0 +1,372 @@
+"""The redesigned Snapshot API (:mod:`repro.exec.snapshot`).
+
+Covers the four satellite contracts of the redesign:
+
+* :class:`SnapshotConfig` is the *only* place the snapshot environment
+  variables are parsed, and explicit knobs always win over them;
+* :func:`provide_snapshot` degrades to inline — visibly, via the
+  ``repro_snapshot_fallback_total`` counter — when handed a live graph;
+* the deprecated surface (``StoreSnapshot`` / ``install_snapshot`` /
+  ``current_snapshot``) still works, warns, and preserves the old
+  identity semantics;
+* the mapped providers survive ``ship()`` → ``pickle`` →
+  ``materialize()`` with row-identical reads, including an overlaid
+  (dirty-manager) snapshot whose deltas must ride along with the
+  mapped base — the full 25 BI + 14 IC differential runs over
+  ``mmap_file`` against ``inline``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.exec import (
+    WorkerPool,
+    Task,
+)
+from repro.exec.snapshot import (
+    ENV_COMPACT_FRACTION,
+    ENV_FROZEN,
+    ENV_MORSEL_SIZE,
+    ENV_PROVIDER,
+    InlineSnapshot,
+    MmapFileSnapshot,
+    SharedMemorySnapshot,
+    SnapshotConfig,
+    SnapshotHandle,
+    StoreSnapshot,
+    activate,
+    active,
+    current_snapshot,
+    install_snapshot,
+    provide_snapshot,
+)
+from repro.graph.frozen import FreezeManager, freeze
+from repro.graph.store import SocialGraph
+from repro.obs.metrics import registry
+
+
+@pytest.fixture()
+def clean_env(monkeypatch):
+    for name in (ENV_PROVIDER, ENV_FROZEN, ENV_COMPACT_FRACTION,
+                 ENV_MORSEL_SIZE):
+        monkeypatch.delenv(name, raising=False)
+    return monkeypatch
+
+
+class TestSnapshotConfig:
+    def test_defaults(self, clean_env):
+        resolved = SnapshotConfig().resolved()
+        assert resolved.provider == "inline"
+        assert resolved.freeze is True
+        assert resolved.compact_fraction == 0.25
+        assert resolved.morsel_size is None
+
+    def test_environment_fallbacks(self, clean_env):
+        clean_env.setenv(ENV_PROVIDER, "mmap_file")
+        clean_env.setenv(ENV_FROZEN, "0")
+        clean_env.setenv(ENV_COMPACT_FRACTION, "0.5")
+        clean_env.setenv(ENV_MORSEL_SIZE, "1024")
+        resolved = SnapshotConfig().resolved()
+        assert resolved.provider == "mmap_file"
+        assert resolved.freeze is False
+        assert resolved.compact_fraction == 0.5
+        assert resolved.morsel_size == 1024
+
+    def test_explicit_knobs_beat_environment(self, clean_env):
+        clean_env.setenv(ENV_PROVIDER, "shared_memory")
+        clean_env.setenv(ENV_FROZEN, "0")
+        resolved = SnapshotConfig(provider="inline", freeze=True).resolved()
+        assert resolved.provider == "inline"
+        assert resolved.freeze is True
+
+    def test_unknown_provider_rejected(self, clean_env):
+        with pytest.raises(ValueError, match="provider"):
+            SnapshotConfig(provider="nfs").resolved()
+        clean_env.setenv(ENV_PROVIDER, "bogus")
+        with pytest.raises(ValueError, match="provider"):
+            SnapshotConfig().resolved()
+
+    def test_invalid_numbers_rejected(self, clean_env):
+        with pytest.raises(ValueError):
+            SnapshotConfig(compact_fraction=-0.1).resolved()
+        with pytest.raises(ValueError):
+            SnapshotConfig(morsel_size=0).resolved()
+
+    def test_configuration_dict(self, clean_env):
+        document = SnapshotConfig(provider="mmap_file").configuration_dict()
+        assert document == {
+            "provider": "mmap_file",
+            "freeze": True,
+            "compact_fraction": 0.25,
+            "morsel_size": None,
+        }
+
+    def test_legacy_resolvers_delegate_here(self, clean_env):
+        from repro.graph.delta import resolve_compact_fraction
+        from repro.graph.frozen import resolve_freeze
+
+        clean_env.setenv(ENV_FROZEN, "no")
+        clean_env.setenv(ENV_COMPACT_FRACTION, "0.75")
+        assert resolve_freeze(None) is False
+        assert resolve_compact_fraction(None) == 0.75
+
+
+class TestProvideSnapshot:
+    def test_inline_for_inline_provider(self, tiny_graph, clean_env):
+        handle = provide_snapshot(tiny_graph)
+        assert isinstance(handle, InlineSnapshot)
+        assert handle.provider == "inline"
+        assert handle.bytes_mapped() == 0
+
+    def test_live_graph_falls_back_visibly(self, tiny_graph, clean_env):
+        counter = registry().counter(
+            "repro_snapshot_fallback_total", reason="live-graph"
+        )
+        before = counter.value
+        handle = provide_snapshot(
+            tiny_graph, config=SnapshotConfig(provider="mmap_file")
+        )
+        assert isinstance(handle, InlineSnapshot)
+        assert counter.value == before + 1
+
+    def test_mapped_providers_for_frozen_graph(self, tiny_graph, clean_env):
+        frozen = freeze(tiny_graph)
+        for provider, cls in (
+            ("mmap_file", MmapFileSnapshot),
+            ("shared_memory", SharedMemorySnapshot),
+        ):
+            handle = provide_snapshot(
+                frozen, config=SnapshotConfig(provider=provider)
+            )
+            try:
+                assert isinstance(handle, cls)
+                assert handle.provider == provider
+                assert handle.bytes_mapped() > 0
+                assert isinstance(handle, SnapshotHandle)
+            finally:
+                handle.close()
+
+
+class TestDeprecatedSurface:
+    def test_store_snapshot_is_inline_and_warns(self, tiny_graph):
+        with pytest.warns(DeprecationWarning, match="StoreSnapshot"):
+            snapshot = StoreSnapshot(tiny_graph)
+        assert isinstance(snapshot, InlineSnapshot)
+        assert snapshot.graph is tiny_graph
+
+    def test_install_current_alias_activate_active(self, tiny_graph):
+        handle = InlineSnapshot(tiny_graph)
+        with pytest.warns(DeprecationWarning, match="install_snapshot"):
+            previous = install_snapshot(handle)
+        try:
+            with pytest.warns(DeprecationWarning, match="current_snapshot"):
+                assert current_snapshot() is handle
+            assert active() is handle
+        finally:
+            activate(previous)
+
+
+def _bi18_rows(graph, binding):
+    from repro.queries.bi import ALL_QUERIES
+
+    return ALL_QUERIES[18][0](graph, *binding)
+
+
+class TestShipMaterialize:
+    @pytest.mark.parametrize("provider", ["mmap_file", "shared_memory"])
+    def test_round_trip_row_identity(self, tiny_graph, tiny_config,
+                                     provider):
+        from repro.params.curation import ParameterGenerator
+
+        frozen = freeze(tiny_graph)
+        params = ParameterGenerator(tiny_graph, tiny_config)
+        binding = tuple(params.bi(18, count=1)[0])
+        expected = _bi18_rows(frozen, binding)
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider=provider)
+        )
+        try:
+            shipped = pickle.loads(pickle.dumps(handle.ship()))
+            attached = shipped.materialize()
+            try:
+                assert _bi18_rows(attached.graph, binding) == expected
+            finally:
+                attached.close()
+        finally:
+            handle.close()
+
+    def test_inline_ship_materialize(self, tiny_graph):
+        handle = InlineSnapshot(tiny_graph, {"k": 1})
+        attached = handle.ship().materialize()
+        assert attached.graph is tiny_graph
+        assert attached.context == {"k": 1}
+
+
+class TestOverlayCarry:
+    def test_dirty_manager_snapshot_maps_base_and_ships_overlay(
+        self, tiny_net, tiny_config
+    ):
+        """An overlaid view must NOT silently fall back to the live
+        path: the clean base columns map, the overlay pickles beside
+        them, and a worker's reads match the parent's."""
+        from repro.datagen.update_streams import build_update_streams
+        from repro.params.curation import ParameterGenerator
+        from repro.queries.bi import ALL_QUERIES
+        from repro.queries.interactive.updates import ALL_UPDATES
+
+        live = SocialGraph.from_data(tiny_net, until=tiny_net.cutoff)
+        manager = FreezeManager(live)
+        try:
+            manager.frozen()
+            for op in build_update_streams(tiny_net)[:25]:
+                try:
+                    ALL_UPDATES[op.operation_id][0](live, op.params)
+                except (KeyError, ValueError):
+                    pass
+            overlaid = manager.frozen()
+            assert overlaid.delta_overlay is not None
+            handle = provide_snapshot(
+                overlaid, config=SnapshotConfig(provider="mmap_file")
+            )
+            try:
+                assert isinstance(handle, MmapFileSnapshot)
+                attached = pickle.loads(
+                    pickle.dumps(handle.ship())
+                ).materialize()
+                try:
+                    params = ParameterGenerator(live, tiny_config)
+                    for number in (1, 4, 9, 18):
+                        for binding in params.bi(number, count=1):
+                            binding = tuple(binding)
+                            query = ALL_QUERIES[number][0]
+                            assert (
+                                query(attached.graph, *binding)
+                                == query(overlaid, *binding)
+                            ), number
+                finally:
+                    attached.close()
+            finally:
+                handle.close()
+        finally:
+            manager.detach()
+
+
+class TestFullDifferential:
+    @pytest.mark.parametrize("provider", ["mmap_file", "shared_memory"])
+    def test_all_reads_identical_to_inline(self, tiny_graph, tiny_config,
+                                           provider):
+        """Every BI and IC read returns identical rows over a
+        materialized mapped snapshot and the original frozen graph."""
+        from repro.params.curation import ParameterGenerator
+        from repro.queries.bi import ALL_QUERIES
+        from repro.queries.interactive.complex import ALL_COMPLEX
+
+        frozen = freeze(tiny_graph)
+        params = ParameterGenerator(tiny_graph, tiny_config)
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider=provider)
+        )
+        try:
+            attached = pickle.loads(pickle.dumps(handle.ship())).materialize()
+            try:
+                graph = attached.graph
+                for number, (query, _info) in sorted(ALL_QUERIES.items()):
+                    for binding in params.bi(number, count=2):
+                        binding = tuple(binding)
+                        assert (
+                            query(graph, *binding)
+                            == query(frozen, *binding)
+                        ), f"bi{number}"
+                for number, (query, _info) in sorted(ALL_COMPLEX.items()):
+                    for binding in params.interactive(number, count=2):
+                        binding = tuple(binding)
+                        assert (
+                            query(graph, *binding)
+                            == query(frozen, *binding)
+                        ), f"ic{number}"
+            finally:
+                attached.close()
+        finally:
+            handle.close()
+
+
+class TestPoolIntegration:
+    @pytest.mark.parametrize("provider", ["inline", "mmap_file",
+                                          "shared_memory"])
+    def test_process_pool_over_each_provider(self, tiny_graph, tiny_config,
+                                             provider, clean_env):
+        from repro.params.curation import ParameterGenerator
+
+        frozen = freeze(tiny_graph)
+        params = ParameterGenerator(tiny_graph, tiny_config)
+        binding = tuple(params.bi(18, count=1)[0])
+        expected = _bi18_rows(frozen, binding)
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider=provider)
+        )
+        try:
+            pool = WorkerPool(workers=2, snapshot=handle)
+            merged = pool.run(
+                [Task(0, "bi", (18, binding)), Task(1, "bi", (18, binding))]
+            )
+            assert not merged.failures
+            for outcome in merged.outcomes:
+                assert outcome.value == expected
+        finally:
+            handle.close()
+
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_pool_ships_snapshot_by_value(self, tiny_graph,
+                                                tiny_config, clean_env):
+        """Without fork, workers must materialize the shipped payload:
+        the mmap_file provider attaches by path instead of pickling
+        columns."""
+        from repro.exec.pool import ENV_START_METHOD
+        from repro.params.curation import ParameterGenerator
+
+        clean_env.setenv(ENV_START_METHOD, "spawn")
+        frozen = freeze(tiny_graph)
+        params = ParameterGenerator(tiny_graph, tiny_config)
+        binding = tuple(params.bi(18, count=1)[0])
+        expected = _bi18_rows(frozen, binding)
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider="mmap_file")
+        )
+        try:
+            pool = WorkerPool(workers=2, snapshot=handle)
+            merged = pool.run([Task(0, "bi", (18, binding))])
+            assert not merged.failures
+            assert merged.outcomes[0].value == expected
+        finally:
+            handle.close()
+
+    def test_invalid_start_method_rejected(self, tiny_graph, clean_env):
+        from repro.exec.pool import ENV_START_METHOD
+
+        clean_env.setenv(ENV_START_METHOD, "telepathy")
+        frozen = freeze(tiny_graph)
+        pool = WorkerPool(workers=2, snapshot=InlineSnapshot(frozen))
+        with pytest.raises(ValueError, match="telepathy"):
+            pool.run([Task(0, "bi", (1, (os.environ and None,)))])
+
+
+class TestObservability:
+    def test_bytes_mapped_gauge_published(self, tiny_graph, clean_env):
+        frozen = freeze(tiny_graph)
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider="shared_memory")
+        )
+        try:
+            gauge = registry().gauge(
+                "repro_snapshot_bytes_mapped", provider="shared_memory"
+            )
+            assert gauge.value == handle.bytes_mapped() > 0
+        finally:
+            handle.close()

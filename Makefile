@@ -30,7 +30,9 @@ bench-smoke:  ## quick executor sanity: parallel == serial, then q/s
 		pytest benchmarks/test_driver_throughput.py \
 		benchmarks/test_frozen_snapshot.py \
 		benchmarks/test_delta_overlay.py \
-		-k "parallel or frozen or overlay" -s --benchmark-disable
+		benchmarks/test_profiler_overhead.py \
+		-k "parallel or frozen or overlay or profiler" \
+		-s --benchmark-disable
 
 bench-parallel:  ## morsel-parallel scan smoke: rows identical, records speedup
 	REPRO_BENCH_OUT=out/bench \

@@ -9,7 +9,12 @@ no-op and the benchmarks behave exactly as before.
 
 Each record is one JSON document with sorted keys: the measurement
 fields the test chose (workers, ops/s, speedup, …) plus ``host_cpus``
-for context, since every throughput claim is hardware-relative.
+for context, since every throughput claim is hardware-relative.  A
+record may additionally carry a ``profile`` section (operator counters,
+choke-point roll-up, span times — see
+``repro.analysis.profile.bench_profile_section``): ``bench_compare.py``
+joins the current vs. archived sections when a latency field regresses
+and prints the top operator/CP deltas responsible.
 """
 
 from __future__ import annotations
@@ -17,17 +22,25 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 
-def record(name: str, **fields: Any) -> Path | None:
-    """Write ``BENCH_<name>.json`` into ``$REPRO_BENCH_OUT``, if set."""
+def record(
+    name: str, *, profile: Mapping[str, Any] | None = None, **fields: Any
+) -> Path | None:
+    """Write ``BENCH_<name>.json`` into ``$REPRO_BENCH_OUT``, if set.
+
+    ``profile`` attaches the attribution section ``bench_compare.py``
+    diffs on regressions (dropped when empty, so records stay small).
+    """
     out = os.environ.get("REPRO_BENCH_OUT")
     if not out:
         return None
     directory = Path(out)
     directory.mkdir(parents=True, exist_ok=True)
     document = {"host_cpus": os.cpu_count(), **fields}
+    if profile:
+        document["profile"] = dict(profile)
     path = directory / f"BENCH_{name}.json"
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

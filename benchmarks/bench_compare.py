@@ -6,11 +6,18 @@ script diffs those freshest records against the most recent archived
 copy under a history directory, fails on time regressions beyond a
 threshold, and then archives the fresh records as the new baseline:
 
-* every numeric field whose name contains ``median`` (recorded medians,
-  e.g. ``live_median_ms``/``frozen_median_ms``/``median_ms``) is
+* every numeric field whose name contains ``median``, ``p95`` or
+  ``p99`` (e.g. ``live_median_ms``/``frozen_p95_ms``/``median_ms``) is
   compared lower-is-better;
 * a field that grew by more than ``--threshold`` (default 20%) counts
-  as a regression and the script exits non-zero;
+  as a regression and the script exits non-zero; a field that *shrank*
+  by more than the threshold is reported as an improvement (visible in
+  CI logs, never fatal);
+* when a regressed record carries a ``profile`` section (operator
+  counters / choke-point roll-up / span times, written by
+  ``repro.analysis.profile.bench_profile_section``) and the archived
+  record does too, the two are joined and the top-N deltas printed, so
+  the failure names the suspect operator instead of a bare percentage;
 * with fewer than two records for an experiment — no archived previous
   run, or no fresh records at all — there is nothing to diff and the
   script reports that and exits zero.
@@ -19,7 +26,7 @@ Usage::
 
     python benchmarks/bench_compare.py [--bench-dir out/bench]
         [--history-dir out/bench_history] [--threshold 0.20]
-        [--no-archive]
+        [--top N] [--no-archive]
 """
 
 from __future__ import annotations
@@ -31,15 +38,24 @@ import shutil
 import sys
 from pathlib import Path
 
+# CI invokes this script without PYTHONPATH; make repro importable for
+# the attribution join regardless.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 _HISTORY = re.compile(r"^(BENCH_.+\.json)\.(\d+)$")
+
+#: Lower-is-better latency field name fragments.
+_COMPARABLE = ("median", "p95", "p99")
 
 
 def median_fields(record: dict) -> dict[str, float]:
-    """The comparable fields of one record: numeric, name contains 'median'."""
+    """The comparable fields of one record: numeric, named after a
+    latency summary statistic (median/p95/p99)."""
     return {
         key: float(value)
         for key, value in record.items()
-        if "median" in key and isinstance(value, (int, float))
+        if any(stat in key for stat in _COMPARABLE)
+        and isinstance(value, (int, float))
         and not isinstance(value, bool)
     }
 
@@ -57,23 +73,47 @@ def latest_archived(history_dir: Path, name: str) -> tuple[int, Path | None]:
     return best_seq, best_path
 
 
-def compare(current: dict, previous: dict, threshold: float) -> list[str]:
-    """Regression messages for fields that grew beyond the threshold."""
-    problems = []
+def compare(
+    current: dict, previous: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """(regression messages, improvement messages) for one record pair."""
+    problems: list[str] = []
+    improvements: list[str] = []
     baseline = median_fields(previous)
     for key, value in sorted(median_fields(current).items()):
         prev = baseline.get(key)
         if prev is None or prev <= 0:
             continue
         ratio = value / prev
-        marker = "REGRESSION" if ratio > 1 + threshold else "ok"
-        print(f"    {key}: {prev:g} -> {value:g} ({ratio:.2f}x) {marker}")
         if ratio > 1 + threshold:
+            marker = "REGRESSION"
+        elif ratio < 1 - threshold:
+            marker = "IMPROVEMENT"
+        else:
+            marker = "ok"
+        print(f"    {key}: {prev:g} -> {value:g} ({ratio:.2f}x) {marker}")
+        if marker == "REGRESSION":
             problems.append(
                 f"{key}: {prev:g} -> {value:g}"
                 f" (+{100 * (ratio - 1):.0f}%, limit +{100 * threshold:.0f}%)"
             )
-    return problems
+        elif marker == "IMPROVEMENT":
+            improvements.append(
+                f"{key}: {prev:g} -> {value:g}"
+                f" (-{100 * (1 - ratio):.0f}%)"
+            )
+    return problems, improvements
+
+
+def attribute(current: dict, previous: dict, top_n: int) -> str | None:
+    """The attribution report for a regressed record pair, when both
+    sides carry a ``profile`` section (``None`` otherwise)."""
+    now, then = current.get("profile"), previous.get("profile")
+    if not now or not then:
+        return None
+    from repro.analysis.profile import attribute_regression, format_attribution
+
+    return format_attribution(attribute_regression(now, then, top_n=top_n))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
         "--history-dir", type=Path, default=Path("out/bench_history")
     )
     parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="profile deltas to print per axis in attribution reports",
+    )
     parser.add_argument(
         "--no-archive", action="store_true",
         help="diff only; do not archive the fresh records as the baseline",
@@ -96,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     regressions: list[str] = []
+    improvements: list[str] = []
     compared = 0
     for path in fresh:
         current = json.loads(path.read_text())
@@ -105,10 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"  {path.name}: vs {previous_path.name}")
             previous = json.loads(previous_path.read_text())
-            regressions += [
-                f"{path.name}: {problem}"
-                for problem in compare(current, previous, args.threshold)
-            ]
+            problems, wins = compare(current, previous, args.threshold)
+            if problems:
+                report = attribute(current, previous, args.top)
+                if report is not None:
+                    print(f"    attribution (top {args.top} per axis,"
+                          " largest growth first):")
+                    print(report)
+            regressions += [f"{path.name}: {p}" for p in problems]
+            improvements += [f"{path.name}: {w}" for w in wins]
             compared += 1
         if not args.no_archive:
             args.history_dir.mkdir(parents=True, exist_ok=True)
@@ -116,6 +166,11 @@ def main(argv: list[str] | None = None) -> int:
                 path, args.history_dir / f"{path.name}.{seq + 1}"
             )
 
+    if improvements:
+        print(f"bench-compare: {len(improvements)} improvement(s)"
+              f" beyond -{100 * args.threshold:.0f}%:")
+        for line in improvements:
+            print(f"  {line}")
     if regressions:
         print(f"bench-compare: {len(regressions)} regression(s)"
               f" beyond +{100 * args.threshold:.0f}%:")

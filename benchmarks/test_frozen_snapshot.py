@@ -18,8 +18,10 @@ from __future__ import annotations
 import time
 
 from benchmarks._record import record
+from repro.analysis.profile import bench_profile_section
 from repro.driver.bi_driver import power_test
 from repro.graph.frozen import freeze
+from repro.obs import summarize_seconds
 from repro.queries.bi import ALL_QUERIES
 
 
@@ -99,6 +101,11 @@ def test_frozen_power_test_smoke(base_graph, base_params):
         f" frozen {frozen_elapsed:.2f} s"
         f" (geomean {1000 * frozen_report.geometric_mean:.2f} ms)"
     )
+    # Tail latencies across the per-query runtimes: p95/p99 regress
+    # independently of the geomean (one slow query hides in a mean),
+    # and bench-compare gates every *_p95_ms/*_p99_ms field.
+    live_tail = summarize_seconds(live_report.runtimes.values())
+    frozen_tail = summarize_seconds(frozen_report.runtimes.values())
     record(
         "frozen_power_smoke",
         workload="bi",
@@ -106,6 +113,11 @@ def test_frozen_power_test_smoke(base_graph, base_params):
         queries=len(frozen_report.runtimes),
         live_geomean_ms=round(1000 * live_report.geometric_mean, 3),
         frozen_geomean_ms=round(1000 * frozen_report.geometric_mean, 3),
+        live_p95_ms=round(live_tail["p95_ms"], 3),
+        live_p99_ms=round(live_tail["p99_ms"], 3),
+        frozen_p95_ms=round(frozen_tail["p95_ms"], 3),
+        frozen_p99_ms=round(frozen_tail["p99_ms"], 3),
         live_elapsed_s=round(live_elapsed, 3),
         frozen_elapsed_s=round(frozen_elapsed, 3),
+        profile=bench_profile_section(frozen_report.operator_stats),
     )

@@ -111,6 +111,20 @@ def _write_telemetry(args: argparse.Namespace, report) -> None:
         metrics_path.parent.mkdir(parents=True, exist_ok=True)
         metrics_path.write_text(to_prometheus(document["metrics"]))
         print(f"metrics: {metrics_path}")
+    if args.profile and document.get("profile"):
+        from repro.obs import to_chrome_trace, to_collapsed
+
+        profile_dir = Path(args.profile)
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        collapsed = profile_dir / "profile.collapsed"
+        collapsed.write_text(to_collapsed(document))
+        print(f"profile (collapsed stacks, flamegraph-ready): {collapsed}")
+        if not args.trace:
+            # Without --trace there is no trace.json yet; write one here
+            # so the Perfetto counter tracks are reachable either way.
+            with open(profile_dir / "trace.json", "w") as handle:
+                json.dump(to_chrome_trace(document), handle)
+            print(f"trace (counter tracks): {profile_dir / 'trace.json'}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -118,6 +132,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import enable_tracing
 
         enable_tracing()
+    if args.profile:
+        from repro.obs import DEFAULT_PROFILE_HZ, ProfileConfig, enable_profiling
+
+        # One parse point for the rate: REPRO_PROFILE_HZ when set, else
+        # the default — the flag itself is what turns profiling on.
+        config = ProfileConfig().resolved()
+        enable_profiling(config.hz if config.enabled else DEFAULT_PROFILE_HZ)
     bench = _bench(args)
     if args.workload == "bi":
         if args.query is not None:
@@ -282,6 +303,10 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the run's metrics in Prometheus text"
                              " exposition format to FILE")
+    parser.add_argument("--profile", default=None, metavar="DIR",
+                        help="enable the sampling profiler (rate:"
+                             " REPRO_PROFILE_HZ or 97 Hz) and write"
+                             " profile.collapsed to DIR")
 
 
 def build_parser() -> argparse.ArgumentParser:

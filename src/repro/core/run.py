@@ -134,9 +134,10 @@ class RunReport:
     ) -> None:
         """Write the §6.2 results directory: ``configuration.json``,
         ``results_summary.json``, (when the report logs operations)
-        ``results_log.csv`` and (when telemetry is attached)
-        ``telemetry.json`` — everything the auditor retrieves and
-        discloses after a valid run."""
+        ``results_log.csv``, (when telemetry is attached)
+        ``telemetry.json`` and (when the telemetry carries a profiler
+        section) ``profile.collapsed`` — everything the auditor
+        retrieves and discloses after a valid run."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         with open(directory / "configuration.json", "w") as handle:
@@ -147,3 +148,9 @@ class RunReport:
         if self._telemetry is not None:
             with open(directory / "telemetry.json", "w") as handle:
                 json.dump(self._telemetry, handle, indent=2)
+            if self._telemetry.get("profile"):
+                from repro.obs.exporters import to_collapsed
+
+                (directory / "profile.collapsed").write_text(
+                    to_collapsed(self._telemetry)
+                )

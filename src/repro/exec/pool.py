@@ -39,7 +39,10 @@ this reproduction:
   :class:`~repro.exec.tasks.TaskOutcome`, and graft all trees under one
   ``pool`` span in submission order — so a parallel trace has exactly
   the serial trace's shape.  Process workers also ship their
-  metrics-registry deltas, merged in the same order.  The thread
+  metrics-registry deltas, merged in the same order; with the sampling
+  profiler on (:mod:`repro.obs.prof`), each worker runs its own
+  sampler and ships per-task profile/timeline deltas, grafted in the
+  same submission order.  The thread
   backend cannot capture (the global tracer is not per-thread); it
   grafts synthesized task spans instead, and worker-thread operator
   spans are muted for the duration of the run.  ``capture_spans=False``
@@ -70,6 +73,13 @@ from repro.engine import reset_counters
 from repro.engine.stats import merge_counters
 from repro.exec.snapshot import InlineSnapshot, SnapshotHandle, activate
 from repro.obs.metrics import registry, subtract_snapshot
+from repro.obs.prof import (
+    disable_profiling,
+    enable_profiling,
+    ensure_profiling,
+    profiler,
+    subtract_profile,
+)
 from repro.obs.spans import (
     NullTracer,
     Span,
@@ -189,11 +199,17 @@ def _execute(
     capture_counters: bool = True,
     capture_spans: bool = False,
     capture_metrics: bool = False,
+    capture_profile: bool = False,
 ) -> TaskOutcome:
     """Run one attempt in the current process and classify it."""
     if capture_counters:
         reset_counters()
     before = registry().snapshot() if capture_metrics else None
+    before_profile = (
+        profiler().snapshot()
+        if capture_profile and profiler().enabled
+        else None
+    )
     spans: list[Span] = []
     started = time.perf_counter()
     if capture_spans:
@@ -215,6 +231,11 @@ def _execute(
         if before is not None
         else {}
     )
+    profile = (
+        subtract_profile(profiler().snapshot(), before_profile)
+        if before_profile is not None
+        else {}
+    )
     if spans:
         spans[0].attrs["status"] = value.status
         spans[0].attrs["attempts"] = attempts
@@ -231,6 +252,7 @@ def _execute(
         kind=task.kind,
         spans=spans,
         metrics=metrics,
+        profile=profile,
     )
 
 
@@ -246,6 +268,7 @@ def _worker_main(
     conn: Any,
     payload: bytes | None,
     capture_spans: bool = False,
+    profile_hz: float | None = None,
 ) -> None:
     """Process-backend worker body: recv (task, attempt), send outcome."""
     if payload is not None:  # spawn start method: no fork inheritance
@@ -257,6 +280,12 @@ def _worker_main(
         # Fork children inherit the parent's live tracer; mute it so
         # uncaptured operator spans do not pile up in the worker's copy.
         disable_tracing()
+    # A fork child inherits the parent's profiler object, but not its
+    # sampling thread — retire it, then start a fresh per-worker
+    # profiler when the parent asked for one.
+    disable_profiling()
+    if profile_hz:
+        enable_profiling(profile_hz)
     while True:
         try:
             message = conn.recv()
@@ -271,6 +300,7 @@ def _worker_main(
             attempt + 1,
             capture_spans=capture_spans,
             capture_metrics=True,
+            capture_profile=bool(profile_hz),
         )
         try:
             conn.send(outcome)
@@ -288,13 +318,14 @@ class _ProcWorker:
         worker_id: int,
         payload: bytes | None,
         capture_spans: bool = False,
+        profile_hz: float | None = None,
     ):
         self.worker_id = worker_id
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, child_conn, payload, capture_spans),
+            args=(worker_id, child_conn, payload, capture_spans, profile_hz),
             daemon=True,
         )
         self.process.start()
@@ -369,6 +400,10 @@ class WorkerPool:
 
     def run(self, tasks: Iterable[Task]) -> PoolResult:
         """Execute all tasks; outcomes merge back in submission order."""
+        # Environment-driven profiling (REPRO_PROFILE_HZ) starts here so
+        # any benchmark that reaches a pool is profiled without code
+        # changes; a no-op when unset or already running.
+        ensure_profiling()
         stats = _RunStats()
         started = time.perf_counter()
         if self.backend == "serial":
@@ -381,6 +416,11 @@ class WorkerPool:
         for outcome in outcomes:  # worker-registry deltas, merge order fixed
             if outcome.metrics:
                 registry().merge_snapshot(outcome.metrics)
+        prof = profiler()
+        if prof.enabled:
+            for outcome in outcomes:  # worker profile deltas, same order
+                if outcome.profile:
+                    prof.merge(outcome.profile)
         self._record_metrics(outcomes, stats)
         self._graft_trace(outcomes)
         return PoolResult(
@@ -466,7 +506,7 @@ class WorkerPool:
             # path must end in the same (synthesized-span) shape.
             return replace(
                 outcome, status=STATUS_TIMEOUT, value=None, counters={},
-                spans=[],
+                spans=[], profile={},
             )
         return outcome
 
@@ -595,14 +635,19 @@ class WorkerPool:
         # Fork inheritance: children see the handle activated here.
         previous = activate(self.snapshot)
         capture = self.capture_spans and tracer().enabled
+        # Workers profile at the parent's rate and ship per-task deltas.
+        profile_hz = profiler().hz if profiler().enabled else None
         workers = {}
         try:
             workers = {
-                worker_id: _ProcWorker(context, worker_id, payload, capture)
+                worker_id: _ProcWorker(
+                    context, worker_id, payload, capture, profile_hz
+                )
                 for worker_id in range(self.workers)
             }
             outcomes = self._supervise(
-                context, payload, workers, iter(tasks), stats, capture
+                context, payload, workers, iter(tasks), stats, capture,
+                profile_hz,
             )
         finally:
             for worker in workers.values():
@@ -618,6 +663,7 @@ class WorkerPool:
         task_iter: Iterator[Task],
         stats: _RunStats,
         capture: bool = False,
+        profile_hz: float | None = None,
     ) -> list[TaskOutcome]:
         backlog: deque[tuple[Task, int]] = deque()
         outcomes: list[TaskOutcome] = []
@@ -656,7 +702,7 @@ class WorkerPool:
 
         def respawn(worker: _ProcWorker) -> None:
             workers[worker.worker_id] = _ProcWorker(
-                context, worker.worker_id, payload, capture
+                context, worker.worker_id, payload, capture, profile_hz
             )
 
         while True:

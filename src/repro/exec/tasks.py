@@ -71,6 +71,11 @@ class TaskOutcome:
     #: process (``subtract_snapshot`` form); empty for in-process
     #: backends, whose updates land in the parent registry directly.
     metrics: dict = field(default_factory=dict)
+    #: Profiler delta (stacks + timeline samples) accumulated by this
+    #: task in a worker process (``subtract_profile`` form); empty for
+    #: in-process backends, whose samples land in the parent profiler
+    #: directly, and whenever profiling is disabled.
+    profile: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -13,7 +13,15 @@ built for it.  Two leaks this rule closes:
   internal clock — directly (slug ``obs-raw-clock``).  Every other
   layer gets time *into* the telemetry by opening spans, which
   timestamp themselves; a raw ``now_us()`` read is a wall-clock read
-  wearing an observability badge, exactly what R1 forbids.
+  wearing an observability badge, exactly what R1 forbids;
+* code anywhere except the sampling profiler (``repro/obs/prof.py``)
+  calling ``sys._current_frames()``, ``sys.setprofile()`` or
+  ``sys.settrace()`` (slug ``obs-raw-frames``).  A second frame
+  inspector would race the profiler's sampling thread and a
+  ``setprofile``/``settrace`` hook slows every bytecode dispatch —
+  exactly the measurement contamination the sampling design avoids.
+  This check applies *inside* ``repro/obs/`` too: the profiler module
+  is the single sanctioned user.
 """
 
 from __future__ import annotations
@@ -34,11 +42,36 @@ def _is_obs_module(name: str | None) -> bool:
     )
 
 
+#: Frame-inspection entry points only the sampling profiler may call.
+_RAW_FRAME_FUNCS = frozenset({"_current_frames", "setprofile", "settrace"})
+
+
 def check_obs_discipline(ctx: FileContext) -> list[Diagnostic]:
     """Keep instrumentation out of queries and the raw clock in obs."""
-    if ctx.in_obs:
-        return []
     found: list[Diagnostic] = []
+    if ctx.module_parts[-2:] != ("obs", "prof.py"):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in _RAW_FRAME_FUNCS:
+                found.append(
+                    ctx.diagnostic(
+                        node, RULE, "obs-raw-frames",
+                        f"{name}() belongs to the sampling profiler "
+                        "(repro/obs/prof.py); a second frame inspector "
+                        "races its sampling thread and a profile/trace "
+                        "hook taxes every call the profiler is built "
+                        "not to",
+                    )
+                )
+    if ctx.in_obs:
+        return found
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Import):
             if ctx.in_queries and any(

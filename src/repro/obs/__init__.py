@@ -20,6 +20,7 @@ from repro.obs.exporters import (
     structure_of,
     telemetry_document,
     to_chrome_trace,
+    to_collapsed,
     to_prometheus,
 )
 from repro.obs.metrics import (
@@ -32,6 +33,20 @@ from repro.obs.metrics import (
     reset_registry,
     subtract_snapshot,
     summarize_seconds,
+)
+from repro.obs.prof import (
+    DEFAULT_PROFILE_HZ,
+    ENV_PROFILE_HZ,
+    NullProfiler,
+    ProfileConfig,
+    SamplingProfiler,
+    disable_profiling,
+    enable_profiling,
+    ensure_profiling,
+    profiler,
+    profiling_enabled,
+    set_profiler,
+    subtract_profile,
 )
 from repro.obs.spans import (
     SPAN_KINDS,
@@ -48,32 +63,55 @@ from repro.obs.spans import (
     tracer,
     tracing_enabled,
 )
+from repro.obs.timeline import (
+    FIXED_SERIES,
+    MIRRORED_PREFIXES,
+    ResourceTimeline,
+    subtract_timeline,
+)
 
 __all__ = [
+    "DEFAULT_PROFILE_HZ",
+    "ENV_PROFILE_HZ",
+    "FIXED_SERIES",
     "LATENCY_BUCKETS_SECONDS",
+    "MIRRORED_PREFIXES",
     "SPAN_KINDS",
     "TELEMETRY_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullProfiler",
     "NullTracer",
+    "ProfileConfig",
+    "ResourceTimeline",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "disable_profiling",
     "disable_tracing",
+    "enable_profiling",
     "enable_tracing",
+    "ensure_profiling",
     "graft_outcomes",
+    "profiler",
+    "profiling_enabled",
     "registry",
     "reset_registry",
+    "set_profiler",
     "set_tracer",
     "span",
     "structure_of",
+    "subtract_profile",
     "subtract_snapshot",
+    "subtract_timeline",
     "summarize_seconds",
     "synthesize_task_span",
     "task_capture",
     "telemetry_document",
     "to_chrome_trace",
+    "to_collapsed",
     "to_prometheus",
     "tracer",
     "tracing_enabled",

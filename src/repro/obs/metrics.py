@@ -45,13 +45,26 @@ LATENCY_BUCKETS_SECONDS: tuple[float, ...] = (
 _LOCK = threading.Lock()
 
 
+def _escape_label_value(value: Any) -> str:
+    """Label-value escaping per the Prometheus exposition format:
+    backslash, double-quote and newline are escaped (in that order, so
+    the escape character itself survives)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def series_key(name: str, labels: Mapping[str, Any]) -> str:
     """The canonical series identity: ``name{k="v",...}``, label-sorted
-    (doubles as the Prometheus exposition series name)."""
+    (doubles as the Prometheus exposition series name, so label values
+    carry the exposition format's escaping)."""
     if not labels:
         return name
     inner = ",".join(
-        f'{key}="{labels[key]}"' for key in sorted(labels)
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
     )
     return f"{name}{{{inner}}}"
 

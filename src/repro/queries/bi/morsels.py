@@ -23,9 +23,17 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.engine import group_agg, scan_message_morsel, scan_persons
+from repro.engine import (
+    group_agg,
+    scan_message_morsel,
+    scan_persons,
+    sort_key,
+    top_k,
+)
 from repro.graph.store import SocialGraph
 from repro.queries.bi.q01 import Bi1Row, length_category
+from repro.queries.bi.q03 import INFO as Q3_INFO
+from repro.queries.bi.q03 import Bi3Row, bi3_windows
 from repro.queries.bi.q18 import Bi18Row
 from repro.util.dates import DateTime, date_to_datetime, year_of
 
@@ -126,6 +134,67 @@ def _bi1_merge(
     return rows
 
 
+# --- BI 3: tag evolution ----------------------------------------------
+
+def _bi3_window(binding: tuple) -> tuple[DateTime | None, DateTime | None]:
+    """The union of the two consecutive month windows (contiguous, so
+    one scan sees exactly the rows of the serial query's union scan)."""
+    year, month = binding
+    window1, window2 = bi3_windows(year, month)
+    return (window1[0], window2[1])
+
+
+def _bi3_partial(
+    graph: SocialGraph,
+    slab_kind: str,
+    lo: int,
+    hi: int,
+    lead: bool,
+    binding: tuple,
+) -> dict:
+    """Per-(tag, month) counts over one morsel: ``{(tag_id, in_month2):
+    count}`` — a plain dict, like BI 1's partial, so the hash
+    aggregation (and its ``groups_created`` tally) happens once at
+    merge."""
+    year, month = binding
+    _window1, window2 = bi3_windows(year, month)
+    split = window2[0]
+    counts: dict[tuple[int, bool], int] = {}
+    for message in scan_message_morsel(
+        graph, slab_kind, lo, hi, window=_bi3_window(binding), lead=lead
+    ):
+        second = message.creation_date >= split
+        for tag_id in message.tag_ids:
+            key = (tag_id, second)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _bi3_merge(
+    graph: SocialGraph, partials: Sequence[dict], binding: tuple
+) -> list[Bi3Row]:
+    def fold(bucket: list[int], item: tuple) -> None:
+        bucket[0] += item[1]
+
+    combined = group_agg(
+        (item for part in partials for item in part.items()),
+        key=lambda item: item[0],
+        zero=lambda: [0],
+        fold=fold,
+    )
+    top = top_k(
+        Q3_INFO.limit,
+        key=lambda r: sort_key((r.diff, True), (r.tag_name, False)),
+    )
+    # Sorted tag ids: the same heap insertion order as the serial query,
+    # so the top-k counters match exactly.
+    for tag_id in sorted({tag_id for tag_id, _ in combined}):
+        c1 = combined.get((tag_id, False), [0])[0]
+        c2 = combined.get((tag_id, True), [0])[0]
+        top.add(Bi3Row(graph.tags[tag_id].name, c1, c2, abs(c1 - c2)))
+    return top.result()
+
+
 # --- BI 18: message-count histogram -----------------------------------
 
 def _bi18_window(binding: tuple) -> tuple[DateTime | None, DateTime | None]:
@@ -181,5 +250,6 @@ def _bi18_merge(
 #: here have no decomposable scan and always run serially.
 MORSEL_PLANS: dict[int, MorselPlan] = {
     1: MorselPlan(1, None, _bi1_window, _bi1_partial, _bi1_merge),
+    3: MorselPlan(3, None, _bi3_window, _bi3_partial, _bi3_merge),
     18: MorselPlan(18, None, _bi18_window, _bi18_partial, _bi18_merge),
 }

@@ -14,7 +14,7 @@ Choke points: 2.4, 3.1, 3.2, 4.1, 4.3, 5.3, 6.1, 8.5.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 from repro.engine import group_count, scan_messages, sort_key, top_k
 from repro.graph.store import SocialGraph
@@ -36,30 +36,45 @@ class Bi3Row(NamedTuple):
     diff: int
 
 
-def bi3(graph: SocialGraph, year: int, month: int) -> list[Bi3Row]:
-    """Run BI 3 for the given month and its successor."""
+def bi3_windows(
+    year: int, month: int
+) -> tuple[tuple[Any, Any], tuple[Any, Any]]:
+    """The two consecutive month windows BI 3 compares (closed-open and
+    contiguous: ``window1[1] == window2[0]``)."""
     window1 = month_window(year, month)
     if month == 12:
         window2 = month_window(year + 1, 1)
     else:
         window2 = month_window(year, month + 1)
+    return window1, window2
 
-    counts1 = group_count(
-        tag_id
-        for message in scan_messages(graph, window=window1)
-        for tag_id in message.tag_ids
-    )
-    counts2 = group_count(
-        tag_id
-        for message in scan_messages(graph, window=window2)
+
+def bi3(graph: SocialGraph, year: int, month: int) -> list[Bi3Row]:
+    """Run BI 3 for the given month and its successor.
+
+    One scan over the union window, classifying each message into its
+    month at the aggregation key — the months are contiguous, so the
+    union scan sees exactly the rows of the two per-month scans at half
+    the scan cost, and the single ``(tag, month)`` hash aggregation is
+    the counter shape the morsel plan (:mod:`repro.queries.bi.morsels`)
+    reproduces exactly.
+    """
+    window1, window2 = bi3_windows(year, month)
+    split = window2[0]
+    counts = group_count(
+        (tag_id, message.creation_date >= split)
+        for message in scan_messages(graph, window=(window1[0], window2[1]))
         for tag_id in message.tag_ids
     )
 
     top = top_k(
         INFO.limit, key=lambda r: sort_key((r.diff, True), (r.tag_name, False))
     )
-    for tag_id in counts1.keys() | counts2.keys():
-        c1 = counts1.get(tag_id, 0)
-        c2 = counts2.get(tag_id, 0)
+    # Sorted tag ids fix the heap insertion order, so the morsel merge
+    # (which feeds the same sorted sequence) tallies identical
+    # heap_inserts/heap_rejections/heap_evictions.
+    for tag_id in sorted({tag_id for tag_id, _ in counts}):
+        c1 = counts.get((tag_id, False), 0)
+        c2 = counts.get((tag_id, True), 0)
         top.add(Bi3Row(graph.tags[tag_id].name, c1, c2, abs(c1 - c2)))
     return top.result()

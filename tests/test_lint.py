@@ -443,6 +443,35 @@ class TestR5ObsDiscipline:
         src = "def now_us():\n    return 0\n\nstamp = now_us()\n"
         assert lint_source("src/repro/obs/metrics.py", src) == []
 
+    def test_current_frames_outside_profiler_flagged(self):
+        src = "import sys\n\nframes = sys._current_frames()\n"
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (3, "R5", "obs-raw-frames")
+        ]
+
+    def test_setprofile_flagged(self):
+        src = "import sys\n\nsys.setprofile(lambda *a: None)\n"
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (3, "R5", "obs-raw-frames")
+        ]
+
+    def test_settrace_flagged(self):
+        src = "import sys\n\nsys.settrace(None)\n"
+        assert slugs_at(lint_source(PLAIN_PATH, src)) == [
+            (3, "R5", "obs-raw-frames")
+        ]
+
+    def test_current_frames_in_other_obs_module_flagged(self):
+        # The exemption is the profiler module alone, not all of obs.
+        src = "import sys\n\nframes = sys._current_frames()\n"
+        assert slugs_at(
+            lint_source("src/repro/obs/timeline.py", src)
+        ) == [(3, "R5", "obs-raw-frames")]
+
+    def test_current_frames_in_profiler_is_fine(self):
+        src = "import sys\n\nframes = sys._current_frames()\n"
+        assert lint_source("src/repro/obs/prof.py", src) == []
+
 
 # ---------------------------------------------------------------------------
 # R6 — snapshot-aliasing discipline

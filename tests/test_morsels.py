@@ -161,6 +161,35 @@ class TestMorselPlans:
                 == query(frozen, *binding)
             )
 
+    def test_bi3_counter_parity(self, frozen, params):
+        """BI 3's morsel decomposition replays the serial query's exact
+        operator-counter totals — scan, hash-aggregate and top-k heap —
+        not just its rows (ROADMAP open item: counter-parity for the
+        window/partial/merge plans)."""
+        from repro.queries.bi.q03 import bi3
+
+        plan = MORSEL_PLANS[3]
+        binding = tuple(params.bi(3, count=1)[0])
+
+        reset_counters()
+        serial_rows = bi3(frozen, *binding)
+        serial = counters().as_dict()
+
+        reset_counters()
+        ranges = morsel_ranges(
+            frozen, window=plan.window(binding), morsel_size=23
+        )
+        partials = [
+            plan.partial(frozen, kind, lo, hi, index == 0, binding)
+            for index, (kind, lo, hi) in enumerate(ranges)
+        ]
+        morsel_rows = plan.merge(frozen, partials, binding)
+        morselized = counters().as_dict()
+        reset_counters()
+
+        assert morsel_rows == serial_rows
+        assert morselized == serial
+
     @pytest.mark.parametrize("number", sorted(MORSEL_PLANS))
     def test_fallback_morsel_still_correct(self, tiny_graph, params, number):
         plan = MORSEL_PLANS[number]

@@ -266,6 +266,46 @@ class TestMetrics:
         assert list(delta["histograms"]) == ["repro_task_seconds"]
         assert delta["histograms"]["repro_task_seconds"]["count"] == 1
 
+    def test_subtract_snapshot_labeled_histogram_bucketwise(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("repro_query_seconds", query="bi3")
+        hist.observe(0.002)
+        before = reg.snapshot()
+        hist.observe(0.002)
+        hist.observe(0.4)
+        delta = subtract_snapshot(reg.snapshot(), before)
+        key = 'repro_query_seconds{query="bi3"}'
+        assert list(delta["histograms"]) == [key]
+        diffed = delta["histograms"][key]
+        assert diffed["count"] == 2
+        assert diffed["sum"] == pytest.approx(0.402)
+        # Bucket-wise: one fresh observation in the 2 ms bucket, one in
+        # 0.4 s's bucket — the before-run observation is subtracted out.
+        full = reg.snapshot()["histograms"][key]
+        prior = before["histograms"][key]
+        assert diffed["counts"] == [
+            now - then for now, then in zip(full["counts"], prior["counts"])
+        ]
+        assert sum(diffed["counts"]) == 2
+
+    def test_subtract_snapshot_labeled_histogram_unchanged_dropped(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_query_seconds", query="bi3").observe(0.002)
+        snap = reg.snapshot()
+        # Nothing observed since: the labeled series is absent from the
+        # delta entirely, not shipped as an all-zero histogram.
+        assert subtract_snapshot(reg.snapshot(), snap)["histograms"] == {}
+
+    def test_subtract_snapshot_new_labeled_series_passes_whole(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_query_seconds", query="bi3").observe(0.002)
+        before = reg.snapshot()
+        reg.histogram("repro_query_seconds", query="bi18").observe(0.1)
+        delta = subtract_snapshot(reg.snapshot(), before)
+        key = 'repro_query_seconds{query="bi18"}'
+        assert list(delta["histograms"]) == [key]
+        assert delta["histograms"][key]["count"] == 1
+
     def test_summarize_seconds_keys(self):
         summary = summarize_seconds([0.001, 0.002, 0.003])
         assert set(summary) == {
@@ -348,6 +388,37 @@ class TestExporters:
         # Cumulative buckets: the le="0.005" bucket already holds the
         # single 4 ms observation.
         assert 'repro_query_seconds_bucket{query="bi1",le="0.005"} 1' in text
+
+    def test_prometheus_help_lines(self):
+        text = to_prometheus(_sample_document()["metrics"])
+        lines = text.splitlines()
+        # Every series family gets a HELP line immediately before its
+        # TYPE line, as the exposition format specifies.
+        for family in ("repro_cache_hits_total", "repro_pool_workers",
+                       "repro_query_seconds"):
+            help_index = lines.index(next(
+                line for line in lines
+                if line.startswith(f"# HELP {family} ")
+            ))
+            assert lines[help_index + 1].startswith(f"# TYPE {family} ")
+            # Non-empty help text after the family name.
+            assert lines[help_index].split(None, 3)[3].strip()
+
+    def test_prometheus_label_values_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter(
+            "repro_x_total", path='a\\b', note='say "hi"\nbye'
+        ).inc()
+        text = to_prometheus(metrics.snapshot())
+        assert (
+            'repro_x_total{note="say \\"hi\\"\\nbye",path="a\\\\b"} 1'
+            in text
+        )
+        # The escaped exposition stays one line per sample.
+        assert all(
+            line.startswith("#") or " " in line
+            for line in text.splitlines() if line
+        )
 
 
 # ---------------------------------------------------------------------------

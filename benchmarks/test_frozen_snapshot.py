@@ -20,6 +20,7 @@ import time
 from benchmarks._record import record
 from repro.analysis.profile import bench_profile_section
 from repro.driver.bi_driver import power_test
+from repro.exec.snapshot import SnapshotConfig
 from repro.graph.frozen import freeze
 from repro.obs import summarize_seconds
 from repro.queries.bi import ALL_QUERIES
@@ -71,11 +72,11 @@ def test_frozen_power_test_smoke(base_graph, base_params):
     work (minus the two arrival-order-sensitive heap-churn counters);
     elapsed times recorded for trend tracking via bench-compare."""
 
-    def run(freeze_graph: bool):
+    def run(freeze: bool):
         start = time.perf_counter()
         report = power_test(
             base_graph, base_params, 1.0, workers=1,
-            freeze_graph=freeze_graph,
+            snapshot=SnapshotConfig(freeze=freeze),
         )
         return report, time.perf_counter() - start
 

@@ -34,13 +34,13 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core.run import RunReport
 from repro.datagen.delete_streams import DeleteOperation, build_delete_streams
 from repro.datagen.generator import SocialNetworkData
 from repro.datagen.update_streams import UpdateOperation, build_update_streams
-from repro.engine import merge_counters, morsel_ranges, reset_counters
+from repro.engine import merge_counters, reset_counters
 from repro.exec import (
     InlineSnapshot,
     SnapshotConfig,
@@ -62,20 +62,10 @@ from repro.queries.interactive.updates import ALL_UPDATES
 from repro.util.dates import MILLIS_PER_DAY
 
 
-def _snapshot_config(
-    snapshot: SnapshotConfig | None,
-    freeze_graph: bool | None,
-    delta_compact_fraction: float | None = None,
-) -> SnapshotConfig:
-    """One resolved :class:`SnapshotConfig` from the new ``snapshot``
-    argument and the deprecated per-knob aliases (which only fill knobs
-    the config leaves unset)."""
-    config = snapshot or SnapshotConfig()
-    if freeze_graph is not None and config.freeze is None:
-        config = replace(config, freeze=freeze_graph)
-    if delta_compact_fraction is not None and config.compact_fraction is None:
-        config = replace(config, compact_fraction=delta_compact_fraction)
-    return config.resolved()
+def _snapshot_config(snapshot: SnapshotConfig | None) -> SnapshotConfig:
+    """One resolved :class:`SnapshotConfig` from the ``snapshot``
+    argument (environment knobs fill anything left unset)."""
+    return (snapshot or SnapshotConfig()).resolved()
 
 
 def _accumulate_exec_stats(total: dict, part: dict) -> dict:
@@ -161,7 +151,6 @@ def power_test(
     bindings_per_query: int = 1,
     workers: int | None = None,
     timeout: float | None = None,
-    freeze_graph: bool | None = None,
     snapshot: SnapshotConfig | None = None,
 ) -> PowerTestResult:
     """Run every BI read and score the snapshot.
@@ -191,10 +180,9 @@ def power_test(
     fixed-size slab morsels dispatched across the pool and merged
     deterministically in the parent — its runtime is the slowest morsel
     plus the merge, its operator counters the morsels' merged tallies
-    (identical to the serial scan's).  ``freeze_graph`` is the
-    deprecated boolean alias for ``snapshot.freeze``.
+    (identical to the serial scan's).
     """
-    config = _snapshot_config(snapshot, freeze_graph)
+    config = _snapshot_config(snapshot)
     read_graph = freeze(graph) if config.freeze else graph
     workers_n = resolve_workers(workers)
     morselized = config.morsel_size is not None and workers_n > 1
@@ -209,12 +197,7 @@ def power_test(
             binding = tuple(binding)
             if plan is not None:
                 assert config.morsel_size is not None
-                ranges = morsel_ranges(
-                    read_graph,
-                    window=plan.window(binding),
-                    kind=plan.kind,
-                    morsel_size=config.morsel_size,
-                )
+                ranges = plan.ranges(read_graph, binding, config.morsel_size)
                 if len(ranges) > 1:
                     start = len(tasks)
                     for index, (kind, lo, hi) in enumerate(ranges):
@@ -294,12 +277,7 @@ def run_morselized(
     power test inlines the same decomposition for its batched runs."""
     plan = MORSEL_PLANS[number]
     binding = tuple(binding)
-    ranges = morsel_ranges(
-        graph,
-        window=plan.window(binding),
-        kind=plan.kind,
-        morsel_size=morsel_size,
-    )
+    ranges = plan.ranges(graph, binding, morsel_size)
     merged = pool.run(
         Task(index, "bi_morsel", (number, kind, lo, hi, index == 0, binding))
         for index, (kind, lo, hi) in enumerate(ranges)
@@ -448,7 +426,6 @@ def concurrent_read_test(
     queries_per_stream: int = 25,
     workers: int | None = None,
     timeout: float | None = None,
-    freeze_graph: bool | None = None,
     snapshot: SnapshotConfig | None = None,
 ) -> ConcurrentTestResult:
     """The multi-stream read throughput test (CP-6, "Parallelism and
@@ -465,12 +442,11 @@ def concurrent_read_test(
     ``freeze`` defaults on (a pure read phase over an immutable snapshot
     is exactly what the frozen layout is for), and the mapped providers
     serve every stream's columns from one shared buffer instead of
-    fork-inherited pages.  ``freeze_graph`` is the deprecated alias for
-    ``snapshot.freeze``.
+    fork-inherited pages.
     """
     if streams <= 0 or queries_per_stream <= 0:
         raise ValueError("streams and queries_per_stream must be positive")
-    config = _snapshot_config(snapshot, freeze_graph)
+    config = _snapshot_config(snapshot)
     read_graph = freeze(graph) if config.freeze else graph
     bindings = {n: params.bi(n, count=3) for n in sorted(ALL_QUERIES)}
     handle = provide_snapshot(
@@ -512,8 +488,6 @@ def throughput_test(
     executor: CachedQueryExecutor | None = None,
     workers: int | None = None,
     timeout: float | None = None,
-    freeze_graph: bool | None = None,
-    delta_compact_fraction: float | None = None,
     snapshot: SnapshotConfig | None = None,
 ) -> ThroughputTestResult:
     """Alternate write microbatches with blocks of BI reads.
@@ -529,18 +503,18 @@ def throughput_test(
     re-forking per batch.  Reads invalidated by deletes count as
     operations with a ``-1`` row marker, exactly as in a serial run.
 
-    ``freeze_graph`` (default on, like :func:`power_test`): the live
+    ``snapshot.freeze`` (default on, like :func:`power_test`): the live
     store stays the write path, and each read block runs against the
     :class:`~repro.graph.frozen.FreezeManager`'s merge-on-read view —
     one initial freeze, then a delta-overlaid snapshot that absorbs
     each microbatch's writes, with a threshold-triggered compaction
-    refreeze once the overlay outgrows ``delta_compact_fraction`` of
+    refreeze once the overlay outgrows ``snapshot.compact_fraction`` of
     the base snapshot (:mod:`repro.graph.delta`; default through
     ``REPRO_DELTA_COMPACT_FRACTION``).  No per-microbatch refreezes:
     overlay maintenance and any compactions are part of the measured
     run, exactly like an incremental index refresh would be.  Pass
-    ``delta_compact_fraction=0.0`` to restore the old
-    refreeze-every-batch behaviour (the benchmark baseline).
+    ``compact_fraction=0.0`` to restore the old refreeze-every-batch
+    behaviour (the benchmark baseline).
 
     With ``executor`` supplied (a :class:`CachedQueryExecutor` wrapping
     ``graph``), reads route through the inter-query result cache and
@@ -553,7 +527,7 @@ def throughput_test(
     """
     if executor is not None and executor.graph is not graph:
         raise ValueError("executor must wrap the same graph")
-    config = _snapshot_config(snapshot, freeze_graph, delta_compact_fraction)
+    config = _snapshot_config(snapshot)
     workers_n = resolve_workers(workers)
     manager = (
         FreezeManager(graph, compact_fraction=config.compact_fraction)

@@ -10,7 +10,10 @@ from repro.engine.operators import (
     group_agg,
     group_count,
     morsel_ranges,
+    scan_forum_morsel,
     scan_message_morsel,
+    scan_person_morsel,
+    scan_tag_morsel,
     scan_forum_posts,
     scan_forums,
     scan_likes,
@@ -37,7 +40,10 @@ __all__ = [
     "merge_counters",
     "morsel_ranges",
     "reset_counters",
+    "scan_forum_morsel",
     "scan_message_morsel",
+    "scan_person_morsel",
+    "scan_tag_morsel",
     "scan_forum_posts",
     "scan_forums",
     "scan_likes",

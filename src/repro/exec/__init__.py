@@ -27,11 +27,8 @@ from repro.exec.snapshot import (
     ShippedSnapshot,
     SnapshotConfig,
     SnapshotHandle,
-    StoreSnapshot,
     activate,
     active,
-    current_snapshot,
-    install_snapshot,
     provide_snapshot,
 )
 from repro.exec.tasks import (
@@ -60,15 +57,12 @@ __all__ = [
     "ShippedSnapshot",
     "SnapshotConfig",
     "SnapshotHandle",
-    "StoreSnapshot",
     "Task",
     "TaskOutcome",
     "WorkerPool",
     "activate",
     "active",
-    "current_snapshot",
     "default_workers",
-    "install_snapshot",
     "provide_snapshot",
     "register_task_kind",
     "resolve_workers",

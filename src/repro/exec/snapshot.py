@@ -20,24 +20,26 @@ receives graph state through one typed surface:
   ``multiprocessing.shared_memory`` segment).  :func:`provide_snapshot`
   picks one from a config.
 
-The mapped providers split a frozen graph along the line drawn by
-:mod:`repro.graph.snapfile`: column families become zero-copy
-``memoryview`` casts over the shared buffer, while entity objects and
-adopted live tables travel as one pickle captured *at ship time* — so
-an :class:`~repro.graph.delta.OverlaidGraph` ships its current overlay
-and current live tables beside the mapped base columns instead of
-silently degrading workers to the live fallback path.
+The mapped providers serialize a frozen graph completely into the
+snapfile (format v2, :mod:`repro.graph.snapfile`): column families
+attach back as zero-copy ``memoryview`` casts over the shared buffer,
+and the file's entity section lets a worker rebuild the entity store
+from the same bytes — so ``ship()`` returns a token of buffer
+coordinates plus the overlay, with **no object-state pickle**.  An
+:class:`~repro.graph.delta.OverlaidGraph` ships its base's buffer and
+its current overlay (captured at ship time); the worker replays the
+overlay onto its rebuilt store, so post-freeze writes reach workers
+exactly as they would through fork.
 
-``ship()`` returns a small picklable :class:`ShippedSnapshot` token;
 ``materialize()`` on the worker side reattaches the buffer (path or
-segment name), rebuilds the frozen view around the mapped columns, and
-re-wraps the overlay.  :func:`activate` / :func:`active` install the
-process-local handle task runners read.
-
-The old surface — ``StoreSnapshot``, ``install_snapshot``,
-``current_snapshot`` — remains as deprecation shims for one release;
-``StoreSnapshot`` *is* an ``InlineSnapshot`` and the install/current
-pair alias activate/active, so object identity is preserved.
+segment name), rebuilds the entity store from the entity section,
+re-derives the frozen view around the mapped columns
+(``FrozenGraph._rebuilt``), and replays/re-wraps the overlay.
+:func:`activate` / :func:`active` install the process-local handle
+task runners read.  The ``repro_snapshot_state_bytes`` gauge records
+both sides of the split: the entity section's size (``section=
+"entities"``) and the shipped token's pickled size (``section=
+"stub"``).
 """
 
 from __future__ import annotations
@@ -45,7 +47,6 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-import warnings
 import weakref
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
@@ -68,11 +69,8 @@ __all__ = [
     "ShippedSnapshot",
     "SnapshotConfig",
     "SnapshotHandle",
-    "StoreSnapshot",
     "activate",
     "active",
-    "current_snapshot",
-    "install_snapshot",
     "provide_snapshot",
 ]
 
@@ -185,8 +183,8 @@ class SnapshotHandle(Protocol):
 class ShippedSnapshot:
     """The picklable form of a snapshot handle crossing a process
     boundary: provider-specific payload (the whole object graph for
-    inline; buffer coordinates plus the object-state pickle for the
-    mapped providers)."""
+    inline; buffer coordinates plus the delta overlay for the mapped
+    providers — entity state rebuilds from the mapped bytes)."""
 
     provider: str
     payload: Any
@@ -228,25 +226,6 @@ class InlineSnapshot:
         return f"{type(self).__name__}(graph={self.graph!r})"
 
 
-class StoreSnapshot(InlineSnapshot):
-    """Deprecated alias of :class:`InlineSnapshot`, kept for one
-    release.  New code builds handles through
-    :func:`provide_snapshot`/:class:`SnapshotConfig`."""
-
-    def __init__(
-        self,
-        graph: "SocialGraph | None" = None,
-        context: dict[str, Any] | None = None,
-    ):
-        warnings.warn(
-            "StoreSnapshot is deprecated; use "
-            "repro.exec.snapshot.InlineSnapshot or provide_snapshot()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(graph, context)
-
-
 def _split_overlay(graph: Any) -> tuple[Any, Any]:
     """A frozen view split into (base snapshot, overlay-or-None) —
     overlaid views map their base's columns and carry the overlay
@@ -265,33 +244,54 @@ def _publish_attach(provider: str, nbytes: int) -> None:
     metrics.counter("repro_snapshot_attaches_total", provider=provider).inc()
 
 
+def _publish_state_bytes(section: str, nbytes: int) -> None:
+    """Record one side of the ship-payload split: the snapfile's entity
+    section (``section="entities"``) or the pickled size of the token
+    ``ship()`` actually sends (``section="stub"``)."""
+    registry().gauge("repro_snapshot_state_bytes", section=section).set(
+        float(nbytes)
+    )
+
+
 def _shipped_payload(
-    base: Any, overlay: Any, context: dict[str, Any]
+    overlay: Any, context: dict[str, Any]
 ) -> dict[str, Any]:
     """The boundary-crossing remainder of a mapped handle, captured at
-    ship time: the object-state pickle reads the *current* live tables
-    (they are shared by reference with the base snapshot), so a dirty
-    manager's post-freeze writes reach workers exactly as they would
-    through fork."""
-    from repro.graph import snapfile
-
+    ship time: just the overlay and the task context.  Entity state
+    does not travel — the worker rebuilds it from the snapfile's entity
+    section and replays the overlay on top, so a dirty manager's
+    post-freeze writes reach workers exactly as they would through
+    fork."""
     return {
-        "state": pickle.dumps(snapfile.object_state(base)),
         "overlay": overlay,
         "context": context,
         "origin_pid": os.getpid(),
     }
 
 
-def _attach_graph(
-    columns: dict[str, Any], state_pickle: bytes, overlay: Any
-) -> Any:
+def _ship_token(provider: str, payload: dict[str, Any]) -> ShippedSnapshot:
+    token = ShippedSnapshot(provider, payload)
+    _publish_state_bytes("stub", len(pickle.dumps(token)))
+    return token
+
+
+def _attach_graph(attached: Any, overlay: Any) -> Any:
+    """The worker-side graph for a mapped attach: rebuild the entity
+    store from the entity section, re-derive the frozen view around the
+    mapped columns, then replay the shipped overlay onto the store (the
+    frozen object columns must capture freeze-time state, so the replay
+    runs after ``_rebuilt``) and serve the merge view."""
+    from repro.graph import snapfile
     from repro.graph.frozen import FrozenGraph
 
-    graph = FrozenGraph._attached(pickle.loads(state_pickle), columns)
+    store = snapfile.rebuild_store(attached.entities)
+    graph = FrozenGraph._rebuilt(
+        store, dict(attached.columns), attached.frozen_at_version
+    )
     if overlay is not None:
         from repro.graph.delta import OverlaidGraph
 
+        overlay.replay_into(store)
         return OverlaidGraph(graph, overlay)
     return graph
 
@@ -351,7 +351,7 @@ def _materialize_mapped(provider: str, payload: dict[str, Any]) -> Any:
 
     if provider == "mmap_file":
         mapped = snapfile.open_snapshot(payload["path"])
-        columns, nbytes = dict(mapped.columns), mapped.bytes_mapped
+        attached, nbytes = mapped.attached, mapped.bytes_mapped
         resource: Any = mapped
     elif provider == "shared_memory":
         from multiprocessing import resource_tracker, shared_memory
@@ -370,12 +370,13 @@ def _materialize_mapped(provider: str, payload: dict[str, Any]) -> Any:
             except Exception:  # pragma: no cover - tracker internals
                 pass
         attached = snapfile.attach(segment.buf)
-        columns, nbytes = attached.columns, attached.bytes_mapped
+        nbytes = attached.bytes_mapped
         resource = segment
     else:  # pragma: no cover - ShippedSnapshot guards the provider
         raise ValueError(f"unknown shipped provider {provider!r}")
-    graph = _attach_graph(columns, payload["state"], payload["overlay"])
+    graph = _attach_graph(attached, payload["overlay"])
     _publish_attach(provider, nbytes)
+    _publish_state_bytes("entities", len(attached.entities))
     return AttachedSnapshot(
         provider, graph, payload["context"], nbytes, resource
     )
@@ -429,7 +430,7 @@ class MmapFileSnapshot:
         )
         try:
             with os.fdopen(descriptor, "wb") as stream:
-                snapfile.write_snapshot(base, stream)
+                snapfile.write_snapshot(base, stream, overlay=overlay)
             self._mapped = snapfile.open_snapshot(path)
         except Exception:
             _unlink_quietly(path)
@@ -443,12 +444,13 @@ class MmapFileSnapshot:
             _parent_attached(base, self._mapped.columns), overlay
         )
         _publish_attach(self.provider, self._mapped.bytes_mapped)
+        _publish_state_bytes("entities", len(self._mapped.attached.entities))
 
     def ship(self) -> ShippedSnapshot:
         _, overlay = _split_overlay(self._source)
-        payload = _shipped_payload(self._base, overlay, self.context)
+        payload = _shipped_payload(overlay, self.context)
         payload["path"] = self.path
-        return ShippedSnapshot(self.provider, payload)
+        return _ship_token(self.provider, payload)
 
     def bytes_mapped(self) -> int:
         return self._mapped.bytes_mapped
@@ -486,7 +488,7 @@ class SharedMemorySnapshot:
         from repro.graph import snapfile
 
         base, overlay = _split_overlay(graph)
-        data = snapfile.snapshot_bytes(base)
+        data = snapfile.snapshot_bytes(base, overlay=overlay)
         self._segment = shared_memory.SharedMemory(
             create=True, size=max(len(data), 1)
         )
@@ -502,12 +504,13 @@ class SharedMemorySnapshot:
             _parent_attached(base, self._attached.columns), overlay
         )
         _publish_attach(self.provider, self._attached.bytes_mapped)
+        _publish_state_bytes("entities", len(self._attached.entities))
 
     def ship(self) -> ShippedSnapshot:
         _, overlay = _split_overlay(self._source)
-        payload = _shipped_payload(self._base, overlay, self.context)
+        payload = _shipped_payload(overlay, self.context)
         payload["shm_name"] = self._segment.name
-        return ShippedSnapshot(self.provider, payload)
+        return _ship_token(self.provider, payload)
 
     def bytes_mapped(self) -> int:
         return self._attached.bytes_mapped
@@ -561,23 +564,3 @@ def activate(handle: SnapshotHandle | None) -> SnapshotHandle | None:
 def active() -> SnapshotHandle:
     """The handle task runners execute against (empty inline if none)."""
     return _ACTIVE if _ACTIVE is not None else InlineSnapshot()
-
-
-def install_snapshot(snapshot: SnapshotHandle | None) -> SnapshotHandle | None:
-    """Deprecated alias of :func:`activate`, kept for one release."""
-    warnings.warn(
-        "install_snapshot is deprecated; use repro.exec.snapshot.activate",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return activate(snapshot)
-
-
-def current_snapshot() -> SnapshotHandle:
-    """Deprecated alias of :func:`active`, kept for one release."""
-    warnings.warn(
-        "current_snapshot is deprecated; use repro.exec.snapshot.active",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return active()

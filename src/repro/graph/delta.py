@@ -137,6 +137,51 @@ class DeltaOverlay:
                 if isinstance(message, Post):
                     self.dirty_forums.add(message.forum_id)
 
+    def replay_into(self, store: SocialGraph) -> None:
+        """Re-apply the recorded writes to a rebuilt entity ``store``
+        (the worker half of the self-contained ship path: the snapfile
+        entity section reproduces freeze-time state; this reproduces
+        the post-freeze writes the overlay carries).
+
+        Deletes run first — a delete-then-reinsert must land the fresh
+        row, and the insert maps never hold a row that a later event
+        tombstoned (``record`` pops it).  Replaying a cascade's root
+        alongside its already-cascaded children is safe because the
+        store mutators individually recorded every cascaded key (the
+        tombstone closure) and deletes are no-ops for absent rows.
+        Inserts replay in foreign-key order (persons before knows and
+        forums, containers before messages, messages before likes);
+        within a family the insert map is chronological, so every
+        ``add_*`` precondition holds by construction."""
+        for person_id in self.tombstones["persons"]:
+            store.delete_person(person_id)  # type: ignore[arg-type]
+        for forum_id in self.tombstones["forums"]:
+            store.delete_forum(forum_id)  # type: ignore[arg-type]
+        for message_id in self.tombstones["posts"]:
+            store.delete_post(message_id)  # type: ignore[arg-type]
+        for message_id in self.tombstones["comments"]:
+            store.delete_comment(message_id)  # type: ignore[arg-type]
+        for pair in self.tombstones["knows"]:
+            store.delete_knows(*pair)  # type: ignore[misc]
+        for pair in self.tombstones["memberships"]:
+            store.delete_membership(*pair)  # type: ignore[misc]
+        for pair in self.tombstones["likes"]:
+            store.delete_like(*pair)  # type: ignore[misc]
+        for person in self.inserts["persons"].values():
+            store.add_person(person)  # type: ignore[arg-type]
+        for edge in self.inserts["knows"].values():
+            store.add_knows(edge)  # type: ignore[arg-type]
+        for forum in self.inserts["forums"].values():
+            store.add_forum(forum)  # type: ignore[arg-type]
+        for membership in self.inserts["memberships"].values():
+            store.add_membership(membership)  # type: ignore[arg-type]
+        for post in self.inserts["posts"].values():
+            store.add_post(post)  # type: ignore[arg-type]
+        for comment in self.inserts["comments"].values():
+            store.add_comment(comment)  # type: ignore[arg-type]
+        for like in self.inserts["likes"].values():
+            store.add_like(like)  # type: ignore[arg-type]
+
     def clear(self) -> None:
         """Drop everything — the snapshot was just (re)built."""
         for family in FAMILIES:

@@ -33,9 +33,9 @@ brings that layout to the reproduction without leaving pure Python:
   :class:`~repro.graph.delta.OverlaidGraph` merge view (small
   overlay), or a freshly compacted snapshot (overlay past the
   threshold fraction of the base row count) — never a per-write
-  refreeze;
-* :func:`resolve_freeze` — the ``freeze`` knob default (the
-  ``REPRO_FROZEN`` environment variable, on unless set falsy).
+  refreeze.  (The ``freeze`` knob default — ``REPRO_FROZEN`` — is
+  resolved by :meth:`repro.exec.snapshot.SnapshotConfig.resolved`, the
+  single environment-parse point.)
 
 Because the snapshot shares the live store's tables, a bare
 :class:`FrozenGraph`'s validity contract is strict: **any write to the
@@ -74,7 +74,6 @@ __all__ = [
     "FreezeManager",
     "StringColumn",
     "freeze",
-    "resolve_freeze",
 ]
 
 
@@ -211,6 +210,72 @@ class FrozenGraph(SocialGraph):
         graph = cls.__new__(cls)
         graph.__dict__.update(state)
         graph.__dict__.update(columns)
+        return graph
+
+    @classmethod
+    def _rebuilt(
+        cls,
+        store: SocialGraph,
+        columns: "dict[str, object]",
+        frozen_at_version: int,
+    ) -> "FrozenGraph":
+        """Rebuild a snapshot worker-side from a replayed entity store
+        (:func:`repro.graph.snapfile.rebuild_store`) plus the mapped
+        column families — the self-contained snapfile path, where no
+        object-state pickle crosses the ship boundary.
+
+        The mapped columns are adopted as-is; only the object-side
+        derivatives (entity-ordered lists, ordinal maps, postings
+        lists) are re-derived from the store's tables.  They come out
+        identical to the parent's because the mapped orders are
+        canonical: ``_person_ids``/``_forum_ids`` are sorted ids and
+        message slabs are ``(creation_date, id)``-sorted, none of which
+        depend on original insertion order.  Must run *before* any
+        overlay replay mutates ``store`` — these lists capture
+        freeze-time state."""
+        graph = cls.__new__(cls)
+        graph.__dict__.update(store.__dict__)
+        graph.use_indexes = True
+        graph.use_date_index = True
+        graph.use_tag_index = True
+        graph.frozen_at_version = frozen_at_version
+        graph.__dict__.update(columns)
+        by_date = lambda m: (m.creation_date, m.id)  # noqa: E731
+        post_objs = sorted(store.posts.values(), key=by_date)
+        comment_objs = sorted(store.comments.values(), key=by_date)
+        graph._post_objs = post_objs
+        graph._comment_objs = comment_objs
+        msg_objs: list[Message] = [*post_objs, *comment_objs]
+        graph._msg_objs = msg_objs
+        graph._msg_ord = {m.id: i for i, m in enumerate(msg_objs)}
+        graph._person_ord = {
+            pid: i for i, pid in enumerate(graph._person_ids)
+        }
+        graph._forum_ord = {
+            fid: i for i, fid in enumerate(graph._forum_ids)
+        }
+        posts = store.posts
+        graph._forum_post_objs = {
+            fid: [posts[mid] for _, mid in dated]
+            for fid, dated in store._forum_posts_by_date.items()
+            if dated
+        }
+        message = store.message
+        graph._tag_objs = {
+            tag_id: [message(mid) for _, mid in postings]
+            for tag_id, postings in store._messages_with_tag.items()
+            if postings
+        }
+        graph._lang_code_of = {
+            value: code
+            for code, value in enumerate(graph._post_language.dictionary)
+        }
+        country_persons: dict[int, list[int]] = {}
+        for country_id in set(graph._person_country):
+            country_persons[country_id] = list(
+                SocialGraph.persons_in_country(graph, country_id)
+            )
+        graph._country_persons = country_persons
         return graph
 
     # ------------------------------------------------------------------
@@ -689,18 +754,3 @@ class FreezeManager:
     def detach(self) -> None:
         """Stop recording: unregister this manager's write-hook."""
         self.graph.unregister_delta_hook(self.overlay.record)
-
-
-def resolve_freeze(freeze_opt: bool | None) -> bool:
-    """Deprecated alias: resolve a driver ``freeze`` knob (an explicit
-    value wins, else ``REPRO_FROZEN``, default on).
-
-    Environment parsing now lives in exactly one place —
-    :meth:`repro.exec.snapshot.SnapshotConfig.resolved` — and drivers
-    take a ``SnapshotConfig`` directly; this wrapper is kept for one
-    release."""
-    from repro.exec.snapshot import SnapshotConfig
-
-    resolved = SnapshotConfig(freeze=freeze_opt).resolved().freeze
-    assert resolved is not None
-    return resolved

@@ -5,7 +5,7 @@ The frozen columnar layout (:mod:`repro.graph.frozen`) is a set of flat
 columns — exactly the shapes that serialize to raw bytes and attach
 back as zero-copy ``memoryview`` casts over an ``mmap`` or a
 ``multiprocessing.shared_memory`` buffer.  This module defines that
-byte layout (format v1) and the write/attach halves:
+byte layout (format v2) and the write/attach halves:
 
 * :func:`write_snapshot` / :func:`snapshot_bytes` — serialize every
   column family of a frozen graph into one self-describing blob;
@@ -19,7 +19,7 @@ probe, which is written native on purpose)::
 
     offset  size  field
     0       4     magic  b"RSNB"
-    4       2     format version (currently 1)
+    4       2     format version (currently 2)
     6       2     flags (reserved, 0)
     8       8     byte-order probe: native int64 0x0102030405060708
     16      8     TOC offset
@@ -34,11 +34,20 @@ machine's native byte order — a snapshot is an IPC artifact between
 processes of one host, not an interchange format — and the probe makes
 a cross-endian open fail loudly instead of returning garbage rows.
 
-Only *columns* live in the file.  Entity objects (``_post_objs``,
-``_msg_objs``, the adopted live tables and ordinal maps) cannot be
-mapped; they travel beside the file as one pickle built by
-:func:`object_state`, whose memoization preserves the object sharing
-between ``_msg_objs`` and the entity tables.
+Format v2 makes the file *self-contained*: besides the column sections
+it carries one required ``__entities__`` section (typecode ``B``) — a
+compact JSON encoding of every entity and relation row, written in
+replayable order (dimension tables first, then entities before the
+relations that reference them, each family in the live store's own
+insertion order — see :func:`_entity_payload`).  :func:`rebuild_store`
+replays that payload through the ordinary ``SocialGraph`` mutators,
+and ``FrozenGraph._rebuilt`` re-derives the object-side columns
+(``_post_objs``, ordinal maps, postings lists) from the rebuilt store
+plus the mapped columns — so a ``spawn`` worker cold-starts from the
+mapped bytes alone, with no object-state pickle crossing the ship
+boundary.  :func:`object_state` remains for the in-process parent
+attach (which shares the live tables by reference) and as the
+differential baseline the tests compare the rebuild against.
 """
 
 from __future__ import annotations
@@ -52,10 +61,26 @@ from dataclasses import dataclass
 from typing import Any, BinaryIO, Iterator
 
 from repro.graph.frozen import FrozenGraph, StringColumn
+from repro.graph.store import SocialGraph
+from repro.schema.entities import (
+    Comment,
+    Forum,
+    ForumKind,
+    Organisation,
+    OrganisationType,
+    Person,
+    Place,
+    PlaceType,
+    Post,
+    Tag,
+    TagClass,
+)
+from repro.schema.relations import HasMember, Knows, Likes, StudyAt, WorkAt
 
 __all__ = [
     "MAGIC",
     "VERSION",
+    "ENTITY_SECTION",
     "MAPPED_ATTRS",
     "SnapshotFormatError",
     "AttachedColumns",
@@ -63,12 +88,17 @@ __all__ = [
     "attach",
     "object_state",
     "open_snapshot",
+    "rebuild_store",
     "snapshot_bytes",
     "write_snapshot",
 ]
 
 MAGIC = b"RSNB"
-VERSION = 1
+VERSION = 2
+
+#: Name of the required v2 entity section: the canonical JSON encoding
+#: of every entity/relation row, replayed by :func:`rebuild_store`.
+ENTITY_SECTION = "__entities__"
 
 #: Native int64 written at offset 8; reads as 0x0807060504030201 when
 #: the snapshot was produced on an opposite-endian host.
@@ -170,10 +200,165 @@ def _sections(graph: FrozenGraph) -> Iterator[tuple[str, array]]:
         yield from _keyed_sections(attr, getattr(graph, attr))
 
 
-def write_snapshot(graph: FrozenGraph, stream: BinaryIO) -> int:
-    """Serialize ``graph``'s column families into ``stream`` (format
-    v1); returns the number of column-section bytes written (the size a
-    reader will map, excluding header and TOC)."""
+def _entity_payload(graph: FrozenGraph, overlay: Any = None) -> bytes:
+    """The ``__entities__`` section: every entity/relation row as a
+    compact JSON document, listed in :func:`rebuild_store`'s replay
+    order.  Rows are written in the live store's own insertion order
+    (dict/list iteration order), so replaying them through the ordinary
+    mutators reproduces every secondary index — including adjacency-list
+    orders, which queries observe through group-insertion tie-breaks —
+    byte-for-byte.  The file fixes the order once; every worker that
+    attaches it rebuilds the identical store.
+
+    The frozen view shares the live store's tables by reference, so
+    under a dirty :class:`~repro.graph.frozen.FreezeManager` they hold
+    *current* state, not freeze-time state.  Passing the manager's
+    ``overlay`` restores the freeze-time section: rows the overlay
+    recorded as post-freeze inserts are skipped here (they replay from
+    the shipped overlay instead), and rows deleted since the freeze are
+    naturally absent — their tombstones make the absence unobservable
+    through the worker's merge view."""
+    if overlay is None:
+        skip: dict[str, Any] = {}
+    else:
+        skip = {
+            family: keys
+            for family, keys in overlay.inserts.items()
+            if keys
+        }
+    skip_persons = skip.get("persons", ())
+    skip_forums = skip.get("forums", ())
+    skip_posts = skip.get("posts", ())
+    skip_comments = skip.get("comments", ())
+    skip_knows = skip.get("knows", ())
+    skip_memberships = skip.get("memberships", ())
+    skip_likes = skip.get("likes", ())
+    payload = {
+        "places": [
+            [p.id, p.name, p.url, p.type.value, p.part_of]
+            for p in graph.places.values()
+        ],
+        "organisations": [
+            [o.id, o.type.value, o.name, o.url, o.place_id]
+            for o in graph.organisations.values()
+        ],
+        "tag_classes": [
+            [t.id, t.name, t.url, t.subclass_of]
+            for t in graph.tag_classes.values()
+        ],
+        "tags": [
+            [t.id, t.name, t.url, t.type_id] for t in graph.tags.values()
+        ],
+        "persons": [
+            [p.id, p.first_name, p.last_name, p.gender, p.birthday,
+             p.creation_date, p.location_ip, p.browser_used, p.city_id,
+             p.emails, p.speaks, p.interests]
+            for p in graph.persons.values()
+            if p.id not in skip_persons
+        ],
+        "study_at": [
+            [r.person_id, r.university_id, r.class_year]
+            for r in graph.study_at
+        ],
+        "work_at": [
+            [r.person_id, r.company_id, r.work_from]
+            for r in graph.work_at
+        ],
+        "knows": [
+            [e.person1, e.person2, e.creation_date]
+            for e in graph.knows_edges
+            if (min(e.person1, e.person2), max(e.person1, e.person2))
+            not in skip_knows
+        ],
+        "forums": [
+            [f.id, f.title, f.creation_date, f.moderator_id,
+             f.kind.value, f.tag_ids]
+            for f in graph.forums.values()
+            if f.id not in skip_forums
+        ],
+        "memberships": [
+            [m.forum_id, m.person_id, m.join_date]
+            for m in graph.memberships
+            if (m.forum_id, m.person_id) not in skip_memberships
+        ],
+        "posts": [
+            [p.id, p.creation_date, p.location_ip, p.browser_used,
+             p.content, p.length, p.creator_id, p.forum_id, p.country_id,
+             p.language, p.image_file, p.tag_ids]
+            for p in graph.posts.values()
+            if p.id not in skip_posts
+        ],
+        "comments": [
+            [c.id, c.creation_date, c.location_ip, c.browser_used,
+             c.content, c.length, c.creator_id, c.country_id,
+             c.reply_of_post, c.reply_of_comment, c.tag_ids]
+            for c in graph.comments.values()
+            if c.id not in skip_comments
+        ],
+        "likes": [
+            [e.person_id, e.message_id, e.creation_date, e.is_post]
+            for e in graph.likes_edges
+            if (e.person_id, e.message_id) not in skip_likes
+        ],
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def rebuild_store(data: Any) -> SocialGraph:
+    """Replay an ``__entities__`` payload into a fresh
+    :class:`SocialGraph` through the ordinary mutators, in
+    ``SocialGraph.from_data`` order (dimension tables, persons,
+    person relations, forums, memberships, messages, likes) — so every
+    secondary index is rebuilt by the same code path that built the
+    parent's, and a shipped overlay can keep replaying writes on top."""
+    payload = json.loads(bytes(data))
+    graph = SocialGraph()
+    for row in payload["places"]:
+        graph.add_place(
+            Place(row[0], row[1], row[2], PlaceType(row[3]), row[4])
+        )
+    for row in payload["organisations"]:
+        graph.add_organisation(
+            Organisation(
+                row[0], OrganisationType(row[1]), row[2], row[3], row[4]
+            )
+        )
+    for row in payload["tag_classes"]:
+        graph.add_tag_class(TagClass(*row))
+    for row in payload["tags"]:
+        graph.add_tag(Tag(*row))
+    for row in payload["persons"]:
+        graph.add_person(Person(*row))
+    for row in payload["study_at"]:
+        graph.add_study_at(StudyAt(*row))
+    for row in payload["work_at"]:
+        graph.add_work_at(WorkAt(*row))
+    for row in payload["knows"]:
+        graph.add_knows(Knows(*row))
+    for row in payload["forums"]:
+        graph.add_forum(
+            Forum(row[0], row[1], row[2], row[3], ForumKind(row[4]), row[5])
+        )
+    for row in payload["memberships"]:
+        graph.add_membership(HasMember(*row))
+    for row in payload["posts"]:
+        graph.add_post(Post(*row))
+    for row in payload["comments"]:
+        graph.add_comment(Comment(*row))
+    for row in payload["likes"]:
+        graph.add_like(Likes(*row))
+    return graph
+
+
+def write_snapshot(
+    graph: FrozenGraph, stream: BinaryIO, *, overlay: Any = None
+) -> int:
+    """Serialize ``graph``'s column families plus the entity section
+    into ``stream`` (format v2); returns the number of section bytes
+    written (the size a reader will map, excluding header and TOC).
+    ``overlay`` (the owning manager's delta overlay, when the base is
+    serialized under a dirty manager) keeps post-freeze inserts out of
+    the entity section — see :func:`_entity_payload`."""
     if graph.delta_overlay is not None:
         raise ValueError(
             "cannot serialize an overlaid view; write its base_snapshot "
@@ -182,21 +367,30 @@ def write_snapshot(graph: FrozenGraph, stream: BinaryIO) -> int:
     sections: list[dict[str, Any]] = []
     offset = HEADER_SIZE
     stream.write(b"\0" * HEADER_SIZE)  # back-patched below
-    for name, column in _sections(graph):
+    entity_data = _entity_payload(graph, overlay)
+    payloads: Iterator[tuple[str, str, int, int, bytes]] = iter(
+        [
+            *(
+                (name, col.typecode, col.itemsize, len(col), col.tobytes())
+                for name, col in _sections(graph)
+            ),
+            (ENTITY_SECTION, "B", 1, len(entity_data), entity_data),
+        ]
+    )
+    for name, typecode, itemsize, count, data in payloads:
         pad = (-offset) % 8
         if pad:
             stream.write(b"\0" * pad)
             offset += pad
-        data = column.tobytes()
         stream.write(data)
         sections.append(
             {
                 "name": name,
-                "typecode": column.typecode,
-                "itemsize": column.itemsize,
+                "typecode": typecode,
+                "itemsize": itemsize,
                 "offset": offset,
                 "nbytes": len(data),
-                "count": len(column),
+                "count": count,
             }
         )
         offset += len(data)
@@ -220,13 +414,13 @@ def write_snapshot(graph: FrozenGraph, stream: BinaryIO) -> int:
     return sum(section["nbytes"] for section in sections)
 
 
-def snapshot_bytes(graph: FrozenGraph) -> bytes:
+def snapshot_bytes(graph: FrozenGraph, *, overlay: Any = None) -> bytes:
     """The snapshot serialized into one in-memory blob (the
     shared-memory provider copies this into its segment)."""
     import io
 
     buffer = io.BytesIO()
-    write_snapshot(graph, buffer)
+    write_snapshot(graph, buffer, overlay=overlay)
     return buffer.getvalue()
 
 
@@ -239,11 +433,15 @@ def snapshot_bytes(graph: FrozenGraph) -> bytes:
 class AttachedColumns:
     """Zero-copy column families decoded from a snapshot buffer:
     ``columns`` maps every attribute in :data:`MAPPED_ATTRS` to its
-    memoryview-backed value, ready for ``FrozenGraph._attached``."""
+    memoryview-backed value, ready for ``FrozenGraph._attached``;
+    ``entities`` is the raw (unparsed) ``__entities__`` section for
+    :func:`rebuild_store` — parsing is deferred because the in-process
+    parent attach never needs it."""
 
     columns: dict[str, Any]
     bytes_mapped: int
     frozen_at_version: int
+    entities: Any
 
 
 def _validate_header(view: memoryview) -> tuple[int, int]:
@@ -348,6 +546,7 @@ def attach(buffer: Any) -> AttachedColumns:
                 keys[index]: values[offsets[index] : offsets[index + 1]]
                 for index in range(len(keys))
             }
+        entities = sections[ENTITY_SECTION]
     except KeyError as error:
         raise SnapshotFormatError(
             f"corrupt snapshot: missing section {error}"
@@ -356,6 +555,7 @@ def attach(buffer: Any) -> AttachedColumns:
         columns=columns,
         bytes_mapped=sum(s["nbytes"] for s in toc["sections"]),
         frozen_at_version=int(toc["meta"]["frozen_at_version"]),
+        entities=entities,
     )
 
 

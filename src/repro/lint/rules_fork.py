@@ -17,9 +17,8 @@ only corrupt results under real parallelism:
 * ``live-store-capture`` — a pool submission capturing a live
   ``SocialGraph`` or ``FreezeManager`` (a snapshot-provider constructor
   — ``provide_snapshot``/``InlineSnapshot``/``MmapFileSnapshot``/
-  ``SharedMemorySnapshot``, or the deprecated ``StoreSnapshot`` — over
-  a live handle, ``WorkerPool(snapshot=…)``, a live store in a ``Task``
-  payload).  Live stores carry position maps, write hooks and delta
+  ``SharedMemorySnapshot`` — over a live handle,
+  ``WorkerPool(snapshot=…)``, a live store in a ``Task`` payload).  Live stores carry position maps, write hooks and delta
   overlays that must not cross the process boundary; workers get
   ``provide_snapshot(freeze(graph))`` or ``manager.frozen()``
   (attach-by-path through a mapped provider is exactly as legal as the

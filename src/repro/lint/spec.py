@@ -150,7 +150,7 @@ GRAPH_VIEW_CLASSES: frozenset[str] = frozenset(
 
 #: Constructors whose result is a *live*, mutable store handle — R7
 #: flags these crossing the process-pool boundary (workers must receive
-#: ``StoreSnapshot``/frozen state instead).
+#: a snapshot provider / frozen state instead).
 LIVE_STORE_CONSTRUCTORS: frozenset[str] = frozenset(
     {"SocialGraph", "FreezeManager"}
 )
@@ -162,10 +162,9 @@ SNAPSHOT_CONSTRUCTORS: frozenset[str] = frozenset({"freeze", "frozen"})
 #: Snapshot-provider constructors of the Snapshot API
 #: (``repro.exec.snapshot``) — the graph they wrap crosses the pool
 #: boundary (by fork, pickle, or attach-by-path), so R7 checks their
-#: graph argument exactly like the deprecated ``StoreSnapshot``'s.
+#: graph argument.
 SNAPSHOT_PROVIDER_CONSTRUCTORS: frozenset[str] = frozenset(
     {
-        "StoreSnapshot",
         "InlineSnapshot",
         "MmapFileSnapshot",
         "SharedMemorySnapshot",

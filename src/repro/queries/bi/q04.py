@@ -14,11 +14,12 @@ Choke points: 1.1, 1.2, 1.3, 2.1, 2.2, 2.4, 3.3, 5.3.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import Iterable, Iterator, NamedTuple
 
 from repro.engine import scan_forum_posts, scan_forums, sort_key, top_k
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
+from repro.schema.entities import Forum
 from repro.util.dates import DateTime
 
 INFO = BiQueryInfo(
@@ -38,16 +39,15 @@ class Bi4Row(NamedTuple):
     post_count: int
 
 
-def bi4(graph: SocialGraph, tag_class: str, country: str) -> list[Bi4Row]:
-    """Run BI 4 for a tag class name and a country name."""
-    country_id = graph.country_id(country)
-    class_id = graph.tagclass_id(tag_class)
-    class_tags = set(graph.tags_of_class(class_id))
-
-    top = top_k(
-        INFO.limit, key=lambda r: sort_key((r.post_count, True), (r.forum_id, False))
-    )
-    for forum in scan_forums(graph):
+def bi4_candidates(
+    graph: SocialGraph,
+    forums: Iterable[Forum],
+    class_tags: set[int],
+    country_id: int,
+) -> Iterator[Bi4Row]:
+    """Qualifying rows among ``forums`` — shared with the BI 4 morsel
+    plan, which feeds forum-ordinal morsels through the same filter."""
+    for forum in forums:
         moderator = graph.persons.get(forum.moderator_id)
         if moderator is None:
             continue
@@ -60,13 +60,24 @@ def bi4(graph: SocialGraph, tag_class: str, country: str) -> list[Bi4Row]:
             if class_tags.intersection(post.tag_ids)
         )
         if post_count:
-            top.add(
-                Bi4Row(
-                    forum.id,
-                    forum.title,
-                    forum.creation_date,
-                    forum.moderator_id,
-                    post_count,
-                )
+            yield Bi4Row(
+                forum.id,
+                forum.title,
+                forum.creation_date,
+                forum.moderator_id,
+                post_count,
             )
+
+
+def bi4(graph: SocialGraph, tag_class: str, country: str) -> list[Bi4Row]:
+    """Run BI 4 for a tag class name and a country name."""
+    country_id = graph.country_id(country)
+    class_id = graph.tagclass_id(tag_class)
+    class_tags = set(graph.tags_of_class(class_id))
+
+    top = top_k(
+        INFO.limit, key=lambda r: sort_key((r.post_count, True), (r.forum_id, False))
+    )
+    for row in bi4_candidates(graph, scan_forums(graph), class_tags, country_id):
+        top.add(row)
     return top.result()

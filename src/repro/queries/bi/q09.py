@@ -15,11 +15,12 @@ Choke points: 1.2, 1.3, 2.1, 2.3, 2.4.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import Iterable, Iterator, NamedTuple
 
 from repro.graph.store import SocialGraph
 from repro.queries.bi.base import BiQueryInfo
 from repro.engine import scan_forum_posts, scan_forums, sort_key, top_k
+from repro.schema.entities import Forum
 
 INFO = BiQueryInfo(
     9,
@@ -36,6 +37,29 @@ class Bi9Row(NamedTuple):
     count2: int
 
 
+def bi9_candidates(
+    graph: SocialGraph,
+    forums: Iterable[Forum],
+    tags1: set[int],
+    tags2: set[int],
+    threshold: int,
+) -> Iterator[Bi9Row]:
+    """Qualifying rows among ``forums`` — shared with the BI 9 morsel
+    plan, which feeds forum-ordinal morsels through the same filter."""
+    for forum in forums:
+        if len(graph.members_of_forum(forum.id)) <= threshold:
+            continue
+        count1 = count2 = 0
+        for post in scan_forum_posts(graph, forum.id):
+            post_tags = set(post.tag_ids)
+            if post_tags & tags1:
+                count1 += 1
+            if post_tags & tags2:
+                count2 += 1
+        if count1 or count2:
+            yield Bi9Row(forum.id, forum.title, count1, count2)
+
+
 def bi9(
     graph: SocialGraph, tag_class1: str, tag_class2: str, threshold: int
 ) -> list[Bi9Row]:
@@ -49,16 +73,6 @@ def bi9(
             (r.count1, True), (r.count2, True), (r.forum_id, False)
         ),
     )
-    for forum in scan_forums(graph):
-        if len(graph.members_of_forum(forum.id)) <= threshold:
-            continue
-        count1 = count2 = 0
-        for post in scan_forum_posts(graph, forum.id):
-            post_tags = set(post.tag_ids)
-            if post_tags & tags1:
-                count1 += 1
-            if post_tags & tags2:
-                count2 += 1
-        if count1 or count2:
-            top.add(Bi9Row(forum.id, forum.title, count1, count2))
+    for row in bi9_candidates(graph, scan_forums(graph), tags1, tags2, threshold):
+        top.add(row)
     return top.result()

@@ -20,7 +20,7 @@ import math
 import pytest
 
 from repro.driver.bi_driver import build_microbatches
-from repro.exec import StoreSnapshot, Task, WorkerPool
+from repro.exec import InlineSnapshot, Task, WorkerPool
 from repro.exec.tasks import _tally_read_path
 from repro.graph.delta import (
     DeltaOverlay,
@@ -366,7 +366,7 @@ class TestOverlayProcessFork:
             tasks.append(Task(len(tasks), "bi", (number, binding)))
             expected.append(_run_query(ALL_QUERIES[number][0], live, binding))
         pool = WorkerPool(
-            workers=2, backend="process", snapshot=StoreSnapshot(view)
+            workers=2, backend="process", snapshot=InlineSnapshot(view)
         )
         merged = pool.run(tasks)
         assert all(outcome.ok for outcome in merged.outcomes)

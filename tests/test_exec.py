@@ -20,12 +20,12 @@ from repro.exec import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TIMEOUT,
-    StoreSnapshot,
+    InlineSnapshot,
     Task,
     WorkerPool,
-    current_snapshot,
+    activate,
+    active,
     default_workers,
-    install_snapshot,
     register_task_kind,
     resolve_workers,
     run_task,
@@ -115,27 +115,27 @@ class TestResolveWorkers:
             WorkerPool(workers=2, queue_depth=0)
 
 
-# -- snapshot installation --------------------------------------------------
+# -- snapshot activation ----------------------------------------------------
 
 
 class TestSnapshot:
-    def test_install_returns_previous(self):
-        first = StoreSnapshot(context={"tag": "first"})
-        second = StoreSnapshot(context={"tag": "second"})
-        base = install_snapshot(first)
+    def test_activate_returns_previous(self):
+        first = InlineSnapshot(context={"tag": "first"})
+        second = InlineSnapshot(context={"tag": "second"})
+        base = activate(first)
         try:
-            assert current_snapshot() is first
-            assert install_snapshot(second) is first
-            assert current_snapshot() is second
+            assert active() is first
+            assert activate(second) is first
+            assert active() is second
         finally:
-            install_snapshot(base)
+            activate(base)
 
-    def test_run_task_reads_installed_snapshot(self):
-        base = install_snapshot(StoreSnapshot(context={"tag": "inline"}))
+    def test_run_task_reads_active_snapshot(self):
+        base = activate(InlineSnapshot(context={"tag": "inline"}))
         try:
             assert run_task(Task(0, "context_tag")) == "inline"
         finally:
-            install_snapshot(base)
+            activate(base)
 
     def test_unknown_kind_raises(self):
         with pytest.raises(LookupError, match="no-such-kind"):
@@ -175,7 +175,7 @@ class TestBackends:
         pool = WorkerPool(
             workers=2,
             backend="process",
-            snapshot=StoreSnapshot(context={"tag": "shipped"}),
+            snapshot=InlineSnapshot(context={"tag": "shipped"}),
         )
         result = pool.run([Task(0, "context_tag"), Task(1, "context_tag")])
         assert result.values() == ["shipped", "shipped"]
@@ -332,7 +332,7 @@ class TestCounters:
             Task(index, "bi", (number, tuple(bindings[number][0])))
             for index, number in enumerate(sorted(bindings))
         ]
-        snapshot = StoreSnapshot(small_graph)
+        snapshot = InlineSnapshot(small_graph)
         serial = WorkerPool(workers=1, snapshot=snapshot).run(tasks)
         parallel = WorkerPool(
             workers=3, backend="process", snapshot=snapshot

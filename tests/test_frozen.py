@@ -9,12 +9,12 @@ the differential suite's job (``test_frozen_differential.py``).
 import pytest
 
 from repro.driver.bi_driver import power_test
+from repro.exec.snapshot import SnapshotConfig
 from repro.graph.frozen import (
     FreezeManager,
     FrozenGraph,
     StringColumn,
     freeze,
-    resolve_freeze,
 )
 from repro.graph.store import SocialGraph
 from repro.obs.metrics import registry
@@ -252,19 +252,19 @@ class TestFreezeLifecycle:
 class TestResolveFreeze:
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_FROZEN", "0")
-        assert resolve_freeze(True) is True
-        assert resolve_freeze(False) is False
+        assert SnapshotConfig(freeze=True).resolved().freeze is True
+        assert SnapshotConfig(freeze=False).resolved().freeze is False
 
     def test_env_default_on(self, monkeypatch):
         monkeypatch.delenv("REPRO_FROZEN", raising=False)
-        assert resolve_freeze(None) is True
+        assert SnapshotConfig().resolved().freeze is True
 
     def test_env_falsy_values(self, monkeypatch):
         for value in ("0", "false", "No", " OFF ", ""):
             monkeypatch.setenv("REPRO_FROZEN", value)
-            assert resolve_freeze(None) is False
+            assert SnapshotConfig().resolved().freeze is False
         monkeypatch.setenv("REPRO_FROZEN", "1")
-        assert resolve_freeze(None) is True
+        assert SnapshotConfig().resolved().freeze is True
 
 
 class TestPowerTestParity:
@@ -291,10 +291,12 @@ class TestPowerTestParity:
         like the live index paths they replace."""
         params = ParameterGenerator(tiny_graph, tiny_config)
         live = power_test(
-            tiny_graph, params, 0.1, workers=1, freeze_graph=False
+            tiny_graph, params, 0.1, workers=1,
+            snapshot=SnapshotConfig(freeze=False),
         )
         frozen = power_test(
-            tiny_graph, params, 0.1, workers=1, freeze_graph=True
+            tiny_graph, params, 0.1, workers=1,
+            snapshot=SnapshotConfig(freeze=True),
         )
         assert self._order_invariant(
             frozen.operator_stats

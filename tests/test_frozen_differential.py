@@ -16,8 +16,8 @@ import pytest
 
 from repro.datagen.delete_streams import build_delete_streams
 from repro.datagen.update_streams import build_update_streams
-from repro.exec import StoreSnapshot, Task, WorkerPool
-from repro.exec.snapshot import current_snapshot
+from repro.exec import InlineSnapshot, Task, WorkerPool
+from repro.exec.snapshot import active
 from repro.graph.frozen import FreezeManager
 from repro.graph.store import SocialGraph
 from repro.params.curation import ParameterGenerator
@@ -127,9 +127,9 @@ class TestFrozenVersusLive:
 
 
 def _snapshot_digest() -> tuple[str, int]:
-    """sha1 over the installed snapshot's knows CSR plus the worker pid
+    """sha1 over the active snapshot's knows CSR plus the worker pid
     — the currency of the fork-sharing test."""
-    graph = current_snapshot().graph
+    graph = active().graph
     digest = hashlib.sha1(
         graph._knows_offsets.tobytes()
         + graph._knows_targets.tobytes()
@@ -144,25 +144,22 @@ class TestForkSharing:
         (copy-on-write), so every worker's digest of the knows CSR must
         equal the parent's — and come from distinct worker pids."""
         _, frozen, _ = bulk_phase
-        previous = current_snapshot()
-        try:
-            from repro.exec.snapshot import install_snapshot
+        from repro.exec.snapshot import activate
 
-            install_snapshot(StoreSnapshot(frozen))
+        previous = activate(InlineSnapshot(frozen))
+        try:
             parent_digest, parent_pid = _snapshot_digest()
             pool = WorkerPool(
                 workers=2,
                 backend="process",
-                snapshot=StoreSnapshot(frozen),
+                snapshot=InlineSnapshot(frozen),
             )
             tasks = [
                 Task(i, "call", (_snapshot_digest, ())) for i in range(6)
             ]
             merged = pool.run(tasks)
         finally:
-            from repro.exec.snapshot import install_snapshot
-
-            install_snapshot(previous)
+            activate(previous)
         assert all(outcome.ok for outcome in merged.outcomes)
         digests = {digest for digest, _ in (o.value for o in merged.outcomes)}
         pids = {pid for _, pid in (o.value for o in merged.outcomes)}

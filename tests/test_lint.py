@@ -520,6 +520,22 @@ class TestR6SnapshotAliasing:
         )
         assert lint_source(GRAPH_PATH, src) == []
 
+    def test_alternate_constructor_exempt(self):
+        # A classmethod building a fresh instance via cls.__new__(cls)
+        # (the snapshot attach/rebuild paths) populates an instance no
+        # other view aliases yet — same standing as __init__.
+        src = (
+            "class FrozenGraph:\n"
+            "    def __init__(self, source):\n"
+            "        self._post_objs = list(source.posts.values())\n\n"
+            "    @classmethod\n"
+            "    def _rebuilt(cls, store):\n"
+            "        graph = cls.__new__(cls)\n"
+            "        graph._post_objs = list(store.posts.values())\n"
+            "        return graph\n"
+        )
+        assert lint_source(GRAPH_PATH, src) == []
+
     def test_same_object_write_back_allowed(self):
         src = (
             "class SocialGraph:\n"
@@ -744,7 +760,7 @@ class TestR7ForkSafety:
         src = (
             "def submit(net):\n"
             "    graph = SocialGraph.from_data(net)\n"
-            "    return StoreSnapshot(graph)\n"
+            "    return InlineSnapshot(graph)\n"
         )
         assert slugs_at(lint_source(EXEC_PATH, src)) == [
             (3, "R7", "live-store-capture")
@@ -773,7 +789,7 @@ class TestR7ForkSafety:
     def test_frozen_snapshot_allowed(self):
         src = (
             "def submit(graph):\n"
-            "    return StoreSnapshot(freeze(graph))\n"
+            "    return InlineSnapshot(freeze(graph))\n"
         )
         assert lint_source(EXEC_PATH, src) == []
 
@@ -781,7 +797,7 @@ class TestR7ForkSafety:
         src = (
             "def submit(graph):\n"
             "    manager = FreezeManager(graph)\n"
-            "    return StoreSnapshot(manager.frozen())\n"
+            "    return InlineSnapshot(manager.frozen())\n"
         )
         assert lint_source(EXEC_PATH, src) == []
 
@@ -791,7 +807,7 @@ class TestR7ForkSafety:
         src = (
             "def submit(graph, use_freeze):\n"
             "    read = freeze(graph) if use_freeze else graph\n"
-            "    return StoreSnapshot(read)\n"
+            "    return InlineSnapshot(read)\n"
         )
         assert lint_source(EXEC_PATH, src) == []
 
@@ -799,7 +815,7 @@ class TestR7ForkSafety:
         src = (
             "def run(net):\n"
             "    graph = SocialGraph.from_data(net)\n"
-            "    return StoreSnapshot(graph)\n"
+            "    return InlineSnapshot(graph)\n"
         )
         assert slugs_at(lint_source(DRIVER_PATH, src)) == [
             (3, "R7", "live-store-capture")

@@ -146,12 +146,7 @@ class TestMorselPlans:
         query = ALL_QUERIES[number][0]
         for binding in params.bi(number, count=2):
             binding = tuple(binding)
-            ranges = morsel_ranges(
-                frozen,
-                window=plan.window(binding),
-                kind=plan.kind,
-                morsel_size=morsel_size,
-            )
+            ranges = plan.ranges(frozen, binding, morsel_size)
             partials = [
                 plan.partial(frozen, kind, lo, hi, index == 0, binding)
                 for index, (kind, lo, hi) in enumerate(ranges)
@@ -176,9 +171,7 @@ class TestMorselPlans:
         serial = counters().as_dict()
 
         reset_counters()
-        ranges = morsel_ranges(
-            frozen, window=plan.window(binding), morsel_size=23
-        )
+        ranges = plan.ranges(frozen, binding, 23)
         partials = [
             plan.partial(frozen, kind, lo, hi, index == 0, binding)
             for index, (kind, lo, hi) in enumerate(ranges)
@@ -195,9 +188,7 @@ class TestMorselPlans:
         plan = MORSEL_PLANS[number]
         query = ALL_QUERIES[number][0]
         binding = tuple(params.bi(number, count=1)[0])
-        ranges = morsel_ranges(
-            tiny_graph, window=plan.window(binding), kind=plan.kind
-        )
+        ranges = plan.ranges(tiny_graph, binding, 65536)
         assert ranges == [("*", 0, -1)]
         partials = [
             plan.partial(tiny_graph, kind, lo, hi, index == 0, binding)
@@ -230,9 +221,7 @@ class TestPoolDispatch:
     def test_morsel_task_counter_increments(self, frozen, params):
         binding = tuple(params.bi(1, count=1)[0])
         plan = MORSEL_PLANS[1]
-        ranges = morsel_ranges(
-            frozen, window=plan.window(binding), morsel_size=400
-        )
+        ranges = plan.ranges(frozen, binding, 400)
         counter = registry().counter("repro_morsel_tasks_total", query="bi1")
         before = counter.value
         pool = WorkerPool(workers=1, snapshot=provide_snapshot(frozen))

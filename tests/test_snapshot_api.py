@@ -6,14 +6,17 @@ Covers the four satellite contracts of the redesign:
   variables are parsed, and explicit knobs always win over them;
 * :func:`provide_snapshot` degrades to inline — visibly, via the
   ``repro_snapshot_fallback_total`` counter — when handed a live graph;
-* the deprecated surface (``StoreSnapshot`` / ``install_snapshot`` /
-  ``current_snapshot``) still works, warns, and preserves the old
-  identity semantics;
+* mapped ship tokens are self-contained: the payload carries only
+  buffer coordinates, the overlay and the task context — zero
+  object-state pickle bytes — and workers rebuild the entity store
+  from the snapfile's ``__entities__`` section;
 * the mapped providers survive ``ship()`` → ``pickle`` →
   ``materialize()`` with row-identical reads, including an overlaid
   (dirty-manager) snapshot whose deltas must ride along with the
-  mapped base — the full 25 BI + 14 IC differential runs over
-  ``mmap_file`` against ``inline``.
+  mapped base — the full 25 BI + 14 IC differential runs the
+  entity-section rebuild against the parent's object-state view,
+  plus a ``spawn``-method pool leg that cold-starts from the file
+  alone.
 """
 
 from __future__ import annotations
@@ -37,11 +40,6 @@ from repro.exec.snapshot import (
     SharedMemorySnapshot,
     SnapshotConfig,
     SnapshotHandle,
-    StoreSnapshot,
-    activate,
-    active,
-    current_snapshot,
-    install_snapshot,
     provide_snapshot,
 )
 from repro.graph.frozen import FreezeManager, freeze
@@ -105,13 +103,10 @@ class TestSnapshotConfig:
             "morsel_size": None,
         }
 
-    def test_legacy_resolvers_delegate_here(self, clean_env):
+    def test_compact_fraction_resolver_delegates_here(self, clean_env):
         from repro.graph.delta import resolve_compact_fraction
-        from repro.graph.frozen import resolve_freeze
 
-        clean_env.setenv(ENV_FROZEN, "no")
         clean_env.setenv(ENV_COMPACT_FRACTION, "0.75")
-        assert resolve_freeze(None) is False
         assert resolve_compact_fraction(None) == 0.75
 
 
@@ -151,23 +146,40 @@ class TestProvideSnapshot:
                 handle.close()
 
 
-class TestDeprecatedSurface:
-    def test_store_snapshot_is_inline_and_warns(self, tiny_graph):
-        with pytest.warns(DeprecationWarning, match="StoreSnapshot"):
-            snapshot = StoreSnapshot(tiny_graph)
-        assert isinstance(snapshot, InlineSnapshot)
-        assert snapshot.graph is tiny_graph
-
-    def test_install_current_alias_activate_active(self, tiny_graph):
-        handle = InlineSnapshot(tiny_graph)
-        with pytest.warns(DeprecationWarning, match="install_snapshot"):
-            previous = install_snapshot(handle)
+class TestSelfContainedShip:
+    @pytest.mark.parametrize("provider", ["mmap_file", "shared_memory"])
+    def test_ship_payload_has_zero_object_state_bytes(
+        self, tiny_graph, clean_env, provider
+    ):
+        """The ship token is buffer coordinates + overlay + context
+        only: no pickled store travels, and the stub stays thousands of
+        times smaller than the entity state it replaces."""
+        frozen = freeze(tiny_graph)
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider=provider)
+        )
         try:
-            with pytest.warns(DeprecationWarning, match="current_snapshot"):
-                assert current_snapshot() is handle
-            assert active() is handle
+            token = handle.ship()
+            coordinate = "path" if provider == "mmap_file" else "shm_name"
+            assert set(token.payload) == {
+                coordinate, "overlay", "context", "origin_pid"
+            }
+            assert "state" not in token.payload
+            assert token.payload["overlay"] is None
+            stub_bytes = len(pickle.dumps(token))
+            gauges = registry()
+            assert gauges.gauge(
+                "repro_snapshot_state_bytes", section="stub"
+            ).value == stub_bytes
+            entity_bytes = gauges.gauge(
+                "repro_snapshot_state_bytes", section="entities"
+            ).value
+            # A graph with hundreds of messages serializes to tens of
+            # kilobytes of entity rows; the stub must not scale with it.
+            assert entity_bytes > 10_000
+            assert stub_bytes < 1_000
         finally:
-            activate(previous)
+            handle.close()
 
 
 def _bi18_rows(graph, binding):
@@ -290,6 +302,43 @@ class TestFullDifferential:
                         ), f"ic{number}"
             finally:
                 attached.close()
+        finally:
+            handle.close()
+
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_pool_differential_all_reads(self, tiny_graph,
+                                               tiny_config, clean_env):
+        """Cold-started spawn workers (no fork inheritance, no
+        object-state pickle) return the same rows as the parent's
+        serial pass for every BI and IC read."""
+        from repro.exec.pool import ENV_START_METHOD
+        from repro.params.curation import ParameterGenerator
+        from repro.queries.bi import ALL_QUERIES
+        from repro.queries.interactive.complex import ALL_COMPLEX
+
+        clean_env.setenv(ENV_START_METHOD, "spawn")
+        frozen = freeze(tiny_graph)
+        params = ParameterGenerator(tiny_graph, tiny_config)
+        tasks = []
+        expected = []
+        for number, (query, _info) in sorted(ALL_QUERIES.items()):
+            binding = tuple(params.bi(number, count=1)[0])
+            tasks.append(Task(len(tasks), "bi", (number, binding)))
+            expected.append(query(frozen, *binding))
+        for number, (query, _info) in sorted(ALL_COMPLEX.items()):
+            binding = tuple(params.interactive(number, count=1)[0])
+            tasks.append(Task(len(tasks), "ic", (number, binding)))
+            expected.append(query(frozen, *binding))
+        handle = provide_snapshot(
+            frozen, config=SnapshotConfig(provider="mmap_file")
+        )
+        try:
+            merged = WorkerPool(workers=2, snapshot=handle).run(tasks)
+            assert not merged.failures
+            assert merged.values() == expected
         finally:
             handle.close()
 
